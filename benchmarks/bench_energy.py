@@ -1,0 +1,45 @@
+"""Extra experiment: first-order energy comparison (extension).
+
+The paper's premise includes power efficiency (its background cites 23%
+energy savings for heterogeneous-ISA CMPs).  With per-core busy-time
+accounting and a catalog-level power model, the pointer-chase workload
+shows Flick's *second* win: not only is the traversal faster near the
+data, the expensive host core is parked while the 0.35 W NxP does the
+work.
+"""
+
+from repro.analysis import estimate_energy, render_table
+from repro.core.hosted import HostedMachine
+from repro.workloads.pointer_chase import _make_program, build_chain
+
+
+def _run(mode, accesses=1024, calls=8):
+    hosted = HostedMachine(_make_program())
+    head = build_chain(hosted, accesses)
+    out = hosted.run("main", [head, accesses, calls, 1 if mode == "flick" else 0, 0.0])
+    return estimate_energy(hosted.machine, out.sim_time_ns), out.sim_time_ns
+
+
+def test_energy_comparison(benchmark, report):
+    results = {}
+
+    def run():
+        results["host"] = _run("host")
+        results["flick"] = _run("flick")
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    (e_host, t_host), (e_flick, t_flick) = results["host"], results["flick"]
+    rows = [
+        ("host-direct", f"{t_host/1e6:.2f}ms", f"{e_host.host_j*1e3:.2f}mJ",
+         f"{(e_host.nxp_busy_j + e_host.nxp_idle_j)*1e3:.2f}mJ", f"{e_host.total_j*1e3:.2f}mJ"),
+        ("Flick", f"{t_flick/1e6:.2f}ms", f"{e_flick.host_j*1e3:.2f}mJ",
+         f"{(e_flick.nxp_busy_j + e_flick.nxp_idle_j)*1e3:.2f}mJ", f"{e_flick.total_j*1e3:.2f}mJ"),
+        ("ratio", f"{t_host/t_flick:.2f}x", "-", "-", f"{e_host.total_j/e_flick.total_j:.2f}x"),
+    ]
+    report(
+        "Extra: energy, pointer chase @1024 accesses/migration",
+        render_table(["System", "Time", "Host energy", "NxP energy", "Total"], rows),
+    )
+    assert e_flick.total_j < e_host.total_j
+    assert e_host.total_j / e_flick.total_j > t_host / t_flick  # double win

@@ -1,0 +1,59 @@
+"""Fig. 5a: pointer chasing with frequent migration.
+
+Paper: Flick reaches the host-direct baseline at ~32 accesses per
+migration and stabilizes at ~2.6x; systems with 500 us / 1 ms migration
+latency barely (or never) reach the baseline within 1024 accesses.
+"""
+
+import os
+
+from repro.analysis import crossover_point, plateau_value, render_fig5
+from repro.baselines import config_with_migration_rt
+from repro.workloads.pointer_chase import paper_sweep_points, sweep_pointer_chase
+
+# Default: a 16-point log-spaced subset.  FLICK_BENCH_FULL=1 runs the
+# paper's exact 256-point sweep (4..1024 step 4).
+SWEEP = (
+    paper_sweep_points()
+    if os.environ.get("FLICK_BENCH_FULL")
+    else [4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024]
+)
+
+
+def test_fig5a_frequent_migration(benchmark, report):
+    curves = {}
+
+    def run():
+        curves["flick"] = sweep_pointer_chase(SWEEP, calls=8)
+        curves["500us"] = sweep_pointer_chase(
+            SWEEP, calls=4, cfg=config_with_migration_rt(500_000)
+        )
+        curves["1ms"] = sweep_pointer_chase(
+            SWEEP, calls=4, cfg=config_with_migration_rt(1_000_000)
+        )
+        return curves
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_fig5(
+        curves["flick"],
+        slow_500us=curves["500us"],
+        slow_1ms=curves["1ms"],
+        title="Fig. 5a: pointer chasing, frequent migration (normalized to host-direct)",
+    )
+    cross = crossover_point(curves["flick"], threshold=1.0)
+    plateau = plateau_value(curves["flick"])
+    text += (
+        f"\nFlick crossover: {cross} accesses/migration (paper: ~32)"
+        f"\nFlick plateau:   {plateau:.2f}x (paper: ~2.6x)"
+        f"\n500us system at 1024 accesses: {curves['500us'][1024]:.2f}x (paper: ~baseline)"
+        f"\n1ms system at 1024 accesses:   {curves['1ms'][1024]:.2f}x (paper: below baseline)"
+    )
+    report("Fig. 5a: pointer chase, frequent migration", text)
+
+    assert 24 <= cross <= 64  # paper: ~32
+    assert 2.2 <= plateau <= 2.8  # paper: ~2.6
+    assert curves["500us"][1024] < 1.2
+    assert curves["1ms"][1024] < 1.0
+    # Monotone improvement with more work per migration.
+    values = [curves["flick"][x] for x in SWEEP]
+    assert values == sorted(values)

@@ -1,0 +1,39 @@
+"""Fig. 5b: pointer chasing with infrequent migration (every 100 us).
+
+Paper: with 100 us of host work between calls the migration overhead
+matters less — the pre-crossover penalty shrinks, but the achievable
+benefit also drops to ~2x at 1024 accesses.
+"""
+
+from repro.analysis import plateau_value, render_fig5
+from repro.workloads.pointer_chase import sweep_pointer_chase
+
+SWEEP = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+INTERVAL_NS = 100_000.0
+
+
+def test_fig5b_infrequent_migration(benchmark, report):
+    curves = {}
+
+    def run():
+        curves["frequent"] = sweep_pointer_chase(SWEEP, calls=6)
+        curves["infrequent"] = sweep_pointer_chase(SWEEP, calls=6, inter_call_ns=INTERVAL_NS)
+        return curves
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_fig5(
+        curves["infrequent"],
+        title="Fig. 5b: pointer chasing, one migration per 100us of host work",
+    )
+    plateau = plateau_value(curves["infrequent"])
+    text += (
+        f"\nplateau: {plateau:.2f}x (paper: ~2x)"
+        f"\npenalty at 4 accesses: {curves['infrequent'][4]:.2f}x "
+        f"(vs {curves['frequent'][4]:.2f}x when migrating back-to-back)"
+    )
+    report("Fig. 5b: pointer chase, infrequent migration", text)
+
+    assert 1.9 <= curves["infrequent"][1024] <= 2.3  # paper: ~2x at the right edge
+    assert plateau < plateau_value(curves["frequent"])  # benefit reduced
+    assert curves["infrequent"][4] > curves["frequent"][4]  # softer penalty
+    assert curves["infrequent"][4] < 1.0  # still a penalty before crossover

@@ -1,0 +1,46 @@
+"""Extra experiment: near-data KV filtering and the selectivity trade-off.
+
+Not a paper table — this is the near-storage scenario the paper's
+introduction motivates (ship the scan to the data), extended with a
+dimension Fig. 5 cannot show: as *selectivity* rises, the NxP's matches
+become cross-PCIe writes and Flick's advantage erodes (but never
+inverts, since each match saved two reads and costs one posted write).
+"""
+
+from repro.analysis import render_table
+from repro.workloads.kv_filter import run_kv_filter, sweep_selectivity
+
+
+def test_kv_filter_selectivity(benchmark, report):
+    results = {}
+
+    def run():
+        results["size"] = {}
+        for n in (16, 128, 1024, 4096):
+            flick = run_kv_filter(n, mode="flick")
+            host = run_kv_filter(n, mode="host")
+            results["size"][n] = host.sim_time_ns / flick.sim_time_ns
+        results["selectivity"] = sweep_selectivity(1500, [1, 2, 5, 10, 100])
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    size_rows = [(f"{n} records/query", f"{v:.2f}x") for n, v in results["size"].items()]
+    sel_rows = [
+        (f"{s:.0%} of records match", f"{v:.2f}x")
+        for s, v in sorted(results["selectivity"].items())
+    ]
+    text = render_table(["Scan size", "Flick speedup"], size_rows)
+    text += "\n\n" + render_table(
+        ["Selectivity (1500 records)", "Flick speedup"], sel_rows
+    )
+    report("Extra: near-data KV filter", text)
+
+    # Crossover with scan size, like Fig. 5a.
+    assert results["size"][16] < 1.0
+    assert results["size"][4096] > 2.0
+    # Monotone erosion with selectivity.
+    sel = results["selectivity"]
+    ordered = [sel[s] for s in sorted(sel)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert ordered[-1] > 1.0  # full-match scan still wins near the data

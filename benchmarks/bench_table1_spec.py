@@ -1,0 +1,11 @@
+"""Table I: system specification (configuration of the simulated twin)."""
+
+from repro.analysis import table1_system_spec
+from repro.core.config import DEFAULT_CONFIG
+
+
+def test_table1_system_spec(benchmark, report):
+    text = benchmark.pedantic(lambda: table1_system_spec(DEFAULT_CONFIG), rounds=1, iterations=1)
+    report("Table I: system specification", text)
+    assert "200 MHz" in text  # the NxP core clock from the paper
+    assert "2.4 GHz" in text  # the Xeon clock from the paper

@@ -1,0 +1,35 @@
+"""Table III: Flick thread-migration round-trip overhead.
+
+Paper: Host-NxP-Host 18.3 us, NxP-Host-NxP 16.9 us, with the host page
+fault contributing only ~0.7 us.  Interpreted-mode measurement: real
+FlickC binaries, real NX faults, 10k-style call loop (trimmed via
+FLICK_BENCH_CALLS).
+"""
+
+from repro.analysis import table3_roundtrips
+from repro.core.config import DEFAULT_CONFIG
+from repro.workloads.null_call import measure_h2n_roundtrip, measure_n2h_roundtrip
+
+from .conftest import bench_calls
+
+
+def test_table3_roundtrip_overhead(benchmark, report):
+    calls = bench_calls()
+    results = {}
+
+    def run():
+        results["h2n"] = measure_h2n_roundtrip(calls=calls)
+        results["n2h"] = measure_n2h_roundtrip(calls=calls)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    h2n = results["h2n"].roundtrip_us
+    n2h = results["n2h"].roundtrip_us
+    text = table3_roundtrips(h2n, n2h)
+    text += (
+        f"\n(page fault component: {DEFAULT_CONFIG.host_page_fault_ns / 1000:.1f}us, "
+        f"paper: 0.7us; {calls} calls per direction)"
+    )
+    report("Table III: migration round trip", text)
+    assert abs(h2n - 18.3) / 18.3 < 0.05
+    assert abs(n2h - 16.9) / 16.9 < 0.05

@@ -1,0 +1,52 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures and
+registers the rendered text through the ``report`` fixture; a terminal
+summary prints all of them at the end of the run (so the output survives
+pytest's capture and lands in ``bench_output.txt``).
+
+Environment knobs:
+
+* ``FLICK_BENCH_SCALE`` — divisor applied to the Table IV datasets
+  (default 256 for Epinions, 1024/2048 for the big graphs).
+* ``FLICK_BENCH_CALLS`` — null-call repetitions (default 200).
+"""
+
+import os
+
+import pytest
+
+_REPORTS = []
+
+
+@pytest.fixture
+def report():
+    """Call with (title, text) to register output for the summary."""
+
+    def add(title: str, text: str):
+        _REPORTS.append((title, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "Flick reproduction: regenerated tables & figures")
+    for title, text in _REPORTS:
+        tr.write_sep("-", title)
+        tr.write_line(text)
+
+
+def bench_calls() -> int:
+    return int(os.environ.get("FLICK_BENCH_CALLS", "200"))
+
+
+def bfs_scales() -> dict:
+    base = int(os.environ.get("FLICK_BENCH_SCALE", "0"))
+    if base:
+        return {"epinions1": base, "pokec": base, "livejournal1": base}
+    # Defaults sized for ~1 minute of wall time while keeping thousands
+    # of vertices (and therefore thousands of real migrations) per run.
+    return {"epinions1": 64, "pokec": 512, "livejournal1": 1024}

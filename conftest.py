@@ -1,0 +1,15 @@
+"""Repository-root pytest configuration.
+
+Ensures ``import repro`` resolves to ``src/repro`` even when the package
+has not been installed (e.g. offline environments where ``pip install
+-e .`` cannot bootstrap build isolation).  An installed copy, if any,
+still wins only if it comes earlier on ``sys.path`` — inserting at the
+front makes the in-tree sources authoritative for the test suite.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,17 @@
+"""Flick reproduction: fast ISA-crossing calls on a simulated
+heterogeneous-ISA machine (ISCA 2020).
+
+Public entry points:
+
+* :class:`repro.FlickMachine` — build the machine, compile FlickC
+  programs, run them with transparent host<->NxP thread migration.
+* :class:`repro.FlickConfig` — every latency/sizing knob.
+* :mod:`repro.workloads` — the paper's evaluation workloads.
+* :mod:`repro.baselines` — host-direct and prior-work comparators.
+"""
+
+from repro.core import DEFAULT_CONFIG, FlickConfig, FlickMachine, ProgramOutcome
+
+__version__ = "1.0.0"
+
+__all__ = ["FlickMachine", "FlickConfig", "ProgramOutcome", "DEFAULT_CONFIG", "__version__"]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the Flick reproduction CLI."""
+
+import sys
+
+from repro.tools.cli import main
+
+sys.exit(main())

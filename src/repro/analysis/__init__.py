@@ -1,0 +1,34 @@
+"""Result rendering: the paper's tables and figures from measured data."""
+
+from repro.analysis.breakdown import PhaseBreakdown, measure_breakdown, render_breakdown
+from repro.analysis.export import config_to_dict, export_results, load_results
+from repro.analysis.energy import EnergyEstimate, PowerModel, estimate_energy
+from repro.analysis.figures import ascii_plot, crossover_point, plateau_value, render_fig5
+from repro.analysis.tables import (
+    render_table,
+    table1_system_spec,
+    table2_prior_work,
+    table3_roundtrips,
+    table4_bfs,
+)
+
+__all__ = [
+    "render_table",
+    "table1_system_spec",
+    "table2_prior_work",
+    "table3_roundtrips",
+    "table4_bfs",
+    "ascii_plot",
+    "render_fig5",
+    "crossover_point",
+    "plateau_value",
+    "PowerModel",
+    "EnergyEstimate",
+    "estimate_energy",
+    "config_to_dict",
+    "export_results",
+    "load_results",
+    "PhaseBreakdown",
+    "measure_breakdown",
+    "render_breakdown",
+]

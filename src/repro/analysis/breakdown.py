@@ -1,0 +1,106 @@
+"""Measured migration-latency breakdown from traces.
+
+`repro.baselines.offload.flick_roundtrip_component_ns` prices the round
+trip from config constants; this module instead *measures* the phases of
+real migrations from the event trace, so the two can be cross-checked
+(and so workloads whose migrations overlap other activity can be
+analyzed honestly).
+
+Phases of one simple host→NxP→host call (no nesting):
+
+========================  =============================================
+``host_out``              handler entry → descriptor handed to the DMA
+                          (handler + ioctl + context switch + kick)
+``transfer_to_nxp``       DMA burst + NxP poll/dispatch/context-switch
+``nxp_execute``           target function on the NxP + return-descriptor
+                          build + switch back to the scheduler
+``return_to_host``        DMA back + interrupt delivery + IRQ handler
+``host_resume``           wakeup + ioctl return + handler return
+========================  =============================================
+
+The ~0.7 µs page-fault entry precedes the first trace event and is
+reported separately from config (it happens before the handler exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.trace import MigrationTrace
+
+__all__ = ["PhaseBreakdown", "measure_breakdown", "render_breakdown"]
+
+_PHASES = ("host_out", "transfer_to_nxp", "nxp_execute", "return_to_host", "host_resume")
+
+
+@dataclass
+class PhaseBreakdown:
+    """Mean per-phase latency over the measured migrations (ns)."""
+
+    phases: Dict[str, float]
+    sessions: int
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.phases.values())
+
+
+def measure_breakdown(trace: MigrationTrace, pid: Optional[int] = None) -> PhaseBreakdown:
+    """Extract per-phase means for simple (non-nested) H2N sessions.
+
+    Sessions containing nested NxP→host calls are skipped — their phases
+    overlap and cannot be attributed cleanly.
+    """
+    sessions: List[Dict[str, float]] = []
+    state: Dict[int, Dict[str, float]] = {}
+
+    for event in trace.events:
+        epid = event.attrs.get("pid")
+        if pid is not None and epid != pid:
+            continue
+        marks = state.setdefault(epid, {})
+        if event.name == "h2n_call_start":
+            state[epid] = {"start": event.time}
+        elif event.name == "dma_h2n" and "start" in marks and "dma_out" not in marks:
+            marks["dma_out"] = event.time
+        elif event.name == "nxp_dispatch_call" and "dma_out" in marks:
+            marks["dispatch"] = event.time
+        elif event.name == "n2h_call":
+            marks["nested"] = True  # disqualify this session
+        elif event.name == "n2h_return" and "dispatch" in marks:
+            marks["nxp_done"] = event.time
+        elif event.name == "irq" and "nxp_done" in marks and "irq" not in marks:
+            marks["irq"] = event.time
+        elif event.name == "h2n_call_done" and "start" in marks:
+            if "irq" in marks and not marks.get("nested"):
+                sessions.append(
+                    {
+                        "host_out": marks["dma_out"] - marks["start"],
+                        "transfer_to_nxp": marks["dispatch"] - marks["dma_out"],
+                        "nxp_execute": marks["nxp_done"] - marks["dispatch"],
+                        "return_to_host": marks["irq"] - marks["nxp_done"],
+                        "host_resume": event.time - marks["irq"],
+                    }
+                )
+            state[epid] = {}
+
+    if not sessions:
+        return PhaseBreakdown(phases={p: 0.0 for p in _PHASES}, sessions=0)
+    means = {
+        phase: sum(s[phase] for s in sessions) / len(sessions) for phase in _PHASES
+    }
+    return PhaseBreakdown(phases=means, sessions=len(sessions))
+
+
+def render_breakdown(breakdown: PhaseBreakdown, page_fault_ns: float = 700.0) -> str:
+    from repro.analysis.tables import render_table
+
+    rows = [("page fault entry (config)", f"{page_fault_ns / 1000:.2f}us")]
+    rows += [(phase, f"{ns / 1000:.2f}us") for phase, ns in breakdown.phases.items()]
+    rows.append(("TOTAL (measured + fault)", f"{(breakdown.total_ns + page_fault_ns) / 1000:.2f}us"))
+    return render_table(
+        ["Phase", "Mean latency"],
+        rows,
+        title=f"Measured migration breakdown ({breakdown.sessions} sessions)",
+    )

@@ -1,0 +1,90 @@
+"""First-order energy estimation (extension).
+
+The heterogeneous-ISA premise is performance *and* power (the paper's
+background cites 23% energy savings for heterogeneous-ISA CMPs [3]).
+The reproduction tracks how long each core is busy, so a simple
+active/idle power model can compare Flick against the host-direct
+baseline:
+
+* the host-direct baseline keeps a big out-of-order core busy for the
+  whole run, much of it stalled on ~825 ns PCIe reads;
+* under Flick the host core is *released* while the thread runs on the
+  NxP (that is what the suspend path is for), and the 200 MHz in-order
+  NxP core burns two orders of magnitude less power.
+
+Default power numbers are catalog-level figures for a Xeon-class core
+and an FPGA soft core; they are inputs, not claims — sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PowerModel", "EnergyEstimate", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-core active/idle power in watts."""
+
+    host_core_active_w: float = 12.0  # one Xeon core, loaded
+    host_core_idle_w: float = 1.5  # deep-idle residual
+    nxp_active_w: float = 0.35  # 200 MHz soft core + BRAM
+    nxp_idle_w: float = 0.08  # polling loop
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Joules attributed to one run."""
+
+    host_busy_j: float
+    host_idle_j: float
+    nxp_busy_j: float
+    nxp_idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.host_busy_j + self.host_idle_j + self.nxp_busy_j + self.nxp_idle_j
+
+    @property
+    def host_j(self) -> float:
+        return self.host_busy_j + self.host_idle_j
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "host_busy_j": self.host_busy_j,
+            "host_idle_j": self.host_idle_j,
+            "nxp_busy_j": self.nxp_busy_j,
+            "nxp_idle_j": self.nxp_idle_j,
+            "total_j": self.total_j,
+        }
+
+
+def estimate_energy(
+    machine,
+    duration_ns: float,
+    model: PowerModel = PowerModel(),
+    host_cores: int = 1,
+) -> EnergyEstimate:
+    """Estimate the energy of a run of ``duration_ns`` on ``machine``.
+
+    ``host_cores`` bounds how many host cores the workload could occupy
+    (account only those; the rest of the socket is not this workload's
+    bill).  Busy time comes from the core-pool and NxP accounting.
+    """
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    host_busy = min(machine.cores.busy_ns, duration_ns * host_cores)
+    host_idle = max(0.0, duration_ns * host_cores - host_busy)
+    acc = machine.stats.accumulators.get("nxp.busy_ns")
+    nxp_busy = min(acc.total if acc else 0.0, duration_ns)
+    nxp_idle = max(0.0, duration_ns - nxp_busy)
+
+    to_j = 1e-9  # W * ns -> nJ; 1e-9 converts to joules
+    return EnergyEstimate(
+        host_busy_j=host_busy * model.host_core_active_w * to_j,
+        host_idle_j=host_idle * model.host_core_idle_w * to_j,
+        nxp_busy_j=nxp_busy * model.nxp_active_w * to_j,
+        nxp_idle_j=nxp_idle * model.nxp_idle_w * to_j,
+    )

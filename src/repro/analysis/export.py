@@ -1,0 +1,74 @@
+"""Machine-readable result export.
+
+Benchmarks and user experiments can persist their measurements (plus the
+exact configuration that produced them) as JSON, so downstream plotting
+or regression tooling never has to re-parse rendered tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+
+__all__ = ["config_to_dict", "export_results", "load_results"]
+
+
+def config_to_dict(cfg: FlickConfig) -> Dict[str, Any]:
+    """Flatten a FlickConfig (including the memory map) to plain types."""
+    out: Dict[str, Any] = {}
+    for field in dataclasses.fields(cfg):
+        value = getattr(cfg, field.name)
+        if dataclasses.is_dataclass(value):
+            out[field.name] = {
+                f.name: getattr(value, f.name) for f in dataclasses.fields(value)
+            }
+        else:
+            out[field.name] = value
+    return out
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def export_results(
+    path: Union[str, Path],
+    experiment: str,
+    results: Any,
+    cfg: Optional[FlickConfig] = None,
+    notes: str = "",
+) -> Path:
+    """Write one experiment's results (with provenance) to JSON.
+
+    The file is a dict keyed by experiment name, so repeated calls with
+    the same path accumulate a result set.
+    """
+    path = Path(path)
+    existing: Dict[str, Any] = {}
+    if path.exists():
+        existing = json.loads(path.read_text())
+    existing[experiment] = {
+        "results": _jsonable(results),
+        "config": config_to_dict(cfg or DEFAULT_CONFIG),
+        "notes": notes,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a result set written by :func:`export_results`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,98 @@
+"""ASCII figure rendering for the pointer-chase sweeps (Fig. 5)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot", "render_fig5", "crossover_point", "plateau_value"]
+
+
+def ascii_plot(
+    series: Dict[str, Dict[int, float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    ylabel: str = "normalized perf",
+    hline: Optional[float] = 1.0,
+) -> str:
+    """Plot one or more {x: y} series on a log-x ASCII grid."""
+    xs = sorted({x for s in series.values() for x in s})
+    ys = [y for s in series.values() for y in s.values()]
+    if not xs or not ys:
+        return "(empty plot)"
+    ymin, ymax = 0.0, max(max(ys), (hline or 0) * 1.1)
+    lx = [math.log2(x) for x in xs]
+    lx_min, lx_max = min(lx), max(lx)
+    span_x = max(lx_max - lx_min, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: int) -> int:
+        return int((math.log2(x) - lx_min) / span_x * (width - 1))
+
+    def row(y: float) -> int:
+        frac = (y - ymin) / max(ymax - ymin, 1e-9)
+        return height - 1 - int(frac * (height - 1))
+
+    if hline is not None and ymin <= hline <= ymax:
+        r = row(hline)
+        for c in range(width):
+            grid[r][c] = "."
+
+    markers = "*o+x#@"
+    legend = []
+    for idx, (name, points) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"  {mark} = {name}")
+        for x, y in sorted(points.items()):
+            grid[row(min(max(y, ymin), ymax))][col(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, grid_row in enumerate(grid):
+        y_at = ymax - (ymax - ymin) * i / (height - 1)
+        prefix = f"{y_at:6.2f} |"
+        lines.append(prefix + "".join(grid_row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    tick_line = [" "] * (width + 16)  # room for the rightmost label
+    for x in xs:
+        c = col(x) + 8
+        label = str(x)
+        for j, ch in enumerate(label):
+            if c + j < len(tick_line):
+                tick_line[c + j] = ch
+    lines.append("".join(tick_line))
+    lines.append(" " * 8 + "memory accesses per migration (log scale)")
+    lines.extend(legend)
+    lines.append(f"  ({ylabel}; dotted line = baseline)")
+    return "\n".join(lines)
+
+
+def render_fig5(
+    flick: Dict[int, float],
+    slow_500us: Optional[Dict[int, float]] = None,
+    slow_1ms: Optional[Dict[int, float]] = None,
+    title: str = "Fig. 5a: pointer chasing, frequent migration",
+) -> str:
+    series = {"Flick": flick}
+    if slow_500us:
+        series["500us migration"] = slow_500us
+    if slow_1ms:
+        series["1ms migration"] = slow_1ms
+    return ascii_plot(series, title=title)
+
+
+def crossover_point(curve: Dict[int, float], threshold: float = 1.0) -> Optional[int]:
+    """Smallest x where the curve reaches ``threshold`` (Fig. 5a: ~32)."""
+    for x in sorted(curve):
+        if curve[x] >= threshold:
+            return x
+    return None
+
+
+def plateau_value(curve: Dict[int, float], tail_points: int = 3) -> float:
+    """Mean of the last few points (Fig. 5a: ~2.6, Fig. 5b: ~2)."""
+    xs = sorted(curve)[-tail_points:]
+    return sum(curve[x] for x in xs) / len(xs)

@@ -1,0 +1,26 @@
+"""Comparators: host-direct access, prior-work overheads, offload style."""
+
+from repro.baselines.direct import direct_bfs, direct_pointer_chase
+from repro.baselines.offload import (
+    OffloadModel,
+    flick_roundtrip_component_ns,
+    offload_roundtrip_ns,
+)
+from repro.baselines.slow_migration import (
+    FLICK_MEASURED_RT_NS,
+    config_with_migration_rt,
+    prior_work_config,
+    prior_work_table,
+)
+
+__all__ = [
+    "direct_pointer_chase",
+    "direct_bfs",
+    "OffloadModel",
+    "offload_roundtrip_ns",
+    "flick_roundtrip_component_ns",
+    "config_with_migration_rt",
+    "prior_work_config",
+    "prior_work_table",
+    "FLICK_MEASURED_RT_NS",
+]

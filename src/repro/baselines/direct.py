@@ -1,0 +1,35 @@
+"""Host-direct baseline: no migration, the host reaches across PCIe.
+
+This is the paper's baseline in Fig. 5 and Table IV: the thread stays on
+the host CPU and every access to NxP-resident data is an uncached PCIe
+read (~825 ns round trip).  The workload modules implement it as
+``mode="host"``; these wrappers give it a first-class name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import FlickConfig
+from repro.workloads.bfs import BFSResult, run_bfs
+from repro.workloads.graphs import GraphCSR
+from repro.workloads.pointer_chase import PointerChasePoint, run_pointer_chase
+
+__all__ = ["direct_pointer_chase", "direct_bfs"]
+
+
+def direct_pointer_chase(
+    accesses: int,
+    calls: int = 10,
+    cfg: Optional[FlickConfig] = None,
+    inter_call_ns: float = 0.0,
+) -> PointerChasePoint:
+    """Pointer chase with the host traversing the list over PCIe."""
+    return run_pointer_chase(
+        accesses, calls=calls, mode="host", cfg=cfg, inter_call_ns=inter_call_ns
+    )
+
+
+def direct_bfs(graph: GraphCSR, cfg: Optional[FlickConfig] = None) -> BFSResult:
+    """BFS with the host traversing the NxP-resident graph over PCIe."""
+    return run_bfs(graph, mode="host", cfg=cfg)

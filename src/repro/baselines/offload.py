@@ -1,0 +1,84 @@
+"""Offload-engine programming-style comparator (ablation).
+
+Section II-B: without Flick, NxPs are driven like accelerators — the
+host builds a job descriptor, rings a doorbell, and *busy-polls* for
+completion.  That style skips the parts of Flick's path that exist to
+keep the host core free (the NX fault, the ioctl, the context switch,
+the interrupt and the wakeup), trading a blocked host core for latency.
+
+This module prices both styles from the same config so the ablation
+benchmark can show what Flick's transparency costs — and that the cost
+is a few microseconds, not the orders of magnitude of prior work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+
+__all__ = ["OffloadModel", "offload_roundtrip_ns", "flick_roundtrip_component_ns"]
+
+
+@dataclass(frozen=True)
+class OffloadModel:
+    """Latency decomposition of one offload-style job round trip."""
+
+    descriptor_build_ns: float
+    doorbell_ns: float
+    dma_to_device_ns: float
+    device_dispatch_ns: float
+    dma_to_host_ns: float
+    host_poll_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.descriptor_build_ns
+            + self.doorbell_ns
+            + self.dma_to_device_ns
+            + self.device_dispatch_ns
+            + self.dma_to_host_ns
+            + self.host_poll_ns
+        )
+
+
+def offload_roundtrip_ns(cfg: FlickConfig = DEFAULT_CONFIG) -> OffloadModel:
+    """Offload-style null-job round trip (host core busy-polls)."""
+    dma = cfg.dma_transfer_ns(cfg.descriptor_bytes)
+    return OffloadModel(
+        descriptor_build_ns=cfg.host_desc_build_ns,
+        doorbell_ns=cfg.pcie_oneway_ns,  # posted MMIO write
+        dma_to_device_ns=dma,
+        device_dispatch_ns=cfg.nxp_poll_period_ns / 2.0
+        + cfg.nxp_sched_dispatch_ns
+        + cfg.nxp_context_switch_ns,
+        dma_to_host_ns=cfg.nxp_desc_build_ns
+        + cfg.nxp_context_switch_ns
+        + cfg.nxp_dma_kick_ns
+        + dma,
+        host_poll_ns=cfg.nxp_poll_period_ns / 2.0,  # host completion-poll granule
+    )
+
+
+def flick_roundtrip_component_ns(cfg: FlickConfig = DEFAULT_CONFIG) -> dict:
+    """Flick's host-NxP-host round trip as named components (sums to the
+    calibrated ~18.3 us; useful for the breakdown ablation)."""
+    dma = cfg.dma_transfer_ns(cfg.descriptor_bytes)
+    return {
+        "host page fault + redirect": cfg.host_page_fault_ns,
+        "migration handler entry": cfg.host_handler_entry_ns,
+        "ioctl + descriptor build": cfg.host_ioctl_entry_ns + cfg.host_desc_build_ns,
+        "context switch away": cfg.host_context_switch_ns,
+        "DMA kick + descriptor DMA": cfg.host_dma_kick_ns + dma,
+        "NxP poll + dispatch + switch-in": cfg.nxp_poll_period_ns / 2.0
+        + cfg.nxp_sched_dispatch_ns
+        + cfg.nxp_context_switch_ns,
+        "NxP return path (build + switch + kick + DMA)": cfg.nxp_desc_build_ns
+        + cfg.nxp_context_switch_ns
+        + cfg.nxp_dma_kick_ns
+        + dma,
+        "interrupt delivery + handler": cfg.host_irq_delivery_ns + cfg.host_irq_handler_ns,
+        "wakeup to running": cfg.host_wakeup_ns,
+        "ioctl return + handler return": cfg.host_ioctl_return_ns + cfg.host_handler_return_ns,
+    }

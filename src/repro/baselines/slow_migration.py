@@ -1,0 +1,72 @@
+"""Prior-work comparators: high-overhead migration systems (Table II).
+
+Prior heterogeneous-ISA migration systems pay hundreds of microseconds
+per round trip for binary translation and stack/state transformation.
+We emulate them by running the *same* Flick machine with an injected
+per-crossing delay sized so the total round trip matches the published
+overheads, letting every experiment (null call, Fig. 5 curves) compare
+against them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import DEFAULT_CONFIG, PRIOR_WORK, FlickConfig, PriorWorkOverheads
+
+__all__ = [
+    "FLICK_MEASURED_RT_NS",
+    "config_with_migration_rt",
+    "prior_work_config",
+    "prior_work_table",
+]
+
+#: Flick's own calibrated host-NxP-host round trip (Table III); the
+#: injected delay tops the protocol up to the emulated system's total.
+FLICK_MEASURED_RT_NS = 18_300.0
+
+
+def config_with_migration_rt(
+    target_rt_ns: float, base: Optional[FlickConfig] = None
+) -> FlickConfig:
+    """A config whose migration round trip totals ``target_rt_ns``.
+
+    Used for Fig. 5's dashed "500 us" and "1 ms" curves and for the
+    Table II comparators.  Targets below Flick's own round trip cannot
+    be emulated (the protocol floor) and raise ``ValueError``.
+    """
+    base = base or DEFAULT_CONFIG
+    injected = target_rt_ns - FLICK_MEASURED_RT_NS
+    if injected < 0:
+        raise ValueError(
+            f"cannot emulate a {target_rt_ns}ns round trip: below Flick's "
+            f"~{FLICK_MEASURED_RT_NS}ns protocol floor"
+        )
+    return base.with_overrides(injected_migration_rt_ns=injected)
+
+
+def prior_work_config(name: str, base: Optional[FlickConfig] = None) -> FlickConfig:
+    """Config emulating one of Table II's systems ('asplos12',
+    'eurosys15', 'isca16', 'biglittle')."""
+    spec = PRIOR_WORK[name]
+    return config_with_migration_rt(spec.round_trip_ns, base)
+
+
+@dataclass(frozen=True)
+class ComparatorRow:
+    key: str
+    spec: PriorWorkOverheads
+    flick_rt_ns: float
+
+    @property
+    def slowdown_vs_flick(self) -> float:
+        return self.spec.round_trip_ns / self.flick_rt_ns
+
+
+def prior_work_table(flick_rt_ns: float = FLICK_MEASURED_RT_NS) -> Dict[str, ComparatorRow]:
+    """Table II rows with the Flick-relative factors (23x-38x)."""
+    return {
+        key: ComparatorRow(key=key, spec=spec, flick_rt_ns=flick_rt_ns)
+        for key, spec in PRIOR_WORK.items()
+    }

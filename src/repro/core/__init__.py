@@ -1,0 +1,30 @@
+"""Flick core: configuration, descriptors, migration runtimes, machine."""
+
+from repro.core.config import DEFAULT_CONFIG, PRIOR_WORK, FlickConfig, MemoryMap
+from repro.core.descriptors import (
+    DESCRIPTOR_BYTES,
+    DIR_H2N,
+    DIR_N2H,
+    KIND_CALL,
+    KIND_RETURN,
+    MigrationDescriptor,
+)
+from repro.core.machine import FlickMachine, ProgramOutcome
+from repro.core.trace import MigrationTrace, TraceEvent
+
+__all__ = [
+    "FlickConfig",
+    "MemoryMap",
+    "DEFAULT_CONFIG",
+    "PRIOR_WORK",
+    "MigrationDescriptor",
+    "DESCRIPTOR_BYTES",
+    "KIND_CALL",
+    "KIND_RETURN",
+    "DIR_H2N",
+    "DIR_N2H",
+    "FlickMachine",
+    "ProgramOutcome",
+    "MigrationTrace",
+    "TraceEvent",
+]

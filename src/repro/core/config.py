@@ -1,0 +1,231 @@
+"""Timing, sizing and memory-map configuration for the simulated machine.
+
+Every latency in the Flick reproduction is a named constant here, so the
+benchmarks can sweep them (ablations) and the calibration test can assert
+that the *measured* simulated microbenchmarks land on the paper's
+numbers:
+
+* Table III: host-NxP-host null call ~= 18.3 us, NxP-host-NxP ~= 16.9 us
+* Section V-A: the host page fault contributes ~= 0.7 us of that
+* Section V: host -> NxP-storage word round trip ~= 825 ns,
+  NxP -> local storage ~= 267 ns
+* Fig. 5a: pointer-chase plateau ~= 2.6x (ratio of per-node costs)
+
+Units: all times in **nanoseconds** (the simulator clock unit), sizes in
+bytes, clocks in cycles-per-nanosecond via the ``*_cycle_ns`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = [
+    "FlickConfig",
+    "MemoryMap",
+    "PriorWorkOverheads",
+    "DEFAULT_CONFIG",
+    "PRIOR_WORK",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+PAGE_4K = 4 * KB
+PAGE_2M = 2 * MB
+PAGE_1G = 1 * GB
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """The unified physical address map (host view, as in Fig. 3).
+
+    The NxP local DRAM natively decodes at ``nxp_local_base`` on the NxP
+    side, but is exposed to the host as a PCIe BAR at ``bar0_base``
+    (assigned "dynamically" by the host).  The NxP TLB remap register
+    makes the *host-view* BAR addresses work from the NxP by subtracting
+    ``bar0_base - nxp_local_base``.
+    """
+
+    host_dram_base: int = 0x0
+    host_dram_size: int = 2 * GB
+    bar0_base: int = 0xA_0000_0000  # host-assigned BAR for NxP DRAM
+    nxp_local_base: int = 0x8000_0000  # NxP-side native decode address
+    nxp_local_size: int = 4 * GB
+    nxp_bram_base: int = 0xB_0000_0000  # BAR for NxP on-chip stack BRAM
+    nxp_bram_size: int = 16 * MB
+    mmio_base: int = 0xC_0000_0000  # NxP control registers (DMA, TLB, ...)
+    mmio_size: int = 64 * KB
+
+    @property
+    def bar0_remap_offset(self) -> int:
+        """Value the host driver programs into the NxP TLB remap register."""
+        return self.bar0_base - self.nxp_local_base
+
+    def host_dram_contains(self, paddr: int) -> bool:
+        return self.host_dram_base <= paddr < self.host_dram_base + self.host_dram_size
+
+    def bar0_contains(self, paddr: int) -> bool:
+        return self.bar0_base <= paddr < self.bar0_base + self.nxp_local_size
+
+    def bram_contains(self, paddr: int) -> bool:
+        return self.nxp_bram_base <= paddr < self.nxp_bram_base + self.nxp_bram_size
+
+    def mmio_contains(self, paddr: int) -> bool:
+        return self.mmio_base <= paddr < self.mmio_base + self.mmio_size
+
+
+@dataclass(frozen=True)
+class FlickConfig:
+    """All tunable parameters of the simulated heterogeneous-ISA machine."""
+
+    # ---- clocks (Table I: Xeon E5-2620v3 @2.4 GHz, RV64-I @200 MHz) ----
+    host_clock_ghz: float = 2.4
+    nxp_clock_mhz: float = 200.0
+
+    # ---- raw memory / interconnect latencies (Section V) ----------------
+    host_dram_ns: float = 90.0           # host core -> host DRAM (random)
+    host_cached_mem_ns: float = 4.0      # host load/store, cache-filtered avg
+    host_ifetch_ns: float = 0.0          # host fetch (perfect I-cache model)
+    nxp_to_local_write_ns: float = 240.0  # NxP posted write to local DRAM
+    nxp_local_dram_ns: float = 225.0     # NxP DRAM service time (no TLB)
+    nxp_bram_ns: float = 10.0            # NxP on-chip stack BRAM
+    pcie_oneway_ns: float = 360.0        # one-way PCIe 3.0 x8 transaction
+    pcie_bandwidth_gbps: float = 62.0    # ~7.75 GB/s usable
+    # host load from BAR0 = 2 * pcie_oneway + nxp_local_dram service
+    # => ~825 ns round trip (paper: "approximately 825ns")
+    # NxP load from local DRAM = nxp_local_dram + tlb/arbiter overhead
+    nxp_mem_pipeline_ns: float = 42.0    # NxP LSU + TLB-hit + arbiter
+    # => ~267 ns (paper: "approximately 267ns")
+
+    # ---- TLB / MMU -------------------------------------------------------
+    tlb_entries: int = 16                # per I-TLB and D-TLB (Section IV-A)
+    tlb_hit_ns: float = 5.0              # one NxP cycle
+    mmu_walk_levels: int = 4             # x86-64 4-level tables
+    mmu_walk_step_ns: float = 830.0      # one PT read across PCIe (per level)
+    mmu_walker_overhead_ns: float = 400.0  # MicroBlaze firmware per walk
+
+    # ---- caches ----------------------------------------------------------
+    nxp_icache_lines: int = 256
+    nxp_icache_line_bytes: int = 64
+    nxp_icache_hit_ns: float = 5.0
+    nxp_dcache_lines: int = 128
+    nxp_dcache_line_bytes: int = 64
+
+    # ---- host-side migration path (Section IV-B1) ------------------------
+    host_page_fault_ns: float = 700.0      # NX fault -> handler redirect (0.7us)
+    host_handler_entry_ns: float = 650.0   # user handler prologue + arg gather
+    host_stack_alloc_ns: float = 2600.0    # first-migration NxP stack setup
+    host_ioctl_entry_ns: float = 1800.0    # syscall + task_struct collection
+    host_desc_build_ns: float = 300.0      # pack host->NxP call descriptor
+    host_context_switch_ns: float = 1800.0  # deschedule (TASK_KILLABLE) + sched
+    host_dma_kick_ns: float = 250.0        # scheduler-side DMA trigger
+    host_irq_delivery_ns: float = 2300.0   # MSI -> host IRQ handler entry
+    host_irq_handler_ns: float = 600.0     # IRQ handler body (find PID)
+    host_wakeup_ns: float = 3750.0         # wake_up -> running on a core
+    host_ioctl_return_ns: float = 700.0    # syscall exit back to user handler
+    host_handler_return_ns: float = 300.0  # handler epilogue / hijacked return
+    host_call_dispatch_ns: float = 250.0   # host handler calling target fn
+
+    # ---- NxP-side migration path (Section IV-B2) --------------------------
+    nxp_poll_period_ns: float = 600.0      # DMA status-register poll loop
+    nxp_sched_dispatch_ns: float = 650.0   # read descriptor, pick thread
+    nxp_context_switch_ns: float = 900.0   # switch to/from thread stack
+    nxp_call_dispatch_ns: float = 250.0    # handler calling target fn
+    nxp_fault_entry_ns: float = 500.0      # NxP exception -> migration handler
+    nxp_desc_build_ns: float = 450.0       # pack NxP->host descriptor
+    nxp_dma_kick_ns: float = 200.0         # NxP scheduler DMA trigger
+
+    # ---- runtime services ----------------------------------------------
+    malloc_service_ns: float = 150.0       # per-region allocator stub call
+
+    # ---- DMA descriptor engine -------------------------------------------
+    dma_setup_ns: float = 350.0
+    descriptor_bytes: int = 128            # one burst carries a descriptor
+
+    # ---- placement sizes ---------------------------------------------------
+    nxp_stack_bytes: int = 64 * KB
+    host_stack_bytes: int = 1 * MB
+
+    # ---- memory map --------------------------------------------------------
+    memory_map: MemoryMap = field(default_factory=MemoryMap)
+
+    # ---- emulated prior-work overhead injection (Table II / Fig. 5) -------
+    # When > 0, every migration (each direction) is padded so that a full
+    # round trip costs at least this much, emulating binary-translation /
+    # state-transformation systems.
+    injected_migration_rt_ns: float = 0.0
+
+    # -- derived helpers -----------------------------------------------------
+
+    @property
+    def host_cycle_ns(self) -> float:
+        return 1.0 / self.host_clock_ghz
+
+    @property
+    def nxp_cycle_ns(self) -> float:
+        return 1000.0 / self.nxp_clock_mhz
+
+    @property
+    def host_to_bar_read_ns(self) -> float:
+        """Host load from NxP DRAM through the BAR (paper: ~825 ns)."""
+        return 2 * self.pcie_oneway_ns + self.nxp_local_dram_ns - 120.0
+
+    @property
+    def nxp_to_local_read_ns(self) -> float:
+        """NxP load from its local DRAM, TLB hit (paper: ~267 ns)."""
+        return self.nxp_local_dram_ns + self.nxp_mem_pipeline_ns
+
+    @property
+    def nxp_to_host_read_ns(self) -> float:
+        """NxP load from host DRAM across PCIe."""
+        return 2 * self.pcie_oneway_ns + self.host_dram_ns
+
+    @property
+    def pcie_ns_per_byte(self) -> float:
+        return 8.0 / self.pcie_bandwidth_gbps
+
+    def dma_transfer_ns(self, nbytes: int) -> float:
+        """Latency of one burst DMA of ``nbytes`` across PCIe."""
+        return self.dma_setup_ns + self.pcie_oneway_ns + nbytes * self.pcie_ns_per_byte
+
+    def host_cycles(self, n: int) -> float:
+        return n * self.host_cycle_ns
+
+    def nxp_cycles(self, n: int) -> float:
+        return n * self.nxp_cycle_ns
+
+    def with_overrides(self, **kwargs) -> "FlickConfig":
+        """Return a copy with some fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = FlickConfig()
+
+
+@dataclass(frozen=True)
+class PriorWorkOverheads:
+    """Reported migration round-trip overheads from Table II."""
+
+    name: str
+    fast_cores: str
+    slow_cores: str
+    interconnect: str
+    round_trip_ns: float
+
+
+PRIOR_WORK: Dict[str, PriorWorkOverheads] = {
+    "asplos12": PriorWorkOverheads(
+        "ASPLOS'12", "MIPS @2GHz", "ARM @833MHz", "Not Considered", 600_000.0
+    ),
+    "eurosys15": PriorWorkOverheads(
+        "EuroSys'15", "Xeon E5-2695 @2.4GHz", "Xeon Phi 3120A @1.1GHz", "PCIe", 700_000.0
+    ),
+    "isca16": PriorWorkOverheads(
+        "ISCA'16", "Xeon E5-2640 @2.5GHz", "ARM Cortex R7 @750MHz", "PCIe Gen3 x4", 430_000.0
+    ),
+    "biglittle": PriorWorkOverheads(
+        "ARM Big-LITTLE", "ARM Cortex A15 @1.8GHz", "ARM Cortex A7", "Onchip Network", 22_000.0
+    ),
+}

@@ -1,0 +1,103 @@
+"""Migration descriptors — the wire format of an ISA-crossing call.
+
+Section IV-B: the ioctl() packages the target address, arguments, PTBR
+(CR3), PID and the thread's NxP stack pointer into a *call descriptor*;
+the whole descriptor crosses PCIe in **one DMA burst** (128 bytes).
+Return descriptors carry the return value back.
+
+Layout (little-endian, 16 x u64 = 128 bytes):
+
+======  =====================================================
+word 0  magic (0x464C4943 "FLIC") | kind << 32 | direction << 40
+word 1  pid
+word 2  target address (calls) / 0
+word 3  return value (returns) / 0
+word 4  argc
+word 5..10  args[0..5]
+word 11 CR3 (page-table base the NxP MMU must use)
+word 12 NxP stack pointer (current, for context switch-in)
+word 13..15 reserved
+======  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["MigrationDescriptor", "KIND_CALL", "KIND_RETURN", "DIR_H2N", "DIR_N2H", "DESCRIPTOR_BYTES"]
+
+MAGIC = 0x464C4943  # "FLIC"
+KIND_CALL = 1
+KIND_RETURN = 2
+DIR_H2N = 1  # host -> NxP
+DIR_N2H = 2  # NxP -> host
+
+DESCRIPTOR_BYTES = 128
+_MAX_ARGS = 6
+_U64 = (1 << 64) - 1
+
+
+@dataclass
+class MigrationDescriptor:
+    kind: int
+    direction: int
+    pid: int
+    target: int = 0
+    retval: int = 0
+    args: List[int] = field(default_factory=list)
+    cr3: int = 0
+    nxp_sp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_CALL, KIND_RETURN):
+            raise ValueError(f"bad descriptor kind {self.kind}")
+        if self.direction not in (DIR_H2N, DIR_N2H):
+            raise ValueError(f"bad descriptor direction {self.direction}")
+        if len(self.args) > _MAX_ARGS:
+            raise ValueError(f"descriptors carry at most {_MAX_ARGS} args")
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind == KIND_CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.kind == KIND_RETURN
+
+    def pack(self) -> bytes:
+        words = [0] * 16
+        words[0] = MAGIC | (self.kind << 32) | (self.direction << 40)
+        words[1] = self.pid & _U64
+        words[2] = self.target & _U64
+        words[3] = self.retval & _U64
+        words[4] = len(self.args)
+        for i, arg in enumerate(self.args):
+            words[5 + i] = arg & _U64
+        words[11] = self.cr3 & _U64
+        words[12] = self.nxp_sp & _U64
+        return struct.pack("<16Q", *words)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "MigrationDescriptor":
+        if len(raw) < DESCRIPTOR_BYTES:
+            raise ValueError(f"descriptor too short: {len(raw)} bytes")
+        words = struct.unpack("<16Q", raw[:DESCRIPTOR_BYTES])
+        if words[0] & 0xFFFF_FFFF != MAGIC:
+            raise ValueError(f"bad descriptor magic {words[0]:#x}")
+        kind = (words[0] >> 32) & 0xFF
+        direction = (words[0] >> 40) & 0xFF
+        argc = words[4]
+        if argc > _MAX_ARGS:
+            raise ValueError(f"descriptor argc {argc} out of range")
+        return cls(
+            kind=kind,
+            direction=direction,
+            pid=words[1],
+            target=words[2],
+            retval=words[3],
+            args=list(words[5 : 5 + argc]),
+            cr3=words[11],
+            nxp_sp=words[12],
+        )

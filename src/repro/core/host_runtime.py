@@ -1,0 +1,237 @@
+"""Host-side execution: thread driver + Flick user-space migration handler.
+
+Mirrors Listing 1 of the paper.  A thread always starts on the host.
+When its host core fetches NxP-ISA instructions, the NX fault hands
+control to :meth:`_migrate_call_to_nxp` — the user-space migration
+handler — which packages the hijacked call into a descriptor, performs
+the ``ioctl(MIGRATE_AND_SUSPEND)``, and sleeps until the migration
+interrupt wakes it.  While awake it loops servicing *NxP-to-host* call
+descriptors (the paper's ``while (nxp_to_host_call)``) until the final
+return descriptor arrives, then returns the value as if the hijacked
+call had executed locally — the caller never knows the thread left.
+
+The handler is reentrant: a host function called *from* the NxP may
+itself call NxP functions; each nesting level is simply a deeper Python
+frame of ``_step_loop``/``_migrate_call_to_nxp``, exactly as each level
+in the paper occupies a deeper stack frame of the real handler.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.core.descriptors import (
+    DESCRIPTOR_BYTES,
+    DIR_H2N,
+    KIND_CALL,
+    KIND_RETURN,
+    MigrationDescriptor,
+)
+from repro.core.stubs import is_stub, service_stub
+from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
+from repro.isa.interpreter import (
+    CostModel,
+    EnvCall,
+    Halted,
+    Interpreter,
+    ReturnToRuntime,
+)
+from repro.memory.paging import PageFault
+from repro.os.kernel import ProcessCrash, _ThreadExit
+from repro.os.loader import HOST_STACK_TOP
+from repro.os.task import Task, TaskState
+from repro.sim.engine import Event
+
+__all__ = ["HostThread"]
+
+
+class HostThread:
+    """Drives one task's execution on the host cores."""
+
+    def __init__(self, machine, task: Task, port):
+        self.machine = machine
+        self.sim = machine.sim
+        self.cfg = machine.cfg
+        self.kernel = machine.kernel
+        self.task = task
+        self.cpu = Interpreter(
+            "hisa",
+            self.sim,
+            port,
+            CostModel(machine.cfg.host_cycle_ns, ipc=3.0),
+            stats=machine.stats,
+            name=f"host.{task.name}",
+        )
+        self.core = None
+        self.result: Optional[int] = None
+        self.finished_at: Optional[float] = None
+        self._staging: Optional[int] = None  # host DRAM descriptor buffer
+
+    # -- thread entry ------------------------------------------------------------
+
+    def thread_main(self, entry: int, args: List[int]) -> Generator:
+        """DES process: run the program's entry function to completion."""
+        task = self.task
+        self.core = yield from self.machine.cores.acquire(task.name)
+        task.state = TaskState.RUNNING
+        self.machine.trace.record("thread_start", pid=task.pid, target=entry)
+        yield from self.cpu.setup_call(entry, args, sp=HOST_STACK_TOP - 64)
+        try:
+            retval = yield from self._step_loop()
+        except _ThreadExit as exit_request:
+            retval = exit_request.code
+        finally:
+            task.state = TaskState.DONE
+            if self.core is not None:
+                self.machine.cores.release(self.core)
+                self.core = None
+        self.result = retval
+        self.finished_at = self.sim.now
+        task.process.exit_code = retval
+        self.machine.trace.record("thread_done", pid=task.pid)
+        return retval
+
+    # -- the step loop (one per nesting level) ------------------------------------
+
+    def _step_loop(self) -> Generator:
+        cpu = self.cpu
+        while True:
+            if is_stub(cpu.pc):
+                yield from service_stub(self.machine, self.task, cpu)
+                continue
+            try:
+                yield from cpu.step()
+            except PageFault as fault:
+                if fault.kind == PageFault.NX_VIOLATION and fault.is_exec:
+                    self.kernel.classify_exec_fault(self.task, fault, running_on="hisa")
+                    retval = yield from self._migrate_call_to_nxp(fault.vaddr)
+                    yield from self._hijacked_return(retval)
+                elif (
+                    fault.kind == PageFault.NOT_PRESENT
+                    and self.task.process.lazy_heap is not None
+                    and self.task.process.lazy_heap.covers(fault.vaddr)
+                ):
+                    # Minor fault: demand-page the heap and retry the
+                    # instruction (same dispatcher as the NX migration
+                    # hook -- it is all one page-fault handler).
+                    yield from self.task.process.lazy_heap.service_fault(
+                        self.task, fault.vaddr
+                    )
+                else:
+                    raise ProcessCrash(self.task, f"host {fault}")
+            except EnvCall:
+                code, value = cpu.get_args(2)
+                result = self.kernel.service_syscall(self.task, code, value)
+                cpu.regs.write(cpu.abi.ret_reg, result or 0)
+            except ReturnToRuntime as ret:
+                return ret.retval
+            except Halted:
+                return 0
+            except (MisalignedFetch, IllegalInstruction) as fault:
+                raise ProcessCrash(self.task, f"host fetch fault: {fault}")
+            except IsaFault as fault:
+                raise ProcessCrash(self.task, f"host fault: {fault}")
+
+    def _hijacked_return(self, retval: int) -> Generator:
+        """Return from the hijacked call site as if it ran locally."""
+        cpu = self.cpu
+        raw = yield from cpu.port.load(cpu.sp, 8)
+        cpu.sp = cpu.sp + 8
+        cpu.pc = int.from_bytes(raw, "little")
+        cpu.regs.write(cpu.abi.ret_reg, retval)
+
+    # -- Listing 1: the host migration handler --------------------------------------
+
+    def _migrate_call_to_nxp(self, target: int) -> Generator:
+        task = self.task
+        cfg = self.cfg
+        # NX fault entry + kernel redirect to the user-space handler
+        # (measured at ~0.7us in the paper).
+        yield self.sim.timeout(cfg.host_page_fault_ns)
+        task.faulting_target = target
+        yield self.sim.timeout(cfg.host_handler_entry_ns)
+        self.machine.trace.record("h2n_call_start", pid=task.pid, target=target)
+
+        if task.nxp_stack_base is None:  # first migration: allocate NxP stack
+            yield self.sim.timeout(cfg.host_stack_alloc_ns)
+            task.nxp_stack_base = self.machine.alloc_nxp_stack()
+            task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
+            self.machine.trace.record("nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base)
+
+        args = self.cpu.get_args(6)
+        desc = MigrationDescriptor(
+            kind=KIND_CALL,
+            direction=DIR_H2N,
+            pid=task.pid,
+            target=target,
+            args=args,
+            cr3=task.process.cr3,
+            nxp_sp=task.nxp_sp,
+        )
+        inbound = yield from self._ioctl_migrate_and_suspend(desc)
+
+        # The paper's while (nxp_to_host_call) loop.
+        while inbound.is_call:
+            task.nxp_sp = inbound.nxp_sp  # thread's NxP stack advanced
+            yield self.sim.timeout(cfg.host_ioctl_return_ns)
+            self.machine.trace.record("n2h_call_exec", pid=task.pid, target=inbound.target)
+            host_retval = yield from self._call_host_function(inbound.target, inbound.args)
+            ret_desc = MigrationDescriptor(
+                kind=KIND_RETURN,
+                direction=DIR_H2N,
+                pid=task.pid,
+                retval=host_retval,
+                cr3=task.process.cr3,
+                nxp_sp=task.nxp_sp,
+            )
+            inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+
+        # Return migration: resume at the original call site.
+        yield self.sim.timeout(cfg.host_ioctl_return_ns)
+        yield self.sim.timeout(cfg.host_handler_return_ns)
+        self.machine.trace.record("h2n_call_done", pid=task.pid, target=target)
+        return inbound.retval
+
+    def _call_host_function(self, target: int, args: List[int]) -> Generator:
+        """Execute an NxP-requested host function (nested level)."""
+        yield self.sim.timeout(self.cfg.host_call_dispatch_ns)
+        yield from self.cpu.setup_call(target, list(args))  # keep current stack
+        return (yield from self._step_loop())
+
+    # -- the ioctl(MIGRATE_AND_SUSPEND) path -------------------------------------------
+
+    def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+        task = self.task
+        cfg = self.cfg
+        if cfg.injected_migration_rt_ns:
+            # Emulate prior work's per-crossing binary-translation /
+            # state-transformation cost (Table II / Fig. 5 baselines).
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        yield self.sim.timeout(cfg.host_ioctl_entry_ns)
+        yield self.sim.timeout(cfg.host_desc_build_ns)
+        if self._staging is None:
+            self._staging = self.machine.host_phys.alloc(DESCRIPTOR_BYTES, align=64)
+        self.machine.phys.write(self._staging, desc.pack())
+
+        # Suspend (TASK_KILLABLE) and context switch away.  The migration
+        # flag defers the DMA kick until *after* the switch (Section IV-D).
+        task.state = TaskState.SUSPENDED
+        task.migration_pending = True
+        wake = Event(self.sim, name=f"{task.name}.wake")
+        task.wake_event = wake
+        yield self.sim.timeout(cfg.host_context_switch_ns)
+        self.machine.cores.release(self.core)
+        self.core = None
+
+        yield self.sim.timeout(cfg.host_dma_kick_ns)
+        task.migration_pending = False
+        self.machine.trace.record("dma_h2n", pid=task.pid, kind=desc.kind)
+        self.sim.spawn(
+            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES),
+            name=f"dma-h2n-{task.name}",
+        )
+
+        inbound = yield wake  # the IRQ handler wakes us
+        self.core = yield from self.machine.cores.acquire(task.name)
+        task.state = TaskState.RUNNING
+        return inbound

@@ -1,0 +1,477 @@
+"""Hosted (timing-model) execution mode for large workloads.
+
+The interpreted mode runs real FlickC binaries instruction by
+instruction — perfect for protocol correctness and the null-call
+microbenchmark, but a pure-Python interpreter cannot chew through the
+millions of memory accesses of the pointer-chase sweep (Fig. 5) or BFS
+(Table IV).
+
+Hosted mode keeps the *entire migration machinery real* — descriptors,
+staging buffers, the DMA engine, rings, interrupts, kernel wakeups, the
+NxP dispatch loop, every latency constant — and replaces only the
+*function bodies* with Python generators that issue accesses against the
+same simulated memory system:
+
+* ``ctx.load``/``ctx.store`` translate through the process page tables
+  (and, on the NxP side, through a real 16-entry TLB object with modeled
+  walk costs) and touch the same :class:`PhysicalMemory` bytes;
+* per-access latencies come from the same :class:`FlickConfig` table;
+  they are *accumulated* and emitted as consolidated timeouts so the
+  event queue stays small;
+* ``yield from ctx.call(name, ...)`` performs a full Flick migration
+  when the callee's ISA differs from the current side.
+
+A parity test pins the hosted null-call round trip to the interpreted
+one, so the two modes cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.core.config import FlickConfig
+from repro.core.descriptors import (
+    DESCRIPTOR_BYTES,
+    DIR_H2N,
+    DIR_N2H,
+    KIND_CALL,
+    KIND_RETURN,
+    MigrationDescriptor,
+)
+from repro.core.machine import FlickMachine
+from repro.core.ports import TranslationCache
+from repro.memory.tlb import TLB
+from repro.os.loader import create_address_space
+from repro.os.task import Task, TaskState
+from repro.sim.engine import Event
+
+__all__ = ["HostedProgram", "HostedMachine", "HostedFunction", "HostedOutcome"]
+
+HOSTED_TEXT_BASE = 0x6000_0000
+_FLUSH_THRESHOLD_NS = 50_000.0
+
+
+@dataclass
+class HostedFunction:
+    name: str
+    isa: str  # "hisa" | "nisa"
+    body: Callable  # generator function: body(ctx, *args) -> retval
+    addr: int = 0
+
+
+class HostedProgram:
+    """A registry of timing-model functions, each pinned to an ISA."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, HostedFunction] = {}
+        self.by_addr: Dict[int, HostedFunction] = {}
+
+    def register(self, name: str, isa: str, body: Callable) -> HostedFunction:
+        if isa not in ("hisa", "nisa"):
+            raise ValueError(f"bad isa {isa!r}")
+        if name in self.functions:
+            raise ValueError(f"duplicate hosted function {name!r}")
+        fn = HostedFunction(name, isa, body, addr=HOSTED_TEXT_BASE + 0x1000 * len(self.functions))
+        self.functions[name] = fn
+        self.by_addr[fn.addr] = fn
+        return fn
+
+    def host(self, name: Optional[str] = None):
+        """Decorator: register a host-side body."""
+
+        def wrap(body):
+            self.register(name or body.__name__, "hisa", body)
+            return body
+
+        return wrap
+
+    def nxp(self, name: Optional[str] = None):
+        """Decorator: register an NxP-side body."""
+
+        def wrap(body):
+            self.register(name or body.__name__, "nisa", body)
+            return body
+
+        return wrap
+
+
+class HostedContext:
+    """Timed operations available to a hosted body on one side."""
+
+    def __init__(self, executor, side: str):
+        self._executor = executor
+        self.side = side  # "host" | "nxp"
+        self.machine = executor.machine
+        self.cfg: FlickConfig = executor.machine.cfg
+        self._pending_ns = 0.0
+
+    # -- time accumulation --------------------------------------------------
+
+    def charge(self, ns: float) -> None:
+        self._pending_ns += ns
+
+    def compute(self, cycles: int) -> None:
+        """Charge ``cycles`` on the current core's clock."""
+        cfg = self.cfg
+        if self.side == "host":
+            self.charge(cycles * cfg.host_cycle_ns / 3.0)  # superscalar host
+        else:
+            self.charge(cycles * cfg.nxp_cycle_ns)
+
+    def flush(self) -> Generator:
+        if self._pending_ns > 0:
+            pending, self._pending_ns = self._pending_ns, 0.0
+            yield self.machine.sim.timeout(pending)
+
+    def maybe_flush(self) -> Generator:
+        if self._pending_ns >= _FLUSH_THRESHOLD_NS:
+            yield from self.flush()
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, vaddr: int, nbytes: int = 8) -> int:
+        self.charge(self._executor.access_latency(self.side, vaddr, write=False))
+        paddr = self._executor.translate(vaddr)
+        return int.from_bytes(self.machine.phys.read(paddr, nbytes), "little")
+
+    def store(self, vaddr: int, value: int, nbytes: int = 8) -> None:
+        self.charge(self._executor.access_latency(self.side, vaddr, write=True))
+        paddr = self._executor.translate(vaddr)
+        self.machine.phys.write(paddr, (value & (1 << (8 * nbytes)) - 1).to_bytes(nbytes, "little"))
+
+    # -- calls ------------------------------------------------------------------
+
+    def call(self, name: str, *args) -> Generator:
+        """Call another hosted function; migrates when ISAs differ."""
+        yield from self.flush()
+        return (yield from self._executor.dispatch_call(self, name, list(args)))
+
+
+class HostedOutcome:
+    def __init__(self, retval, sim_time_ns, machine):
+        self.retval = retval
+        self.sim_time_ns = sim_time_ns
+        self.machine = machine
+        self.stats = machine.stats.snapshot()
+
+    @property
+    def sim_time_us(self) -> float:
+        return self.sim_time_ns / 1000.0
+
+    @property
+    def sim_time_s(self) -> float:
+        return self.sim_time_ns / 1e9
+
+
+class HostedMachine:
+    """Runs a :class:`HostedProgram` on a real :class:`FlickMachine`
+    substrate (DMA, interrupts, kernel, latencies) with timing-model
+    function bodies."""
+
+    def __init__(
+        self,
+        program: HostedProgram,
+        cfg: Optional[FlickConfig] = None,
+        nxp_segments: Optional[List[tuple]] = None,
+    ):
+        """``nxp_segments``: optional [(vbase, size), ...] windows the
+        NxP translates with base+limit segments instead of the TLB — the
+        paper's cited alternative for killing TLB misses entirely
+        (Section III-A, refs [16, 17])."""
+        self.program = program
+        self.machine = FlickMachine(cfg) if cfg is not None else FlickMachine()
+        self.nxp_segments = list(nxp_segments or [])
+        self.sim = self.machine.sim
+        self.cfg = self.machine.cfg
+        self.process = create_address_space(self.machine, name="hosted")
+        self.machine.kernel.register_process(self.process)
+        for fn in program.functions.values():
+            self.process.add_exec_range(fn.addr, 0x1000, fn.isa)
+        self._tcache = TranslationCache(self.process.page_tables)
+        # NxP-side translation state: a real TLB object with analytic
+        # walk costs (so huge-page behaviour and the 16-entry capacity
+        # are preserved without per-access DES events).
+        self._nxp_dtlb = TLB("hosted.nxp.dtlb", self.cfg.tlb_entries, stats=self.machine.stats)
+        self._nxp_dtlb.program_remap(
+            self.cfg.memory_map.bar0_base,
+            self.cfg.memory_map.nxp_local_size,
+            self.cfg.memory_map.bar0_remap_offset,
+        )
+        self._nxp_engine = _HostedNxpEngine(self)
+        self._task: Optional[Task] = None
+        self._thread: Optional[_HostedHostThread] = None
+
+    # -- shared helpers used by contexts -------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        return self._tcache.translate(vaddr).paddr
+
+    def access_latency(self, side: str, vaddr: int, write: bool) -> float:
+        cfg = self.cfg
+        mm = cfg.memory_map
+        if side == "host":
+            paddr = self.translate(vaddr)
+            if mm.host_dram_contains(paddr):
+                return cfg.host_cached_mem_ns
+            if mm.bram_contains(paddr):
+                return 2 * cfg.pcie_oneway_ns + cfg.nxp_bram_ns
+            if write:
+                return cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte  # posted
+            return cfg.host_to_bar_read_ns
+        # NxP side: segment windows bypass the TLB entirely (O(1)
+        # base+limit check in the memory pipeline).
+        for seg_base, seg_size in self.nxp_segments:
+            if seg_base <= vaddr < seg_base + seg_size:
+                self.machine.stats.count("hosted.nxp.segment_hit")
+                paddr = self.process.page_tables.translate(vaddr).paddr
+                if mm.bram_contains(paddr):
+                    return cfg.nxp_bram_ns
+                if mm.bar0_contains(paddr):
+                    return cfg.nxp_to_local_write_ns if write else cfg.nxp_to_local_read_ns
+                return (
+                    cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
+                    if write
+                    else cfg.nxp_to_host_read_ns
+                )
+        # Otherwise: real TLB lookup, analytic walk cost on miss.
+        entry = self._nxp_dtlb.lookup(vaddr)
+        if entry is None:
+            tr = self.process.page_tables.translate(vaddr)
+            walk_cost = (
+                cfg.mmu_walker_overhead_ns
+                + len(self.process.page_tables.walk_entry_addrs(vaddr)) * cfg.mmu_walk_step_ns
+            )
+            entry = self._nxp_dtlb.insert(tr)
+            base = walk_cost
+        else:
+            base = cfg.tlb_hit_ns
+        paddr = entry.paddr_for(vaddr)
+        route, _local = self._nxp_dtlb.route(paddr)
+        if mm.bram_contains(paddr):
+            return base + cfg.nxp_bram_ns
+        if route == "local":
+            return base + (cfg.nxp_to_local_write_ns if write else cfg.nxp_to_local_read_ns)
+        if write:
+            return base + cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
+        return base + cfg.nxp_to_host_read_ns
+
+    def dispatch_call(self, ctx: HostedContext, name: str, args: List[int]) -> Generator:
+        fn = self.program.functions[name]
+        same_side = (fn.isa == "hisa") == (ctx.side == "host")
+        if same_side:
+            ctx.compute(6)  # plain call/ret overhead
+            return (yield from self.run_body(fn, args, ctx.side))
+        if ctx.side == "host":
+            return (yield from self._thread.migrate_call_to_nxp(fn, args))
+        return (yield from self._nxp_engine.migrate_call_to_host(fn, args))
+
+    def run_body(self, fn: HostedFunction, args: List[int], side: str) -> Generator:
+        ctx = HostedContext(self, side)
+        retval = yield from fn.body(ctx, *args)
+        yield from ctx.flush()
+        return retval if retval is not None else 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def run(self, entry: str, args=(), reset_time: bool = False) -> HostedOutcome:
+        """Run ``entry`` (a host-side hosted function) to completion."""
+        fn = self.program.functions[entry]
+        if fn.isa != "hisa":
+            raise ValueError("hosted entry functions start on the host")
+        task = Task(self.process, name=f"hosted.t{len(self.machine.threads)}")
+        self.machine.kernel.register_task(task)
+        self._task = task
+        thread = _HostedHostThread(self, task)
+        self._thread = thread
+        self._nxp_engine.start()
+        start = self.sim.now
+        self.sim.spawn(thread.thread_main(fn, list(args)), name=task.name)
+        self.sim.run()
+        if thread.finished_at is None:
+            raise RuntimeError("hosted program did not finish")
+        return HostedOutcome(thread.result, thread.finished_at - start, self.machine)
+
+
+class _HostedHostThread:
+    """Hosted twin of :class:`repro.core.host_runtime.HostThread` —
+    identical protocol charges, Python bodies instead of HISA code."""
+
+    def __init__(self, hosted: HostedMachine, task: Task):
+        self.hosted = hosted
+        self.machine = hosted.machine
+        self.sim = hosted.sim
+        self.cfg = hosted.cfg
+        self.task = task
+        self.core = None
+        self.result = None
+        self.finished_at = None
+        self._staging: Optional[int] = None
+
+    def thread_main(self, fn: HostedFunction, args: List[int]) -> Generator:
+        task = self.task
+        self.core = yield from self.machine.cores.acquire(task.name)
+        task.state = TaskState.RUNNING
+        retval = yield from self.hosted.run_body(fn, args, "host")
+        task.state = TaskState.DONE
+        self.machine.cores.release(self.core)
+        self.core = None
+        self.result = retval
+        self.finished_at = self.sim.now
+        return retval
+
+    # Mirrors HostThread._migrate_call_to_nxp (same charges, same order).
+    def migrate_call_to_nxp(self, fn: HostedFunction, args: List[int]) -> Generator:
+        task = self.task
+        cfg = self.cfg
+        yield self.sim.timeout(cfg.host_page_fault_ns)
+        yield self.sim.timeout(cfg.host_handler_entry_ns)
+        self.machine.trace.record("h2n_call_start", pid=task.pid, target=fn.addr)
+        if task.nxp_stack_base is None:
+            yield self.sim.timeout(cfg.host_stack_alloc_ns)
+            task.nxp_stack_base = self.machine.alloc_nxp_stack()
+            task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
+        desc = MigrationDescriptor(
+            kind=KIND_CALL, direction=DIR_H2N, pid=task.pid, target=fn.addr,
+            args=args[:6], cr3=task.process.cr3, nxp_sp=task.nxp_sp,
+        )
+        inbound = yield from self._ioctl_migrate_and_suspend(desc)
+        while inbound.is_call:
+            task.nxp_sp = inbound.nxp_sp
+            yield self.sim.timeout(cfg.host_ioctl_return_ns)
+            yield self.sim.timeout(cfg.host_call_dispatch_ns)
+            target_fn = self.hosted.program.by_addr[inbound.target]
+            host_retval = yield from self.hosted.run_body(target_fn, inbound.args, "host")
+            ret_desc = MigrationDescriptor(
+                kind=KIND_RETURN, direction=DIR_H2N, pid=task.pid,
+                retval=host_retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp,
+            )
+            inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+        yield self.sim.timeout(cfg.host_ioctl_return_ns)
+        yield self.sim.timeout(cfg.host_handler_return_ns)
+        self.machine.trace.record("h2n_call_done", pid=task.pid, target=fn.addr)
+        return inbound.retval
+
+    def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+        task = self.task
+        cfg = self.cfg
+        if cfg.injected_migration_rt_ns:
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        yield self.sim.timeout(cfg.host_ioctl_entry_ns)
+        yield self.sim.timeout(cfg.host_desc_build_ns)
+        if self._staging is None:
+            self._staging = self.machine.host_phys.alloc(DESCRIPTOR_BYTES, align=64)
+        self.machine.phys.write(self._staging, desc.pack())
+        task.state = TaskState.SUSPENDED
+        wake = Event(self.sim, name=f"{task.name}.wake")
+        task.wake_event = wake
+        yield self.sim.timeout(cfg.host_context_switch_ns)
+        self.machine.cores.release(self.core)
+        self.core = None
+        yield self.sim.timeout(cfg.host_dma_kick_ns)
+        self.sim.spawn(
+            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES),
+            name=f"dma-h2n-{task.name}",
+        )
+        inbound = yield wake
+        self.core = yield from self.machine.cores.acquire(task.name)
+        task.state = TaskState.RUNNING
+        return inbound
+
+
+class _HostedNxpEngine:
+    """Hosted twin of :class:`NxpPlatform`: dispatch loop + migrations."""
+
+    def __init__(self, hosted: HostedMachine):
+        self.hosted = hosted
+        self.machine = hosted.machine
+        self.sim = hosted.sim
+        self.cfg = hosted.cfg
+        self._proc = None
+        self._staging: Optional[List[int]] = None
+        self._staging_idx = 0
+        # Per-pid LIFO of (return event) for bodies parked awaiting a
+        # host function's return (nesting-safe).
+        self._parked: Dict[int, List[Event]] = {}
+        self._idle: Optional[Event] = None  # body finished/parked handshake
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.sim.spawn(self._dispatcher(), name="hosted-nxp-sched")
+
+    def _dispatcher(self) -> Generator:
+        ring = self.machine.nxp_ring
+        while True:
+            if ring.pending == 0:
+                yield self.machine.dma.nxp_arrival.get()
+                yield self.sim.timeout(self.cfg.nxp_poll_period_ns / 2.0)
+                if ring.pending == 0:
+                    continue
+            dispatch_start = self.sim.now
+            yield self.sim.timeout(self.cfg.nxp_sched_dispatch_ns)
+            slot = ring.pop_addr()
+            desc = MigrationDescriptor.unpack(self.machine.phys.read(slot, DESCRIPTOR_BYTES))
+            yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
+            idle = Event(self.sim, name="nxp.idle")
+            self._idle = idle
+            if desc.is_call:
+                fn = self.hosted.program.by_addr[desc.target]
+                task = self.machine.kernel.task_by_pid(desc.pid)
+                self.sim.spawn(self._run_call(task, fn, desc.args), name=f"nxp-body-{fn.name}")
+            else:
+                # Resume the most recently parked body for this pid.
+                stack = self._parked.get(desc.pid)
+                if not stack:
+                    raise RuntimeError("hosted: return descriptor with no parked body")
+                stack.pop().trigger((desc.retval, idle))
+            yield idle  # core is busy until the body parks or finishes
+            self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)
+
+    def _run_call(self, task: Task, fn: HostedFunction, args) -> Generator:
+        retval = yield from self.hosted.run_body(fn, list(args), "nxp")
+        # Return migration (mirrors NxpPlatform._return_migration).
+        yield self.sim.timeout(self.cfg.nxp_desc_build_ns)
+        desc = MigrationDescriptor(
+            kind=KIND_RETURN, direction=DIR_N2H, pid=task.pid,
+            retval=retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp or 0,
+        )
+        yield from self._send_to_host(desc)
+        # Hand the core back to the dispatcher.  self._idle is always the
+        # event the dispatcher armed for the *current* activation, which
+        # under LIFO nesting is exactly the one waiting on this body.
+        self._idle.trigger()
+
+    def migrate_call_to_host(self, fn: HostedFunction, args: List[int]) -> Generator:
+        """A nxp-side body calls a host function (NxP-to-host migration)."""
+        task = self.hosted._task
+        cfg = self.cfg
+        yield self.sim.timeout(cfg.nxp_fault_entry_ns)
+        yield self.sim.timeout(cfg.nxp_desc_build_ns)
+        desc = MigrationDescriptor(
+            kind=KIND_CALL, direction=DIR_N2H, pid=task.pid, target=fn.addr,
+            args=args[:6], cr3=task.process.cr3, nxp_sp=task.nxp_sp or 0,
+        )
+        resume = Event(self.sim, name="nxp.body.resume")
+        self._parked.setdefault(task.pid, []).append(resume)
+        yield from self._send_to_host(desc)
+        self._idle.trigger()  # hand the NxP core back to the dispatcher
+        retval, idle = yield resume  # woken by a host->NxP return descriptor
+        self._idle = idle
+        return retval
+
+    def _send_to_host(self, desc: MigrationDescriptor) -> Generator:
+        cfg = self.cfg
+        if cfg.injected_migration_rt_ns:
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        if self._staging is None:
+            self._staging = [
+                self.machine.bram_phys.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
+            ]
+        buf = self._staging[self._staging_idx]
+        self._staging_idx = (self._staging_idx + 1) % len(self._staging)
+        self.machine.phys.write(buf, desc.pack())
+        yield self.sim.timeout(cfg.nxp_context_switch_ns)
+        yield self.sim.timeout(cfg.nxp_dma_kick_ns)
+        self.sim.spawn(
+            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES), name="dma-n2h-hosted"
+        )

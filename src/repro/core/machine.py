@@ -1,0 +1,225 @@
+"""FlickMachine — the whole heterogeneous-ISA system, assembled.
+
+This is the library's main entry point.  It builds the platform of
+Table I in simulation — host cores, the PCIe-attached NxP (RISC-V-like
+core, local DRAM behind BAR0, stack BRAM, DMA engine, programmable MMU)
+— plus the modified OS, and exposes a compile-load-run API:
+
+>>> from repro import FlickMachine
+>>> machine = FlickMachine()
+>>> outcome = machine.run_program('''
+...     @nxp func near_data(x) { return x * 2; }
+...     func main(a) { return near_data(a) + 1; }
+... ''', args=[20])
+>>> outcome.retval
+41
+>>> outcome.migrations  # one host->NxP->host round trip
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.descriptors import DESCRIPTOR_BYTES
+from repro.core.host_runtime import HostThread
+from repro.core.nxp_platform import NxpPlatform
+from repro.core.ports import HostMemoryPort
+from repro.core.stubs import STUB_SYMBOLS
+from repro.core.trace import MigrationTrace
+from repro.interconnect.dma import DMAEngine, DescriptorRing
+from repro.interconnect.interrupt import InterruptController
+from repro.interconnect.pcie import PCIeLink
+from repro.memory.allocator import RegionAllocator
+from repro.memory.physical import MemoryRegion, MMIORegion, PhysicalMemory
+from repro.os.kernel import Kernel
+from repro.os.loader import load_executable
+from repro.os.scheduler import CorePool
+from repro.os.task import Process, Task
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+from repro.toolchain.felf import Executable
+from repro.toolchain.flickc import compile_source
+from repro.toolchain.linker import link
+
+__all__ = ["FlickMachine", "ProgramOutcome"]
+
+MB = 1024 * 1024
+
+
+@dataclass
+class ProgramOutcome:
+    """Result of running one program to completion."""
+
+    retval: int
+    output: List[int]
+    sim_time_ns: float
+    migrations: int
+    stats: Dict[str, float]
+    process: Process
+
+    @property
+    def sim_time_us(self) -> float:
+        return self.sim_time_ns / 1000.0
+
+
+class FlickMachine:
+    """A simulated host + NxP system running the Flick protocol."""
+
+    def __init__(self, cfg: FlickConfig = DEFAULT_CONFIG, host_cores: int = 2):
+        self.cfg = cfg
+        self.memory_map = cfg.memory_map
+        self.sim = Simulator()
+        self.stats = StatRegistry()
+        self.trace = MigrationTrace(self.sim)
+
+        # -- physical memory ------------------------------------------------
+        mm = self.memory_map
+        self.phys = PhysicalMemory()
+        self.phys.add_region(MemoryRegion("host_dram", mm.host_dram_base, mm.host_dram_size))
+        self.phys.add_region(MemoryRegion("nxp_dram", mm.bar0_base, mm.nxp_local_size))
+        self.phys.add_region(MemoryRegion("nxp_bram", mm.nxp_bram_base, mm.nxp_bram_size))
+        self.mmio = MMIORegion("nxp_ctrl", mm.mmio_base, mm.mmio_size)
+        self.phys.add_region(self.mmio)
+
+        # -- physical allocators ----------------------------------------------
+        # host DRAM: [16MB, 256MB) page-table frames, [256MB, end) general.
+        self.frame_alloc = RegionAllocator("pt_frames", 16 * MB, 240 * MB)
+        self.host_phys = RegionAllocator(
+            "host_phys", 256 * MB, mm.host_dram_size - 256 * MB
+        )
+        self.nxp_phys = RegionAllocator("nxp_phys", mm.bar0_base, mm.nxp_local_size)
+        self.bram_phys = RegionAllocator("bram_phys", mm.nxp_bram_base, mm.nxp_bram_size)
+
+        # -- interconnect -------------------------------------------------------
+        self.link = PCIeLink(self.sim, cfg, self.phys, stats=self.stats)
+        self.irq = InterruptController(self.sim, cfg, stats=self.stats)
+        self.dma = DMAEngine(self.sim, cfg, self.link, self.irq, stats=self.stats)
+        nxp_ring_base = self.bram_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+        host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+        self.nxp_ring = DescriptorRing(self.phys, nxp_ring_base, 16, DESCRIPTOR_BYTES)
+        self.host_ring = DescriptorRing(self.phys, host_ring_base, 16, DESCRIPTOR_BYTES)
+        self.dma.attach_rings(self.nxp_ring, self.host_ring)
+        self.dma.register_mmio(self.mmio)
+
+        # -- OS + platforms ---------------------------------------------------------
+        self.cores = CorePool(self.sim, host_cores)
+        self.kernel = Kernel(self.sim, cfg, self)
+        self.nxp = NxpPlatform(self)
+        self.threads: List[HostThread] = []
+        self.runtime_symbols = dict(STUB_SYMBOLS)
+        # Multi-ISA kernel modules (Section IV-D): segments shared by
+        # every process created after loading; symbols linkable by user
+        # programs compiled after loading.
+        self.kernel_modules = []
+        self.module_symbols: Dict[str, int] = {}
+        self.module_isa_of_symbol: Dict[str, object] = {}
+
+    # -- program lifecycle ----------------------------------------------------------
+
+    def compile(self, source: str, entry: str = "main") -> Executable:
+        """Compile FlickC source; links against the runtime symbols and
+        any symbols exported by loaded kernel modules."""
+        obj = compile_source(source)
+        extra = dict(self.runtime_symbols)
+        extra.update(self.module_symbols)
+        return link([obj], entry_symbol=entry, extra_symbols=extra)
+
+    def load_module(self, source: str, name: str, entry_symbol: str = "module_init"):
+        """Load a multi-ISA kernel module (see repro.os.module)."""
+        from repro.os.module import load_module
+
+        return load_module(self, source, name, entry_symbol=entry_symbol)
+
+    def load(self, exe: Executable, name: Optional[str] = None) -> Process:
+        process = load_executable(self, exe, name=name)
+        self.kernel.register_process(process)
+        return process
+
+    def spawn(self, process: Process, entry: Union[str, int] = "main", args=()) -> HostThread:
+        """Create a thread running ``entry`` (symbol or address) on the host."""
+        if isinstance(entry, str):
+            entry_addr = process.symbols[entry]
+        else:
+            entry_addr = entry
+        task = Task(process, name=f"{process.name}.t{len(self.threads)}")
+        self.kernel.register_task(task)
+        port = HostMemoryPort(
+            self.sim, self.cfg, self.phys, self.link, process.page_tables, stats=self.stats
+        )
+        thread = HostThread(self, task, port)
+        self.threads.append(thread)
+        self.nxp.start()
+        self.sim.spawn(thread.thread_main(entry_addr, list(args)), name=task.name)
+        return thread
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation until it quiesces (or until ``until`` ns).
+
+        The NxP scheduler is event-driven when idle, so the event queue
+        drains exactly when every spawned thread has finished (or is
+        durably stuck, which we report).
+        """
+        if until is not None:
+            self.sim.run(until=until)
+            return
+        self.sim.run()
+        stuck = [t.task.name for t in self.threads if t.task.state.value != "done"]
+        if stuck:
+            raise RuntimeError(f"machine quiesced with unfinished threads: {stuck}")
+
+    def run_program(
+        self,
+        source_or_exe: Union[str, Executable],
+        entry: str = "main",
+        args=(),
+        name: Optional[str] = None,
+    ) -> ProgramOutcome:
+        """Compile (if needed), load, run to completion, and summarize."""
+        exe = (
+            self.compile(source_or_exe, entry=entry)
+            if isinstance(source_or_exe, str)
+            else source_or_exe
+        )
+        process = self.load(exe, name=name)
+        thread = self.spawn(process, entry=entry, args=args)
+        self.run()
+        retval = thread.result
+        signed = retval - (1 << 64) if retval is not None and retval >> 63 else retval
+        return ProgramOutcome(
+            retval=signed,
+            output=list(process.output),
+            sim_time_ns=thread.finished_at if thread.finished_at is not None else self.sim.now,
+            migrations=self.trace.count("h2n_call_done"),
+            stats=self.stats.snapshot(),
+            process=process,
+        )
+
+    # -- optional kernel extensions ------------------------------------------------------
+
+    def enable_lazy_heap(self, process: Process, size: int = 64 * MB) -> "LazyHeap":
+        """Switch ``process`` to a demand-paged heap window.
+
+        Subsequent ``alloc()`` calls in the program return addresses in
+        an initially-unmapped window; the first touch of each page takes
+        a minor fault serviced by the kernel (interpreted mode only).
+        """
+        from repro.memory.allocator import RegionAllocator
+        from repro.os.demand_paging import LazyHeap
+
+        vbase = 0x4000_0000_0000
+        lazy = LazyHeap(self, process, vbase, size)
+        process.lazy_heap = lazy
+        process.host_heap = RegionAllocator("lazy_heap", vbase, size)
+        return lazy
+
+    # -- services used by the runtimes -------------------------------------------------
+
+    def alloc_nxp_stack(self) -> int:
+        """Allocate one thread's NxP stack from BRAM; returns its vaddr."""
+        from repro.os.loader import NXP_STACK_VBASE
+
+        paddr = self.bram_phys.alloc(self.cfg.nxp_stack_bytes, align=4096)
+        return NXP_STACK_VBASE + (paddr - self.memory_map.nxp_bram_base)

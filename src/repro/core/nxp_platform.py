@@ -1,0 +1,236 @@
+"""The NxP platform: scheduler, migration handler and core (Listing 2).
+
+The NxP scheduler is a bare-metal loop on the NxP core (the paper boots
+it from a tiny ROM through a pre-loaded I-TLB entry): it polls the DMA
+status register, and for every inbound descriptor either *calls* the
+requested function on a thread's NxP stack, or *resumes* a thread that
+was suspended mid-migration.
+
+Outbound migrations mirror Listing 2:
+
+* a NISA function finishing -> **return migration** (NxP-to-host return
+  descriptor, DMA, host interrupt);
+* a NISA function fetching host-ISA bytes -> the inverted-NX page fault
+  (or the misaligned/illegal fetch the variable-length HISA encoding
+  causes) -> **call migration** with the faulting address as the target.
+
+Reentrancy is handled with a per-thread stack of saved register
+contexts: each nested call level pushes one snapshot, exactly as each
+level of the paper's handler occupies one more frame of the thread's
+NxP stack.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.core.descriptors import (
+    DESCRIPTOR_BYTES,
+    DIR_N2H,
+    KIND_CALL,
+    KIND_RETURN,
+    MigrationDescriptor,
+)
+from repro.core.ports import NxpMemoryPort
+from repro.core.stubs import is_stub, service_stub
+from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
+from repro.isa.interpreter import (
+    CostModel,
+    EnvCall,
+    Halted,
+    Interpreter,
+    ReturnToRuntime,
+)
+from repro.memory.mmu import PageWalker
+from repro.memory.paging import PageFault, PageTables
+from repro.os.kernel import ProcessCrash
+from repro.os.task import CpuContext, Task
+
+__all__ = ["NxpPlatform"]
+
+
+class NxpPlatform:
+    """One NxP core + its TLBs/MMU/caches + the polling scheduler."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.cfg = machine.cfg
+        self.current_tables: Optional[PageTables] = None
+        self.walker = PageWalker(
+            self.sim, self.cfg, lambda: self.current_tables, stats=machine.stats, name="nxp.mmu"
+        )
+        self.port = NxpMemoryPort(
+            self.sim, self.cfg, machine.phys, machine.link, self.walker, stats=machine.stats
+        )
+        self.cpu = Interpreter(
+            "nisa",
+            self.sim,
+            self.port,
+            CostModel(self.cfg.nxp_cycle_ns, ipc=1.0),
+            stats=machine.stats,
+            name="nxp.core",
+        )
+        self._staging: Optional[int] = None
+        self._proc = None
+
+    def start(self) -> None:
+        """Boot the scheduler (idempotent)."""
+        if self._proc is None:
+            self._proc = self.sim.spawn(self._scheduler(), name="nxp-scheduler")
+
+    # -- the polling scheduler --------------------------------------------------
+
+    def _scheduler(self) -> Generator:
+        ring = self.machine.nxp_ring
+        status_addr = self.cfg.memory_map.mmio_base + 0x00
+        while True:
+            if ring.pending == 0:
+                # Architecturally the scheduler spins on the DMA STATUS
+                # register; the simulation sleeps until the next arrival
+                # and charges half a poll period (the mean discovery
+                # delay of a free-running poll loop).
+                yield self.machine.dma.nxp_arrival.get()
+                yield self.sim.timeout(self.cfg.nxp_poll_period_ns / 2.0)
+                if self.machine.phys.read_u64(status_addr) == 0:
+                    continue  # stale wakeup: descriptor already consumed
+            dispatch_start = self.sim.now
+            yield self.sim.timeout(self.cfg.nxp_sched_dispatch_ns)
+            slot = ring.pop_addr()
+            raw = self.machine.phys.read(slot, DESCRIPTOR_BYTES)
+            desc = MigrationDescriptor.unpack(raw)
+            task = self.machine.kernel.task_by_pid(desc.pid)
+            self._switch_address_space(task, desc.cr3)
+            yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
+
+            if desc.is_call:
+                self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
+                yield from self.cpu.setup_call(desc.target, desc.args, sp=desc.nxp_sp)
+            else:
+                self.machine.trace.record("nxp_dispatch_return", pid=desc.pid)
+                if not task.nxp_context_stack:
+                    raise ProcessCrash(task, "return descriptor with no suspended NxP context")
+                ctx = task.nxp_context_stack.pop()
+                self.cpu.regs.restore(ctx.regs)
+                # Simulated return from the (hijacked) JAL: pc <- ra,
+                # return value in a0.
+                self.cpu.pc = self.cpu.regs.read(self.cpu.abi.link_reg)
+                self.cpu.regs.write(self.cpu.abi.ret_reg, desc.retval)
+
+            yield from self._run_thread(task)
+            self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)
+
+    def _switch_address_space(self, task: Task, cr3: int) -> None:
+        tables = task.process.page_tables
+        if cr3 and tables.cr3 != cr3:
+            raise ProcessCrash(task, f"descriptor CR3 {cr3:#x} != process CR3 {tables.cr3:#x}")
+        if self.current_tables is not tables:
+            self.current_tables = tables
+            self.port.flush_tlbs()
+            self.machine.stats.count("nxp.address_space_switch")
+
+    # -- thread execution until it leaves the NxP ----------------------------------
+
+    def _run_thread(self, task: Task) -> Generator:
+        cpu = self.cpu
+        while True:
+            if is_stub(cpu.pc):
+                yield from service_stub(self.machine, task, cpu)
+                continue
+            try:
+                yield from cpu.step()
+            except ReturnToRuntime as ret:
+                yield from self._return_migration(task, ret.retval)
+                return
+            except PageFault as fault:
+                if fault.kind == PageFault.NX_VIOLATION and fault.is_exec:
+                    self.machine.kernel.classify_exec_fault(task, fault, running_on="nisa")
+                    yield from self._call_migration(task, fault.vaddr, trigger="nx")
+                    return
+                raise ProcessCrash(task, f"nxp {fault}")
+            except MisalignedFetch as fault:
+                # Variable-length HISA code rarely sits 8-aligned: treat
+                # as a migration request if it points at host text.
+                self.machine.kernel.classify_exec_fault(
+                    task, PageFault(fault.pc, PageFault.NX_VIOLATION, is_exec=True), "nisa"
+                )
+                yield from self._call_migration(task, fault.pc, trigger="misaligned")
+                return
+            except IllegalInstruction as fault:
+                self.machine.kernel.classify_exec_fault(
+                    task, PageFault(fault.pc, PageFault.NX_VIOLATION, is_exec=True), "nisa"
+                )
+                yield from self._call_migration(task, fault.pc, trigger="illegal")
+                return
+            except EnvCall:
+                code, value = cpu.get_args(2)
+                result = self.machine.kernel.service_syscall(task, code, value)
+                cpu.regs.write(cpu.abi.ret_reg, result or 0)
+            except Halted:
+                yield from self._return_migration(task, 0)
+                return
+            except IsaFault as fault:
+                raise ProcessCrash(task, f"nxp fault: {fault}")
+
+    # -- outbound migrations (Listing 2) ----------------------------------------------
+
+    def _return_migration(self, task: Task, retval: int) -> Generator:
+        cfg = self.cfg
+        yield self.sim.timeout(cfg.nxp_desc_build_ns)
+        task.nxp_sp = self.cpu.sp
+        desc = MigrationDescriptor(
+            kind=KIND_RETURN,
+            direction=DIR_N2H,
+            pid=task.pid,
+            retval=retval,
+            cr3=task.process.cr3,
+            nxp_sp=self.cpu.sp,
+        )
+        yield from self._send_to_host(task, desc)
+        self.machine.trace.record("n2h_return", pid=task.pid)
+
+    def _call_migration(self, task: Task, target: int, trigger: str) -> Generator:
+        cfg = self.cfg
+        yield self.sim.timeout(cfg.nxp_fault_entry_ns)
+        self.machine.stats.count(f"nxp.migrate_trigger.{trigger}")
+        args = self.cpu.get_args(6)
+        # Save this nesting level's context; it resumes on the matching
+        # return descriptor.
+        task.nxp_context_stack.append(
+            CpuContext(regs=self.cpu.regs.snapshot(), pc=target)
+        )
+        task.nxp_sp = self.cpu.sp
+        yield self.sim.timeout(cfg.nxp_desc_build_ns)
+        desc = MigrationDescriptor(
+            kind=KIND_CALL,
+            direction=DIR_N2H,
+            pid=task.pid,
+            target=target,
+            args=args,
+            cr3=task.process.cr3,
+            nxp_sp=self.cpu.sp,
+        )
+        yield from self._send_to_host(task, desc)
+        self.machine.trace.record("n2h_call", pid=task.pid, target=target)
+
+    def _send_to_host(self, task: Task, desc: MigrationDescriptor) -> Generator:
+        cfg = self.cfg
+        if cfg.injected_migration_rt_ns:
+            # Prior-work overhead emulation (see host_runtime counterpart).
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        if self._staging is None:
+            # A small rotating pool so a burst in flight is never
+            # overwritten by the next outbound descriptor.
+            self._staging = [
+                self.machine.bram_phys.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
+            ]
+            self._staging_idx = 0
+        buf = self._staging[self._staging_idx]
+        self._staging_idx = (self._staging_idx + 1) % len(self._staging)
+        self.machine.phys.write(buf, desc.pack())
+        yield self.sim.timeout(cfg.nxp_context_switch_ns)  # back to scheduler
+        yield self.sim.timeout(cfg.nxp_dma_kick_ns)
+        self.sim.spawn(
+            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES),
+            name=f"dma-n2h-{task.name}",
+        )

@@ -1,0 +1,239 @@
+"""Memory ports: how each core's loads/stores/fetches reach memory.
+
+The *same* virtual address resolves through the *same* page tables on
+both sides (Fig. 1), but the cost differs radically by core and by
+physical target — that asymmetry is the entire premise of Flick:
+
+================  ======================  ==========================
+access            host core               NxP core
+================  ======================  ==========================
+host DRAM         cached, ~ns             PCIe read, ~0.8 us
+NxP DRAM (BAR0)   PCIe read, ~825 ns      local, ~267 ns (TLB hit)
+NxP stack BRAM    PCIe read               on-chip, ~10 ns
+translation       hardware-invisible      16-entry TLBs + timed
+                  (charged 0, cached)     cross-PCIe table walk
+================  ======================  ==========================
+
+The host port enforces the normal NX sense on instruction fetch; the
+NxP port enforces the *inverted* sense (Section IV-B2) and additionally
+faults on misaligned/illegal fetches, which its interpreter raises
+naturally when it wanders into HISA bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.config import FlickConfig
+from repro.interconnect.pcie import PCIeLink
+from repro.memory.cache import Cache, CacheableFilter
+from repro.memory.mmu import PageWalker
+from repro.memory.paging import PageFault, PageTables, Translation
+from repro.memory.physical import PhysicalMemory
+from repro.memory.tlb import TLB
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+__all__ = ["HostMemoryPort", "NxpMemoryPort", "TranslationCache"]
+
+
+class TranslationCache:
+    """A software-side memo of recent translations (models the host's
+    hardware TLB being effectively free at our timescale).  Invalidated
+    whenever the page tables change (generation counter)."""
+
+    def __init__(self, tables: PageTables):
+        self.tables = tables
+        self._cache: Dict[int, Translation] = {}
+        self._generation = tables.generation
+
+    def translate(self, vaddr: int) -> Translation:
+        if self._generation != self.tables.generation:
+            self._cache.clear()
+            self._generation = self.tables.generation
+        # Probe coarsest-first so huge pages hit with one lookup.
+        for bits in (30, 21, 12):
+            key = vaddr >> bits
+            tr = self._cache.get((bits << 56) | key)
+            if tr is not None and tr.page_base_vaddr <= vaddr < tr.page_base_vaddr + tr.page_size:
+                return Translation(
+                    vaddr=vaddr,
+                    paddr=tr.page_base_paddr | (vaddr - tr.page_base_vaddr),
+                    page_size=tr.page_size,
+                    writable=tr.writable,
+                    user=tr.user,
+                    nx=tr.nx,
+                )
+        tr = self.tables.translate(vaddr)
+        bits = {1 << 30: 30, 1 << 21: 21, 1 << 12: 12}[tr.page_size]
+        self._cache[(bits << 56) | (vaddr >> bits)] = tr
+        return tr
+
+
+class HostMemoryPort:
+    """A host core's view of one process's address space."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FlickConfig,
+        phys: PhysicalMemory,
+        link: PCIeLink,
+        tables: PageTables,
+        stats: Optional[StatRegistry] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.phys = phys
+        self.link = link
+        self.tables = tables
+        self.mm = cfg.memory_map
+        self.stats = stats or StatRegistry()
+        self.tcache = TranslationCache(tables)
+
+    def fetch(self, vaddr: int, nbytes: int) -> Generator:
+        tr = self.tcache.translate(vaddr)
+        if tr.nx:
+            # The Flick trigger: host fetched NxP-ISA (or data) pages.
+            raise PageFault(vaddr, PageFault.NX_VIOLATION, is_exec=True)
+        if self.cfg.host_ifetch_ns:
+            yield self.sim.timeout(self.cfg.host_ifetch_ns)
+        return self.phys.read(tr.paddr, nbytes)
+
+    def load(self, vaddr: int, nbytes: int) -> Generator:
+        tr = self.tcache.translate(vaddr)
+        paddr = tr.paddr
+        self.stats.count("host.load")
+        if self.mm.host_dram_contains(paddr):
+            yield self.sim.timeout(self.cfg.host_cached_mem_ns)
+            return self.phys.read(paddr, nbytes)
+        # BAR access: a real non-posted PCIe read.
+        self.stats.count("host.load_pcie")
+        service = self.cfg.nxp_local_dram_ns - 120.0
+        if self.mm.bram_contains(paddr):
+            service = self.cfg.nxp_bram_ns
+        data = yield from self.link.read(paddr, nbytes, service_ns=service)
+        return data
+
+    def store(self, vaddr: int, data: bytes) -> Generator:
+        tr = self.tcache.translate(vaddr)
+        if not tr.writable:
+            raise PageFault(vaddr, PageFault.WRITE_PROTECT, is_write=True)
+        paddr = tr.paddr
+        self.stats.count("host.store")
+        if self.mm.host_dram_contains(paddr):
+            yield self.sim.timeout(self.cfg.host_cached_mem_ns)
+            self.phys.write(paddr, data)
+            return
+        self.stats.count("host.store_pcie")
+        yield from self.link.write(paddr, data, posted=True)
+
+
+class NxpMemoryPort:
+    """The NxP core's memory pipeline: TLBs + walker + caches + routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FlickConfig,
+        phys: PhysicalMemory,
+        link: PCIeLink,
+        walker: PageWalker,
+        stats: Optional[StatRegistry] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.phys = phys
+        self.link = link
+        self.walker = walker
+        self.mm = cfg.memory_map
+        self.stats = stats or StatRegistry()
+        self.itlb = TLB("nxp.itlb", cfg.tlb_entries, stats=self.stats)
+        self.dtlb = TLB("nxp.dtlb", cfg.tlb_entries, stats=self.stats)
+        self.icache = Cache(
+            "nxp.icache", cfg.nxp_icache_lines, cfg.nxp_icache_line_bytes, stats=self.stats
+        )
+        self.dcache = Cache(
+            "nxp.dcache", cfg.nxp_dcache_lines, cfg.nxp_dcache_line_bytes, stats=self.stats
+        )
+        self.cacheable = CacheableFilter()
+        # Program both TLB remap registers (what the host driver does).
+        for tlb in (self.itlb, self.dtlb):
+            tlb.program_remap(self.mm.bar0_base, self.mm.nxp_local_size, self.mm.bar0_remap_offset)
+
+    # -- shared translate path ------------------------------------------------
+
+    def _translate(self, tlb: TLB, vaddr: int, is_exec: bool) -> Generator:
+        entry = tlb.lookup(vaddr)
+        if entry is None:
+            tr = yield from self.walker.walk(vaddr)  # raises PageFault if unmapped
+            entry = tlb.insert(tr)
+        else:
+            yield self.sim.timeout(self.cfg.tlb_hit_ns)
+        if is_exec and not entry.nx:
+            # Inverted NX sense: host-ISA pages fault on the NxP.
+            raise PageFault(vaddr, PageFault.NX_VIOLATION, is_exec=True)
+        return entry
+
+    def flush_tlbs(self) -> None:
+        """Flushed on context/address-space switch (CR3 change)."""
+        self.itlb.flush()
+        self.dtlb.flush()
+
+    # -- port interface -----------------------------------------------------------
+
+    def fetch(self, vaddr: int, nbytes: int) -> Generator:
+        entry = yield from self._translate(self.itlb, vaddr, is_exec=True)
+        paddr = entry.paddr_for(vaddr)
+        self.stats.count("nxp.fetch")
+        if self.icache.access(paddr):
+            yield self.sim.timeout(self.cfg.nxp_icache_hit_ns)
+            return self.phys.read(paddr, nbytes)
+        # I-cache miss: line fill from wherever the code lives (host DRAM
+        # for both ISAs' text, per the placement policy).
+        line = self.cfg.nxp_icache_line_bytes
+        line_base = paddr & ~(line - 1)
+        yield from self.link.read(line_base, line, service_ns=self.cfg.host_dram_ns)
+        return self.phys.read(paddr, nbytes)
+
+    def load(self, vaddr: int, nbytes: int) -> Generator:
+        entry = yield from self._translate(self.dtlb, vaddr, is_exec=False)
+        paddr = entry.paddr_for(vaddr)
+        route, local_paddr = self.dtlb.route(paddr)
+        self.stats.count("nxp.load")
+        if self.mm.bram_contains(paddr):
+            yield self.sim.timeout(self.cfg.nxp_bram_ns)
+            return self.phys.read(paddr, nbytes)
+        if route == "local":
+            # Cacheable windows are registered in host-view (BAR)
+            # addresses, the canonical physical space of this model.
+            if self.cacheable.cacheable(paddr) and self.dcache.access(paddr):
+                yield self.sim.timeout(self.cfg.nxp_icache_hit_ns)
+            else:
+                yield self.sim.timeout(self.cfg.nxp_to_local_read_ns)
+            self.stats.count("nxp.load_local")
+            return self.phys.read(paddr, nbytes)
+        # Cross-PCIe read of host memory.
+        self.stats.count("nxp.load_pcie")
+        data = yield from self.link.read(paddr, nbytes, service_ns=self.cfg.host_dram_ns)
+        return data
+
+    def store(self, vaddr: int, data: bytes) -> Generator:
+        entry = yield from self._translate(self.dtlb, vaddr, is_exec=False)
+        if not entry.writable:
+            raise PageFault(vaddr, PageFault.WRITE_PROTECT, is_write=True)
+        paddr = entry.paddr_for(vaddr)
+        route, local_paddr = self.dtlb.route(paddr)
+        self.stats.count("nxp.store")
+        if self.mm.bram_contains(paddr):
+            yield self.sim.timeout(self.cfg.nxp_bram_ns)
+            self.phys.write(paddr, data)
+            return
+        if route == "local":
+            if self.cacheable.cacheable(paddr):
+                self.dcache.invalidate_range(paddr, len(data))
+            yield self.sim.timeout(self.cfg.nxp_to_local_write_ns)
+            self.phys.write(paddr, data)
+            return
+        self.stats.count("nxp.store_pcie")
+        yield from self.link.write(paddr, data, posted=True)

@@ -1,0 +1,66 @@
+"""Migration trace: a timeline of Flick protocol events.
+
+Used by tests to assert protocol ordering (Fig. 2's (a)-(g) sequence)
+and by examples to show the migration dance to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceEvent", "MigrationTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    name: str
+    attrs: Dict[str, Any]
+
+    def __repr__(self) -> str:
+        kv = " ".join(f"{k}={v:#x}" if isinstance(v, int) and k in ("target", "addr")
+                      else f"{k}={v}" for k, v in self.attrs.items())
+        return f"[{self.time / 1000.0:10.3f}us] {self.name} {kv}"
+
+
+class MigrationTrace:
+    """Bounded in-memory event log."""
+
+    def __init__(self, sim, limit: int = 100_000):
+        self.sim = sim
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, name: str, **attrs) -> None:
+        if not self.enabled or len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(self.sim.now, name, attrs))
+
+    def names(self) -> List[str]:
+        return [e.name for e in self.events]
+
+    def filter(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def count(self, name: str) -> int:
+        return sum(1 for e in self.events if e.name == name)
+
+    def spans(self, start_name: str, end_name: str) -> List[float]:
+        """Durations between consecutive start/end event pairs."""
+        out: List[float] = []
+        start_time: Optional[float] = None
+        for e in self.events:
+            if e.name == start_name and start_time is None:
+                start_time = e.time
+            elif e.name == end_name and start_time is not None:
+                out.append(e.time - start_time)
+                start_time = None
+        return out
+
+    def render(self, limit: int = 50) -> str:
+        lines = [repr(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

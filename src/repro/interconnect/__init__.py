@@ -1,0 +1,13 @@
+"""PCIe-like interconnect: link model, descriptor DMA engine, interrupts."""
+
+from repro.interconnect.dma import DMAEngine, DescriptorRing
+from repro.interconnect.interrupt import MIGRATION_VECTOR, InterruptController
+from repro.interconnect.pcie import PCIeLink
+
+__all__ = [
+    "PCIeLink",
+    "DMAEngine",
+    "DescriptorRing",
+    "InterruptController",
+    "MIGRATION_VECTOR",
+]

@@ -1,0 +1,66 @@
+"""MSI-style interrupt delivery from the NxP platform to the host.
+
+Flick's return path (Section IV-B) ends with the DMA engine raising a
+host interrupt whose handler finds the suspended thread by PID and wakes
+it.  This module models vectoring and delivery latency; the kernel
+registers the actual handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.config import FlickConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+__all__ = ["InterruptController", "MIGRATION_VECTOR"]
+
+MIGRATION_VECTOR = 0x42  # the vector the Flick kernel module claims
+
+
+class InterruptController:
+    """Routes device interrupts to registered kernel handlers.
+
+    ``raise_irq`` is callable from any simulated context; the handler
+    runs as its own process after the modeled delivery latency (MSI write
+    + APIC + IDT dispatch), so the device side never blocks on it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FlickConfig,
+        stats: Optional[StatRegistry] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.stats = stats or StatRegistry()
+        self._handlers: Dict[int, Callable[[Any], Any]] = {}
+
+    def register(self, vector: int, handler: Callable[[Any], Any]) -> None:
+        """Register ``handler`` for ``vector``.
+
+        The handler may be a plain callable or a generator function
+        (taking the payload) — generator handlers run as timed processes.
+        """
+        if vector in self._handlers:
+            raise ValueError(f"vector {vector:#x} already claimed")
+        self._handlers[vector] = handler
+
+    def unregister(self, vector: int) -> None:
+        self._handlers.pop(vector, None)
+
+    def raise_irq(self, vector: int, payload: Any = None) -> None:
+        handler = self._handlers.get(vector)
+        if handler is None:
+            raise KeyError(f"unhandled interrupt vector {vector:#x}")
+        self.stats.count(f"irq.{vector:#x}")
+
+        def delivery(sim: Simulator):
+            yield sim.timeout(self.cfg.host_irq_delivery_ns)
+            result = handler(payload)
+            if result is not None and hasattr(result, "send"):
+                yield sim.spawn(result, name=f"irq-handler-{vector:#x}")
+
+        self.sim.spawn(delivery(self.sim), name=f"irq-{vector:#x}")

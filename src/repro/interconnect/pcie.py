@@ -1,0 +1,119 @@
+"""PCIe-like system interconnect model.
+
+The paper's platform (Table I) connects the FPGA NxP to the host over
+PCIe 3.0 x8.  Three properties of that link drive Flick's design and are
+what this model captures:
+
+* **latency** — a host load from NxP DRAM takes ~825 ns round trip and an
+  NxP load from host DRAM is similarly expensive; this is why data and
+  thread placement matter (Section III-D),
+* **bandwidth** — large transfers amortize; Flick uses one burst DMA for
+  the whole migration descriptor instead of many MMIO words,
+* **no cache coherence** — the link carries reads/writes but no snoops,
+  which is why `.data/.bss` stay host-side and the NxP D-cache may only
+  cache local windows.
+
+The link serializes transactions: a transfer occupies the link for its
+wire time (bytes / bandwidth); propagation adds fixed one-way latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.config import FlickConfig
+from repro.memory.physical import PhysicalMemory
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+__all__ = ["PCIeLink"]
+
+
+class PCIeLink:
+    """A latency/bandwidth/occupancy model of the host-NxP link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FlickConfig,
+        phys: PhysicalMemory,
+        stats: Optional[StatRegistry] = None,
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.phys = phys
+        self.stats = stats or StatRegistry()
+        self._link_free_at = 0.0
+
+    # -- occupancy ------------------------------------------------------------
+
+    def _occupy(self, wire_ns: float) -> Generator:
+        """Wait for the link, then hold it for ``wire_ns``.
+
+        The reservation is made *atomically at call time* (before any
+        yield): concurrent transfers arriving at the same instant each
+        see the previous one's reservation and queue behind it rather
+        than overlapping on the wire.
+        """
+        start = max(self.sim.now, self._link_free_at)
+        self._link_free_at = start + wire_ns
+        queue_wait = start - self.sim.now
+        if queue_wait > 0:
+            self.stats.sample("pcie.queue_wait_ns", queue_wait)
+        yield self.sim.timeout(queue_wait + wire_ns)
+
+    def _wire_time(self, nbytes: int) -> float:
+        return nbytes * self.cfg.pcie_ns_per_byte
+
+    # -- transactions -----------------------------------------------------------
+
+    def read(self, paddr: int, nbytes: int, service_ns: float) -> Generator:
+        """Non-posted read: request + completion cross the link.
+
+        ``service_ns`` is the far-side memory/device service time.
+        Returns the bytes read.
+        """
+        self.stats.count("pcie.read")
+        yield from self._occupy(self._wire_time(16))  # request TLP header
+        yield self.sim.timeout(self.cfg.pcie_oneway_ns)  # propagate request
+        yield self.sim.timeout(service_ns)  # far side services it
+        yield self.sim.timeout(self.cfg.pcie_oneway_ns)  # completion returns
+        yield from self._occupy(self._wire_time(nbytes))
+        return self.phys.read(paddr, nbytes)
+
+    def write(self, paddr: int, data: bytes, posted: bool = True) -> Generator:
+        """Posted write: fire-and-forget from the initiator's view."""
+        self.stats.count("pcie.write")
+        yield from self._occupy(self._wire_time(len(data) + 16))
+        yield self.sim.timeout(self.cfg.pcie_oneway_ns)
+        self.phys.write(paddr, data)
+        if not posted:
+            yield self.sim.timeout(self.cfg.pcie_oneway_ns)
+
+    def burst(self, src: int, dst: int, nbytes: int) -> Generator:
+        """One DMA burst moving ``nbytes`` from ``src`` to ``dst``.
+
+        Models a single engine-driven transfer: setup, one propagation,
+        and wire time for the payload.  Data moves functionally at the
+        end of the transfer.
+        """
+        self.stats.count("pcie.burst")
+        self.stats.sample("pcie.burst_bytes", nbytes)
+        yield self.sim.timeout(self.cfg.dma_setup_ns)
+        yield from self._occupy(self._wire_time(nbytes + 32))
+        yield self.sim.timeout(self.cfg.pcie_oneway_ns)
+        self.phys.write(dst, self.phys.read(src, nbytes))
+
+    # -- convenience round-trip latencies (match Section V measurements) -------
+
+    def host_read_nxp_word(self, paddr: int) -> Generator:
+        """Host core load from BAR0 (NxP DRAM): ~825 ns round trip."""
+        data = yield from self.read(
+            paddr, 8, service_ns=self.cfg.nxp_local_dram_ns - 120.0
+        )
+        return int.from_bytes(data, "little")
+
+    def nxp_read_host_word(self, paddr: int) -> Generator:
+        """NxP core load from host DRAM across the link."""
+        data = yield from self.read(paddr, 8, service_ns=self.cfg.host_dram_ns)
+        return int.from_bytes(data, "little")

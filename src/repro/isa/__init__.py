@@ -1,0 +1,47 @@
+"""The two toy ISAs (HISA host / NISA NxP), assemblers, interpreters."""
+
+from repro.isa.base import (
+    ABI,
+    IllegalInstruction,
+    Instruction,
+    IsaFault,
+    MisalignedFetch,
+    Op,
+    RegisterFile,
+    Relocation,
+    Sym,
+)
+from repro.isa.hisa import HISA_ABI
+from repro.isa.nisa import NISA_ABI
+from repro.isa.assembler import AsmError, assemble, parse
+from repro.isa.interpreter import (
+    CostModel,
+    EnvCall,
+    Halted,
+    Interpreter,
+    RUNTIME_RETURN_ADDR,
+    ReturnToRuntime,
+)
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "Sym",
+    "Relocation",
+    "RegisterFile",
+    "ABI",
+    "IsaFault",
+    "MisalignedFetch",
+    "IllegalInstruction",
+    "HISA_ABI",
+    "NISA_ABI",
+    "assemble",
+    "parse",
+    "AsmError",
+    "Interpreter",
+    "CostModel",
+    "EnvCall",
+    "Halted",
+    "ReturnToRuntime",
+    "RUNTIME_RETURN_ADDR",
+]

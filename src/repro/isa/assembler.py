@@ -1,0 +1,249 @@
+"""Two-ISA text assembler.
+
+Accepts the usual ``label:`` / ``mnemonic operands ; comment`` syntax and
+produces :class:`~repro.isa.base.Instruction` lists, or fully encoded
+bytes plus relocations via :func:`assemble`.
+
+The same front-end serves both ISAs; per-ISA tables supply register
+names and operand shapes.  Pseudo-instructions:
+
+* ``la rd, sym`` — load a symbol's absolute address: expands to
+  ``li``+``lih`` on NISA (abs32lo/abs32hi relocations) and to a single
+  ``movabs`` (abs64) on HISA.
+* ``call sym`` — on NISA becomes ``jal ra, sym``; HISA has a real CALL.
+* ``li`` on HISA is an alias of ``mov rd, imm``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import hisa, nisa
+from repro.isa.base import Instruction, Op, Relocation, Sym
+
+__all__ = ["parse", "assemble", "AsmError"]
+
+
+class AsmError(Exception):
+    """A syntax or operand error, annotated with the source line."""
+
+    def __init__(self, lineno: int, line: str, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}  [{line.strip()}]")
+
+
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))?\((\w+)\)$")
+_INT_RE = re.compile(r"^-?(?:0x[0-9a-fA-F]+|\d+)$")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+class _IsaTable:
+    def __init__(self, name: str, reg_number, abi):
+        self.name = name
+        self.reg_number = reg_number
+        self.abi = abi
+
+
+_TABLES = {
+    "nisa": _IsaTable("nisa", nisa.reg_number, nisa.NISA_ABI),
+    "hisa": _IsaTable("hisa", hisa.reg_number, hisa.HISA_ABI),
+}
+
+_NISA_ALU3 = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV, "rem": Op.REM,
+    "and": Op.AND, "or": Op.OR, "xor": Op.XOR, "shl": Op.SHL, "shr": Op.SHR,
+    "sar": Op.SAR, "slt": Op.SLT, "sltu": Op.SLTU, "seq": Op.SEQ, "sne": Op.SNE,
+}
+_HISA_ALU2 = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV, "rem": Op.REM,
+    "and": Op.AND, "or": Op.OR, "xor": Op.XOR, "shl": Op.SHL, "shr": Op.SHR,
+    "sar": Op.SAR,
+}
+_LOADS = {"ld": Op.LD, "lw": Op.LW, "lbu": Op.LBU}
+_STORES = {"st": Op.ST, "sw": Op.SW, "sb": Op.SB}
+_NISA_BRANCHES = {"beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE}
+_HISA_JCC = {"je": "eq", "jne": "ne", "jl": "lt", "jge": "ge", "jle": "le", "jg": "gt"}
+
+
+def _operand(table: _IsaTable, text: str, lineno: int, line: str):
+    """Classify an operand: register index, integer, memory, or symbol."""
+    text = text.strip()
+    mem = _MEM_RE.match(text)
+    if mem:
+        disp = _parse_int(mem.group(1)) if mem.group(1) else 0
+        try:
+            base = table.reg_number(mem.group(2))
+        except ValueError as exc:
+            raise AsmError(lineno, line, str(exc))
+        return ("mem", disp, base)
+    if _INT_RE.match(text):
+        return ("imm", _parse_int(text))
+    try:
+        return ("reg", table.reg_number(text))
+    except ValueError:
+        pass
+    if re.match(r"^[A-Za-z_.$][\w.$]*$", text):
+        return ("sym", Sym(text))
+    raise AsmError(lineno, line, f"cannot parse operand {text!r}")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [p.strip() for p in rest.split(",")] if rest.strip() else []
+
+
+def parse(text: str, isa: str) -> List[Instruction]:
+    """Parse assembly ``text`` for ``isa`` ('nisa' or 'hisa')."""
+    if isa not in _TABLES:
+        raise ValueError(f"unknown isa {isa!r}")
+    table = _TABLES[isa]
+    insts: List[Instruction] = []
+    pending_label: Optional[str] = None
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            if pending_label is not None:
+                insts.append(Instruction(Op.NOP, label=pending_label))
+            pending_label = m.group(1)
+            line = m.group(2).strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = _split_operands(parts[1] if len(parts) > 1 else "")
+        decoded = [_operand(table, o, lineno, raw_line) for o in ops]
+
+        emitted = _build(table, mnemonic, decoded, lineno, raw_line)
+        for inst in emitted:
+            if pending_label is not None:
+                inst.label = pending_label
+                pending_label = None
+            insts.append(inst)
+
+    if pending_label is not None:
+        insts.append(Instruction(Op.NOP, label=pending_label))
+    return insts
+
+
+def _need(decoded, kinds, lineno, line, mnemonic):
+    if len(decoded) != len(kinds):
+        raise AsmError(lineno, line, f"{mnemonic} expects {len(kinds)} operands")
+    for d, allowed in zip(decoded, kinds):
+        if d[0] not in allowed:
+            raise AsmError(lineno, line, f"{mnemonic}: bad operand kind {d[0]}")
+    return decoded
+
+
+def _build(table, mnemonic, decoded, lineno, line) -> List[Instruction]:
+    isa = table.name
+    I = Instruction
+
+    if mnemonic in ("nop",):
+        return [I(Op.NOP)]
+    if mnemonic in ("halt", "hlt"):
+        return [I(Op.HALT)]
+    if mnemonic in ("ecall", "syscall"):
+        return [I(Op.ECALL)]
+    if mnemonic == "ret":
+        return [I(Op.RET)]
+
+    if mnemonic == "la":
+        (_, rd), (_, sym) = _need(decoded, [("reg",), ("sym",)], lineno, line, "la")
+        if isa == "nisa":
+            return [I(Op.LI, rd=rd, imm=sym), I(Op.LIH, rd=rd, imm=sym)]
+        return [I(Op.LI, rd=rd, imm=sym)]
+
+    if mnemonic in ("li", "lih", "movabs"):
+        op = Op.LIH if mnemonic == "lih" else Op.LI
+        (_, rd), val = _need(decoded, [("reg",), ("imm", "sym")], lineno, line, mnemonic)
+        return [I(op, rd=rd, imm=val[1])]
+
+    if mnemonic == "mov":
+        (_, rd), src = _need(decoded, [("reg",), ("reg", "imm", "sym")], lineno, line, "mov")
+        if src[0] == "reg":
+            return [I(Op.MOV, rd=rd, rs1=src[1])]
+        return [I(Op.LI, rd=rd, imm=src[1])]
+
+    if mnemonic in _LOADS:
+        (_, rd), (_, disp, base) = _need(decoded, [("reg",), ("mem",)], lineno, line, mnemonic)
+        return [I(_LOADS[mnemonic], rd=rd, rs1=base, imm=disp)]
+    if mnemonic in _STORES:
+        (_, src), (_, disp, base) = _need(decoded, [("reg",), ("mem",)], lineno, line, mnemonic)
+        return [I(_STORES[mnemonic], rs1=base, rs2=src, imm=disp)]
+
+    if mnemonic == "push":
+        ((_, rd),) = _need(decoded, [("reg",)], lineno, line, "push")
+        return [I(Op.PUSH, rd=rd)]
+    if mnemonic == "pop":
+        ((_, rd),) = _need(decoded, [("reg",)], lineno, line, "pop")
+        return [I(Op.POP, rd=rd)]
+
+    if mnemonic in ("j", "jmp"):
+        (target,) = _need(decoded, [("sym", "imm")], lineno, line, mnemonic)
+        return [I(Op.J, imm=target[1])]
+    if mnemonic == "jal":
+        (target,) = _need(decoded, [("sym", "imm")], lineno, line, "jal")
+        return [I(Op.JAL, rd=table.abi.link_reg or 0, imm=target[1])]
+    if mnemonic == "jalr":
+        ((_, rs1),) = _need(decoded, [("reg",)], lineno, line, "jalr")
+        return [I(Op.JALR, rd=table.abi.link_reg or 0, rs1=rs1, imm=0)]
+    if mnemonic == "call":
+        (target,) = _need(decoded, [("sym", "imm", "reg")], lineno, line, "call")
+        if target[0] == "reg":
+            return [I(Op.CALLR, rs1=target[1])]
+        return [I(Op.CALL, imm=target[1])]
+
+    if isa == "nisa":
+        if mnemonic in _NISA_ALU3:
+            (_, rd), (_, rs1), rs2 = _need(
+                decoded, [("reg",), ("reg",), ("reg", "imm")], lineno, line, mnemonic
+            )
+            if rs2[0] == "imm":
+                if mnemonic == "add":
+                    return [I(Op.ADDI, rd=rd, rs1=rs1, imm=rs2[1])]
+                raise AsmError(lineno, line, f"NISA {mnemonic} needs register operands")
+            return [I(_NISA_ALU3[mnemonic], rd=rd, rs1=rs1, rs2=rs2[1])]
+        if mnemonic == "addi":
+            (_, rd), (_, rs1), (_, imm) = _need(
+                decoded, [("reg",), ("reg",), ("imm",)], lineno, line, "addi"
+            )
+            return [I(Op.ADDI, rd=rd, rs1=rs1, imm=imm)]
+        if mnemonic in _NISA_BRANCHES:
+            (_, rs1), (_, rs2), target = _need(
+                decoded, [("reg",), ("reg",), ("sym", "imm")], lineno, line, mnemonic
+            )
+            return [I(_NISA_BRANCHES[mnemonic], rs1=rs1, rs2=rs2, imm=target[1])]
+    else:  # hisa
+        if mnemonic in _HISA_ALU2:
+            (_, rd), src = _need(decoded, [("reg",), ("reg", "imm")], lineno, line, mnemonic)
+            if src[0] == "reg":
+                return [I(_HISA_ALU2[mnemonic], rd=rd, rs1=src[1])]
+            return [I(_HISA_ALU2[mnemonic], rd=rd, imm=src[1])]
+        if mnemonic == "cmp":
+            (_, a), b = _need(decoded, [("reg",), ("reg", "imm")], lineno, line, "cmp")
+            if b[0] == "reg":
+                return [I(Op.CMP, rd=a, rs1=b[1])]
+            return [I(Op.CMP, rd=a, imm=b[1])]
+        if mnemonic in _HISA_JCC:
+            (target,) = _need(decoded, [("sym", "imm")], lineno, line, mnemonic)
+            return [I(Op.JCC, cond=_HISA_JCC[mnemonic], imm=target[1])]
+
+    raise AsmError(lineno, line, f"unknown {isa} mnemonic {mnemonic!r}")
+
+
+def assemble(text: str, isa: str) -> Tuple[bytes, List[Relocation], Dict[str, int]]:
+    """Parse and encode; returns (code bytes, relocations, label offsets)."""
+    insts = parse(text, isa)
+    if isa == "nisa":
+        return nisa.encode_program(insts)
+    return hisa.encode_program(insts)

@@ -1,0 +1,116 @@
+"""Disassemblers for HISA and NISA.
+
+Developer tooling (and a decoding test oracle): renders encoded code
+back to assembler-compatible text.  ``disassemble(code, isa)`` is
+roundtrip-stable with :func:`repro.isa.assembler.assemble` for the
+instruction forms the assembler can express.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.isa import hisa, nisa
+from repro.isa.base import IllegalInstruction, Instruction, MisalignedFetch, Op
+
+__all__ = ["disassemble", "format_instruction", "iter_instructions"]
+
+_NISA_REG = {i: f"x{i}" for i in range(32)}
+_NISA_REG.update({0: "zero", 1: "ra", 2: "sp", 5: "t0", 6: "t1", 7: "t2", 8: "fp"})
+_NISA_REG.update({10 + i: f"a{i}" for i in range(8)})
+
+_HISA_REG = {v: k for k, v in hisa.REG_NAMES.items()}
+
+_LOAD_NAMES = {Op.LD: "ld", Op.LW: "lw", Op.LBU: "lbu"}
+_STORE_NAMES = {Op.ST: "st", Op.SW: "sw", Op.SB: "sb"}
+_JCC_NAMES = {"eq": "je", "ne": "jne", "lt": "jl", "ge": "jge", "le": "jle", "gt": "jg"}
+
+
+def _reg(isa: str, idx: Optional[int]) -> str:
+    table = _NISA_REG if isa == "nisa" else _HISA_REG
+    return table.get(idx, f"r?{idx}")
+
+
+def format_instruction(inst: Instruction, isa: str, pc: int = 0, length: int = 0) -> str:
+    """Render one decoded instruction as assembly text."""
+    op = inst.op
+    r = lambda idx: _reg(isa, idx)
+
+    if op is Op.NOP:
+        return "nop"
+    if op is Op.HALT:
+        return "hlt" if isa == "hisa" else "halt"
+    if op is Op.ECALL:
+        return "syscall" if isa == "hisa" else "ecall"
+    if op is Op.RET:
+        return "ret"
+    if op is Op.PUSH:
+        return f"push {r(inst.rd)}"
+    if op is Op.POP:
+        return f"pop {r(inst.rd)}"
+    if op is Op.CALLR:
+        return f"call {r(inst.rs1)}"
+    if op is Op.LI:
+        return f"li {r(inst.rd)}, {inst.imm:#x}" if inst.imm and abs(inst.imm) > 255 else f"li {r(inst.rd)}, {inst.imm}"
+    if op is Op.LIH:
+        return f"lih {r(inst.rd)}, {inst.imm:#x}"
+    if op is Op.MOV:
+        return f"mov {r(inst.rd)}, {r(inst.rs1)}"
+    if op is Op.ADDI:
+        return f"addi {r(inst.rd)}, {r(inst.rs1)}, {inst.imm}"
+    if op in _LOAD_NAMES:
+        return f"{_LOAD_NAMES[op]} {r(inst.rd)}, {inst.imm}({r(inst.rs1)})"
+    if op in _STORE_NAMES:
+        return f"{_STORE_NAMES[op]} {r(inst.rs2)}, {inst.imm}({r(inst.rs1)})"
+    if op is Op.CMP:
+        if inst.imm is not None:
+            return f"cmp {r(inst.rd)}, {inst.imm}"
+        return f"cmp {r(inst.rd)}, {r(inst.rs1)}"
+    if op is Op.JCC:
+        target = pc + length + inst.imm
+        return f"{_JCC_NAMES[inst.cond]} {target:#x}"
+    if op is Op.J:
+        return f"{'jmp' if isa == 'hisa' else 'j'} {pc + length + inst.imm:#x}"
+    if op in (Op.JAL, Op.CALL):
+        target = pc + length + inst.imm
+        if isa == "nisa" and op is Op.JAL and inst.rd not in (None, 1):
+            return f"jal x{inst.rd}, {target:#x}"
+        return f"call {target:#x}"
+    if op is Op.JALR:
+        if inst.rd == 0 and inst.rs1 == 1:
+            return "ret"
+        return f"jalr {r(inst.rs1)}"
+    # Three-operand ALU (NISA) or two-operand (HISA).
+    name = op.value
+    if isa == "nisa":
+        return f"{name} {r(inst.rd)}, {r(inst.rs1)}, {r(inst.rs2)}"
+    if inst.imm is not None:
+        return f"{name} {r(inst.rd)}, {inst.imm}"
+    return f"{name} {r(inst.rd)}, {r(inst.rs1)}"
+
+
+def iter_instructions(code: bytes, isa: str, base: int = 0) -> Iterator[Tuple[int, Instruction, int]]:
+    """Yield (pc, instruction, length) until the code ends or decoding fails."""
+    pc = 0
+    while pc < len(code):
+        try:
+            if isa == "nisa":
+                inst, length = nisa.decode(code[pc : pc + nisa.INST_BYTES], base + pc)
+            else:
+                inst, length = hisa.decode(code[pc:], base + pc)
+        except (IllegalInstruction, MisalignedFetch):
+            return
+        yield base + pc, inst, length
+        pc += length
+
+
+def disassemble(code: bytes, isa: str, base: int = 0) -> str:
+    """Disassemble a code blob into addressed assembly listing."""
+    if isa not in ("nisa", "hisa"):
+        raise ValueError(f"unknown isa {isa!r}")
+    lines: List[str] = []
+    for pc, inst, length in iter_instructions(code, isa, base=base):
+        raw = code[pc - base : pc - base + length]
+        text = format_instruction(inst, isa, pc=pc, length=length)
+        lines.append(f"{pc:#010x}:  {raw.hex():<20s}  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,300 @@
+"""HISA — the host's x86-64-like ISA (variable-length, two-operand CISC).
+
+Instructions are 1–10 bytes long and byte-aligned, like x86:
+
+=================================  =======  =========================
+form                               length   layout
+=================================  =======  =========================
+NOP / RET / SYSCALL / HLT          1        [op]
+MOV/ALU/CMP reg,reg                2        [op][dst | src << 4]
+CALL reg / PUSH / POP              2        [op][reg]
+JMP/CALL/Jcc rel32                 5        [op][rel32]
+MOV/ALU/CMP reg,imm32              6        [op][reg][imm32]
+LD/ST reg,[base+disp32]            6        [op][reg | base << 4][disp32]
+MOVABS reg,imm64                   10       [op][reg][imm64]
+=================================  =======  =========================
+
+All opcodes are < 0x80 so they are *invalid* NISA opcodes — combined
+with byte (mis)alignment this is why a NISA core faults promptly when it
+wanders into HISA code (the paper's misaligned-fetch migration trigger).
+
+ABI (mirroring SysV x86-64): 16 registers; arguments in rdi, rsi, rdx,
+rcx, r8, r9; return in rax; rsp is the stack pointer; CALL pushes the
+return address and RET pops it (no link register).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.base import (
+    ABI,
+    IllegalInstruction,
+    Instruction,
+    Op,
+    Relocation,
+    Sym,
+    sign_extend,
+)
+
+__all__ = [
+    "HISA_ABI",
+    "encode",
+    "decode",
+    "encode_program",
+    "inst_length",
+    "REG_NAMES",
+    "reg_number",
+    "COND_CODES",
+]
+
+HISA_ABI = ABI(
+    name="hisa",
+    reg_count=16,
+    arg_regs=(7, 6, 2, 1, 8, 9),  # rdi rsi rdx rcx r8 r9
+    ret_reg=0,  # rax
+    sp_reg=4,  # rsp
+    link_reg=None,  # return address lives on the stack
+    zero_reg=None,
+    stack_align=16,
+    code_align=1,
+)
+
+REG_NAMES: Dict[str, int] = {
+    "rax": 0, "rcx": 1, "rdx": 2, "rbx": 3,
+    "rsp": 4, "rbp": 5, "rsi": 6, "rdi": 7,
+    "r8": 8, "r9": 9, "r10": 10, "r11": 11,
+    "r12": 12, "r13": 13, "r14": 14, "r15": 15,
+}
+
+
+def reg_number(name: str) -> int:
+    try:
+        return REG_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown HISA register {name!r}") from None
+
+
+# Opcode assignments (see module docstring for the format of each group).
+_NOP, _HLT, _SYSCALL, _RET = 0x00, 0x61, 0x60, 0x53
+_MOV_RR, _MOV_RI64, _MOV_RI32 = 0x01, 0x02, 0x03
+_ALU_RR_BASE = 0x10  # + alu index
+_ALU_RI_BASE = 0x20
+_LD8, _LD4, _LD1 = 0x30, 0x31, 0x32
+_ST8, _ST4, _ST1 = 0x34, 0x35, 0x36
+_CMP_RR, _CMP_RI = 0x40, 0x41
+_JCC_BASE = 0x48  # + condition index
+_JMP, _CALL, _CALL_R = 0x50, 0x51, 0x52
+_PUSH, _POP = 0x54, 0x55
+
+_ALU_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.SAR, Op.DIV, Op.REM]
+_ALU_INDEX = {op: i for i, op in enumerate(_ALU_OPS)}
+
+COND_CODES = ["eq", "ne", "lt", "ge", "le", "gt"]
+_COND_INDEX = {c: i for i, c in enumerate(COND_CODES)}
+
+_LOADS = {Op.LD: _LD8, Op.LW: _LD4, Op.LBU: _LD1}
+_STORES = {Op.ST: _ST8, Op.SW: _ST4, Op.SB: _ST1}
+
+_LEN_BY_OPCODE: Dict[int, int] = {}
+for _code in (_NOP, _HLT, _SYSCALL, _RET):
+    _LEN_BY_OPCODE[_code] = 1
+for _code in [_MOV_RR, _CMP_RR, _CALL_R, _PUSH, _POP] + [
+    _ALU_RR_BASE + i for i in range(len(_ALU_OPS))
+]:
+    _LEN_BY_OPCODE[_code] = 2
+for _code in [_JMP, _CALL] + [_JCC_BASE + i for i in range(len(COND_CODES))]:
+    _LEN_BY_OPCODE[_code] = 5
+for _code in [_MOV_RI32, _CMP_RI, _LD8, _LD4, _LD1, _ST8, _ST4, _ST1] + [
+    _ALU_RI_BASE + i for i in range(len(_ALU_OPS))
+]:
+    _LEN_BY_OPCODE[_code] = 6
+_LEN_BY_OPCODE[_MOV_RI64] = 10
+
+
+def _needs_imm64(imm) -> bool:
+    if isinstance(imm, Sym):
+        return True  # addresses may exceed 32 bits; use MOVABS + abs64
+    return not (-(1 << 31) <= int(imm) < (1 << 31))
+
+
+def inst_length(inst: Instruction) -> int:
+    """Encoded length of ``inst`` in bytes (needed for label layout)."""
+    op = inst.op
+    if op in (Op.NOP, Op.HALT, Op.ECALL, Op.RET):
+        return 1
+    if op in (Op.PUSH, Op.POP, Op.CALLR):
+        return 2
+    if op in (Op.J, Op.CALL, Op.JCC):
+        return 5
+    if op in (Op.MOV, Op.LI):
+        if inst.imm is None:
+            return 2  # reg,reg
+        return 10 if _needs_imm64(inst.imm) else 6
+    if op in _ALU_INDEX or op is Op.CMP:
+        return 2 if inst.imm is None else 6
+    if op in _LOADS or op in _STORES:
+        return 6
+    raise ValueError(f"op {op} not encodable in HISA")
+
+
+def encode(inst: Instruction, offset: int = 0, relocs: Optional[List[Relocation]] = None) -> bytes:
+    """Encode one instruction at byte ``offset`` within its section."""
+    if relocs is None:
+        relocs = []
+    op = inst.op
+    length = inst_length(inst)
+
+    def imm32(value, kind="rel32") -> int:
+        if isinstance(value, Sym):
+            relocs.append(Relocation(offset + length - 4, value, kind, pc_base=offset + length))
+            return 0
+        return sign_extend(int(value or 0), 32)
+
+    if op is Op.NOP:
+        return bytes([_NOP])
+    if op is Op.HALT:
+        return bytes([_HLT])
+    if op is Op.ECALL:
+        return bytes([_SYSCALL])
+    if op is Op.RET:
+        return bytes([_RET])
+    if op is Op.PUSH:
+        return bytes([_PUSH, inst.rd & 0xF])
+    if op is Op.POP:
+        return bytes([_POP, inst.rd & 0xF])
+    if op is Op.CALLR:
+        return bytes([_CALL_R, inst.rs1 & 0xF])
+    if op is Op.J:
+        return bytes([_JMP]) + struct.pack("<i", imm32(inst.imm))
+    if op is Op.CALL:
+        return bytes([_CALL]) + struct.pack("<i", imm32(inst.imm))
+    if op is Op.JCC:
+        code = _JCC_BASE + _COND_INDEX[inst.cond]
+        return bytes([code]) + struct.pack("<i", imm32(inst.imm))
+    if op in (Op.MOV, Op.LI):
+        if inst.imm is None:
+            return bytes([_MOV_RR, (inst.rd & 0xF) | ((inst.rs1 & 0xF) << 4)])
+        if _needs_imm64(inst.imm):
+            if isinstance(inst.imm, Sym):
+                relocs.append(Relocation(offset + 2, inst.imm, "abs64"))
+                value = 0
+            else:
+                value = int(inst.imm) & ((1 << 64) - 1)
+            return bytes([_MOV_RI64, inst.rd & 0xF]) + struct.pack("<Q", value)
+        return bytes([_MOV_RI32, inst.rd & 0xF]) + struct.pack(
+            "<i", sign_extend(int(inst.imm), 32)
+        )
+    if op is Op.CMP:
+        if inst.imm is None:
+            return bytes([_CMP_RR, (inst.rd & 0xF) | ((inst.rs1 & 0xF) << 4)])
+        return bytes([_CMP_RI, inst.rd & 0xF]) + struct.pack("<i", sign_extend(int(inst.imm), 32))
+    if op in _ALU_INDEX:
+        idx = _ALU_INDEX[op]
+        if inst.imm is None:
+            return bytes([_ALU_RR_BASE + idx, (inst.rd & 0xF) | ((inst.rs1 & 0xF) << 4)])
+        return bytes([_ALU_RI_BASE + idx, inst.rd & 0xF]) + struct.pack(
+            "<i", sign_extend(int(inst.imm), 32)
+        )
+    if op in _LOADS:
+        mod = (inst.rd & 0xF) | ((inst.rs1 & 0xF) << 4)
+        return bytes([_LOADS[op], mod]) + struct.pack("<i", sign_extend(int(inst.imm or 0), 32))
+    if op in _STORES:
+        mod = (inst.rs2 & 0xF) | ((inst.rs1 & 0xF) << 4)
+        return bytes([_STORES[op], mod]) + struct.pack("<i", sign_extend(int(inst.imm or 0), 32))
+    raise ValueError(f"op {op} not encodable in HISA")
+
+
+def encode_program(insts: List[Instruction]) -> Tuple[bytes, List[Relocation], Dict[str, int]]:
+    """Encode a program, resolving local labels (two passes for layout)."""
+    offsets: List[int] = []
+    labels: Dict[str, int] = {}
+    pos = 0
+    for inst in insts:
+        offsets.append(pos)
+        if inst.label is not None:
+            if inst.label in labels:
+                raise ValueError(f"duplicate label {inst.label!r}")
+            labels[inst.label] = pos
+        pos += inst_length(inst)
+
+    code = bytearray()
+    relocs: List[Relocation] = []
+    branchy = (Op.J, Op.CALL, Op.JCC)
+    for inst, off in zip(insts, offsets):
+        patched = inst
+        if isinstance(inst.imm, Sym) and inst.imm.name in labels and inst.op in branchy:
+            target = labels[inst.imm.name] + inst.imm.addend
+            rel = target - (off + inst_length(inst))
+            patched = Instruction(
+                inst.op, rd=inst.rd, rs1=inst.rs1, rs2=inst.rs2,
+                imm=rel, cond=inst.cond, label=inst.label,
+            )
+        code += encode(patched, offset=off, relocs=relocs)
+    return bytes(code), relocs, labels
+
+
+def decode(raw: bytes, pc: int) -> Tuple[Instruction, int]:
+    """Decode the instruction starting at ``raw[0]``; returns (inst, length)."""
+    if not raw:
+        raise IllegalInstruction(pc, 0)
+    opcode = raw[0]
+    length = _LEN_BY_OPCODE.get(opcode)
+    if length is None:
+        raise IllegalInstruction(pc, opcode)
+    if len(raw) < length:
+        raise IllegalInstruction(pc, opcode)
+
+    def mod() -> Tuple[int, int]:
+        return raw[1] & 0xF, (raw[1] >> 4) & 0xF
+
+    def i32(at: int) -> int:
+        return struct.unpack("<i", raw[at : at + 4])[0]
+
+    if opcode == _NOP:
+        return Instruction(Op.NOP), 1
+    if opcode == _HLT:
+        return Instruction(Op.HALT), 1
+    if opcode == _SYSCALL:
+        return Instruction(Op.ECALL), 1
+    if opcode == _RET:
+        return Instruction(Op.RET), 1
+    if opcode == _PUSH:
+        return Instruction(Op.PUSH, rd=raw[1] & 0xF), 2
+    if opcode == _POP:
+        return Instruction(Op.POP, rd=raw[1] & 0xF), 2
+    if opcode == _CALL_R:
+        return Instruction(Op.CALLR, rs1=raw[1] & 0xF), 2
+    if opcode == _JMP:
+        return Instruction(Op.J, imm=i32(1)), 5
+    if opcode == _CALL:
+        return Instruction(Op.CALL, imm=i32(1)), 5
+    if _JCC_BASE <= opcode < _JCC_BASE + len(COND_CODES):
+        return Instruction(Op.JCC, cond=COND_CODES[opcode - _JCC_BASE], imm=i32(1)), 5
+    if opcode == _MOV_RR:
+        dst, src = mod()
+        return Instruction(Op.MOV, rd=dst, rs1=src), 2
+    if opcode == _MOV_RI64:
+        return Instruction(Op.LI, rd=raw[1] & 0xF, imm=struct.unpack("<Q", raw[2:10])[0]), 10
+    if opcode == _MOV_RI32:
+        return Instruction(Op.LI, rd=raw[1] & 0xF, imm=i32(2)), 6
+    if opcode == _CMP_RR:
+        dst, src = mod()
+        return Instruction(Op.CMP, rd=dst, rs1=src), 2
+    if opcode == _CMP_RI:
+        return Instruction(Op.CMP, rd=raw[1] & 0xF, imm=i32(2)), 6
+    if _ALU_RR_BASE <= opcode < _ALU_RR_BASE + len(_ALU_OPS):
+        dst, src = mod()
+        return Instruction(_ALU_OPS[opcode - _ALU_RR_BASE], rd=dst, rs1=src), 2
+    if _ALU_RI_BASE <= opcode < _ALU_RI_BASE + len(_ALU_OPS):
+        return Instruction(_ALU_OPS[opcode - _ALU_RI_BASE], rd=raw[1] & 0xF, imm=i32(2)), 6
+    if opcode in (_LD8, _LD4, _LD1):
+        rd, base = mod()
+        op = {_LD8: Op.LD, _LD4: Op.LW, _LD1: Op.LBU}[opcode]
+        return Instruction(op, rd=rd, rs1=base, imm=i32(2)), 6
+    if opcode in (_ST8, _ST4, _ST1):
+        src, base = mod()
+        op = {_ST8: Op.ST, _ST4: Op.SW, _ST1: Op.SB}[opcode]
+        return Instruction(op, rs1=base, rs2=src, imm=i32(2)), 6
+    raise IllegalInstruction(pc, opcode)

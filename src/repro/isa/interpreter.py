@@ -1,0 +1,370 @@
+"""Cycle-costed interpreters for HISA and NISA.
+
+One :class:`Interpreter` instance animates one hardware core.  It is a
+DES citizen: :meth:`step` is a generator that charges simulated time for
+the instruction itself while the :class:`MemoryPort` charges for fetch,
+load and store traffic (so a host core and an NxP core differ in both
+clock speed *and* memory path).
+
+Control leaves the interpreter through exceptions:
+
+* :class:`repro.memory.paging.PageFault` — raised by the memory port on
+  an NX instruction fetch; the OS turns this into a Flick migration.
+* :class:`MisalignedFetch` / :class:`IllegalInstruction` — the NxP's
+  extra migration triggers when it wanders into HISA code.
+* :class:`EnvCall` — an ECALL/SYSCALL requesting an OS service.
+* :class:`ReturnToRuntime` — the thread returned to the synthetic return
+  address the runtime planted when it dispatched a function call
+  (Listing 1/2's ``call_target_*_func``).
+* :class:`Halted` — the program executed HALT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Protocol
+
+from repro.isa import hisa, nisa
+from repro.isa.base import (
+    ABI,
+    Instruction,
+    MASK64,
+    Op,
+    RegisterFile,
+    IsaFault,
+    to_signed,
+)
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+__all__ = [
+    "Interpreter",
+    "MemoryPort",
+    "CostModel",
+    "EnvCall",
+    "ReturnToRuntime",
+    "Halted",
+    "RUNTIME_RETURN_ADDR",
+]
+
+# The synthetic return address the runtime plants so that a dispatched
+# function's final RET hands control back to the migration machinery.
+RUNTIME_RETURN_ADDR = 0x0000_7FFF_FFFF_F000
+
+
+class MemoryPort(Protocol):
+    """Timed memory interface a core executes against."""
+
+    def fetch(self, vaddr: int, nbytes: int) -> Generator:  # pragma: no cover
+        ...
+
+    def load(self, vaddr: int, nbytes: int) -> Generator:  # pragma: no cover
+        ...
+
+    def store(self, vaddr: int, data: bytes) -> Generator:  # pragma: no cover
+        ...
+
+
+class EnvCall(Exception):
+    """ECALL executed; the OS services it and may resume the thread."""
+
+    def __init__(self, pc_after: int):
+        self.pc_after = pc_after
+        super().__init__(f"environment call (resume at {pc_after:#x})")
+
+
+class ReturnToRuntime(Exception):
+    """The dispatched function returned to the runtime's planted address."""
+
+    def __init__(self, retval: int):
+        self.retval = retval
+        super().__init__(f"function returned {retval:#x} to runtime")
+
+
+class Halted(Exception):
+    """HALT executed."""
+
+
+class CostModel:
+    """Per-instruction time, before memory-port charges.
+
+    ``ipc`` folds superscalar width into a simple divisor: the paper's
+    Xeon retires several simple ops per cycle while the RV64-I soft core
+    is scalar in-order.
+    """
+
+    _CYCLES: Dict[Op, int] = {
+        Op.MUL: 3,
+        Op.DIV: 20,
+        Op.REM: 20,
+        Op.BEQ: 2, Op.BNE: 2, Op.BLT: 2, Op.BGE: 2, Op.JCC: 2,
+        Op.J: 1, Op.JAL: 2, Op.JALR: 3, Op.CALL: 3, Op.CALLR: 4, Op.RET: 3,
+        Op.PUSH: 1, Op.POP: 1,
+        Op.LD: 1, Op.LW: 1, Op.LBU: 1, Op.ST: 1, Op.SW: 1, Op.SB: 1,
+        Op.ECALL: 10, Op.HALT: 1,
+    }
+
+    def __init__(self, cycle_ns: float, ipc: float = 1.0):
+        if cycle_ns <= 0 or ipc <= 0:
+            raise ValueError("cycle_ns and ipc must be positive")
+        self.cycle_ns = cycle_ns
+        self.ipc = ipc
+
+    def cost_ns(self, op: Op) -> float:
+        return self._CYCLES.get(op, 1) * self.cycle_ns / self.ipc
+
+
+def _truncdiv(a: int, b: int) -> int:
+    """C-style signed division (truncate toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _truncrem(a: int, b: int) -> int:
+    return a - _truncdiv(a, b) * b
+
+
+class Interpreter:
+    """Executes one thread's instructions on one core."""
+
+    def __init__(
+        self,
+        isa: str,
+        sim: Simulator,
+        port: MemoryPort,
+        cost: CostModel,
+        stats: Optional[StatRegistry] = None,
+        name: str = "cpu",
+    ):
+        if isa not in ("hisa", "nisa"):
+            raise ValueError(f"unknown isa {isa!r}")
+        self.isa = isa
+        self.abi: ABI = hisa.HISA_ABI if isa == "hisa" else nisa.NISA_ABI
+        self.sim = sim
+        self.port = port
+        self.cost = cost
+        self.stats = stats or StatRegistry()
+        self.name = name
+        self.regs = RegisterFile(self.abi.reg_count, zero_reg=self.abi.zero_reg)
+        self.pc = 0
+        self.zf = False  # HISA flags
+        self.sf_lt = False
+
+    # -- ABI helpers used by the runtime ---------------------------------------
+
+    def set_args(self, args) -> None:
+        if len(args) > len(self.abi.arg_regs):
+            raise ValueError(
+                f"{self.isa}: more than {len(self.abi.arg_regs)} register args unsupported"
+            )
+        for reg, value in zip(self.abi.arg_regs, args):
+            self.regs.write(reg, value)
+
+    def get_args(self, count: int):
+        return [self.regs.read(r) for r in self.abi.arg_regs[:count]]
+
+    @property
+    def retval(self) -> int:
+        return self.regs.read(self.abi.ret_reg)
+
+    @property
+    def sp(self) -> int:
+        return self.regs.read(self.abi.sp_reg)
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs.write(self.abi.sp_reg, value)
+
+    def setup_call(self, target: int, args, sp: Optional[int] = None) -> Generator:
+        """Arrange the machine state to call ``target`` with ``args`` and
+        return to the runtime (plants :data:`RUNTIME_RETURN_ADDR`)."""
+        if sp is not None:
+            self.sp = sp & ~(self.abi.stack_align - 1)
+        self.set_args(args)
+        if self.abi.link_reg is not None:
+            self.regs.write(self.abi.link_reg, RUNTIME_RETURN_ADDR)
+        else:
+            self.sp = self.sp - 8
+            yield from self.port.store(self.sp, RUNTIME_RETURN_ADDR.to_bytes(8, "little"))
+        self.pc = target
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> Generator:
+        """Fetch, decode and execute one instruction."""
+        pc = self.pc
+        if pc == RUNTIME_RETURN_ADDR:
+            raise ReturnToRuntime(self.retval)
+
+        if self.isa == "nisa":
+            raw = yield from self.port.fetch(pc, nisa.INST_BYTES)
+            inst, length = nisa.decode(raw, pc)
+        else:
+            head = yield from self.port.fetch(pc, 1)
+            length = hisa._LEN_BY_OPCODE.get(head[0])
+            if length is None:
+                from repro.isa.base import IllegalInstruction
+
+                raise IllegalInstruction(pc, head[0])
+            raw = head if length == 1 else head + (yield from self.port.load(pc + 1, length - 1))
+            inst, length = hisa.decode(raw, pc)
+
+        self.stats.count(f"{self.name}.inst")
+        yield self.sim.timeout(self.cost.cost_ns(inst.op))
+        yield from self._execute(inst, pc, length)
+
+    def run(self, max_steps: int = 10_000_000) -> Generator:
+        """Step until an exception transfers control out."""
+        for _ in range(max_steps):
+            yield from self.step()
+        raise RuntimeError(f"{self.name}: exceeded {max_steps} steps")
+
+    # -- semantics ----------------------------------------------------------------
+
+    def _execute(self, inst: Instruction, pc: int, length: int) -> Generator:
+        op = inst.op
+        regs = self.regs
+        next_pc = pc + length
+
+        def rs(idx):
+            return regs.read(idx)
+
+        def srs(idx):
+            return to_signed(regs.read(idx))
+
+        if op in (Op.NOP,):
+            pass
+        elif op is Op.HALT:
+            self.pc = next_pc
+            raise Halted()
+        elif op is Op.ECALL:
+            self.pc = next_pc
+            raise EnvCall(next_pc)
+        elif op in (Op.LI,):
+            regs.write(inst.rd, inst.imm & MASK64)
+        elif op is Op.LIH:
+            regs.write(inst.rd, (rs(inst.rd) & 0xFFFF_FFFF) | ((inst.imm & 0xFFFF_FFFF) << 32))
+        elif op is Op.MOV:
+            regs.write(inst.rd, rs(inst.rs1))
+        elif op is Op.ADDI:
+            regs.write(inst.rd, rs(inst.rs1) + inst.imm)
+        elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR,
+                    Op.XOR, Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU, Op.SEQ, Op.SNE):
+            if self.isa == "hisa":
+                a = rs(inst.rd)
+                b = inst.imm if inst.imm is not None else rs(inst.rs1)
+                dest = inst.rd
+            else:
+                a = rs(inst.rs1)
+                b = rs(inst.rs2)
+                dest = inst.rd
+            regs.write(dest, self._alu(op, a & MASK64, b & MASK64, pc))
+        elif op in (Op.LD, Op.LW, Op.LBU):
+            size = {Op.LD: 8, Op.LW: 4, Op.LBU: 1}[op]
+            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+            data = yield from self.port.load(addr, size)
+            regs.write(inst.rd, int.from_bytes(data, "little"))
+        elif op in (Op.ST, Op.SW, Op.SB):
+            size = {Op.ST: 8, Op.SW: 4, Op.SB: 1}[op]
+            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+            value = rs(inst.rs2) & ((1 << (8 * size)) - 1)
+            yield from self.port.store(addr, value.to_bytes(size, "little"))
+        elif op is Op.CMP:
+            a = to_signed(rs(inst.rd))
+            b = to_signed(inst.imm) if inst.imm is not None else srs(inst.rs1)
+            self.zf = a == b
+            self.sf_lt = a < b
+        elif op is Op.JCC:
+            if self._cond(inst.cond):
+                next_pc = pc + length + inst.imm
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            a, b = srs(inst.rs1), srs(inst.rs2)
+            taken = {
+                Op.BEQ: a == b,
+                Op.BNE: a != b,
+                Op.BLT: a < b,
+                Op.BGE: a >= b,
+            }[op]
+            if taken:
+                next_pc = pc + length + inst.imm
+        elif op is Op.J:
+            next_pc = pc + length + inst.imm
+        elif op is Op.JAL:
+            regs.write(inst.rd, pc + length)
+            next_pc = pc + length + inst.imm
+        elif op is Op.JALR:
+            regs.write(inst.rd, pc + length)
+            next_pc = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+        elif op is Op.CALL:  # HISA: push return address
+            self.sp = self.sp - 8
+            yield from self.port.store(self.sp, (pc + length).to_bytes(8, "little"))
+            next_pc = pc + length + inst.imm
+        elif op is Op.CALLR:
+            self.sp = self.sp - 8
+            yield from self.port.store(self.sp, (pc + length).to_bytes(8, "little"))
+            next_pc = rs(inst.rs1)
+        elif op is Op.RET:
+            if self.isa == "hisa":
+                data = yield from self.port.load(self.sp, 8)
+                self.sp = self.sp + 8
+                next_pc = int.from_bytes(data, "little")
+            else:  # encoded as JALR x0, ra on NISA; defensive fallback
+                next_pc = rs(self.abi.link_reg)
+        elif op is Op.PUSH:
+            self.sp = self.sp - 8
+            yield from self.port.store(self.sp, rs(inst.rd).to_bytes(8, "little"))
+        elif op is Op.POP:
+            data = yield from self.port.load(self.sp, 8)
+            self.sp = self.sp + 8
+            regs.write(inst.rd, int.from_bytes(data, "little"))
+        else:  # pragma: no cover - decoder prevents this
+            raise IsaFault(pc, f"unimplemented op {op}")
+
+        self.pc = next_pc
+
+    def _alu(self, op: Op, a: int, b: int, pc: int) -> int:
+        sa, sb = to_signed(a), to_signed(b)
+        if op is Op.ADD:
+            return a + b
+        if op is Op.SUB:
+            return a - b
+        if op is Op.MUL:
+            return a * b
+        if op is Op.DIV:
+            if b == 0:
+                raise IsaFault(pc, "division by zero")
+            return _truncdiv(sa, sb) & MASK64
+        if op is Op.REM:
+            if b == 0:
+                raise IsaFault(pc, "remainder by zero")
+            return _truncrem(sa, sb) & MASK64
+        if op is Op.AND:
+            return a & b
+        if op is Op.OR:
+            return a | b
+        if op is Op.XOR:
+            return a ^ b
+        if op is Op.SHL:
+            return a << (b & 63)
+        if op is Op.SHR:
+            return a >> (b & 63)
+        if op is Op.SAR:
+            return (sa >> (b & 63)) & MASK64
+        if op is Op.SLT:
+            return int(sa < sb)
+        if op is Op.SLTU:
+            return int(a < b)
+        if op is Op.SEQ:
+            return int(a == b)
+        if op is Op.SNE:
+            return int(a != b)
+        raise IsaFault(pc, f"bad ALU op {op}")  # pragma: no cover
+
+    def _cond(self, cond: str) -> bool:
+        return {
+            "eq": self.zf,
+            "ne": not self.zf,
+            "lt": self.sf_lt,
+            "ge": not self.sf_lt,
+            "le": self.zf or self.sf_lt,
+            "gt": not (self.zf or self.sf_lt),
+        }[cond]

@@ -1,0 +1,215 @@
+"""NISA — the NxP's RISC-V-like ISA (fixed-length, load/store).
+
+Encoding: every instruction is exactly **8 bytes**, little-endian:
+
+======  ==========================================
+byte 0  opcode (all NISA opcodes are >= 0x80)
+byte 1  rd
+byte 2  rs1
+byte 3  rs2
+4..7    imm32 (signed, little-endian)
+======  ==========================================
+
+PCs must be 8-byte aligned; fetching from a misaligned PC raises
+:class:`MisalignedFetch`.  Because HISA instructions are byte-aligned and
+variable length, a NISA core that falls into HISA code faults almost
+immediately — the paper uses exactly this as a secondary migration
+trigger (Section IV-B2).
+
+ABI (mirroring RV64): 32 registers, ``x0`` hardwired zero, ``x1`` link
+register (ra), ``x2`` stack pointer, arguments in ``x10..x17`` (a0..a7),
+return value in ``x10``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.base import (
+    ABI,
+    IllegalInstruction,
+    Instruction,
+    MisalignedFetch,
+    Op,
+    Relocation,
+    Sym,
+    sign_extend,
+)
+
+__all__ = ["NISA_ABI", "INST_BYTES", "encode", "decode", "encode_program", "REG_NAMES", "reg_number"]
+
+INST_BYTES = 8
+
+NISA_ABI = ABI(
+    name="nisa",
+    reg_count=32,
+    arg_regs=tuple(range(10, 18)),  # a0..a7
+    ret_reg=10,
+    sp_reg=2,
+    link_reg=1,
+    zero_reg=0,
+    stack_align=16,
+    code_align=INST_BYTES,
+)
+
+# Opcode map.  NISA opcodes all have the top bit set so that HISA bytes
+# (< 0x80) decode as illegal if a NISA core ever reaches them aligned.
+_OPCODES: Dict[Op, int] = {
+    Op.ADD: 0x80,
+    Op.SUB: 0x81,
+    Op.MUL: 0x82,
+    Op.DIV: 0x83,
+    Op.REM: 0x84,
+    Op.AND: 0x85,
+    Op.OR: 0x86,
+    Op.XOR: 0x87,
+    Op.SHL: 0x88,
+    Op.SHR: 0x89,
+    Op.SAR: 0x8A,
+    Op.SLT: 0x8B,
+    Op.SLTU: 0x8C,
+    Op.SEQ: 0x8D,
+    Op.SNE: 0x8E,
+    Op.ADDI: 0x90,
+    Op.LD: 0xA0,
+    Op.LW: 0xA1,
+    Op.LBU: 0xA2,
+    Op.ST: 0xA4,
+    Op.SW: 0xA5,
+    Op.SB: 0xA6,
+    Op.LI: 0xB0,
+    Op.LIH: 0xB1,
+    Op.MOV: 0xB2,
+    Op.BEQ: 0xC0,
+    Op.BNE: 0xC1,
+    Op.BLT: 0xC2,
+    Op.BGE: 0xC3,
+    Op.J: 0xC8,
+    Op.JAL: 0xC9,
+    Op.JALR: 0xCA,
+    Op.ECALL: 0xD0,
+    Op.NOP: 0xE0,
+    Op.HALT: 0xE1,
+}
+_REVERSE: Dict[int, Op] = {code: op for op, code in _OPCODES.items()}
+
+# Register names: x0..x31 plus ABI aliases.
+REG_NAMES: Dict[str, int] = {f"x{i}": i for i in range(32)}
+REG_NAMES.update({"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4})
+REG_NAMES.update({f"t{i}": 5 + i for i in range(3)})  # t0..t2 = x5..x7
+REG_NAMES.update({"fp": 8, "s0": 8, "s1": 9})
+REG_NAMES.update({f"a{i}": 10 + i for i in range(8)})  # a0..a7
+REG_NAMES.update({f"s{i}": 16 + i for i in range(2, 10)})  # s2..s9 = x18..x25
+REG_NAMES.update({f"t{i}": 25 + i for i in range(3, 7)})  # t3..t6 = x28..x31
+
+
+def reg_number(name: str) -> int:
+    try:
+        return REG_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown NISA register {name!r}") from None
+
+
+def _imm_value(imm, offset: int, relocs: List[Relocation], kind: str, pc_base: int) -> int:
+    """Return the literal imm, or 0 while recording a relocation."""
+    if isinstance(imm, Sym):
+        relocs.append(Relocation(offset + 4, imm, kind, pc_base=pc_base))
+        return 0
+    return int(imm or 0)
+
+
+def encode(inst: Instruction, offset: int = 0, relocs: Optional[List[Relocation]] = None) -> bytes:
+    """Encode one instruction at byte ``offset`` within its section.
+
+    Symbolic immediates append to ``relocs``.  ``LI``/``LIH`` with a
+    symbol produce ``abs32lo``/``abs32hi`` relocations; ``JAL``/``J``
+    and branches with a symbol produce ``rel32``.
+    """
+    if relocs is None:
+        relocs = []
+    op = inst.op
+    if op in (Op.CALL,):
+        op = Op.JAL  # assembler alias: call == jal ra, target
+        inst = Instruction(Op.JAL, rd=NISA_ABI.link_reg, imm=inst.imm)
+    if op in (Op.CALLR,):
+        inst = Instruction(Op.JALR, rd=NISA_ABI.link_reg, rs1=inst.rs1, imm=0)
+        op = Op.JALR
+    if op in (Op.RET,):
+        inst = Instruction(Op.JALR, rd=0, rs1=NISA_ABI.link_reg, imm=0)
+        op = Op.JALR
+    code = _OPCODES.get(op)
+    if code is None:
+        raise ValueError(f"op {op} not encodable in NISA")
+
+    if isinstance(inst.imm, Sym):
+        if op in (Op.LI,):
+            kind = "abs32lo"
+        elif op in (Op.LIH,):
+            kind = "abs32hi"
+        elif op in (Op.J, Op.JAL, Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            kind = "rel32"
+        else:
+            raise ValueError(f"symbolic imm not supported for NISA {op}")
+        imm = _imm_value(inst.imm, offset, relocs, kind, pc_base=offset + INST_BYTES)
+    else:
+        imm = int(inst.imm or 0)
+
+    return struct.pack(
+        "<BBBBi",
+        code,
+        inst.rd or 0,
+        inst.rs1 or 0,
+        inst.rs2 or 0,
+        sign_extend(imm, 32),
+    )
+
+
+def encode_program(insts: List[Instruction]) -> Tuple[bytes, List[Relocation], Dict[str, int]]:
+    """Encode a list of instructions; returns (code, relocations, labels).
+
+    Local labels (``inst.label``) are resolved to pc-relative immediates
+    directly; unresolved symbols become relocations.
+    """
+    labels: Dict[str, int] = {}
+    for i, inst in enumerate(insts):
+        if inst.label is not None:
+            if inst.label in labels:
+                raise ValueError(f"duplicate label {inst.label!r}")
+            labels[inst.label] = i * INST_BYTES
+
+    code = bytearray()
+    relocs: List[Relocation] = []
+    for i, inst in enumerate(insts):
+        patched = inst
+        if isinstance(inst.imm, Sym) and inst.imm.name in labels and inst.op in (
+            Op.J,
+            Op.JAL,
+            Op.CALL,
+            Op.BEQ,
+            Op.BNE,
+            Op.BLT,
+            Op.BGE,
+        ):
+            target = labels[inst.imm.name] + inst.imm.addend
+            rel = target - (i * INST_BYTES + INST_BYTES)
+            patched = Instruction(
+                inst.op, rd=inst.rd, rs1=inst.rs1, rs2=inst.rs2, imm=rel, label=inst.label
+            )
+        code += encode(patched, offset=i * INST_BYTES, relocs=relocs)
+    return bytes(code), relocs, labels
+
+
+def decode(raw: bytes, pc: int) -> Tuple[Instruction, int]:
+    """Decode 8 bytes fetched from an 8-aligned PC; returns (inst, 8)."""
+    if pc % INST_BYTES:
+        raise MisalignedFetch(pc)
+    if len(raw) < INST_BYTES:
+        raise IllegalInstruction(pc, raw[0] if raw else 0)
+    opcode, rd, rs1, rs2, imm = struct.unpack("<BBBBi", raw[:INST_BYTES])
+    op = _REVERSE.get(opcode)
+    if op is None:
+        raise IllegalInstruction(pc, opcode)
+    if rd > 31 or rs1 > 31 or rs2 > 31:
+        raise IllegalInstruction(pc, opcode)
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm), INST_BYTES

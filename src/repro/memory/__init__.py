@@ -1,0 +1,38 @@
+"""Memory subsystem: physical memory, paging, TLB, MMU, caches, allocators."""
+
+from repro.memory.allocator import AllocatorError, OutOfMemory, RegionAllocator
+from repro.memory.cache import Cache, CacheableFilter
+from repro.memory.mmu import Hole, PageWalker
+from repro.memory.paging import (
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    PageFault,
+    PageTables,
+    Translation,
+)
+from repro.memory.physical import BadAddress, MemoryRegion, MMIORegion, PhysicalMemory
+from repro.memory.tlb import TLB, RemapWindow, TLBEntry
+
+__all__ = [
+    "RegionAllocator",
+    "AllocatorError",
+    "OutOfMemory",
+    "Cache",
+    "CacheableFilter",
+    "PageWalker",
+    "Hole",
+    "PageTables",
+    "PageFault",
+    "Translation",
+    "PAGE_4K",
+    "PAGE_2M",
+    "PAGE_1G",
+    "PhysicalMemory",
+    "MemoryRegion",
+    "MMIORegion",
+    "BadAddress",
+    "TLB",
+    "TLBEntry",
+    "RemapWindow",
+]

@@ -1,0 +1,134 @@
+"""First-fit region allocators.
+
+The paper gives each memory region its own allocator (Section III-D):
+one for the host heap, one for the NxP-local heap, one carving NxP stack
+blocks out of on-chip BRAM, and the kernel uses one to hand out physical
+frames for page tables.  This module provides the single allocator class
+they all instantiate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["RegionAllocator", "OutOfMemory", "AllocatorError"]
+
+
+class AllocatorError(Exception):
+    """Misuse of the allocator (double free, bad free address, ...)."""
+
+
+class OutOfMemory(AllocatorError):
+    """No free block large enough for the request."""
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class RegionAllocator:
+    """First-fit allocator over ``[base, base + size)``.
+
+    Keeps an ordered free list and a map of live allocations, merging
+    adjacent free blocks on :meth:`free`.  All invariants (no overlap,
+    containment, alignment) are cheap to check, which the property-based
+    tests exploit.
+    """
+
+    def __init__(self, name: str, base: int, size: int):
+        if size <= 0:
+            raise ValueError(f"allocator {name!r} has non-positive size")
+        self.name = name
+        self.base = base
+        self.size = size
+        # Free list: ordered, disjoint (start, size) blocks.
+        self._free: List[Tuple[int, int]] = [(base, size)]
+        self._live: Dict[int, int] = {}  # addr -> size
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes aligned to ``align``; returns the address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two: {align}")
+        for i, (start, block_size) in enumerate(self._free):
+            aligned = _align_up(start, align)
+            pad = aligned - start
+            if block_size >= pad + size:
+                # Split: [start, aligned) stays free, allocation, remainder free.
+                del self._free[i]
+                replacement = []
+                if pad:
+                    replacement.append((start, pad))
+                tail = block_size - pad - size
+                if tail:
+                    replacement.append((aligned + size, tail))
+                self._free[i:i] = replacement
+                self._live[aligned] = size
+                return aligned
+        raise OutOfMemory(
+            f"{self.name}: cannot allocate {size} bytes (align {align}); "
+            f"free={self.free_bytes}"
+        )
+
+    def free(self, addr: int) -> None:
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise AllocatorError(f"{self.name}: free of unallocated address {addr:#x}")
+        # Insert in order and coalesce with neighbours.
+        idx = 0
+        while idx < len(self._free) and self._free[idx][0] < addr:
+            idx += 1
+        self._free.insert(idx, (addr, size))
+        self._coalesce(max(idx - 1, 0))
+
+    def _coalesce(self, start_idx: int) -> None:
+        i = start_idx
+        while i + 1 < len(self._free):
+            a_start, a_size = self._free[i]
+            b_start, b_size = self._free[i + 1]
+            if a_start + a_size == b_start:
+                self._free[i : i + 2] = [(a_start, a_size + b_size)]
+            else:
+                i += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _start, size in self._free)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def live_blocks(self) -> Dict[int, int]:
+        return dict(self._live)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def allocation_size(self, addr: int) -> int:
+        if addr not in self._live:
+            raise AllocatorError(f"{self.name}: {addr:#x} is not a live allocation")
+        return self._live[addr]
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping is inconsistent."""
+        blocks = sorted(
+            [(a, s, "live") for a, s in self._live.items()]
+            + [(a, s, "free") for a, s in self._free]
+        )
+        prev_end = self.base
+        covered = 0
+        for addr, size, _kind in blocks:
+            assert addr >= self.base, "block below region base"
+            assert addr + size <= self.base + self.size, "block beyond region end"
+            assert addr >= prev_end, f"overlapping blocks at {addr:#x}"
+            prev_end = addr + size
+            covered += size
+        assert covered <= self.size
+        assert self.free_bytes + self.live_bytes <= self.size

@@ -1,0 +1,107 @@
+"""Set-associative cache models for the NxP core.
+
+Section IV-A: the NxP I-cache is essential because NxP ``.text`` lives in
+*host* memory (Section III-D) — every I-cache miss crosses PCIe.  The
+D-cache may only be enabled for NxP-local regions that do not require
+coherence with the host (PCIe has no snooping), which the
+:class:`CacheableFilter` enforces.
+
+These are bookkeeping models: they answer hit/miss and track stats; the
+caller charges the appropriate latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.sim.stats import StatRegistry
+
+__all__ = ["Cache", "CacheableFilter"]
+
+
+class Cache:
+    """An N-way set-associative cache with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        total_lines: int,
+        line_bytes: int,
+        ways: int = 4,
+        stats: Optional[StatRegistry] = None,
+    ):
+        if total_lines <= 0 or total_lines % ways:
+            raise ValueError("total_lines must be a positive multiple of ways")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = total_lines // ways
+        self.stats = stats or StatRegistry()
+        # sets[i] = list of (tag, lru_stamp)
+        self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        self._stamp = itertools.count(1)
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; returns True on hit.  Misses install the line."""
+        set_idx, tag = self._locate(addr)
+        cache_set = self._sets[set_idx]
+        for i, (existing_tag, _stamp) in enumerate(cache_set):
+            if existing_tag == tag:
+                cache_set[i] = (tag, next(self._stamp))
+                self.stats.count(f"{self.name}.hit")
+                return True
+        self.stats.count(f"{self.name}.miss")
+        if len(cache_set) >= self.ways:
+            victim = min(range(len(cache_set)), key=lambda i: cache_set[i][1])
+            del cache_set[victim]
+            self.stats.count(f"{self.name}.evict")
+        cache_set.append((tag, next(self._stamp)))
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Non-mutating presence check (no LRU update, no stats)."""
+        set_idx, tag = self._locate(addr)
+        return any(t == tag for t, _ in self._sets[set_idx])
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats.count(f"{self.name}.flush")
+
+    def invalidate_range(self, addr: int, length: int) -> None:
+        first = addr // self.line_bytes
+        last = (addr + max(length, 1) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            set_idx = line % self.num_sets
+            tag = line // self.num_sets
+            self._sets[set_idx] = [
+                (t, s) for t, s in self._sets[set_idx] if t != tag
+            ]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class CacheableFilter:
+    """Decides which physical ranges the NxP D-cache may cache.
+
+    PCIe offers no coherence, so only NxP-local, host-invisible data may
+    be cached (Section III-D / IV-A).  The host driver (or loader, for
+    annotated NxP-local sections) registers cacheable windows here.
+    """
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[int, int]] = []
+
+    def allow(self, base: int, size: int) -> None:
+        self._windows.append((base, size))
+
+    def cacheable(self, paddr: int) -> bool:
+        return any(base <= paddr < base + size for base, size in self._windows)

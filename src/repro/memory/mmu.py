@@ -1,0 +1,117 @@
+"""The NxP's programmable MMU (page-table walker), Section IV-A.
+
+On a TLB miss the NxP blocks while the MMU — a tiny microcontroller in
+the paper's prototype — walks the x86-64 page tables *in host memory*,
+one cross-PCIe read per level.  That is why TLB misses are expensive
+(~4 x 830 ns + firmware overhead) and why the paper leans on 1 GB huge
+pages: four entries then cover the whole 4 GB NxP data store.
+
+Being programmable, the MMU also supports "holes": virtual ranges that
+bypass translation entirely and map straight onto NxP-local physical
+addresses (used for debugging and scratchpads in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.core.config import FlickConfig
+from repro.memory.paging import PageFault, PageTables, Translation
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+__all__ = ["PageWalker", "Hole"]
+
+
+@dataclass(frozen=True)
+class Hole:
+    """A translation-bypass window programmed into the MMU."""
+
+    vbase: int
+    size: int
+    pbase: int
+
+    def covers(self, vaddr: int) -> bool:
+        return self.vbase <= vaddr < self.vbase + self.size
+
+    def translate(self, vaddr: int) -> Translation:
+        return Translation(
+            vaddr=vaddr,
+            paddr=self.pbase + (vaddr - self.vbase),
+            page_size=self.size,
+            writable=True,
+            user=True,
+            nx=True,  # holes hold NxP-side data/scratch, never host code
+        )
+
+
+class PageWalker:
+    """Timed page-table walker; shared by the NxP's I-TLB and D-TLB.
+
+    ``current_tables`` is a callable returning the page tables for the
+    address space the NxP is currently executing in (it follows the PTBR
+    that arrives in each migration descriptor).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: FlickConfig,
+        current_tables: Callable[[], Optional[PageTables]],
+        stats: Optional[StatRegistry] = None,
+        name: str = "mmu",
+    ):
+        self.sim = sim
+        self.cfg = cfg
+        self.current_tables = current_tables
+        self.stats = stats or StatRegistry()
+        self.name = name
+        self.holes: List[Hole] = []
+
+    # -- programmability ----------------------------------------------------
+
+    def add_hole(self, vbase: int, size: int, pbase: int) -> None:
+        for hole in self.holes:
+            lo = max(vbase, hole.vbase)
+            hi = min(vbase + size, hole.vbase + hole.size)
+            if lo < hi:
+                raise ValueError("overlapping MMU holes")
+        self.holes.append(Hole(vbase, size, pbase))
+
+    def hole_for(self, vaddr: int) -> Optional[Hole]:
+        for hole in self.holes:
+            if hole.covers(vaddr):
+                return hole
+        return None
+
+    # -- the timed walk -------------------------------------------------------
+
+    def walk(self, vaddr: int) -> Generator:
+        """DES sub-process: yield timing for one walk; returns Translation.
+
+        Raises :class:`PageFault` (after charging the time actually spent
+        discovering the fault) when the address is unmapped.
+        """
+        hole = self.hole_for(vaddr)
+        if hole is not None:
+            self.stats.count(f"{self.name}.hole_hit")
+            yield self.sim.timeout(self.cfg.tlb_hit_ns)
+            return hole.translate(vaddr)
+
+        tables = self.current_tables()
+        if tables is None:
+            raise PageFault(vaddr, PageFault.NOT_PRESENT)
+
+        self.stats.count(f"{self.name}.walk")
+        yield self.sim.timeout(self.cfg.mmu_walker_overhead_ns)
+        try:
+            entry_addrs = tables.walk_entry_addrs(vaddr)
+        except PageFault:
+            yield self.sim.timeout(self.cfg.mmu_walk_step_ns)
+            raise
+        # One cross-PCIe PTE read per level actually touched.
+        for _addr in entry_addrs:
+            yield self.sim.timeout(self.cfg.mmu_walk_step_ns)
+            self.stats.count(f"{self.name}.pte_read")
+        return tables.translate(vaddr)  # raises PageFault if leaf absent

@@ -1,0 +1,142 @@
+"""The NxP's software-visible TLB model (Section IV-A).
+
+16-entry fully-associative I-TLB and D-TLB with LRU replacement, plus the
+two Flick-specific features the paper adds:
+
+* **BAR remap register** — the host driver computes the offset between
+  where it mapped BAR0 (NxP DRAM as seen by the host) and where the NxP
+  decodes its local DRAM, and writes it into a TLB control register.
+  Translated physical addresses falling inside the BAR window are
+  adjusted so the access is routed to local DRAM instead of looping back
+  over PCIe (Fig. 3).
+* **Inverted NX sense** — handled by the consumer passing
+  ``invert_nx=True`` to permission checks; the TLB stores the NX bit
+  verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.memory.paging import Translation
+from repro.sim.stats import StatRegistry
+
+__all__ = ["TLB", "TLBEntry", "RemapWindow"]
+
+
+@dataclass
+class TLBEntry:
+    vbase: int
+    page_size: int
+    pbase: int
+    writable: bool
+    user: bool
+    nx: bool
+    lru_stamp: int = 0
+
+    def covers(self, vaddr: int) -> bool:
+        return self.vbase <= vaddr < self.vbase + self.page_size
+
+    def paddr_for(self, vaddr: int) -> int:
+        return self.pbase | (vaddr - self.vbase)
+
+
+@dataclass
+class RemapWindow:
+    """The BAR-remap control register contents."""
+
+    bar_base: int = 0
+    size: int = 0
+    offset: int = 0  # host BAR address - NxP local address
+
+    def applies(self, paddr: int) -> bool:
+        return self.size > 0 and self.bar_base <= paddr < self.bar_base + self.size
+
+    def to_local(self, paddr: int) -> int:
+        return paddr - self.offset
+
+
+class TLB:
+    """A small fully-associative TLB with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        entries: int = 16,
+        stats: Optional[StatRegistry] = None,
+    ):
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.name = name
+        self.capacity = entries
+        self.stats = stats or StatRegistry()
+        self.remap = RemapWindow()
+        self._entries: list[TLBEntry] = []
+        self._stamp = itertools.count(1)
+
+    # -- control register (written by the host driver over MMIO) ----------
+
+    def program_remap(self, bar_base: int, size: int, offset: int) -> None:
+        self.remap = RemapWindow(bar_base=bar_base, size=size, offset=offset)
+
+    # -- lookup / fill -----------------------------------------------------
+
+    def lookup(self, vaddr: int) -> Optional[TLBEntry]:
+        """Return the covering entry (bumping LRU), or None on miss."""
+        for entry in self._entries:
+            if entry.covers(vaddr):
+                entry.lru_stamp = next(self._stamp)
+                self.stats.count(f"{self.name}.hit")
+                return entry
+        self.stats.count(f"{self.name}.miss")
+        return None
+
+    def insert(self, tr: Translation) -> TLBEntry:
+        """Install a translation, evicting the LRU entry when full."""
+        entry = TLBEntry(
+            vbase=tr.page_base_vaddr,
+            page_size=tr.page_size,
+            pbase=tr.page_base_paddr,
+            writable=tr.writable,
+            user=tr.user,
+            nx=tr.nx,
+            lru_stamp=next(self._stamp),
+        )
+        # Replace a stale entry for the same page if present.
+        for i, existing in enumerate(self._entries):
+            if existing.vbase == entry.vbase and existing.page_size == entry.page_size:
+                self._entries[i] = entry
+                return entry
+        if len(self._entries) >= self.capacity:
+            victim = min(range(len(self._entries)), key=lambda i: self._entries[i].lru_stamp)
+            del self._entries[victim]
+            self.stats.count(f"{self.name}.evict")
+        self._entries.append(entry)
+        return entry
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self.stats.count(f"{self.name}.flush")
+
+    def flush_page(self, vaddr: int) -> None:
+        self._entries = [e for e in self._entries if not e.covers(vaddr)]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    # -- physical routing (Fig. 3) -------------------------------------------
+
+    def route(self, paddr: int) -> Tuple[str, int]:
+        """Decide where a translated physical address is serviced.
+
+        Returns ``("local", nxp_local_paddr)`` when the remap window
+        captures the address (the access stays on the NxP platform) and
+        ``("pcie", paddr)`` otherwise (the access crosses the system bus
+        to host memory).
+        """
+        if self.remap.applies(paddr):
+            return "local", self.remap.to_local(paddr)
+        return "pcie", paddr

@@ -1,0 +1,33 @@
+"""Simulated operating system: kernel, tasks, scheduler, loader."""
+
+from repro.os.kernel import Kernel, ProcessCrash, SYS_EXIT, SYS_PRINT
+from repro.os.loader import (
+    HOST_HEAP_VBASE,
+    HOST_STACK_TOP,
+    NXP_STACK_VBASE,
+    NXP_WINDOW_VBASE,
+    WindowAllocator,
+    load_executable,
+)
+from repro.os.scheduler import CorePool, CoreResource
+from repro.os.task import CpuContext, ExecRange, Process, Task, TaskState
+
+__all__ = [
+    "Kernel",
+    "ProcessCrash",
+    "SYS_EXIT",
+    "SYS_PRINT",
+    "load_executable",
+    "WindowAllocator",
+    "NXP_WINDOW_VBASE",
+    "NXP_STACK_VBASE",
+    "HOST_HEAP_VBASE",
+    "HOST_STACK_TOP",
+    "CorePool",
+    "CoreResource",
+    "Process",
+    "Task",
+    "TaskState",
+    "CpuContext",
+    "ExecRange",
+]

@@ -1,0 +1,82 @@
+"""Demand paging for the host heap (kernel extension).
+
+The baseline loader backs the host heap eagerly with 2 MB pages.  This
+extension leaves a *lazy window* unmapped: the first touch of each page
+takes a minor fault, the kernel allocates a frame, zero-fills it, maps
+it, and the thread retries the access — the standard anonymous-memory
+path of a Unix kernel.
+
+It exists for two reasons:
+
+* completeness — Flick's migration trigger is "just another page-fault
+  flavour"; showing the same handler dispatching both NX-migration and
+  not-present-minor faults demonstrates how small the paper's kernel
+  hook really is;
+* realism for long-running programs whose heap footprint is unknown at
+  load time.
+
+Note the NxP side is unaffected: if the NxP touches a lazily-backed
+page, its MMU walk simply misses and the access faults on the NxP —
+Flick (and this reproduction) requires NxP-visible memory to be
+populated before migration, as the paper's prototype does.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.config import FlickConfig
+from repro.memory.paging import PAGE_4K, PageFault
+from repro.os.task import Process, Task
+
+__all__ = ["LazyHeap", "MINOR_FAULT_SERVICE_NS"]
+
+#: Kernel time to service a minor fault: entry, frame allocation,
+#: zeroing (amortized), mapping, return.  Distinct from the 0.7 us
+#: *migration* fault path, which does far less work.
+MINOR_FAULT_SERVICE_NS = 1900.0
+
+
+class LazyHeap:
+    """A demand-paged window of a process's virtual address space."""
+
+    def __init__(
+        self,
+        machine,
+        process: Process,
+        vbase: int,
+        size: int,
+    ):
+        if vbase % PAGE_4K or size % PAGE_4K:
+            raise ValueError("lazy window must be page aligned")
+        self.machine = machine
+        self.process = process
+        self.vbase = vbase
+        self.size = size
+        self.minor_faults = 0
+
+    def covers(self, vaddr: int) -> bool:
+        return self.vbase <= vaddr < self.vbase + self.size
+
+    def is_backed(self, vaddr: int) -> bool:
+        try:
+            self.process.page_tables.translate(vaddr)
+            return True
+        except PageFault:
+            return False
+
+    def service_fault(self, task: Optional[Task], vaddr: int) -> Generator:
+        """Kernel minor-fault path: allocate, zero, map, account."""
+        if not self.covers(vaddr):
+            raise PageFault(vaddr, PageFault.NOT_PRESENT)
+        cfg: FlickConfig = self.machine.cfg
+        yield self.machine.sim.timeout(MINOR_FAULT_SERVICE_NS)
+        page_base = vaddr & ~(PAGE_4K - 1)
+        frame = self.machine.host_phys.alloc(PAGE_4K, align=PAGE_4K)
+        self.machine.phys.write(frame, b"\x00" * PAGE_4K)
+        self.process.page_tables.map_page(page_base, frame, PAGE_4K, writable=True, nx=True)
+        self.minor_faults += 1
+        self.machine.stats.count("kernel.minor_fault")
+        self.machine.trace.record(
+            "minor_fault", pid=self.process.pid, addr=page_base
+        )

@@ -1,0 +1,126 @@
+"""The simulated kernel: fault classification, syscalls, interrupt wakeup.
+
+This is the reproduction of the paper's <2 kLoC of Linux changes
+(Section IV-D):
+
+* the **NX page-fault hook** — :meth:`classify_exec_fault` decides
+  whether a faulting fetch is a legitimate ISA-crossing call (the target
+  lies inside a known ``.text`` range of the *other* ISA) or a plain
+  crash;
+* the **migration interrupt handler** — pops the inbound descriptor the
+  DMA engine delivered, finds the suspended task by PID, and wakes it
+  (the wake completes after the modeled scheduler latency);
+* small **syscalls** (print/exit) used by test programs and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.config import FlickConfig
+from repro.core.descriptors import DESCRIPTOR_BYTES, MigrationDescriptor
+from repro.interconnect.interrupt import MIGRATION_VECTOR
+from repro.memory.paging import PageFault
+from repro.os.task import Process, Task, TaskState
+from repro.sim.engine import Simulator
+
+__all__ = ["Kernel", "ProcessCrash", "SYS_EXIT", "SYS_PRINT"]
+
+SYS_EXIT = 0
+SYS_PRINT = 1
+
+
+class ProcessCrash(Exception):
+    """A fault that is *not* a migration trigger (a real segfault)."""
+
+    def __init__(self, task: Task, reason: str):
+        self.task = task
+        self.reason = reason
+        super().__init__(f"{task.name}: {reason}")
+
+
+class Kernel:
+    """OS state shared by host cores and the NxP platform."""
+
+    def __init__(self, sim: Simulator, cfg: FlickConfig, machine) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.machine = machine
+        self.processes: Dict[int, Process] = {}
+        self.tasks: Dict[int, Task] = {}
+        machine.irq.register(MIGRATION_VECTOR, self._migration_irq)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def register_process(self, process: Process) -> None:
+        self.processes[process.pid] = process
+
+    def register_task(self, task: Task) -> None:
+        self.tasks[task.pid] = task  # one migratable task per process pid
+
+    def process_by_pid(self, pid: int) -> Process:
+        return self.processes[pid]
+
+    def task_by_pid(self, pid: int) -> Task:
+        return self.tasks[pid]
+
+    # -- the NX-fault migration hook --------------------------------------------
+
+    def classify_exec_fault(self, task: Task, fault: PageFault, running_on: str) -> str:
+        """Return the ISA that owns the faulting target, or crash.
+
+        ``running_on`` is the ISA of the faulting core; a valid Flick
+        trigger is a fetch from a range belonging to the *other* ISA.
+        """
+        target_isa = task.process.isa_at(fault.vaddr)
+        if target_isa is None or target_isa == running_on:
+            raise ProcessCrash(
+                task,
+                f"invalid instruction fetch at {fault.vaddr:#x} "
+                f"({fault.kind}, on {running_on})",
+            )
+        return target_isa
+
+    # -- syscalls --------------------------------------------------------------
+
+    def service_syscall(self, task: Task, code: int, value: int) -> Optional[int]:
+        """Handle an ECALL.  Returns the value to place in the return
+        register, or raises to signal thread exit via ``SYS_EXIT``."""
+        if code == SYS_PRINT:
+            signed = value - (1 << 64) if value >> 63 else value
+            task.process.output.append(signed)
+            return 0
+        if code == SYS_EXIT:
+            raise _ThreadExit(value)
+        raise ProcessCrash(task, f"unknown syscall {code}")
+
+    # -- migration interrupt -------------------------------------------------------
+
+    def _migration_irq(self, _payload) -> Generator:
+        """Generator IRQ handler: find the thread by PID and wake it."""
+        yield self.sim.timeout(self.cfg.host_irq_handler_ns)
+        ring = self.machine.host_ring
+        slot = ring.pop_addr()
+        raw = self.machine.phys.read(slot, DESCRIPTOR_BYTES)
+        desc = MigrationDescriptor.unpack(raw)
+        task = self.task_by_pid(desc.pid)
+        self.machine.trace.record(
+            "irq", pid=desc.pid, kind="call" if desc.is_call else "return"
+        )
+        if task.state is not TaskState.SUSPENDED or task.wake_event is None:
+            raise ProcessCrash(task, "descriptor arrived for a task that is not suspended")
+
+        def waker(sim: Simulator):
+            yield sim.timeout(self.cfg.host_wakeup_ns)
+            event, task.wake_event = task.wake_event, None
+            event.trigger(desc)
+
+        self.sim.spawn(waker(self.sim), name=f"wake-{task.name}")
+
+
+class _ThreadExit(Exception):
+    """Internal: a thread called exit(value)."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exit({code})")

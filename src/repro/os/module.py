@@ -1,0 +1,137 @@
+"""Multi-ISA kernel modules (Section IV-D).
+
+The paper's Flick platform support itself ships as a *multi-ISA kernel
+module*: its host-side pieces (platform init, the migration ioctl) run
+on the host, while the NxP scheduler and NxP migration handler run on
+the NxP — one module, two ISAs, loaded by a kernel module loader that
+applies each section's relocation flavour by name, exactly like the
+user-space linker.
+
+This reproduction models that: a module is FlickC source compiled and
+linked into a reserved *kernel window* of the shared address space.
+Its segments are mapped into every subsequently created process (the
+"kernel half" convention), and its exported symbols become linkable by
+user programs — so a program can call a host-side module entry point
+that in turn calls the module's NxP-side functions, migrating exactly
+like user code does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.memory.paging import PAGE_4K
+from repro.toolchain.felf import Executable
+from repro.toolchain.flickc import compile_source
+from repro.toolchain.linker import LinkerScript, link
+
+__all__ = ["KernelModule", "ModuleSegment", "load_module", "KERNEL_MODULE_VBASE"]
+
+#: Base of the kernel-module window (canonical, far from user windows).
+KERNEL_MODULE_VBASE = 0x7800_0000_0000
+_MODULE_STRIDE = 0x100_0000  # 16 MB of VA per module
+
+
+@dataclass(frozen=True)
+class ModuleSegment:
+    """One loaded piece of a module, shared by all address spaces."""
+
+    vaddr: int
+    paddr: int
+    size: int
+    isa: Optional[str]
+    writable: bool
+
+
+@dataclass
+class KernelModule:
+    name: str
+    base_vaddr: int
+    segments: List[ModuleSegment] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    isa_of_symbol: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+
+def _align_up(v: int, a: int) -> int:
+    return (v + a - 1) & ~(a - 1)
+
+
+def load_module(machine, source: str, name: str, entry_symbol: str = "module_init") -> KernelModule:
+    """Compile and load a multi-ISA kernel module onto ``machine``.
+
+    ``machine`` gains the module's segments (mapped into every process
+    created afterwards) and its exported symbols (linkable from user
+    programs compiled afterwards).
+    """
+    obj = compile_source(source, name=name)
+    base = KERNEL_MODULE_VBASE + len(machine.kernel_modules) * _MODULE_STRIDE
+    script = LinkerScript(base_vaddr=base)
+    exe: Executable = link(
+        [obj],
+        entry_symbol=entry_symbol,
+        script=script,
+        extra_symbols=dict(machine.runtime_symbols),
+    )
+
+    module = KernelModule(name=name, base_vaddr=base)
+    for seg in exe.segments:
+        if seg.size == 0:
+            continue
+        vbase = seg.vaddr & ~(PAGE_4K - 1)
+        span = _align_up(seg.vaddr + seg.size, PAGE_4K) - vbase
+        if seg.placement == "host":
+            paddr = machine.host_phys.alloc(span, align=PAGE_4K)
+        else:
+            paddr = machine.nxp_phys.alloc(span, align=PAGE_4K)
+        machine.phys.write(paddr, b"\x00" * span)
+        machine.phys.write(paddr + (seg.vaddr - vbase), seg.data)
+        module.segments.append(
+            ModuleSegment(
+                vaddr=vbase,
+                paddr=paddr,
+                size=span,
+                isa=seg.isa,
+                writable=seg.writable,
+            )
+        )
+
+    # Export the module's own symbols (not the runtime stubs).  The
+    # entry symbol stays module-local, like Linux's init functions.
+    exported: Dict[str, int] = {}
+    for sym, addr in exe.symbols.items():
+        if sym in machine.runtime_symbols:
+            continue
+        module.symbols[sym] = addr
+        module.isa_of_symbol[sym] = exe.isa_of_symbol.get(sym)
+        if sym == entry_symbol:
+            continue
+        if sym in machine.module_symbols:
+            raise ValueError(f"module {name!r}: symbol {sym!r} already exported")
+        exported[sym] = addr
+
+    machine.kernel_modules.append(module)
+    machine.module_symbols.update(exported)
+    machine.module_isa_of_symbol.update(
+        {s: module.isa_of_symbol[s] for s in exported}
+    )
+    return module
+
+
+def map_modules_into(machine, process) -> None:
+    """Map every loaded module into ``process`` (the kernel half)."""
+    for module in machine.kernel_modules:
+        for seg in module.segments:
+            process.page_tables.map_range(
+                seg.vaddr,
+                seg.paddr,
+                seg.size,
+                PAGE_4K,
+                writable=seg.writable,
+                nx=(seg.isa != "hisa"),
+            )
+            if seg.isa is not None:
+                process.add_exec_range(seg.vaddr, seg.size, seg.isa)

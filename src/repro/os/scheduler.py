@@ -1,0 +1,92 @@
+"""Host-core scheduling primitives.
+
+Each host core is modeled as a FIFO-queued resource a task must hold to
+execute.  The Flick ioctl path "suspends" a thread by releasing its core
+(after the modeled context-switch cost) and re-acquires one on wakeup —
+exactly the deschedule/wake_up dance the paper's modified Linux
+scheduler performs, including the rule that the descriptor DMA may only
+be kicked *after* the context switch away (Section IV-D's race
+avoidance).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["CoreResource", "CorePool"]
+
+
+class CoreResource:
+    """A mutex with FIFO hand-off representing one host core."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._holder: Optional[str] = None
+        self._waiters: List[Event] = []
+        self._held_since: float = 0.0
+        self.busy_ns: float = 0.0  # cumulative time the core was held
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    def acquire(self, who: str = "?") -> Generator:
+        if self._holder is None:
+            self._holder = who
+            self._held_since = self.sim.now
+            if False:  # pragma: no cover - generator marker
+                yield
+            return
+        ev = Event(self.sim, name=f"{self.name}.wait[{who}]")
+        self._waiters.append(ev)
+        yield ev
+        self._holder = who
+        self._held_since = self.sim.now
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise RuntimeError(f"{self.name}: release while free")
+        self.busy_ns += self.sim.now - self._held_since
+        self._holder = None
+        if self._waiters:
+            # Hand off: the woken waiter becomes the holder when it runs.
+            self._waiters.pop(0).trigger()
+
+
+class CorePool:
+    """A set of host cores; tasks grab the first free one (FIFO overall)."""
+
+    def __init__(self, sim: Simulator, count: int):
+        if count < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.cores = [CoreResource(sim, f"core{i}") for i in range(count)]
+        self._waiters: List[Event] = []
+
+    def acquire(self, who: str = "?") -> Generator:
+        """Acquire any free core; returns the CoreResource held."""
+        while True:
+            for core in self.cores:
+                if not core.busy:
+                    yield from core.acquire(who)
+                    return core
+            ev = Event(self.sim, name=f"cores.wait[{who}]")
+            self._waiters.append(ev)
+            yield ev
+
+    def release(self, core: CoreResource) -> None:
+        core.release()
+        if self._waiters:
+            self._waiters.pop(0).trigger()
+
+    @property
+    def busy_ns(self) -> float:
+        """Total held time across all cores (in-flight holds included)."""
+        total = sum(core.busy_ns for core in self.cores)
+        for core in self.cores:
+            if core.busy:
+                total += self.sim.now - core._held_since
+        return total

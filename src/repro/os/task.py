@@ -1,0 +1,116 @@
+"""Processes and tasks (the simulated kernel's ``task_struct``).
+
+A :class:`Process` owns an address space (page tables, segment layout,
+per-region heap allocators).  A :class:`Task` is a schedulable thread
+with a saved host CPU context plus the Flick-specific fields the paper
+adds to ``task_struct``: the faulting target address, the migration
+flag (used to kick the DMA *after* the context switch away), and the
+thread's NxP stack pointer.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.allocator import RegionAllocator
+from repro.memory.paging import PageTables
+
+__all__ = ["Process", "Task", "TaskState", "CpuContext", "ExecRange"]
+
+_pid_counter = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    SUSPENDED = "suspended"  # TASK_KILLABLE inside the migration ioctl()
+    DONE = "done"
+
+
+@dataclass
+class CpuContext:
+    """Saved architectural state of one core's view of a thread."""
+
+    regs: List[int]
+    pc: int
+    zf: bool = False
+    sf_lt: bool = False
+
+
+@dataclass(frozen=True)
+class ExecRange:
+    """One executable mapping and the ISA its instructions belong to."""
+
+    vaddr: int
+    size: int
+    isa: str
+
+    def contains(self, addr: int) -> bool:
+        return self.vaddr <= addr < self.vaddr + self.size
+
+
+class Process:
+    """An address space plus its placement-aware allocators."""
+
+    def __init__(
+        self,
+        name: str,
+        page_tables: PageTables,
+        host_heap: RegionAllocator,
+        nxp_heap: RegionAllocator,
+    ):
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.page_tables = page_tables
+        self.host_heap = host_heap  # returns *virtual* addresses
+        self.nxp_heap = nxp_heap  # returns *virtual* addresses (NxP window)
+        self.exec_ranges: List[ExecRange] = []
+        self.symbols: Dict[str, int] = {}
+        self.lazy_heap = None  # set by FlickMachine.enable_lazy_heap
+        self.output: List[int] = []  # values print()ed by any core
+        self.exit_code: Optional[int] = None
+
+    @property
+    def cr3(self) -> int:
+        return self.page_tables.cr3
+
+    def add_exec_range(self, vaddr: int, size: int, isa: str) -> None:
+        self.exec_ranges.append(ExecRange(vaddr, size, isa))
+
+    def isa_at(self, vaddr: int) -> Optional[str]:
+        for r in self.exec_ranges:
+            if r.contains(vaddr):
+                return r.isa
+        return None
+
+
+class Task:
+    """One software thread, migratable between host and NxP cores."""
+
+    def __init__(self, process: Process, name: str = ""):
+        self.process = process
+        self.tid = next(_pid_counter)
+        self.name = name or f"task{self.tid}"
+        self.state = TaskState.READY
+        self.host_context: Optional[CpuContext] = None
+        # Flick additions to task_struct (Section IV-B1 / IV-D):
+        self.faulting_target: Optional[int] = None
+        self.migration_pending: bool = False
+        self.nxp_stack_base: Optional[int] = None  # None => never migrated
+        self.nxp_sp: Optional[int] = None  # thread's current NxP stack pointer
+        # NxP-side suspended contexts, one per nesting level (reentrancy).
+        self.nxp_context_stack: List[CpuContext] = []
+        # Wake channel: the ioctl sleeps here; the IRQ handler delivers
+        # the inbound descriptor slot address.
+        self.wake_event = None  # repro.sim.Event, armed by the ioctl
+        self.wake_payload: Optional[int] = None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name} pid={self.pid} {self.state.value}>"

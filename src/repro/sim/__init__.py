@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate for the Flick reproduction."""
+
+from repro.sim.engine import (
+    Channel,
+    Deadlock,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.stats import Accumulator, Counter, StatRegistry, mean, percentile
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "Channel",
+    "SimulationError",
+    "Deadlock",
+    "Counter",
+    "Accumulator",
+    "StatRegistry",
+    "mean",
+    "percentile",
+]

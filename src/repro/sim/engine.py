@@ -1,0 +1,324 @@
+"""Discrete-event simulation engine.
+
+Every hardware and software component in the Flick reproduction runs on
+this engine: cores, the PCIe link, the DMA controller, the OS scheduler,
+and the migration handlers are all :class:`Process` coroutines that
+advance a shared simulated clock (in **nanoseconds**).
+
+The engine is deliberately small and dependency-free.  Processes are
+plain Python generators that ``yield`` one of:
+
+* ``sim.timeout(dt)`` — suspend for ``dt`` simulated nanoseconds,
+* an :class:`Event` — suspend until someone calls ``event.trigger(value)``;
+  the ``yield`` expression evaluates to ``value``,
+* another :class:`Process` — suspend until that process finishes; the
+  ``yield`` expression evaluates to its return value.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def pinger(sim, ev):
+...     yield sim.timeout(10)
+...     ev.trigger("pong")
+>>> def ponger(sim, ev):
+...     value = yield ev
+...     return (sim.now, value)
+>>> ev = Event(sim)
+>>> sim.spawn(pinger(sim, ev))        # doctest: +ELLIPSIS
+<Process ...>
+>>> p = sim.spawn(ponger(sim, ev))
+>>> sim.run()
+>>> p.value
+(10.0, 'pong')
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "Channel",
+    "SimulationError",
+    "Deadlock",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class Deadlock(SimulationError):
+    """Raised by :meth:`Simulator.run` when ``until`` was given but the
+    event queue drained before reaching it and live processes remain."""
+
+
+class Timeout:
+    """A pending delay; created via :meth:`Simulator.timeout`."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Event:
+    """A one-shot level-triggered event carrying an optional value.
+
+    Processes that ``yield`` an event before it triggers are resumed when
+    it triggers.  Processes that ``yield`` an already-triggered event
+    resume immediately (same simulated time) with the stored value.
+    """
+
+    __slots__ = ("sim", "name", "_triggered", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter at the current sim time."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(0.0, proc._resume, value)
+
+    def reset(self) -> None:
+        """Re-arm a triggered event so it can be triggered again.
+
+        Only legal when no process is currently waiting on it.
+        """
+        if self._waiters:
+            raise SimulationError(f"cannot reset event {self.name!r}: has waiters")
+        self._triggered = False
+        self._value = None
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.sim._schedule(0.0, proc._resume, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A running coroutine inside the simulator.
+
+    Created via :meth:`Simulator.spawn`.  A process finishes when its
+    generator returns; the return value is stored in :attr:`value` and
+    any processes waiting on it are resumed with that value.  An uncaught
+    exception inside a process aborts the whole simulation (it is
+    re-raised out of :meth:`Simulator.run`), because silent process death
+    hides protocol bugs.
+    """
+
+    __slots__ = ("sim", "gen", "name", "alive", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def _resume(self, send_value: Any = None) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self.sim._schedule(target.delay, self._resume, None)
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            if target.alive:
+                target._waiters.append(self)
+            else:
+                self.sim._schedule(0.0, self._resume, target.value)
+        elif target is None:
+            # Bare ``yield`` — cooperative re-schedule at the same time.
+            self.sim._schedule(0.0, self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object {target!r}"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.value = value
+        self.sim._live_processes -= 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(0.0, proc._resume, value)
+
+    def kill(self) -> None:
+        """Terminate the process without resuming it again."""
+        if self.alive:
+            self.alive = False
+            self.sim._live_processes -= 1
+            self.gen.close()
+            waiters, self._waiters = self._waiters, []
+            for proc in waiters:
+                self.sim._schedule(0.0, proc._resume, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Channel:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an object to ``yield`` on that
+    completes with the next item (immediately, at the current simulated
+    time, if an item is already queued).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.trigger(self._items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Simulator:
+    """The event loop and simulated clock (nanosecond granularity)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, Any]] = []
+        self._seq = itertools.count()
+        self._live_processes = 0
+        self._error: Optional[BaseException] = None
+
+    # -- process / primitive construction ---------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, starting it at ``now``."""
+        proc = Process(self, gen, name=name)
+        self._live_processes += 1
+        self._schedule(0.0, proc._resume, None)
+        return proc
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def channel(self, name: str = "") -> Channel:
+        return Channel(self, name=name)
+
+    # -- scheduling core ---------------------------------------------------
+
+    def _schedule(self, delay: float, callback: Callable, arg: Any) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback, arg))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or ``until`` ns is reached.
+
+        Raises :class:`Deadlock` if ``until`` was requested but every
+        process went idle before that time (usually a lost wakeup).
+        Re-raises the first uncaught exception from any process.
+        """
+        while self._queue:
+            at, _seq, callback, arg = self._queue[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = at
+            try:
+                callback(arg)
+            except SimulationError:
+                raise
+            except BaseException as exc:
+                raise SimulationError(
+                    f"uncaught exception in simulated process at t={self.now}ns"
+                ) from exc
+        if until is not None:
+            if self._live_processes > 0:
+                raise Deadlock(
+                    f"{self._live_processes} live process(es) idle at t={self.now}ns "
+                    f"before until={until}ns"
+                )
+            self.now = until
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, and return its value."""
+        proc = self.spawn(gen, name=name)
+        self.run()
+        if proc.alive:
+            raise Deadlock(f"process {proc.name!r} never finished")
+        return proc.value
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Return an event that triggers once every input has triggered."""
+        events = list(events)
+        combined = Event(self, name="all_of")
+        remaining = [len(events)]
+        results: List[Any] = [None] * len(events)
+        if not events:
+            combined.trigger([])
+            return combined
+
+        def watcher(i: int, ev: Event) -> Generator:
+            results[i] = yield ev
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.trigger(list(results))
+
+        for i, ev in enumerate(events):
+            self.spawn(watcher(i, ev), name=f"all_of[{i}]")
+        return combined

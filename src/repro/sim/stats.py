@@ -1,0 +1,114 @@
+"""Lightweight statistics helpers used by benchmarks and workloads."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["Counter", "Accumulator", "StatRegistry", "mean", "percentile"]
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Iterable[float], pct: float) -> float:
+    """Nearest-rank percentile; ``pct`` in [0, 100]."""
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile out of range: {pct}")
+    if pct == 0:
+        return values[0]
+    rank = math.ceil(pct / 100.0 * len(values))
+    return values[rank - 1]
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += n
+
+
+@dataclass
+class Accumulator:
+    """Accumulates samples; exposes count/total/mean/min/max."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, sample: float) -> None:
+        self.samples.append(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+
+class StatRegistry:
+    """Shared registry of counters/accumulators for one simulated machine.
+
+    Components grab their counters lazily so tests can introspect
+    behaviour (e.g. TLB miss counts, DMA transfers, migration counts)
+    without plumbing objects everywhere.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.accumulators: Dict[str, Accumulator] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self.accumulators:
+            self.accumulators[name] = Accumulator(name)
+        return self.accumulators[name]
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).add(n)
+
+    def sample(self, name: str, value: float) -> None:
+        self.accumulator(name).add(value)
+
+    def get(self, name: str, default: int = 0) -> int:
+        c = self.counters.get(name)
+        return c.value if c else default
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {k: c.value for k, c in self.counters.items()}
+        for k, a in self.accumulators.items():
+            if a.count:
+                out[f"{k}.mean"] = a.mean
+                out[f"{k}.count"] = a.count
+        return out

@@ -1,0 +1,29 @@
+"""Multi-ISA toolchain: FlickC compiler, FELF format, linker, loader."""
+
+from repro.toolchain.felf import (
+    Executable,
+    FelfError,
+    ObjectFile,
+    SECTION_ISA,
+    SECTION_PLACEMENT,
+    Section,
+    Segment,
+)
+from repro.toolchain.flickc import compile_source, partition
+from repro.toolchain.linker import LinkError, LinkerScript, RUNTIME_STUB_SYMBOLS, link
+
+__all__ = [
+    "ObjectFile",
+    "Section",
+    "Segment",
+    "Executable",
+    "FelfError",
+    "SECTION_ISA",
+    "SECTION_PLACEMENT",
+    "compile_source",
+    "partition",
+    "link",
+    "LinkerScript",
+    "LinkError",
+    "RUNTIME_STUB_SYMBOLS",
+]

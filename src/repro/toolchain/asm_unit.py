@@ -1,0 +1,85 @@
+"""Assembly translation units: hand-written dual-ISA code into FELF.
+
+The paper's toolchain accepts compiler output *and* hand-written
+assembly per ISA.  This module is the `.s`-file path: it assembles
+per-ISA source into the correct FELF sections, exporting labels as
+global symbols, so assembly units can be linked together with FlickC
+objects (or each other) into multi-ISA executables.
+
+Example
+-------
+>>> from repro.toolchain.asm_unit import assemble_unit
+>>> obj = assemble_unit(
+...     hisa_source='''
+...     main:
+...         li rdi, 21
+...         la r10, dev_double
+...         call r10
+...         ret
+...     ''',
+...     nisa_source='''
+...     dev_double:
+...         add a0, a0, a0
+...         ret
+...     ''',
+... )
+>>> sorted(obj.defined_symbols())
+['dev_double', 'main']
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.assembler import parse
+from repro.isa import hisa, nisa
+from repro.toolchain.felf import ObjectFile
+
+__all__ = ["assemble_unit", "add_data_symbols"]
+
+
+def assemble_unit(
+    hisa_source: str = "",
+    nisa_source: str = "",
+    name: str = "asm_unit",
+    data: Optional[Dict[str, int]] = None,
+    nxp_data: Optional[Dict[str, int]] = None,
+) -> ObjectFile:
+    """Assemble per-ISA sources into one multi-ISA object file.
+
+    Every label becomes a global symbol (assembly units are small; a
+    ``.local`` directive is not worth the complexity).  ``data`` /
+    ``nxp_data`` create 8-byte initialized globals with the given
+    placement.
+    """
+    obj = ObjectFile(name)
+
+    for source, isa_name, encode_program in (
+        (hisa_source, "hisa", hisa.encode_program),
+        (nisa_source, "nisa", nisa.encode_program),
+    ):
+        if not source.strip():
+            continue
+        insts = parse(source, isa_name)
+        code, relocs, labels = encode_program(insts)
+        section = obj.section(f".text.{isa_name}")
+        section.data += code
+        section.relocations.extend(relocs)
+        for label, offset in labels.items():
+            section.add_symbol(label, offset)
+
+    add_data_symbols(obj, ".data", data or {})
+    add_data_symbols(obj, ".data.nxp", nxp_data or {})
+    return obj
+
+
+def add_data_symbols(obj: ObjectFile, section_name: str, values: Dict[str, int]) -> None:
+    """Append 8-byte globals to a data section of ``obj``."""
+    if not values:
+        return
+    section = obj.section(section_name)
+    for symbol, value in values.items():
+        offset = len(section.data)
+        section.data += struct.pack("<q", value)
+        section.add_symbol(symbol, offset)

@@ -1,0 +1,159 @@
+"""FELF — the Flick multi-ISA object/executable format (Section IV-C).
+
+Mirrors the paper's toolchain decisions:
+
+* per-ISA text sections carry the target ISA in their *name*
+  (``.text.hisa`` / ``.text.nisa``, like the paper's ``.text.riscv``),
+  which is how the linker picks relocation functions and how the loader
+  decides which pages get the NX bit;
+* data sections carry a *placement* ("host" or "nxp") so the loader can
+  put annotated NxP-local data into the device DRAM (Section III-D);
+* one executable holds code for every ISA in a single shared virtual
+  address space — internal references may freely cross ISA boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.base import Relocation
+
+__all__ = [
+    "Section",
+    "ObjectFile",
+    "Segment",
+    "Executable",
+    "SECTION_ISA",
+    "SECTION_PLACEMENT",
+    "FelfError",
+]
+
+
+class FelfError(Exception):
+    """Malformed object/executable or symbol errors."""
+
+
+#: Section name -> executing ISA (None: not executable).
+SECTION_ISA = {
+    ".text.hisa": "hisa",
+    ".text.nisa": "nisa",
+}
+
+#: Section name -> memory placement (Section III-D policy).
+SECTION_PLACEMENT = {
+    ".text.hisa": "host",   # host code in host DRAM
+    ".text.nisa": "host",   # NxP code *also* in host DRAM (I-cache covers it)
+    ".rodata": "host",
+    ".data": "host",        # coherence requires host placement over PCIe
+    ".bss": "host",
+    ".data.nxp": "nxp",     # annotated NxP-local data
+    ".bss.nxp": "nxp",
+}
+
+
+@dataclass
+class Section:
+    """One named section inside an object file."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    align: int = 16
+    relocations: List[Relocation] = field(default_factory=list)
+    # symbol name -> offset within this section
+    symbols: Dict[str, int] = field(default_factory=dict)
+    bss_size: int = 0  # for .bss-style sections: zero-filled size
+
+    @property
+    def isa(self) -> Optional[str]:
+        return SECTION_ISA.get(self.name)
+
+    @property
+    def placement(self) -> str:
+        placement = SECTION_PLACEMENT.get(self.name)
+        if placement is None:
+            raise FelfError(f"unknown section {self.name!r}")
+        return placement
+
+    @property
+    def size(self) -> int:
+        return len(self.data) + self.bss_size
+
+    def add_symbol(self, name: str, offset: int) -> None:
+        if name in self.symbols:
+            raise FelfError(f"duplicate symbol {name!r} in {self.name}")
+        self.symbols[name] = offset
+
+
+@dataclass
+class ObjectFile:
+    """The output of compiling one translation unit (all ISAs together)."""
+
+    name: str
+    sections: Dict[str, Section] = field(default_factory=dict)
+
+    def section(self, name: str) -> Section:
+        if name not in SECTION_PLACEMENT:
+            raise FelfError(f"unknown section name {name!r}")
+        if name not in self.sections:
+            self.sections[name] = Section(name)
+        return self.sections[name]
+
+    def defined_symbols(self) -> Dict[str, str]:
+        """symbol -> section name, checking for duplicates across sections."""
+        out: Dict[str, str] = {}
+        for section in self.sections.values():
+            for sym in section.symbols:
+                if sym in out:
+                    raise FelfError(f"symbol {sym!r} defined twice in {self.name}")
+                out[sym] = section.name
+        return out
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A loadable piece of the executable."""
+
+    section_name: str
+    vaddr: int
+    data: bytes
+    bss_size: int
+    isa: Optional[str]       # executing ISA, or None for data
+    placement: str           # "host" | "nxp"
+    writable: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.data) + self.bss_size
+
+
+@dataclass
+class Executable:
+    """A linked multi-ISA executable: one address space, many ISAs."""
+
+    entry_symbol: str
+    segments: List[Segment]
+    symbols: Dict[str, int]           # global symbol -> absolute vaddr
+    isa_of_symbol: Dict[str, Optional[str]]
+
+    @property
+    def entry(self) -> int:
+        return self.symbols[self.entry_symbol]
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise FelfError(f"undefined symbol {name!r}") from None
+
+    def segment_named(self, section_name: str) -> Segment:
+        for seg in self.segments:
+            if seg.section_name == section_name:
+                return seg
+        raise FelfError(f"no segment for section {section_name!r}")
+
+    def isa_at(self, vaddr: int) -> Optional[str]:
+        for seg in self.segments:
+            if seg.vaddr <= vaddr < seg.vaddr + seg.size:
+                return seg.isa
+        return None

@@ -1,0 +1,24 @@
+"""FlickC: a small C-like language with per-function ISA annotations.
+
+This is the reproduction's stand-in for the paper's annotated-C flow
+(Section IV-C1): the developer marks functions ``@nxp`` (or ``@host``,
+the default); the toolchain partitions the program, compiles each part
+with the matching ISA backend, and links the results into one multi-ISA
+executable.  No migration code is ever inserted — migration happens at
+runtime through NX page faults.
+"""
+
+from repro.toolchain.flickc.driver import compile_source, partition
+from repro.toolchain.flickc.lexer import LexError, tokenize
+from repro.toolchain.flickc.parser import ParseError, parse_program
+from repro.toolchain.flickc.codegen import CodegenError
+
+__all__ = [
+    "compile_source",
+    "partition",
+    "tokenize",
+    "parse_program",
+    "LexError",
+    "ParseError",
+    "CodegenError",
+]

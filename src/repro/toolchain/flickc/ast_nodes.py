@@ -1,0 +1,148 @@
+"""FlickC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "Program",
+    "FuncDecl",
+    "GlobalVar",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "If",
+    "While",
+    "Return",
+    "ExprStmt",
+    "IntLit",
+    "VarRef",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "CallPtr",
+    "AddrOf",
+]
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+
+
+@dataclass
+class VarRef:
+    name: str
+
+
+@dataclass
+class BinOp:
+    op: str  # + - * / % == != < <= > >= && ||
+    left: object
+    right: object
+
+
+@dataclass
+class UnOp:
+    op: str  # - !
+    operand: object
+
+
+@dataclass
+class Call:
+    name: str
+    args: List[object]
+
+
+@dataclass
+class CallPtr:
+    """Indirect call through a function pointer: ``call_ptr(fp, ...)``."""
+
+    target: object
+    args: List[object]
+
+
+@dataclass
+class AddrOf:
+    """``&name`` — address of a function or global variable."""
+
+    name: str
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    statements: List[object] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl:
+    name: str
+    init: object
+
+
+@dataclass
+class Assign:
+    name: str
+    value: object
+
+
+@dataclass
+class If:
+    cond: object
+    then: Block
+    orelse: Optional[Block]
+
+
+@dataclass
+class While:
+    cond: object
+    body: Block
+
+
+@dataclass
+class Return:
+    value: Optional[object]
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[str]
+    body: Block
+    isa: str  # "hisa" (default) or "nisa" (@nxp)
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    init: int
+    placement: str  # "host" (default) or "nxp" (@nxp)
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: List[FuncDecl] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,567 @@
+"""FlickC code generation — one backend per ISA, one shared AST walker.
+
+The walker evaluates expressions into an *accumulator* register and
+spills temporaries to the machine stack, so generated code is simple,
+obviously correct, and exercises each ISA's real calling convention:
+
+* NISA: acc = ``t0``, secondary = ``t1``, address temp = ``t2``; frame =
+  ``[ra][old fp][slots...]`` addressed off ``fp``; args in ``a0..``.
+* HISA: acc = ``rax``, secondary = ``rcx``, address temp = ``r10``;
+  classic ``push rbp / mov rbp, rsp`` frames; args in ``rdi, rsi, ...``;
+  CALL/RET through the stack.
+
+``alloc``/``free`` lower to the per-ISA allocator stubs
+(``__host_malloc`` vs ``__nxp_malloc``), reproducing the paper's
+"linker relocates allocation calls to the corresponding allocator"
+placement rule (Section III-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from repro.isa import hisa, nisa
+from repro.isa.base import Instruction, Op, Sym
+from repro.toolchain.flickc import ast_nodes as A
+
+__all__ = ["CodegenError", "FunctionCodegen", "MAX_ARGS"]
+
+MAX_ARGS = 6  # min(HISA's 6 register args, NISA's 8); descriptors carry 6
+
+
+class CodegenError(Exception):
+    pass
+
+
+class _Backend:
+    """ISA-specific instruction emission primitives."""
+
+    isa: str
+
+    def __init__(self, emit):
+        self.emit = emit  # callback appending an Instruction
+
+
+class _NisaBackend(_Backend):
+    isa = "nisa"
+    ACC, SEC, TMP = 5, 6, 7  # t0, t1, t2
+    FP, SP, RA, ZERO = 8, 2, 1, 0
+    ARGS = nisa.NISA_ABI.arg_regs
+    RET = nisa.NISA_ABI.ret_reg
+
+    def prologue(self, nslots: int, params: List[str]) -> None:
+        frame = 16 + 8 * nslots
+        self.emit(Instruction(Op.ADDI, rd=self.SP, rs1=self.SP, imm=-frame))
+        self.emit(Instruction(Op.ST, rs1=self.SP, rs2=self.RA, imm=0))
+        self.emit(Instruction(Op.ST, rs1=self.SP, rs2=self.FP, imm=8))
+        self.emit(Instruction(Op.MOV, rd=self.FP, rs1=self.SP))
+        for i, _name in enumerate(params):
+            self.emit(Instruction(Op.ST, rs1=self.FP, rs2=self.ARGS[i], imm=16 + 8 * i))
+
+    def epilogue(self, nslots: int) -> None:
+        frame = 16 + 8 * nslots
+        self.emit(Instruction(Op.MOV, rd=self.SP, rs1=self.FP))
+        self.emit(Instruction(Op.LD, rd=self.RA, rs1=self.SP, imm=0))
+        self.emit(Instruction(Op.LD, rd=self.FP, rs1=self.SP, imm=8))
+        self.emit(Instruction(Op.ADDI, rd=self.SP, rs1=self.SP, imm=frame))
+        self.emit(Instruction(Op.RET))
+
+    def load_const(self, value: int) -> None:
+        if -(1 << 31) <= value < (1 << 31):
+            self.emit(Instruction(Op.LI, rd=self.ACC, imm=value))
+        else:
+            self.emit(Instruction(Op.LI, rd=self.ACC, imm=value & 0xFFFF_FFFF))
+            self.emit(Instruction(Op.LIH, rd=self.ACC, imm=(value >> 32) & 0xFFFF_FFFF))
+
+    def load_symbol_addr(self, sym: str, into_acc: bool = True) -> int:
+        reg = self.ACC if into_acc else self.TMP
+        self.emit(Instruction(Op.LI, rd=reg, imm=Sym(sym)))
+        self.emit(Instruction(Op.LIH, rd=reg, imm=Sym(sym)))
+        return reg
+
+    def load_local(self, slot: int) -> None:
+        self.emit(Instruction(Op.LD, rd=self.ACC, rs1=self.FP, imm=16 + 8 * slot))
+
+    def store_local(self, slot: int) -> None:
+        self.emit(Instruction(Op.ST, rs1=self.FP, rs2=self.ACC, imm=16 + 8 * slot))
+
+    def load_global(self, sym: str) -> None:
+        reg = self.load_symbol_addr(sym, into_acc=False)
+        self.emit(Instruction(Op.LD, rd=self.ACC, rs1=reg, imm=0))
+
+    def store_global(self, sym: str) -> None:
+        reg = self.load_symbol_addr(sym, into_acc=False)
+        self.emit(Instruction(Op.ST, rs1=reg, rs2=self.ACC, imm=0))
+
+    def push_acc(self) -> None:
+        self.emit(Instruction(Op.ADDI, rd=self.SP, rs1=self.SP, imm=-8))
+        self.emit(Instruction(Op.ST, rs1=self.SP, rs2=self.ACC, imm=0))
+
+    def pop_secondary(self) -> None:
+        self.emit(Instruction(Op.LD, rd=self.SEC, rs1=self.SP, imm=0))
+        self.emit(Instruction(Op.ADDI, rd=self.SP, rs1=self.SP, imm=8))
+
+    def pop_reg(self, reg: int) -> None:
+        self.emit(Instruction(Op.LD, rd=reg, rs1=self.SP, imm=0))
+        self.emit(Instruction(Op.ADDI, rd=self.SP, rs1=self.SP, imm=8))
+
+    _ALU = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM}
+
+    def binop(self, op: str) -> None:
+        """acc = secondary OP acc (lhs was popped into secondary)."""
+        a, b, acc = self.SEC, self.ACC, self.ACC
+        if op in self._ALU:
+            self.emit(Instruction(self._ALU[op], rd=acc, rs1=a, rs2=b))
+        elif op == "==":
+            self.emit(Instruction(Op.SEQ, rd=acc, rs1=a, rs2=b))
+        elif op == "!=":
+            self.emit(Instruction(Op.SNE, rd=acc, rs1=a, rs2=b))
+        elif op == "<":
+            self.emit(Instruction(Op.SLT, rd=acc, rs1=a, rs2=b))
+        elif op == ">":
+            self.emit(Instruction(Op.SLT, rd=acc, rs1=b, rs2=a))
+        elif op == "<=":  # !(b < a)
+            self.emit(Instruction(Op.SLT, rd=acc, rs1=b, rs2=a))
+            self.emit(Instruction(Op.SEQ, rd=acc, rs1=acc, rs2=self.ZERO))
+        elif op == ">=":  # !(a < b)
+            self.emit(Instruction(Op.SLT, rd=acc, rs1=a, rs2=b))
+            self.emit(Instruction(Op.SEQ, rd=acc, rs1=acc, rs2=self.ZERO))
+        else:
+            raise CodegenError(f"bad binop {op!r}")
+
+    def neg(self) -> None:
+        self.emit(Instruction(Op.SUB, rd=self.ACC, rs1=self.ZERO, rs2=self.ACC))
+
+    def logical_not(self) -> None:
+        self.emit(Instruction(Op.SEQ, rd=self.ACC, rs1=self.ACC, rs2=self.ZERO))
+
+    def normalize_bool(self) -> None:
+        self.emit(Instruction(Op.SNE, rd=self.ACC, rs1=self.ACC, rs2=self.ZERO))
+
+    def jump_if_false(self, label: str) -> None:
+        self.emit(Instruction(Op.BEQ, rs1=self.ACC, rs2=self.ZERO, imm=Sym(label)))
+
+    def jump(self, label: str) -> None:
+        self.emit(Instruction(Op.J, imm=Sym(label)))
+
+    def mem_load(self, size: int) -> None:
+        op = {8: Op.LD, 4: Op.LW, 1: Op.LBU}[size]
+        self.emit(Instruction(op, rd=self.ACC, rs1=self.ACC, imm=0))
+
+    def mem_store(self, size: int) -> None:
+        """store acc to [secondary] (address was popped into secondary)."""
+        op = {8: Op.ST, 4: Op.SW, 1: Op.SB}[size]
+        self.emit(Instruction(op, rs1=self.SEC, rs2=self.ACC, imm=0))
+
+    def pop_args(self, count: int) -> None:
+        for i in reversed(range(count)):
+            self.pop_reg(self.ARGS[i])
+
+    def call(self, sym: str, near: bool = True) -> None:
+        if near:
+            self.emit(Instruction(Op.CALL, imm=Sym(sym)))
+        else:
+            # Far call: the target may live anywhere in the 48-bit space
+            # (another unit, a kernel module, a runtime stub) -- load the
+            # absolute address and call through a register.
+            self.load_symbol_addr(sym, into_acc=False)
+            self.emit(Instruction(Op.JALR, rd=self.RA, rs1=self.TMP, imm=0))
+        self.emit(Instruction(Op.MOV, rd=self.ACC, rs1=self.RET))
+
+    def call_ptr(self) -> None:
+        """Target address was popped into TMP; args already in arg regs."""
+        self.emit(Instruction(Op.JALR, rd=self.RA, rs1=self.TMP, imm=0))
+        self.emit(Instruction(Op.MOV, rd=self.ACC, rs1=self.RET))
+
+    def move_acc_to_retreg(self) -> None:
+        self.emit(Instruction(Op.MOV, rd=self.RET, rs1=self.ACC))
+
+    def ecall2(self, code: int) -> None:
+        """args: arg0 = code, arg1 = acc; result -> acc."""
+        self.emit(Instruction(Op.MOV, rd=self.ARGS[1], rs1=self.ACC))
+        self.emit(Instruction(Op.LI, rd=self.ARGS[0], imm=code))
+        self.emit(Instruction(Op.ECALL))
+        self.emit(Instruction(Op.MOV, rd=self.ACC, rs1=self.RET))
+
+
+class _HisaBackend(_Backend):
+    isa = "hisa"
+    ACC, SEC, TMP = 0, 1, 10  # rax, rcx, r10
+    FP, SP = 5, 4  # rbp, rsp
+    ARGS = hisa.HISA_ABI.arg_regs
+    RET = hisa.HISA_ABI.ret_reg
+
+    def prologue(self, nslots: int, params: List[str]) -> None:
+        self.emit(Instruction(Op.PUSH, rd=self.FP))
+        self.emit(Instruction(Op.MOV, rd=self.FP, rs1=self.SP))
+        if nslots:
+            self.emit(Instruction(Op.SUB, rd=self.SP, imm=8 * nslots))
+        for i, _name in enumerate(params):
+            self.emit(Instruction(Op.ST, rs1=self.FP, rs2=self.ARGS[i], imm=-8 * (i + 1)))
+
+    def epilogue(self, nslots: int) -> None:
+        self.emit(Instruction(Op.MOV, rd=self.SP, rs1=self.FP))
+        self.emit(Instruction(Op.POP, rd=self.FP))
+        self.emit(Instruction(Op.RET))
+
+    def load_const(self, value: int) -> None:
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=value))
+
+    def load_symbol_addr(self, sym: str, into_acc: bool = True) -> int:
+        reg = self.ACC if into_acc else self.TMP
+        self.emit(Instruction(Op.LI, rd=reg, imm=Sym(sym)))
+        return reg
+
+    def load_local(self, slot: int) -> None:
+        self.emit(Instruction(Op.LD, rd=self.ACC, rs1=self.FP, imm=-8 * (slot + 1)))
+
+    def store_local(self, slot: int) -> None:
+        self.emit(Instruction(Op.ST, rs1=self.FP, rs2=self.ACC, imm=-8 * (slot + 1)))
+
+    def load_global(self, sym: str) -> None:
+        reg = self.load_symbol_addr(sym, into_acc=False)
+        self.emit(Instruction(Op.LD, rd=self.ACC, rs1=reg, imm=0))
+
+    def store_global(self, sym: str) -> None:
+        reg = self.load_symbol_addr(sym, into_acc=False)
+        self.emit(Instruction(Op.ST, rs1=reg, rs2=self.ACC, imm=0))
+
+    def push_acc(self) -> None:
+        self.emit(Instruction(Op.PUSH, rd=self.ACC))
+
+    def pop_secondary(self) -> None:
+        self.emit(Instruction(Op.POP, rd=self.SEC))
+
+    def pop_reg(self, reg: int) -> None:
+        self.emit(Instruction(Op.POP, rd=reg))
+
+    _ALU = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM}
+    _CONDS = {"==": "eq", "!=": "ne", "<": "lt", ">=": "ge", "<=": "le", ">": "gt"}
+
+    def __init__(self, emit, new_label):
+        super().__init__(emit)
+        self.new_label = new_label
+
+    def binop(self, op: str) -> None:
+        """acc = secondary OP acc."""
+        if op in self._ALU:
+            self.emit(Instruction(self._ALU[op], rd=self.SEC, rs1=self.ACC))
+            self.emit(Instruction(Op.MOV, rd=self.ACC, rs1=self.SEC))
+        elif op in self._CONDS:
+            true_label = self.new_label("cmp")
+            self.emit(Instruction(Op.CMP, rd=self.SEC, rs1=self.ACC))
+            self.emit(Instruction(Op.LI, rd=self.ACC, imm=1))
+            self.emit(Instruction(Op.JCC, cond=self._CONDS[op], imm=Sym(true_label)))
+            self.emit(Instruction(Op.LI, rd=self.ACC, imm=0))
+            self.emit(Instruction(Op.NOP, label=true_label))
+        else:
+            raise CodegenError(f"bad binop {op!r}")
+
+    def neg(self) -> None:
+        self.emit(Instruction(Op.MOV, rd=self.SEC, rs1=self.ACC))
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.SUB, rd=self.ACC, rs1=self.SEC))
+
+    def logical_not(self) -> None:
+        label = self.new_label("not")
+        self.emit(Instruction(Op.CMP, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=1))
+        self.emit(Instruction(Op.JCC, cond="eq", imm=Sym(label)))
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.NOP, label=label))
+
+    def normalize_bool(self) -> None:
+        label = self.new_label("bool")
+        self.emit(Instruction(Op.CMP, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.JCC, cond="eq", imm=Sym(label)))
+        self.emit(Instruction(Op.LI, rd=self.ACC, imm=1))
+        self.emit(Instruction(Op.NOP, label=label))
+
+    def jump_if_false(self, label: str) -> None:
+        self.emit(Instruction(Op.CMP, rd=self.ACC, imm=0))
+        self.emit(Instruction(Op.JCC, cond="eq", imm=Sym(label)))
+
+    def jump(self, label: str) -> None:
+        self.emit(Instruction(Op.J, imm=Sym(label)))
+
+    def mem_load(self, size: int) -> None:
+        op = {8: Op.LD, 4: Op.LW, 1: Op.LBU}[size]
+        self.emit(Instruction(op, rd=self.ACC, rs1=self.ACC, imm=0))
+
+    def mem_store(self, size: int) -> None:
+        op = {8: Op.ST, 4: Op.SW, 1: Op.SB}[size]
+        self.emit(Instruction(op, rs1=self.SEC, rs2=self.ACC, imm=0))
+
+    def pop_args(self, count: int) -> None:
+        for i in reversed(range(count)):
+            self.pop_reg(self.ARGS[i])
+
+    def call(self, sym: str, near: bool = True) -> None:
+        if near:
+            self.emit(Instruction(Op.CALL, imm=Sym(sym)))
+        else:
+            self.load_symbol_addr(sym, into_acc=False)  # movabs r10, sym
+            self.emit(Instruction(Op.CALLR, rs1=self.TMP))
+
+    def call_ptr(self) -> None:
+        self.emit(Instruction(Op.CALLR, rs1=self.TMP))
+
+    def move_acc_to_retreg(self) -> None:
+        pass  # acc *is* rax
+
+    def ecall2(self, code: int) -> None:
+        self.emit(Instruction(Op.MOV, rd=self.ARGS[1], rs1=self.ACC))
+        self.emit(Instruction(Op.LI, rd=self.ARGS[0], imm=code))
+        self.emit(Instruction(Op.ECALL))
+
+
+_MEM_BUILTINS = {
+    "load": ("load", 8), "load32": ("load", 4), "load8": ("load", 1),
+    "store": ("store", 8), "store32": ("store", 4), "store8": ("store", 1),
+}
+
+_SYSCALLS = {"exit": 0, "print": 1}
+
+
+class FunctionCodegen:
+    """Generates the instruction list for one function."""
+
+    def __init__(
+        self,
+        func: A.FuncDecl,
+        global_names: Set[str],
+        func_names: Set[str],
+        near_funcs: Optional[Set[str]] = None,
+    ):
+        self.func = func
+        self.global_names = global_names
+        self.func_names = func_names
+        # Functions guaranteed to live in this unit's same-ISA text
+        # section: reachable with rel32.  Everything else (other ISA,
+        # other unit, kernel modules, runtime stubs) gets a far call.
+        self.near_funcs = near_funcs if near_funcs is not None else func_names
+        self.insts: List[Instruction] = []
+        self._labels = itertools.count()
+        self.slots: Dict[str, int] = {}
+        if func.isa == "nisa":
+            self.backend = _NisaBackend(self._emit)
+        else:
+            self.backend = _HisaBackend(self._emit, self._new_label)
+        if len(func.params) > MAX_ARGS:
+            raise CodegenError(f"{func.name}: more than {MAX_ARGS} parameters")
+        self._collect_slots()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _emit(self, inst: Instruction) -> None:
+        self.insts.append(inst)
+
+    def _new_label(self, tag: str) -> str:
+        return f".{self.func.name}.{tag}{next(self._labels)}"
+
+    def _label_here(self, label: str) -> None:
+        self._emit(Instruction(Op.NOP, label=label))
+
+    def _collect_slots(self) -> None:
+        for param in self.func.params:
+            if param in self.slots:
+                raise CodegenError(f"{self.func.name}: duplicate parameter {param!r}")
+            self.slots[param] = len(self.slots)
+
+        def walk(block: A.Block) -> None:
+            for stmt in block.statements:
+                if isinstance(stmt, A.VarDecl):
+                    if stmt.name in self.slots:
+                        raise CodegenError(
+                            f"{self.func.name}: duplicate variable {stmt.name!r}"
+                        )
+                    self.slots[stmt.name] = len(self.slots)
+                elif isinstance(stmt, A.If):
+                    walk(stmt.then)
+                    if stmt.orelse:
+                        walk(stmt.orelse)
+                elif isinstance(stmt, A.While):
+                    walk(stmt.body)
+
+        walk(self.func.body)
+
+    # -- generation -----------------------------------------------------------------
+
+    def generate(self) -> List[Instruction]:
+        b = self.backend
+        self.ret_label = self._new_label("ret")
+        b.prologue(len(self.slots), self.func.params)
+        if self.insts:
+            self.insts[0].label = self.func.name
+        else:  # empty prologue cannot happen, but be safe
+            self._label_here(self.func.name)
+        self.stmt_block(self.func.body)
+        # Fall-through return (value 0).
+        b.load_const(0)
+        b.move_acc_to_retreg()
+        self._label_here(self.ret_label)
+        b.epilogue(len(self.slots))
+        return self.insts
+
+    def stmt_block(self, block: A.Block) -> None:
+        for stmt in block.statements:
+            self.statement(stmt)
+
+    def statement(self, stmt) -> None:
+        b = self.backend
+        if isinstance(stmt, A.VarDecl):
+            self.expr(stmt.init)
+            b.store_local(self.slots[stmt.name])
+        elif isinstance(stmt, A.Assign):
+            self.expr(stmt.value)
+            if stmt.name in self.slots:
+                b.store_local(self.slots[stmt.name])
+            elif stmt.name in self.global_names:
+                b.store_global(stmt.name)
+            else:
+                raise CodegenError(f"{self.func.name}: assignment to unknown {stmt.name!r}")
+        elif isinstance(stmt, A.If):
+            else_label = self._new_label("else")
+            end_label = self._new_label("endif")
+            self.expr(stmt.cond)
+            b.jump_if_false(else_label if stmt.orelse else end_label)
+            self.stmt_block(stmt.then)
+            if stmt.orelse:
+                b.jump(end_label)
+                self._label_here(else_label)
+                self.stmt_block(stmt.orelse)
+            self._label_here(end_label)
+        elif isinstance(stmt, A.While):
+            top = self._new_label("while")
+            end = self._new_label("endwhile")
+            self._label_here(top)
+            self.expr(stmt.cond)
+            b.jump_if_false(end)
+            self.stmt_block(stmt.body)
+            b.jump(top)
+            self._label_here(end)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self.expr(stmt.value)
+            else:
+                b.load_const(0)
+            b.move_acc_to_retreg()
+            b.jump(self.ret_label)
+        elif isinstance(stmt, A.ExprStmt):
+            self.expr(stmt.expr)
+        else:
+            raise CodegenError(f"unknown statement {stmt!r}")
+
+    def expr(self, node) -> None:
+        b = self.backend
+        if isinstance(node, A.IntLit):
+            b.load_const(node.value)
+        elif isinstance(node, A.VarRef):
+            if node.name in self.slots:
+                b.load_local(self.slots[node.name])
+            elif node.name in self.global_names:
+                b.load_global(node.name)
+            else:
+                raise CodegenError(f"{self.func.name}: unknown variable {node.name!r}")
+        elif isinstance(node, A.AddrOf):
+            if node.name not in self.global_names and node.name not in self.func_names:
+                raise CodegenError(f"{self.func.name}: '&' of unknown {node.name!r}")
+            b.load_symbol_addr(node.name, into_acc=True)
+        elif isinstance(node, A.UnOp):
+            self.expr(node.operand)
+            if node.op == "-":
+                b.neg()
+            else:
+                b.logical_not()
+        elif isinstance(node, A.BinOp):
+            if node.op in ("&&", "||"):
+                self._short_circuit(node)
+            else:
+                self.expr(node.left)
+                b.push_acc()
+                self.expr(node.right)
+                b.pop_secondary()
+                b.binop(node.op)
+        elif isinstance(node, A.Call):
+            self._call(node)
+        elif isinstance(node, A.CallPtr):
+            self._call_ptr(node)
+        else:
+            raise CodegenError(f"unknown expression {node!r}")
+
+    def _short_circuit(self, node: A.BinOp) -> None:
+        b = self.backend
+        out = self._new_label("sc_out")
+        shortcut = self._new_label("sc_cut")
+        self.expr(node.left)
+        if node.op == "&&":
+            b.jump_if_false(shortcut)
+            self.expr(node.right)
+            b.normalize_bool()
+            b.jump(out)
+            self._label_here(shortcut)
+            b.load_const(0)
+        else:  # ||
+            b.jump_if_false(shortcut)
+            b.load_const(1)
+            b.jump(out)
+            self._label_here(shortcut)
+            self.expr(node.right)
+            b.normalize_bool()
+        self._label_here(out)
+
+    def _call(self, node: A.Call) -> None:
+        b = self.backend
+        name = node.name
+
+        if name in _MEM_BUILTINS:
+            kind, size = _MEM_BUILTINS[name]
+            if kind == "load":
+                if len(node.args) != 1:
+                    raise CodegenError(f"{name} takes 1 argument")
+                self.expr(node.args[0])
+                b.mem_load(size)
+            else:
+                if len(node.args) != 2:
+                    raise CodegenError(f"{name} takes 2 arguments")
+                self.expr(node.args[0])  # address
+                b.push_acc()
+                self.expr(node.args[1])  # value
+                b.pop_secondary()
+                b.mem_store(size)
+            return
+
+        if name in _SYSCALLS:
+            if len(node.args) != 1:
+                raise CodegenError(f"{name} takes 1 argument")
+            self.expr(node.args[0])
+            b.ecall2(_SYSCALLS[name])
+            return
+
+        if name == "alloc":
+            name = "__nxp_malloc" if self.func.isa == "nisa" else "__host_malloc"
+        elif name == "free":
+            name = "__nxp_free" if self.func.isa == "nisa" else "__host_free"
+
+        if len(node.args) > MAX_ARGS:
+            raise CodegenError(f"call to {name!r}: more than {MAX_ARGS} arguments")
+        for arg in node.args:
+            self.expr(arg)
+            b.push_acc()
+        b.pop_args(len(node.args))
+        b.call(name, near=name in self.near_funcs)
+
+    def _call_ptr(self, node: A.CallPtr) -> None:
+        b = self.backend
+        if len(node.args) > MAX_ARGS:
+            raise CodegenError(f"call_ptr: more than {MAX_ARGS} arguments")
+        self.expr(node.target)
+        b.push_acc()
+        for arg in node.args:
+            self.expr(arg)
+            b.push_acc()
+        b.pop_args(len(node.args))
+        b.pop_reg(b.TMP)
+        b.call_ptr()

@@ -1,0 +1,86 @@
+"""FlickC compilation driver: partition by annotation, compile per ISA.
+
+Reproduces the paper's flow (Section IV-C1): annotated source is
+partitioned into per-ISA groups, each group is compiled by the matching
+backend (with renamed sections, e.g. ``.text.nisa``), and the pieces are
+assembled into one multi-ISA object file.  No migration code is
+inserted anywhere — crossing happens via NX faults at runtime.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.isa import hisa, nisa
+from repro.toolchain.felf import FelfError, ObjectFile
+from repro.toolchain.flickc import ast_nodes as A
+from repro.toolchain.flickc.codegen import CodegenError, FunctionCodegen
+from repro.toolchain.flickc.parser import parse_program
+
+__all__ = ["partition", "compile_source"]
+
+
+def partition(program: A.Program) -> Dict[str, List[A.FuncDecl]]:
+    """Group functions by target ISA (the paper's source-partition step)."""
+    groups: Dict[str, List[A.FuncDecl]] = {"hisa": [], "nisa": []}
+    for fn in program.functions:
+        groups[fn.isa].append(fn)
+    return groups
+
+
+def compile_source(source: str, name: str = "unit", optimize: bool = False) -> ObjectFile:
+    """Compile one FlickC translation unit into a multi-ISA object file.
+
+    ``optimize=True`` runs the constant-folding/branch-pruning pass
+    (see :mod:`repro.toolchain.flickc.optimizer`) before codegen.
+    """
+    program = parse_program(source)
+    if optimize:
+        from repro.toolchain.flickc.optimizer import optimize_program
+
+        program = optimize_program(program)
+
+    func_names = set()
+    for fn in program.functions:
+        if fn.name in func_names:
+            raise CodegenError(f"duplicate function {fn.name!r}")
+        func_names.add(fn.name)
+    global_names = set()
+    for gv in program.globals:
+        if gv.name in global_names or gv.name in func_names:
+            raise CodegenError(f"duplicate global {gv.name!r}")
+        global_names.add(gv.name)
+
+    obj = ObjectFile(name)
+
+    # -- code: one .text.<isa> section per ISA actually used -----------------
+    for isa_name, funcs in partition(program).items():
+        if not funcs:
+            continue
+        near_funcs = {fn.name for fn in funcs}  # same unit, same ISA
+        insts = []
+        for fn in funcs:
+            insts.extend(
+                FunctionCodegen(fn, global_names, func_names, near_funcs=near_funcs).generate()
+            )
+        if isa_name == "nisa":
+            code, relocs, labels = nisa.encode_program(insts)
+        else:
+            code, relocs, labels = hisa.encode_program(insts)
+        section = obj.section(f".text.{isa_name}")
+        section.data += code
+        section.relocations.extend(relocs)
+        for fn in funcs:
+            if fn.name not in labels:
+                raise FelfError(f"lost symbol for function {fn.name!r}")
+            section.add_symbol(fn.name, labels[fn.name])
+
+    # -- globals: .data (host) and .data.nxp per placement annotation ---------
+    for gv in program.globals:
+        section = obj.section(".data" if gv.placement == "host" else ".data.nxp")
+        offset = len(section.data)
+        section.data += struct.pack("<q", gv.init)
+        section.add_symbol(gv.name, offset)
+
+    return obj

@@ -1,0 +1,68 @@
+"""FlickC lexer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "tokenize", "LexError", "KEYWORDS"]
+
+KEYWORDS = {"func", "var", "if", "else", "while", "return"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<annotation>@[A-Za-z_]\w*)
+  | (?P<int>0x[0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>==|!=|<=|>=|&&|\|\||[-+*/%<>=!&(){},;])
+    """,
+    re.VERBOSE,
+)
+
+
+class LexError(Exception):
+    def __init__(self, line: int, col: int, message: str):
+        self.line = line
+        self.col = col
+        super().__init__(f"{line}:{col}: {message}")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "ident" | "kw" | "op" | "annotation" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn FlickC source into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(line, pos - line_start + 1, f"bad character {source[pos]!r}")
+        text = m.group(0)
+        kind = m.lastgroup
+        col = pos - line_start + 1
+        if kind == "ws" or kind == "comment":
+            pass
+        elif kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line, col))
+        else:
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = m.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

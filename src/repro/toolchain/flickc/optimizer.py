@@ -1,0 +1,206 @@
+"""FlickC AST optimizer: constant folding and branch pruning.
+
+An optional pass (``compile_source(..., optimize=True)``) that runs
+between parsing and codegen:
+
+* folds constant arithmetic/comparison/logical subtrees with FlickC's
+  runtime semantics (64-bit wraparound, C-style truncating division,
+  0/1 booleans) — division by a constant zero is left unfolded so the
+  runtime fault behaviour is preserved;
+* simplifies algebraic identities (``x+0``, ``x*1``, ``x*0`` when the
+  operand is side-effect-free, ``!!x`` in branch contexts);
+* prunes ``if``/``while`` with constant conditions (dead branches are
+  dropped; ``while (0)`` disappears).
+
+The differential fuzz suite runs with the optimizer on and off and
+compares — folding must never change observable behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.toolchain.flickc import ast_nodes as A
+
+__all__ = ["optimize_program", "fold_expr"]
+
+MASK64 = (1 << 64) - 1
+
+
+def _to_signed(v: int) -> int:
+    v &= MASK64
+    return v - (1 << 64) if v >> 63 else v
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _const(node) -> Optional[int]:
+    """The node's signed constant value, or None."""
+    if isinstance(node, A.IntLit):
+        return _to_signed(node.value)
+    return None
+
+
+def _pure(node) -> bool:
+    """True when evaluating the node can have no side effects."""
+    if isinstance(node, (A.IntLit, A.VarRef, A.AddrOf)):
+        return True
+    if isinstance(node, A.UnOp):
+        return _pure(node.operand)
+    if isinstance(node, A.BinOp):
+        return _pure(node.left) and _pure(node.right)
+    return False  # calls (and anything unknown) may have effects
+
+
+def fold_expr(node):
+    """Return an equivalent, possibly simpler expression node."""
+    if isinstance(node, A.BinOp):
+        left = fold_expr(node.left)
+        right = fold_expr(node.right)
+        node = A.BinOp(node.op, left, right)
+        lv, rv = _const(left), _const(right)
+
+        if lv is not None and rv is not None:
+            return _fold_binop_consts(node.op, lv, rv) or node
+
+        # Algebraic identities (only when dropping a side is safe).
+        if node.op == "+":
+            if rv == 0:
+                return left
+            if lv == 0:
+                return right
+        elif node.op == "-" and rv == 0:
+            return left
+        elif node.op == "*":
+            if rv == 1:
+                return left
+            if lv == 1:
+                return right
+            if (rv == 0 and _pure(left)) or (lv == 0 and _pure(right)):
+                return A.IntLit(0)
+        elif node.op == "&&":
+            if lv is not None:
+                # Constant lhs: short-circuit is compile-time decidable.
+                return A.IntLit(0) if lv == 0 else _boolify(right)
+        elif node.op == "||":
+            if lv is not None:
+                return _boolify(right) if lv == 0 else A.IntLit(1)
+        return node
+
+    if isinstance(node, A.UnOp):
+        operand = fold_expr(node.operand)
+        value = _const(operand)
+        if value is not None:
+            if node.op == "-":
+                return A.IntLit(_to_signed(-value))
+            return A.IntLit(int(value == 0))
+        return A.UnOp(node.op, operand)
+
+    if isinstance(node, A.Call):
+        return A.Call(node.name, [fold_expr(a) for a in node.args])
+    if isinstance(node, A.CallPtr):
+        return A.CallPtr(fold_expr(node.target), [fold_expr(a) for a in node.args])
+    return node
+
+
+def _boolify(node):
+    """0/1-normalize an already-folded node for &&/|| results."""
+    value = _const(node)
+    if value is not None:
+        return A.IntLit(int(value != 0))
+    return A.BinOp("!=", node, A.IntLit(0))
+
+
+def _fold_binop_consts(op: str, lv: int, rv: int) -> Optional[A.IntLit]:
+    if op == "+":
+        return A.IntLit(_to_signed(lv + rv))
+    if op == "-":
+        return A.IntLit(_to_signed(lv - rv))
+    if op == "*":
+        return A.IntLit(_to_signed(lv * rv))
+    if op == "/":
+        if rv == 0:
+            return None  # preserve the runtime fault
+        return A.IntLit(_to_signed(_trunc_div(lv, rv)))
+    if op == "%":
+        if rv == 0:
+            return None
+        return A.IntLit(_to_signed(lv - _trunc_div(lv, rv) * rv))
+    if op == "<":
+        return A.IntLit(int(lv < rv))
+    if op == "<=":
+        return A.IntLit(int(lv <= rv))
+    if op == ">":
+        return A.IntLit(int(lv > rv))
+    if op == ">=":
+        return A.IntLit(int(lv >= rv))
+    if op == "==":
+        return A.IntLit(int(lv == rv))
+    if op == "!=":
+        return A.IntLit(int(lv != rv))
+    if op == "&&":
+        return A.IntLit(int(bool(lv) and bool(rv)))
+    if op == "||":
+        return A.IntLit(int(bool(lv) or bool(rv)))
+    return None
+
+
+def _fold_block(block: A.Block) -> A.Block:
+    out: List[object] = []
+    for stmt in block.statements:
+        folded = _fold_stmt(stmt)
+        if folded is None:
+            continue
+        if isinstance(folded, list):
+            out.extend(folded)
+        else:
+            out.append(folded)
+    return A.Block(out)
+
+
+def _fold_stmt(stmt):
+    if isinstance(stmt, A.VarDecl):
+        return A.VarDecl(stmt.name, fold_expr(stmt.init))
+    if isinstance(stmt, A.Assign):
+        return A.Assign(stmt.name, fold_expr(stmt.value))
+    if isinstance(stmt, A.Return):
+        return A.Return(fold_expr(stmt.value) if stmt.value is not None else None)
+    if isinstance(stmt, A.ExprStmt):
+        expr = fold_expr(stmt.expr)
+        if _pure(expr):
+            return None  # side-effect-free statement: drop it
+        return A.ExprStmt(expr)
+    if isinstance(stmt, A.If):
+        cond = fold_expr(stmt.cond)
+        value = _const(cond)
+        then = _fold_block(stmt.then)
+        orelse = _fold_block(stmt.orelse) if stmt.orelse else None
+        if value is not None:
+            taken = then if value != 0 else orelse
+            return list(taken.statements) if taken else None
+        return A.If(cond, then, orelse)
+    if isinstance(stmt, A.While):
+        cond = fold_expr(stmt.cond)
+        if _const(cond) == 0:
+            return None  # while (0) vanishes
+        return A.While(cond, _fold_block(stmt.body))
+    return stmt
+
+
+def optimize_program(program: A.Program) -> A.Program:
+    """Fold every function body; globals are untouched (already ints).
+
+    Note: dropped branches may eliminate ``var`` declarations; the
+    codegen allocates slots from a pre-pass over the *optimized* body,
+    so eliminated variables simply cost nothing.
+    """
+    return A.Program(
+        functions=[
+            A.FuncDecl(fn.name, fn.params, _fold_block(fn.body), isa=fn.isa, line=fn.line)
+            for fn in program.functions
+        ],
+        globals=list(program.globals),
+    )

@@ -1,0 +1,240 @@
+"""FlickC recursive-descent parser.
+
+Grammar (EBNF):
+
+    program     := (funcdecl | globalvar)*
+    funcdecl    := annotation? "func" IDENT "(" params? ")" block
+    globalvar   := annotation? "var" IDENT ("=" ("-")? INT)? ";"
+    annotation  := "@nxp" | "@host"
+    block       := "{" statement* "}"
+    statement   := "var" IDENT "=" expr ";"
+                 | IDENT "=" expr ";"
+                 | "if" "(" expr ")" block ("else" (block | if-stmt))?
+                 | "while" "(" expr ")" block
+                 | "return" expr? ";"
+                 | expr ";"
+    expr        := or-chain with C-like precedence:
+                   ||  <  &&  <  == !=  <  < <= > >=  <  + -  <  * / %  <  unary - !
+    primary     := INT | IDENT | IDENT "(" args ")" | "&" IDENT
+                 | "call_ptr" "(" expr ("," expr)* ")" | "(" expr ")"
+
+All values are 64-bit integers; comparisons yield 0/1; ``&&``/``||``
+short-circuit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.toolchain.flickc import ast_nodes as A
+from repro.toolchain.flickc.lexer import Token, tokenize
+
+__all__ = ["parse_program", "ParseError"]
+
+
+class ParseError(Exception):
+    def __init__(self, token: Token, message: str):
+        self.token = token
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.text!r})")
+
+
+_BINOP_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(tok, f"expected {want!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    # -- top level ------------------------------------------------------------
+
+    def program(self) -> A.Program:
+        prog = A.Program()
+        while self.peek().kind != "eof":
+            annotation = self.accept("annotation")
+            target = self._target_from_annotation(annotation)
+            if self.accept("kw", "func"):
+                prog.functions.append(self.funcdecl(target))
+            elif self.accept("kw", "var"):
+                prog.globals.append(self.globalvar(target))
+            else:
+                raise ParseError(self.peek(), "expected 'func' or 'var' at top level")
+        return prog
+
+    def _target_from_annotation(self, annotation: Optional[Token]) -> str:
+        if annotation is None or annotation.text == "@host":
+            return "host"
+        if annotation.text == "@nxp":
+            return "nxp"
+        raise ParseError(annotation, "unknown annotation (use @nxp or @host)")
+
+    def funcdecl(self, target: str) -> A.FuncDecl:
+        name_tok = self.expect("ident")
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.block()
+        isa = "nisa" if target == "nxp" else "hisa"
+        return A.FuncDecl(name_tok.text, params, body, isa=isa, line=name_tok.line)
+
+    def globalvar(self, target: str) -> A.GlobalVar:
+        name_tok = self.expect("ident")
+        init = 0
+        if self.accept("op", "="):
+            negative = bool(self.accept("op", "-"))
+            value_tok = self.expect("int")
+            init = int(value_tok.text, 0)
+            if negative:
+                init = -init
+        self.expect("op", ";")
+        return A.GlobalVar(name_tok.text, init, placement=target, line=name_tok.line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def block(self) -> A.Block:
+        self.expect("op", "{")
+        stmts: List[object] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.statement())
+        return A.Block(stmts)
+
+    def statement(self):
+        if self.accept("kw", "var"):
+            name = self.expect("ident").text
+            self.expect("op", "=")
+            expr = self.expr()
+            self.expect("op", ";")
+            return A.VarDecl(name, expr)
+        if self.accept("kw", "if"):
+            return self._if_statement()
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            return A.While(cond, self.block())
+        if self.accept("kw", "return"):
+            if self.accept("op", ";"):
+                return A.Return(None)
+            value = self.expr()
+            self.expect("op", ";")
+            return A.Return(value)
+        # assignment or expression statement
+        if (
+            self.peek().kind == "ident"
+            and self.tokens[self.pos + 1].kind == "op"
+            and self.tokens[self.pos + 1].text == "="
+        ):
+            name = self.advance().text
+            self.advance()  # '='
+            value = self.expr()
+            self.expect("op", ";")
+            return A.Assign(name, value)
+        expr = self.expr()
+        self.expect("op", ";")
+        return A.ExprStmt(expr)
+
+    def _if_statement(self) -> A.If:
+        self.expect("op", "(")
+        cond = self.expr()
+        self.expect("op", ")")
+        then = self.block()
+        orelse: Optional[A.Block] = None
+        if self.accept("kw", "else"):
+            if self.accept("kw", "if"):
+                orelse = A.Block([self._if_statement()])
+            else:
+                orelse = self.block()
+        return A.If(cond, then, orelse)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, level: int = 0):
+        if level >= len(_BINOP_LEVELS):
+            return self.unary()
+        node = self.expr(level + 1)
+        ops = _BINOP_LEVELS[level]
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.advance().text
+            right = self.expr(level + 1)
+            node = A.BinOp(op, node, right)
+        return node
+
+    def unary(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self.advance()
+            return A.UnOp(tok.text, self.unary())
+        if tok.kind == "op" and tok.text == "&":
+            self.advance()
+            name = self.expect("ident").text
+            return A.AddrOf(name)
+        return self.primary()
+
+    def primary(self):
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return A.IntLit(int(tok.text, 0))
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            node = self.expr()
+            self.expect("op", ")")
+            return node
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: List[object] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                if tok.text == "call_ptr":
+                    if not args:
+                        raise ParseError(tok, "call_ptr needs a target expression")
+                    return A.CallPtr(args[0], args[1:])
+                return A.Call(tok.text, args)
+            return A.VarRef(tok.text)
+        raise ParseError(tok, "expected expression")
+
+
+def parse_program(source: str) -> A.Program:
+    """Tokenize and parse a FlickC translation unit."""
+    return _Parser(tokenize(source)).program()

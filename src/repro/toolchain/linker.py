@@ -1,0 +1,216 @@
+"""The multi-ISA linker (Section IV-C2).
+
+Follows the paper's design: the native linker machinery is reused, with
+
+* a **linker script** that keeps per-ISA sections separate (never merges
+  ``.text.nisa`` into ``.text.hisa``) and aligns every text section to a
+  4 KB page boundary so code for each ISA has its own page-table entries,
+* **relocation functions for both ISAs**, selected by section name —
+  HISA uses ``abs64``/``rel32``, NISA uses ``abs32lo``/``abs32hi`` pairs
+  and ``rel32`` — resolving symbols freely *across* ISA boundaries in the
+  single shared virtual address space,
+* routing of ``alloc`` calls to the per-ISA memory allocator stubs
+  (``__host_malloc`` vs ``__nxp_malloc``, Section III-D) — done by the
+  compiler emitting the ISA-appropriate symbol and the linker binding
+  both against runtime-provided stub addresses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.base import Relocation
+from repro.toolchain.felf import (
+    Executable,
+    FelfError,
+    ObjectFile,
+    SECTION_ISA,
+    SECTION_PLACEMENT,
+    Section,
+    Segment,
+)
+
+__all__ = ["LinkerScript", "LinkError", "link", "RUNTIME_STUB_SYMBOLS"]
+
+PAGE_4K = 4096
+
+#: Symbols the runtime provides (resolved to stub addresses the machine
+#: intercepts): per-region allocators and the user-space migration
+#: handler entry points.
+RUNTIME_STUB_SYMBOLS = (
+    "__host_malloc",
+    "__nxp_malloc",
+    "__host_free",
+    "__nxp_free",
+)
+
+
+class LinkError(FelfError):
+    """Undefined/duplicate symbols or relocation overflow."""
+
+
+@dataclass
+class LinkerScript:
+    """Section layout policy.
+
+    The default mirrors the paper's custom script: text sections first
+    (each 4 KB aligned, never merged across ISAs), then read-only data,
+    then writable host data, then NxP-placed data.
+    """
+
+    base_vaddr: int = 0x40_0000
+    order: Sequence[str] = (
+        ".text.hisa",
+        ".text.nisa",
+        ".rodata",
+        ".data",
+        ".bss",
+        ".data.nxp",
+        ".bss.nxp",
+    )
+    text_align: int = PAGE_4K
+    # Data sections are page-aligned too: NX bits and placement are
+    # per-page properties, so no page may mix a text section with data
+    # (or host-placed with NxP-placed bytes).
+    data_align: int = PAGE_4K
+
+    def align_for(self, section_name: str) -> int:
+        return self.text_align if section_name.startswith(".text") else self.data_align
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+@dataclass
+class _MergedSection:
+    name: str
+    vaddr: int = 0
+    data: bytearray = field(default_factory=bytearray)
+    bss_size: int = 0
+    relocations: List[Tuple[int, Relocation]] = field(default_factory=list)  # (bias, reloc)
+
+
+def link(
+    objects: Sequence[ObjectFile],
+    entry_symbol: str = "main",
+    script: Optional[LinkerScript] = None,
+    extra_symbols: Optional[Dict[str, int]] = None,
+) -> Executable:
+    """Link object files into one multi-ISA executable.
+
+    ``extra_symbols`` lets the caller bind runtime-provided symbols
+    (allocator stubs, etc.) to absolute addresses.
+    """
+    script = script or LinkerScript()
+    extra_symbols = dict(extra_symbols or {})
+
+    # 1. Merge same-named input sections, remembering each piece's bias.
+    merged: Dict[str, _MergedSection] = {}
+    # symbol -> (section name, offset-within-merged-section)
+    local_defs: Dict[str, Tuple[str, int]] = {}
+    for obj in objects:
+        for name, section in obj.sections.items():
+            if name not in SECTION_PLACEMENT:
+                raise LinkError(f"{obj.name}: unknown section {name!r}")
+            m = merged.setdefault(name, _MergedSection(name))
+            bias = _align_up(len(m.data), section.align)
+            m.data += b"\x00" * (bias - len(m.data))
+            m.data += section.data
+            m.bss_size += section.bss_size
+            for reloc in section.relocations:
+                m.relocations.append((bias, reloc))
+            for sym, offset in section.symbols.items():
+                if sym in local_defs:
+                    raise LinkError(f"duplicate symbol {sym!r} ({obj.name})")
+                if sym in extra_symbols:
+                    raise LinkError(f"symbol {sym!r} collides with a runtime symbol")
+                local_defs[sym] = (name, bias + offset)
+
+    # 2. Lay sections out per the script (text pages never shared by ISAs).
+    cursor = script.base_vaddr
+    ordered: List[_MergedSection] = []
+    for name in script.order:
+        if name not in merged:
+            continue
+        m = merged[name]
+        cursor = _align_up(cursor, script.align_for(name))
+        m.vaddr = cursor
+        cursor += len(m.data) + m.bss_size
+        ordered.append(m)
+    leftovers = set(merged) - {m.name for m in ordered}
+    if leftovers:
+        raise LinkError(f"sections not covered by the linker script: {sorted(leftovers)}")
+
+    # 3. Absolute symbol table.
+    symbols: Dict[str, int] = dict(extra_symbols)
+    isa_of_symbol: Dict[str, Optional[str]] = {s: None for s in extra_symbols}
+    for sym, (section_name, offset) in local_defs.items():
+        symbols[sym] = merged[section_name].vaddr + offset
+        isa_of_symbol[sym] = SECTION_ISA.get(section_name)
+
+    if entry_symbol not in symbols:
+        raise LinkError(f"entry symbol {entry_symbol!r} undefined")
+
+    # 4. Apply relocations — per-ISA relocation kinds, cross-ISA targets OK.
+    for m in ordered:
+        for bias, reloc in m.relocations:
+            _apply_relocation(m, bias, reloc, symbols)
+
+    # 5. Emit segments, checking the per-page exclusivity invariant the
+    # loader relies on (NX and placement are page-granular).
+    prev_end_page = -1
+    for m in ordered:
+        start_page = m.vaddr // PAGE_4K
+        if start_page <= prev_end_page:
+            raise LinkError(f"section {m.name} shares a page with its predecessor")
+        size = len(m.data) + m.bss_size
+        if size:
+            prev_end_page = (m.vaddr + size - 1) // PAGE_4K
+    segments = [
+        Segment(
+            section_name=m.name,
+            vaddr=m.vaddr,
+            data=bytes(m.data),
+            bss_size=m.bss_size,
+            isa=SECTION_ISA.get(m.name),
+            placement=SECTION_PLACEMENT[m.name],
+            writable=not (m.name.startswith(".text") or m.name == ".rodata"),
+        )
+        for m in ordered
+    ]
+    return Executable(
+        entry_symbol=entry_symbol,
+        segments=segments,
+        symbols=symbols,
+        isa_of_symbol=isa_of_symbol,
+    )
+
+
+def _apply_relocation(
+    m: _MergedSection, bias: int, reloc: Relocation, symbols: Dict[str, int]
+) -> None:
+    target = symbols.get(reloc.symbol.name)
+    if target is None:
+        raise LinkError(f"undefined symbol {reloc.symbol.name!r} referenced from {m.name}")
+    value = target + reloc.symbol.addend
+    patch_at = bias + reloc.offset
+
+    if reloc.kind == "abs64":
+        m.data[patch_at : patch_at + 8] = struct.pack("<Q", value & (1 << 64) - 1)
+    elif reloc.kind == "abs32lo":
+        m.data[patch_at : patch_at + 4] = struct.pack("<I", value & 0xFFFF_FFFF)
+    elif reloc.kind == "abs32hi":
+        m.data[patch_at : patch_at + 4] = struct.pack("<I", (value >> 32) & 0xFFFF_FFFF)
+    elif reloc.kind == "rel32":
+        pc = m.vaddr + bias + reloc.pc_base
+        delta = value - pc
+        if not -(1 << 31) <= delta < (1 << 31):
+            raise LinkError(
+                f"rel32 overflow to {reloc.symbol.name!r} (delta {delta:#x})"
+            )
+        m.data[patch_at : patch_at + 4] = struct.pack("<i", delta)
+    else:
+        raise LinkError(f"unknown relocation kind {reloc.kind!r}")

@@ -1,0 +1,5 @@
+"""Command-line tooling for the Flick reproduction."""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

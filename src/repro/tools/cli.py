@@ -1,0 +1,127 @@
+"""Command-line interface: compile, run and disassemble FlickC programs.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro run program.fc --args 6 7 --trace
+    python -m repro compile program.fc
+    python -m repro disasm program.fc
+
+``run`` executes on a fresh simulated machine and reports the return
+value, program output, simulated time and migration count.  ``compile``
+prints the linked image's sections and symbols.  ``disasm`` shows both
+ISAs' text sections side by side — useful for seeing what the dual
+backends emitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.machine import FlickMachine
+from repro.isa.disasm import disassemble
+from repro.toolchain.flickc import compile_source
+from repro.toolchain.linker import link
+from repro.core.stubs import STUB_SYMBOLS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flick reproduction: run FlickC programs on the simulated "
+        "heterogeneous-ISA machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="compile and run a FlickC program")
+    run_p.add_argument("file", help="FlickC source file")
+    run_p.add_argument("--args", nargs="*", type=int, default=[], help="main() arguments")
+    run_p.add_argument("--entry", default="main", help="entry function (default: main)")
+    run_p.add_argument("--trace", action="store_true", help="print the migration trace")
+    run_p.add_argument("--optimize", action="store_true", help="enable constant folding")
+    run_p.add_argument("--stats", action="store_true", help="dump machine statistics")
+
+    compile_p = sub.add_parser("compile", help="compile and link; show the image")
+    compile_p.add_argument("file")
+    compile_p.add_argument("--entry", default="main")
+    compile_p.add_argument("--optimize", action="store_true")
+
+    disasm_p = sub.add_parser("disasm", help="disassemble both text sections")
+    disasm_p.add_argument("file")
+    disasm_p.add_argument("--entry", default="main")
+    disasm_p.add_argument("--optimize", action="store_true")
+
+    return parser
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _link(source: str, entry: str, optimize: bool):
+    obj = compile_source(source, optimize=optimize)
+    return link([obj], entry_symbol=entry, extra_symbols=dict(STUB_SYMBOLS))
+
+
+def _cmd_run(args, out) -> int:
+    machine = FlickMachine()
+    obj = compile_source(_read(args.file), optimize=args.optimize)
+    exe = link([obj], entry_symbol=args.entry, extra_symbols=machine.runtime_symbols)
+    outcome = machine.run_program(exe, entry=args.entry, args=args.args)
+    if outcome.output:
+        for value in outcome.output:
+            print(value, file=out)
+    print(f"return value: {outcome.retval}", file=out)
+    print(f"simulated time: {outcome.sim_time_us:.3f} us", file=out)
+    print(f"migrations: {outcome.migrations}", file=out)
+    if args.trace:
+        print(machine.trace.render(), file=out)
+    if args.stats:
+        for key, value in sorted(outcome.stats.items()):
+            print(f"  {key} = {value}", file=out)
+    return 0
+
+
+def _cmd_compile(args, out) -> int:
+    exe = _link(_read(args.file), args.entry, args.optimize)
+    print("segments:", file=out)
+    for seg in exe.segments:
+        isa = seg.isa or "-"
+        print(
+            f"  {seg.section_name:12s} vaddr={seg.vaddr:#10x} size={seg.size:6d} "
+            f"isa={isa:5s} placement={seg.placement}",
+            file=out,
+        )
+    print("symbols:", file=out)
+    for name, addr in sorted(exe.symbols.items(), key=lambda kv: kv[1]):
+        isa = exe.isa_of_symbol.get(name) or "data/ext"
+        print(f"  {addr:#10x}  {name}  [{isa}]", file=out)
+    return 0
+
+
+def _cmd_disasm(args, out) -> int:
+    exe = _link(_read(args.file), args.entry, args.optimize)
+    for section_name, isa in ((".text.hisa", "hisa"), (".text.nisa", "nisa")):
+        try:
+            seg = exe.segment_named(section_name)
+        except Exception:
+            continue
+        print(f"{section_name} ({isa}):", file=out)
+        print(disassemble(seg.data, isa, base=seg.vaddr), file=out)
+        print(file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "compile": _cmd_compile, "disasm": _cmd_disasm}
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's evaluation workloads: null call, pointer chase, BFS."""
+
+from repro.workloads.bfs import BFSResult, reference_bfs_order, run_bfs
+from repro.workloads.graphs import PAPER_DATASETS, GraphCSR, scaled_dataset, social_graph
+from repro.workloads.kv_filter import KVFilterResult, run_kv_filter, sweep_selectivity
+from repro.workloads.null_call import (
+    RoundTripResult,
+    measure_h2n_roundtrip,
+    measure_n2h_roundtrip,
+    measure_roundtrips,
+)
+from repro.workloads.pointer_chase import (
+    PointerChasePoint,
+    run_pointer_chase,
+    sweep_pointer_chase,
+)
+
+__all__ = [
+    "measure_h2n_roundtrip",
+    "measure_n2h_roundtrip",
+    "measure_roundtrips",
+    "RoundTripResult",
+    "run_pointer_chase",
+    "sweep_pointer_chase",
+    "PointerChasePoint",
+    "run_bfs",
+    "reference_bfs_order",
+    "BFSResult",
+    "GraphCSR",
+    "social_graph",
+    "scaled_dataset",
+    "PAPER_DATASETS",
+    "run_kv_filter",
+    "sweep_selectivity",
+    "KVFilterResult",
+]

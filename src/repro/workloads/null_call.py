@@ -1,0 +1,118 @@
+"""Null-call microbenchmark (Section V-A / Table III).
+
+Measures Flick's thread-migration round-trip overhead exactly as the
+paper does: a loop calls an immediately-returning function on the other
+side many times; the average per-iteration time, minus the same loop's
+overhead with a *local* immediately-returning callee, is the round trip.
+
+Both directions are measured:
+
+* **Host-NxP-Host** — host loop calls an ``@nxp`` nop.
+* **NxP-Host-NxP** — an ``@nxp`` loop calls a host nop (the paper
+  derives this by subtraction; we measure it directly with the loop
+  running on the NxP, then subtract the NxP-side loop overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.machine import FlickMachine
+
+__all__ = ["RoundTripResult", "measure_h2n_roundtrip", "measure_n2h_roundtrip", "measure_roundtrips"]
+
+_H2N_SRC = """
+@nxp func remote_nop() { return 0; }
+func local_nop() { return 0; }
+func main(n, remote) {
+    var i = 0;
+    if (remote) {
+        while (i < n) { remote_nop(); i = i + 1; }
+    } else {
+        while (i < n) { local_nop(); i = i + 1; }
+    }
+    return 0;
+}
+"""
+
+_N2H_SRC = """
+func remote_nop() { return 0; }
+@nxp func local_nop() { return 0; }
+@nxp func dev_loop(n, remote) {
+    var i = 0;
+    if (remote) {
+        while (i < n) { remote_nop(); i = i + 1; }
+    } else {
+        while (i < n) { local_nop(); i = i + 1; }
+    }
+    return 0;
+}
+func main(n, remote) { return dev_loop(n, remote); }
+"""
+
+
+@dataclass(frozen=True)
+class RoundTripResult:
+    """Average per-migration round trip, in nanoseconds."""
+
+    roundtrip_ns: float
+    loop_total_ns: float
+    baseline_total_ns: float
+    calls: int
+
+    @property
+    def roundtrip_us(self) -> float:
+        return self.roundtrip_ns / 1000.0
+
+
+def _loop_time(source: str, calls: int, remote: bool, cfg: FlickConfig, warmup: int) -> float:
+    machine = FlickMachine(cfg)
+    exe = machine.compile(source)
+    process = machine.load(exe)
+    # Warmup run: first-migration stack allocation, cold TLBs/I-cache.
+    if warmup:
+        thread = machine.spawn(process, args=[warmup, 1 if remote else 0])
+        machine.run()
+        start = thread.finished_at
+    else:
+        start = 0.0
+    thread = machine.spawn(process, args=[calls, 1 if remote else 0])
+    machine.run()
+    return thread.finished_at - start
+
+
+def measure_h2n_roundtrip(
+    cfg: FlickConfig = DEFAULT_CONFIG, calls: int = 200, warmup: int = 3
+) -> RoundTripResult:
+    """Host-NxP-Host migration round trip (paper: 18.3 us)."""
+    remote = _loop_time(_H2N_SRC, calls, remote=True, cfg=cfg, warmup=warmup)
+    local = _loop_time(_H2N_SRC, calls, remote=False, cfg=cfg, warmup=warmup)
+    return RoundTripResult(
+        roundtrip_ns=(remote - local) / calls,
+        loop_total_ns=remote,
+        baseline_total_ns=local,
+        calls=calls,
+    )
+
+
+def measure_n2h_roundtrip(
+    cfg: FlickConfig = DEFAULT_CONFIG, calls: int = 200, warmup: int = 3
+) -> RoundTripResult:
+    """NxP-Host-NxP migration round trip (paper: 16.9 us)."""
+    remote = _loop_time(_N2H_SRC, calls, remote=True, cfg=cfg, warmup=warmup)
+    local = _loop_time(_N2H_SRC, calls, remote=False, cfg=cfg, warmup=warmup)
+    return RoundTripResult(
+        roundtrip_ns=(remote - local) / calls,
+        loop_total_ns=remote,
+        baseline_total_ns=local,
+        calls=calls,
+    )
+
+
+def measure_roundtrips(cfg: FlickConfig = DEFAULT_CONFIG, calls: int = 200):
+    """Both directions (Table III)."""
+    return {
+        "host-nxp-host": measure_h2n_roundtrip(cfg, calls),
+        "nxp-host-nxp": measure_n2h_roundtrip(cfg, calls),
+    }

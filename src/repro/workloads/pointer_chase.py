@@ -1,0 +1,151 @@
+"""Pointer-chasing microbenchmark (Section V-B, Fig. 5).
+
+Variable-length linked lists live in the NxP-side DRAM, nodes 8-byte
+aligned and randomly spread.  A host loop calls a traversal function per
+list; the traversal either migrates to the NxP (Flick) or runs on the
+host reaching across PCIe (baseline).  Sweeping the list length sweeps
+the amount of work per migration:
+
+* Fig. 5a — back-to-back calls (no host work in between): Flick breaks
+  even around ~32 accesses/migration and plateaus at ~2.6x; systems with
+  500 us / 1 ms migration latency need far longer lists to benefit.
+* Fig. 5b — a call every 100 us of host work: the plateau drops to ~2x.
+
+All runs are hosted-mode: function bodies are timing-model generators,
+but every migration runs the full descriptor/DMA/interrupt protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.hosted import HostedMachine, HostedProgram
+
+__all__ = [
+    "PointerChasePoint",
+    "paper_sweep_points",
+    "build_chain",
+    "run_pointer_chase",
+    "sweep_pointer_chase",
+    "PER_NODE_COMPUTE_CYCLES",
+]
+
+PER_NODE_COMPUTE_CYCLES = 10  # pointer update + loop bookkeeping
+NODE_BYTES = 16  # one next-pointer per node, 16-byte spaced
+
+
+@dataclass(frozen=True)
+class PointerChasePoint:
+    """One sweep point: average time per traversal call."""
+
+    accesses: int
+    avg_call_ns: float
+    mode: str  # "flick" | "host"
+
+    @property
+    def avg_call_us(self) -> float:
+        return self.avg_call_ns / 1000.0
+
+
+def _make_program() -> HostedProgram:
+    prog = HostedProgram()
+
+    def traverse(ctx, head, count):
+        node = head
+        remaining = count
+        while remaining > 0:
+            node = ctx.load(node)
+            ctx.compute(PER_NODE_COMPUTE_CYCLES)
+            remaining -= 1
+            yield from ctx.maybe_flush()
+        return node
+
+    prog.register("traverse_nxp", "nisa", traverse)
+    prog.register("traverse_host", "hisa", traverse)
+
+    def main(ctx, head, count, calls, remote, inter_call_ns):
+        target = "traverse_nxp" if remote else "traverse_host"
+        for _ in range(calls):
+            if inter_call_ns:
+                ctx.charge(inter_call_ns)  # unrelated host work
+            yield from ctx.call(target, head, count)
+        return 0
+
+    prog.register("main", "hisa", main)
+    return prog
+
+
+def build_chain(hosted: HostedMachine, nodes: int, seed: int = 7) -> int:
+    """Build one linked list of ``nodes`` in NxP DRAM; returns head vaddr.
+
+    Node addresses are randomly spread within an allocation sized for the
+    list (mirroring the paper's random 8-byte-aligned placement without
+    touching gigabytes of simulated backing store).
+    """
+    rng = random.Random(seed)
+    span = max(nodes * NODE_BYTES * 4, 4096)
+    base = hosted.process.nxp_heap.alloc(span, align=4096)
+    slots = rng.sample(range(span // NODE_BYTES), nodes)
+    addrs = [base + s * NODE_BYTES for s in slots]
+    phys = hosted.machine.phys
+    for here, nxt in zip(addrs, addrs[1:] + [0]):
+        phys.write(hosted.translate(here), nxt.to_bytes(8, "little"))
+    return addrs[0]
+
+
+def run_pointer_chase(
+    accesses: int,
+    calls: int = 10,
+    mode: str = "flick",
+    cfg: Optional[FlickConfig] = None,
+    inter_call_ns: float = 0.0,
+    warmup_calls: int = 2,
+    seed: int = 7,
+) -> PointerChasePoint:
+    """Average per-call time for lists of ``accesses`` nodes."""
+    if mode not in ("flick", "host"):
+        raise ValueError(f"mode must be 'flick' or 'host', not {mode!r}")
+    prog = _make_program()
+    hosted = HostedMachine(prog, cfg=cfg or DEFAULT_CONFIG)
+    head = build_chain(hosted, accesses, seed=seed)
+    remote = 1 if mode == "flick" else 0
+    if warmup_calls:
+        hosted.run("main", [head, accesses, warmup_calls, remote, 0.0])
+    out = hosted.run("main", [head, accesses, calls, remote, inter_call_ns])
+    return PointerChasePoint(
+        accesses=accesses,
+        avg_call_ns=out.sim_time_ns / calls,
+        mode=mode,
+    )
+
+
+def paper_sweep_points(step: int = 4, max_accesses: int = 1024):
+    """The paper's exact sweep: 4..1024 in increments of 4 (256 points).
+
+    The default benchmarks use a 16-point log-spaced subset for wall-time
+    reasons; pass these points (e.g. via FLICK_BENCH_FULL=1 in the
+    benches) to reproduce the figure at full granularity.
+    """
+    return list(range(step, max_accesses + 1, step))
+
+
+def sweep_pointer_chase(
+    accesses_list: Sequence[int],
+    cfg: Optional[FlickConfig] = None,
+    calls: int = 10,
+    inter_call_ns: float = 0.0,
+) -> Dict[int, float]:
+    """Normalized performance (baseline time / Flick time) per point.
+
+    Values above 1.0 mean Flick outperforms the host-direct baseline —
+    the y-axis of Fig. 5.
+    """
+    out: Dict[int, float] = {}
+    for n in accesses_list:
+        flick = run_pointer_chase(n, calls=calls, mode="flick", cfg=cfg, inter_call_ns=inter_call_ns)
+        host = run_pointer_chase(n, calls=calls, mode="host", cfg=cfg, inter_call_ns=inter_call_ns)
+        out[n] = host.avg_call_ns / flick.avg_call_ns
+    return out

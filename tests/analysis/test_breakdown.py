@@ -1,0 +1,96 @@
+"""Measured-breakdown tests: trace analysis vs config pricing."""
+
+import pytest
+
+from repro import FlickMachine
+from repro.analysis.breakdown import measure_breakdown, render_breakdown
+from repro.baselines import flick_roundtrip_component_ns
+from repro.core.config import DEFAULT_CONFIG
+
+NULL_CALL = """
+@nxp func f() { return 0; }
+func main(n) {
+    var i = 0;
+    while (i < n) { f(); i = i + 1; }
+    return 0;
+}
+"""
+
+NESTED = """
+func host_leaf(x) { return x; }
+@nxp func dev(x) { return host_leaf(x); }
+func main() { return dev(1); }
+"""
+
+
+@pytest.fixture(scope="module")
+def traced_machine():
+    machine = FlickMachine()
+    machine.run_program(NULL_CALL, args=[10])
+    return machine
+
+
+class TestMeasureBreakdown:
+    def test_counts_simple_sessions(self, traced_machine):
+        b = measure_breakdown(traced_machine.trace)
+        assert b.sessions == 10
+
+    def test_total_matches_calibrated_roundtrip(self, traced_machine):
+        """Measured phases + the 0.7us fault = Table III's 18.3us
+        (modulo the interpreted nop's handful of instructions)."""
+        b = measure_breakdown(traced_machine.trace)
+        total_us = (b.total_ns + DEFAULT_CONFIG.host_page_fault_ns) / 1000
+        # Sessions include the first (cold) call, so allow some slack up.
+        assert 17.5 < total_us < 21.0
+
+    def test_phases_match_config_pricing(self, traced_machine):
+        """Cross-check: the measured host_out phase equals the summed
+        config constants for that path."""
+        b = measure_breakdown(traced_machine.trace)
+        cfg = DEFAULT_CONFIG
+        expected_host_out = (
+            cfg.host_handler_entry_ns
+            + cfg.host_ioctl_entry_ns
+            + cfg.host_desc_build_ns
+            + cfg.host_context_switch_ns
+            + cfg.host_dma_kick_ns
+        )
+        # First session also pays stack allocation; means sit slightly above.
+        assert b.phases["host_out"] == pytest.approx(expected_host_out, rel=0.10)
+
+    def test_host_resume_is_biggest_host_phase(self, traced_machine):
+        """The wakeup path dominates (the cost of releasing the core)."""
+        b = measure_breakdown(traced_machine.trace)
+        assert b.phases["host_resume"] > b.phases["host_out"]
+
+    def test_nested_sessions_excluded(self):
+        machine = FlickMachine()
+        machine.run_program(NESTED)
+        b = measure_breakdown(machine.trace)
+        assert b.sessions == 0  # the only session nested: skipped
+
+    def test_empty_trace(self):
+        machine = FlickMachine()
+        b = measure_breakdown(machine.trace)
+        assert b.sessions == 0
+        assert b.total_ns == 0.0
+
+    def test_pid_filter(self):
+        machine = FlickMachine(host_cores=2)
+        exe = machine.compile(NULL_CALL)
+        p1 = machine.load(exe, name="a")
+        p2 = machine.load(exe, name="b")
+        machine.spawn(p1, args=[3])
+        machine.spawn(p2, args=[5])
+        machine.run()
+        assert measure_breakdown(machine.trace, pid=p1.pid).sessions == 3
+        assert measure_breakdown(machine.trace, pid=p2.pid).sessions == 5
+
+
+class TestRender:
+    def test_render_includes_all_phases_and_total(self, traced_machine):
+        text = render_breakdown(measure_breakdown(traced_machine.trace))
+        for phase in ("host_out", "transfer_to_nxp", "nxp_execute", "return_to_host", "host_resume"):
+            assert phase in text
+        assert "TOTAL" in text
+        assert "page fault" in text

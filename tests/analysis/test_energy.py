@@ -1,0 +1,76 @@
+"""Energy model tests: Flick frees the host core; the bill shows it."""
+
+import pytest
+
+from repro.analysis.energy import EnergyEstimate, PowerModel, estimate_energy
+from repro.workloads.pointer_chase import run_pointer_chase, _make_program
+from repro.core.hosted import HostedMachine
+from repro.workloads.pointer_chase import build_chain
+
+
+def chase_energy(mode, accesses=1024, calls=6):
+    prog = _make_program()
+    hosted = HostedMachine(prog)
+    head = build_chain(hosted, accesses)
+    remote = 1 if mode == "flick" else 0
+    out = hosted.run("main", [head, accesses, calls, remote, 0.0])
+    return estimate_energy(hosted.machine, out.sim_time_ns), out
+
+
+class TestAccounting:
+    def test_host_direct_keeps_core_busy_whole_run(self):
+        est, out = chase_energy("host")
+        # One core, busy essentially the whole time.
+        assert est.host_idle_j < 0.05 * est.host_busy_j
+
+    def test_flick_releases_host_core(self):
+        est, out = chase_energy("flick")
+        # Most of the run executes on the NxP: the host core is parked.
+        assert est.host_busy_j < 0.4 * (est.host_busy_j + est.host_idle_j)
+
+    def test_nxp_busy_only_under_flick(self):
+        est_host, _ = chase_energy("host")
+        est_flick, _ = chase_energy("flick")
+        assert est_host.nxp_busy_j == 0.0
+        assert est_flick.nxp_busy_j > 0.0
+
+
+class TestComparison:
+    def test_flick_uses_less_energy_and_less_time(self):
+        est_host, out_host = chase_energy("host")
+        est_flick, out_flick = chase_energy("flick")
+        assert out_flick.sim_time_ns < out_host.sim_time_ns  # faster
+        assert est_flick.total_j < est_host.total_j  # and cheaper
+
+    def test_energy_advantage_exceeds_time_advantage(self):
+        """Flick wins twice: shorter runtime *and* the expensive core is
+        idle for most of it."""
+        est_host, out_host = chase_energy("host")
+        est_flick, out_flick = chase_energy("flick")
+        speedup = out_host.sim_time_ns / out_flick.sim_time_ns
+        energy_ratio = est_host.total_j / est_flick.total_j
+        assert energy_ratio > speedup
+
+    def test_power_model_is_sweepable(self):
+        est_default, out = chase_energy("flick")
+        expensive_nxp = PowerModel(nxp_active_w=50.0)  # absurd NxP
+        from repro.workloads.pointer_chase import _make_program
+
+        # Re-estimate the same run under a different model.
+        est2 = estimate_energy(out.machine, out.sim_time_ns, model=expensive_nxp)
+        assert est2.total_j > est_default.total_j
+
+
+class TestValidation:
+    def test_zero_duration_rejected(self):
+        est_host, out = chase_energy("host")
+        with pytest.raises(ValueError):
+            estimate_energy(out.machine, 0)
+
+    def test_estimate_fields_sum(self):
+        est, _ = chase_energy("flick")
+        assert est.total_j == pytest.approx(
+            est.host_busy_j + est.host_idle_j + est.nxp_busy_j + est.nxp_idle_j
+        )
+        d = est.as_dict()
+        assert set(d) == {"host_busy_j", "host_idle_j", "nxp_busy_j", "nxp_idle_j", "total_j"}

@@ -1,0 +1,70 @@
+"""Result export tests."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import config_to_dict, export_results, load_results
+from repro.core.config import DEFAULT_CONFIG
+from repro.workloads.pointer_chase import run_pointer_chase
+
+
+class TestConfigDict:
+    def test_contains_all_latency_fields(self):
+        d = config_to_dict(DEFAULT_CONFIG)
+        assert d["host_page_fault_ns"] == 700.0
+        assert d["nxp_clock_mhz"] == 200.0
+
+    def test_memory_map_nested(self):
+        d = config_to_dict(DEFAULT_CONFIG)
+        assert d["memory_map"]["bar0_base"] == 0xA_0000_0000
+
+    def test_overrides_visible(self):
+        cfg = DEFAULT_CONFIG.with_overrides(nxp_poll_period_ns=123.0)
+        assert config_to_dict(cfg)["nxp_poll_period_ns"] == 123.0
+
+
+class TestExportRoundtrip:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "results.json"
+        export_results(path, "fig5a", {"32": 0.92, "1024": 2.43}, notes="sweep")
+        loaded = load_results(path)
+        assert loaded["fig5a"]["results"]["32"] == 0.92
+        assert loaded["fig5a"]["notes"] == "sweep"
+        assert loaded["fig5a"]["config"]["host_page_fault_ns"] == 700.0
+
+    def test_accumulates_experiments(self, tmp_path):
+        path = tmp_path / "results.json"
+        export_results(path, "a", 1)
+        export_results(path, "b", 2)
+        loaded = load_results(path)
+        assert set(loaded) == {"a", "b"}
+
+    def test_same_experiment_overwritten(self, tmp_path):
+        path = tmp_path / "results.json"
+        export_results(path, "a", 1)
+        export_results(path, "a", 2)
+        assert load_results(path)["a"]["results"] == 2
+
+    def test_dataclass_results_serialized(self, tmp_path):
+        point = run_pointer_chase(4, calls=2)
+        path = export_results(tmp_path / "r.json", "point", point)
+        loaded = load_results(path)
+        assert loaded["point"]["results"]["accesses"] == 4
+        assert loaded["point"]["results"]["mode"] == "flick"
+
+    def test_output_is_valid_json_text(self, tmp_path):
+        path = tmp_path / "r.json"
+        export_results(path, "x", {"nested": [1, 2, {"y": None}]})
+        json.loads(path.read_text())  # no exception
+
+    def test_non_serializable_values_become_repr(self, tmp_path):
+        path = tmp_path / "r.json"
+        export_results(path, "x", {"obj": object()})
+        loaded = load_results(path)
+        assert "object" in loaded["x"]["results"]["obj"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "r.json"
+        export_results(path, "x", 1)
+        assert path.exists()

@@ -1,0 +1,89 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    crossover_point,
+    plateau_value,
+    render_fig5,
+    render_table,
+    table1_system_spec,
+    table2_prior_work,
+    table3_roundtrips,
+    table4_bfs,
+)
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        out = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        assert render_table(["x"], [["1"]], title="T").startswith("T")
+
+    def test_non_string_cells_coerced(self):
+        out = render_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestPaperTables:
+    def test_table1_mentions_paper_hardware(self):
+        out = table1_system_spec()
+        assert "200 MHz" in out
+        assert "PCIe" in out
+
+    def test_table2_flick_factors(self):
+        out = table2_prior_work(18.3)
+        assert "38.3x" in out  # EuroSys'15 / Flick
+        assert "23.5x" in out  # ISCA'16 / Flick
+        assert "Flick" in out
+
+    def test_table3_shows_measured_and_paper(self):
+        out = table3_roundtrips(18.3, 16.9)
+        assert "18.3us" in out
+        assert "16.9us" in out
+        assert "Paper" in out
+
+    def test_table4_computes_speedups(self):
+        results = {
+            "epinions1": {"baseline_s": 1.0, "flick_s": 1.4},
+            "pokec": {"baseline_s": 10.0, "flick_s": 8.0},
+        }
+        out = table4_bfs(results, scale=16)
+        assert "0.71x" in out  # epinions slower
+        assert "1.25x" in out  # pokec faster
+        assert "1/16" in out
+
+
+class TestFigures:
+    def test_ascii_plot_contains_all_series_markers(self):
+        out = ascii_plot({"a": {1: 0.5, 8: 1.5}, "b": {1: 0.2, 8: 0.9}})
+        assert "* = a" in out
+        assert "o = b" in out
+
+    def test_plot_axes_and_baseline(self):
+        out = ascii_plot({"s": {4: 0.5, 1024: 2.5}})
+        assert "1024" in out
+        assert "." in out  # baseline dots
+
+    def test_empty_plot_handled(self):
+        assert ascii_plot({}) == "(empty plot)"
+
+    def test_render_fig5_with_slow_lines(self):
+        out = render_fig5({4: 0.2, 64: 1.3}, slow_500us={4: 0.01, 64: 0.05})
+        assert "500us migration" in out
+
+    def test_crossover_point(self):
+        curve = {4: 0.2, 16: 0.6, 32: 0.95, 64: 1.3, 128: 1.8}
+        assert crossover_point(curve) == 64
+        assert crossover_point(curve, threshold=0.9) == 32
+
+    def test_crossover_none_when_never_reached(self):
+        assert crossover_point({4: 0.1, 8: 0.2}) is None
+
+    def test_plateau_value_averages_tail(self):
+        curve = {1: 0.1, 2: 2.0, 4: 2.2, 8: 2.4}
+        assert plateau_value(curve, tail_points=3) == pytest.approx(2.2)

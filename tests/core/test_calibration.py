@@ -1,0 +1,70 @@
+"""Calibration lock-in: the simulated machine reproduces the paper's
+measured numbers (DESIGN.md section 5).
+
+If a config change breaks any of these, the evaluation no longer
+reproduces the paper — these tests are the contract.
+"""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, PRIOR_WORK
+from repro.workloads.null_call import measure_h2n_roundtrip, measure_n2h_roundtrip
+
+
+class TestTableIII:
+    def test_host_nxp_host_roundtrip_is_18_3_us(self):
+        rt = measure_h2n_roundtrip(calls=100)
+        assert rt.roundtrip_us == pytest.approx(18.3, rel=0.03)
+
+    def test_nxp_host_nxp_roundtrip_is_16_9_us(self):
+        rt = measure_n2h_roundtrip(calls=100)
+        assert rt.roundtrip_us == pytest.approx(16.9, rel=0.03)
+
+    def test_direction_asymmetry_matches_paper(self):
+        """H2N is ~1.4us more expensive (the host page-fault entry path)."""
+        h2n = measure_h2n_roundtrip(calls=100).roundtrip_ns
+        n2h = measure_n2h_roundtrip(calls=100).roundtrip_ns
+        assert (h2n - n2h) == pytest.approx(1400, abs=500)
+
+
+class TestSectionVLatencies:
+    def test_page_fault_component_is_0_7_us(self):
+        """Section V-A: the host page fault is ~0.7us of the round trip."""
+        assert DEFAULT_CONFIG.host_page_fault_ns == pytest.approx(700, rel=0.01)
+
+    def test_host_to_nxp_storage_825ns(self):
+        assert DEFAULT_CONFIG.host_to_bar_read_ns == pytest.approx(825, rel=0.01)
+
+    def test_nxp_to_local_storage_267ns(self):
+        assert DEFAULT_CONFIG.nxp_to_local_read_ns == pytest.approx(267, rel=0.01)
+
+    def test_host_nxp_access_ratio_drives_2_6x_plateau(self):
+        """Fig. 5a plateaus at ~2.6x, 'the relative difference in latency
+        of the host core and the NxP when accessing the NxP side storage'
+        (plus per-node compute)."""
+        from repro.workloads.pointer_chase import PER_NODE_COMPUTE_CYCLES
+
+        cfg = DEFAULT_CONFIG
+        host_per_node = cfg.host_to_bar_read_ns + PER_NODE_COMPUTE_CYCLES * cfg.host_cycle_ns / 3
+        nxp_per_node = (
+            cfg.tlb_hit_ns + cfg.nxp_to_local_read_ns + PER_NODE_COMPUTE_CYCLES * cfg.nxp_cycle_ns
+        )
+        assert host_per_node / nxp_per_node == pytest.approx(2.6, rel=0.05)
+
+
+class TestTableIIFactors:
+    def test_prior_work_23x_to_38x_slower(self):
+        flick_rt = measure_h2n_roundtrip(calls=100).roundtrip_ns
+        factors = {
+            name: spec.round_trip_ns / flick_rt
+            for name, spec in PRIOR_WORK.items()
+            if name != "biglittle"
+        }
+        assert min(factors.values()) == pytest.approx(23, rel=0.1)  # ISCA'16
+        assert max(factors.values()) == pytest.approx(38, rel=0.1)  # EuroSys'15
+
+    def test_flick_beats_on_chip_big_little(self):
+        """The paper's headline: PCIe-crossing Flick under big.LITTLE's
+        22us on-chip migration."""
+        flick_rt = measure_h2n_roundtrip(calls=100).roundtrip_ns
+        assert flick_rt < PRIOR_WORK["biglittle"].round_trip_ns

@@ -1,0 +1,117 @@
+"""Migration descriptor wire-format tests (incl. hypothesis roundtrip)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptors import (
+    DESCRIPTOR_BYTES,
+    DIR_H2N,
+    DIR_N2H,
+    KIND_CALL,
+    KIND_RETURN,
+    MigrationDescriptor,
+)
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def test_fixed_wire_size():
+    desc = MigrationDescriptor(KIND_CALL, DIR_H2N, pid=1)
+    assert len(desc.pack()) == DESCRIPTOR_BYTES == 128
+
+
+def test_roundtrip_call():
+    desc = MigrationDescriptor(
+        KIND_CALL, DIR_H2N, pid=7, target=0x40_1000,
+        args=[1, 2, 3], cr3=0x10_0000, nxp_sp=0x3000_0000_8000,
+    )
+    back = MigrationDescriptor.unpack(desc.pack())
+    assert back.kind == KIND_CALL
+    assert back.direction == DIR_H2N
+    assert back.pid == 7
+    assert back.target == 0x40_1000
+    assert back.args == [1, 2, 3]
+    assert back.cr3 == 0x10_0000
+    assert back.nxp_sp == 0x3000_0000_8000
+
+
+def test_roundtrip_return():
+    desc = MigrationDescriptor(KIND_RETURN, DIR_N2H, pid=3, retval=(1 << 64) - 1)
+    back = MigrationDescriptor.unpack(desc.pack())
+    assert back.is_return
+    assert back.retval == (1 << 64) - 1
+
+
+def test_kind_predicates():
+    call = MigrationDescriptor(KIND_CALL, DIR_H2N, pid=1)
+    ret = MigrationDescriptor(KIND_RETURN, DIR_H2N, pid=1)
+    assert call.is_call and not call.is_return
+    assert ret.is_return and not ret.is_call
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        MigrationDescriptor(99, DIR_H2N, pid=1)
+
+
+def test_bad_direction_rejected():
+    with pytest.raises(ValueError):
+        MigrationDescriptor(KIND_CALL, 0, pid=1)
+
+
+def test_too_many_args_rejected():
+    with pytest.raises(ValueError):
+        MigrationDescriptor(KIND_CALL, DIR_H2N, pid=1, args=list(range(7)))
+
+
+def test_bad_magic_rejected():
+    raw = bytearray(MigrationDescriptor(KIND_CALL, DIR_H2N, pid=1).pack())
+    raw[0] ^= 0xFF
+    with pytest.raises(ValueError):
+        MigrationDescriptor.unpack(bytes(raw))
+
+
+def test_short_buffer_rejected():
+    with pytest.raises(ValueError):
+        MigrationDescriptor.unpack(b"\x00" * 64)
+
+
+def test_corrupted_argc_rejected():
+    raw = bytearray(MigrationDescriptor(KIND_CALL, DIR_H2N, pid=1).pack())
+    raw[32] = 200  # word 4 = argc
+    with pytest.raises(ValueError):
+        MigrationDescriptor.unpack(bytes(raw))
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    kind=st.sampled_from([KIND_CALL, KIND_RETURN]),
+    direction=st.sampled_from([DIR_H2N, DIR_N2H]),
+    pid=U64,
+    target=U64,
+    retval=U64,
+    args=st.lists(U64, max_size=6),
+    cr3=U64,
+    nxp_sp=U64,
+)
+def test_property_pack_unpack_roundtrip(kind, direction, pid, target, retval, args, cr3, nxp_sp):
+    desc = MigrationDescriptor(
+        kind=kind, direction=direction, pid=pid, target=target,
+        retval=retval, args=args, cr3=cr3, nxp_sp=nxp_sp,
+    )
+    back = MigrationDescriptor.unpack(desc.pack())
+    assert (back.kind, back.direction, back.pid) == (kind, direction, pid)
+    assert (back.target, back.retval) == (target, retval)
+    assert back.args == args
+    assert (back.cr3, back.nxp_sp) == (cr3, nxp_sp)
+
+
+@settings(max_examples=100, deadline=None)
+@given(junk=st.binary(min_size=DESCRIPTOR_BYTES, max_size=DESCRIPTOR_BYTES))
+def test_property_unpack_never_crashes_unexpectedly(junk):
+    """Arbitrary 128-byte blobs either parse or raise ValueError."""
+    try:
+        MigrationDescriptor.unpack(junk)
+    except ValueError:
+        pass

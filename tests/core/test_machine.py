@@ -1,0 +1,405 @@
+"""End-to-end Flick machine tests: transparent cross-ISA execution.
+
+These exercise the full stack — FlickC -> FELF -> linker -> loader ->
+page tables -> NX faults -> descriptors -> DMA -> interrupts -> NxP
+scheduler — through the public FlickMachine API.
+"""
+
+import pytest
+
+from repro import FlickMachine
+from repro.os.kernel import ProcessCrash
+
+
+def run(source, args=(), entry="main", machine=None):
+    machine = machine or FlickMachine()
+    return machine.run_program(source, entry=entry, args=args), machine
+
+
+class TestBasicMigration:
+    def test_host_only_program_never_migrates(self):
+        out, m = run("func main(a) { return a + 1; }", args=[41])
+        assert out.retval == 42
+        assert out.migrations == 0
+        assert m.trace.count("h2n_call_start") == 0
+
+    def test_single_h2n_call(self):
+        out, m = run(
+            """
+            @nxp func on_device(x) { return x * 3; }
+            func main(a) { return on_device(a); }
+            """,
+            args=[14],
+        )
+        assert out.retval == 42
+        assert out.migrations == 1
+
+    def test_return_value_crosses_back(self):
+        out, _m = run(
+            """
+            @nxp func neg(x) { return -x; }
+            func main(a) { return neg(a); }
+            """,
+            args=[5],
+        )
+        assert out.retval == -5
+
+    def test_arguments_cross_abi_boundary(self):
+        """Host HISA arg regs -> descriptor -> NISA a-regs."""
+        out, _m = run(
+            """
+            @nxp func weigh(a, b, c, d, e, f) {
+                return a + b * 10 + c * 100 + d * 1000 + e * 10000 + f * 100000;
+            }
+            func main() { return weigh(1, 2, 3, 4, 5, 6); }
+            """,
+        )
+        assert out.retval == 654321
+
+    def test_repeated_calls_reuse_nxp_stack(self):
+        out, m = run(
+            """
+            @nxp func bump(x) { return x + 1; }
+            func main() {
+                var v = 0;
+                var i = 0;
+                while (i < 5) { v = bump(v); i = i + 1; }
+                return v;
+            }
+            """,
+        )
+        assert out.retval == 5
+        assert out.migrations == 5
+        assert m.trace.count("nxp_stack_alloc") == 1  # allocated once
+
+    def test_migration_transparent_to_caller_logic(self):
+        """The same source gives the same answer with/without @nxp."""
+        src = """
+        MAYBE func work(a, b) {
+            var acc = 0;
+            while (a > 0) { acc = acc + b; a = a - 1; }
+            return acc;
+        }
+        func main(x) { return work(x, 7) + work(2, x); }
+        """
+        host_out, _ = run(src.replace("MAYBE ", ""), args=[9])
+        nxp_out, _ = run(src.replace("MAYBE", "@nxp"), args=[9])
+        assert host_out.retval == nxp_out.retval == 63 + 18
+        assert host_out.migrations == 0
+        assert nxp_out.migrations == 2
+
+
+class TestBidirectionalCalls:
+    def test_nxp_calls_host_function(self):
+        out, m = run(
+            """
+            func host_helper(x) { return x + 100; }
+            @nxp func device(x) { return host_helper(x) * 2; }
+            func main(a) { return device(a); }
+            """,
+            args=[5],
+        )
+        assert out.retval == 210
+        assert m.trace.count("n2h_call") == 1
+        assert m.trace.count("n2h_return") == 1
+
+    def test_nxp_calls_host_repeatedly(self):
+        """The paper's BFS pattern: a dummy host call per discovered item."""
+        out, m = run(
+            """
+            var seen = 0;
+            func host_visit(v) { seen = seen + v; return 0; }
+            @nxp func scan(n) {
+                var i = 1;
+                while (i <= n) { host_visit(i); i = i + 1; }
+                return 0;
+            }
+            func main(n) { scan(n); return seen; }
+            """,
+            args=[10],
+        )
+        assert out.retval == 55
+        assert m.trace.count("n2h_call") == 10
+
+    def test_nested_bidirectional_three_levels(self):
+        """host -> NxP -> host -> NxP, the reentrancy case of IV-B."""
+        out, m = run(
+            """
+            @nxp func inner_dev(x) { return x + 1; }
+            func middle_host(x) { return inner_dev(x) * 2; }
+            @nxp func outer_dev(x) { return middle_host(x) + 10; }
+            func main(a) { return outer_dev(a); }
+            """,
+            args=[3],
+        )
+        assert out.retval == (3 + 1) * 2 + 10
+        assert m.trace.count("h2n_call_start") == 2  # outer + inner
+        assert m.trace.count("n2h_call") == 1
+
+    def test_cross_isa_mutual_recursion(self):
+        """Collatz-style ping-pong: each step migrates."""
+        out, m = run(
+            """
+            @nxp func dev_step(n, steps) {
+                if (n == 1) { return steps; }
+                return host_step(n, steps);
+            }
+            func host_step(n, steps) {
+                if (n % 2 == 0) { return dev_step(n / 2, steps + 1); }
+                return dev_step(3 * n + 1, steps + 1);
+            }
+            func main(n) { return dev_step(n, 0); }
+            """,
+            args=[6],
+        )
+        # 6 -> 3 -> 10 -> 5 -> 16 -> 8 -> 4 -> 2 -> 1 : 8 steps
+        assert out.retval == 8
+
+    def test_recursion_entirely_on_nxp_does_not_migrate_per_call(self):
+        out, m = run(
+            """
+            @nxp func fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            func main(n) { return fib(n); }
+            """,
+            args=[10],
+        )
+        assert out.retval == 55
+        assert out.migrations == 1  # one crossing for the whole subtree
+
+
+class TestFunctionPointers:
+    def test_function_pointer_to_nxp_function_from_host(self):
+        """The case compilers cannot handle statically (Section III-B):
+        an indirect call whose target ISA is unknown until runtime."""
+        out, m = run(
+            """
+            @nxp func dev_double(x) { return x + x; }
+            func host_double(x) { return x * 2; }
+            func pick(which) {
+                if (which) { return &dev_double; }
+                return &host_double;
+            }
+            func main(which, v) { return call_ptr(pick(which), v); }
+            """,
+            args=[1, 21],
+        )
+        assert out.retval == 42
+        assert out.migrations == 1
+
+    def test_same_pointer_call_stays_local_when_host(self):
+        out, m = run(
+            """
+            @nxp func dev_double(x) { return x + x; }
+            func host_double(x) { return x * 2; }
+            func pick(which) {
+                if (which) { return &dev_double; }
+                return &host_double;
+            }
+            func main(which, v) { return call_ptr(pick(which), v); }
+            """,
+            args=[0, 21],
+        )
+        assert out.retval == 42
+        assert out.migrations == 0
+
+    def test_nxp_indirect_call_to_host_function(self):
+        out, m = run(
+            """
+            func host_fn(x) { return x - 1; }
+            @nxp func dev(fp, v) { return call_ptr(fp, v); }
+            func main(v) { return dev(&host_fn, v); }
+            """,
+            args=[10],
+        )
+        assert out.retval == 9
+        assert m.trace.count("n2h_call") == 1
+
+
+class TestUnifiedMemory:
+    def test_pointers_valid_across_isas(self):
+        """Host writes through a pointer; NxP reads the same pointer."""
+        out, _m = run(
+            """
+            @nxp func dev_read(p) { return load(p); }
+            func main() {
+                var p = alloc(16);
+                store(p, 1234);
+                return dev_read(p);
+            }
+            """,
+        )
+        assert out.retval == 1234
+
+    def test_nxp_writes_host_reads(self):
+        out, _m = run(
+            """
+            @nxp func dev_write(p, v) { store(p, v); return 0; }
+            func main() {
+                var p = alloc(8);
+                dev_write(p, 777);
+                return load(p);
+            }
+            """,
+        )
+        assert out.retval == 777
+
+    def test_host_heap_vs_nxp_heap_placement(self):
+        """alloc() on the NxP must come from NxP-local DRAM (the window)."""
+        from repro.os.loader import HOST_HEAP_VBASE, NXP_WINDOW_VBASE
+
+        out, _m = run(
+            """
+            @nxp func dev_alloc(n) { return alloc(n); }
+            func main() {
+                var hp = alloc(32);
+                var dp = dev_alloc(32);
+                store(hp, dp);
+                return dp / 0x10000000000;
+            }
+            """,
+        )
+        # NXP_WINDOW_VBASE = 0x1000_0000_0000 => top nibble 1
+        assert out.retval == NXP_WINDOW_VBASE // 0x100_0000_0000
+
+    def test_globals_shared_between_isas(self):
+        out, _m = run(
+            """
+            var shared = 10;
+            @nxp func dev_add(v) { shared = shared + v; return shared; }
+            func main() {
+                shared = shared + 1;
+                dev_add(5);
+                return shared;
+            }
+            """,
+        )
+        assert out.retval == 16
+
+    def test_callee_can_touch_callers_stack_frame(self):
+        """Section III-D: pointers into the caller's stack work because
+        the address space is unified, even across the migration."""
+        out, _m = run(
+            """
+            @nxp func dev_fill(p) { store(p, 4321); return 0; }
+            func main() {
+                var slot = alloc(8);
+                dev_fill(slot);
+                return load(slot);
+            }
+            """,
+        )
+        assert out.retval == 4321
+
+    def test_print_works_from_both_sides(self):
+        out, _m = run(
+            """
+            @nxp func dev(x) { print(x * 2); return 0; }
+            func main() { print(1); dev(2); print(3); return 0; }
+            """,
+        )
+        assert out.output == [1, 4, 3]
+
+
+class TestProtocolDetails:
+    def test_trace_order_matches_figure2(self):
+        _out, m = run(
+            """
+            func host_leaf(x) { return x + 1; }
+            @nxp func dev(x) { return host_leaf(x) * 2; }
+            func main(a) { return dev(a); }
+            """,
+            args=[1],
+        )
+        names = [n for n in m.trace.names() if n not in ("thread_start", "thread_done", "irq", "nxp_stack_alloc")]
+        assert names == [
+            "h2n_call_start",    # (a) host faults, handler packs descriptor
+            "dma_h2n",           # (a) descriptor crosses
+            "nxp_dispatch_call", # (b) NxP context switches thread in
+            "n2h_call",          # (c) NxP faults calling host function
+            "n2h_call_exec",     # (d) host executes the target
+            "dma_h2n",           # (e) host-to-NxP return descriptor
+            "nxp_dispatch_return",  # (f) NxP resumes original function
+            "n2h_return",        # (f) NxP sends return descriptor
+            "h2n_call_done",     # (g) host resumes at the call site
+        ]
+
+    def test_first_migration_allocates_stack_later_ones_do_not(self):
+        _out, m = run(
+            """
+            @nxp func f(x) { return x; }
+            func main() { f(1); f(2); f(3); return 0; }
+            """,
+        )
+        allocs = [e for e in m.trace.events if e.name == "nxp_stack_alloc"]
+        assert len(allocs) == 1
+
+    def test_descriptor_dma_counts(self):
+        out, m = run(
+            """
+            @nxp func f(x) { return x; }
+            func main() { return f(5); }
+            """,
+        )
+        assert m.stats.get("dma.to_nxp") == 1
+        assert m.stats.get("dma.to_host") == 1
+
+    def test_huge_pages_keep_tlb_misses_low(self):
+        """Section V: four 1GB pages cover the NxP window; a scan of NxP
+        memory should hit the D-TLB after the first walk."""
+        out, m = run(
+            """
+            @nxp func scan(p, n) {
+                var total = 0;
+                var i = 0;
+                while (i < n) { total = total + load(p + i * 8); i = i + 1; }
+                return total;
+            }
+            func main() {
+                var p = 0;
+                p = nxp_buf();
+                return scan(p, 64);
+            }
+            @nxp func nxp_buf() { return alloc(512); }
+            """,
+        )
+        assert out.retval == 0  # fresh memory reads zero
+        assert m.stats.get("nxp.dtlb.miss") <= 4
+        assert m.stats.get("nxp.dtlb.hit") >= 60
+
+    def test_jump_to_garbage_is_a_crash_not_a_migration(self):
+        with pytest.raises(Exception) as excinfo:
+            run(
+                """
+                func main() { return call_ptr(0x123456, 1); }
+                """,
+            )
+        exc = excinfo.value
+        root = exc.__cause__ if exc.__cause__ is not None else exc
+        assert isinstance(root, ProcessCrash)
+
+    def test_two_processes_have_isolated_address_spaces(self):
+        machine = FlickMachine()
+        src = """
+        var counter = 0;
+        @nxp func bump() { counter = counter + 1; return counter; }
+        func main() { bump(); bump(); return counter; }
+        """
+        out1 = machine.run_program(src, name="p1")
+        out2 = machine.run_program(src, name="p2")
+        assert out1.retval == 2
+        assert out2.retval == 2  # p2's counter unaffected by p1
+
+    def test_migration_roundtrip_time_plausible(self):
+        """A null NxP call should take tens of microseconds, not ms."""
+        out, m = run(
+            """
+            @nxp func nop_fn() { return 0; }
+            func main() { return nop_fn(); }
+            """,
+        )
+        spans = m.trace.spans("h2n_call_start", "h2n_call_done")
+        assert len(spans) == 1
+        assert 5_000 < spans[0] < 60_000  # 5..60 us

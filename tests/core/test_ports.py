@@ -1,0 +1,181 @@
+"""Direct unit tests for the host and NxP memory ports."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.ports import HostMemoryPort, NxpMemoryPort, TranslationCache
+from repro.interconnect import PCIeLink
+from repro.memory import (
+    MemoryRegion,
+    PageFault,
+    PageTables,
+    PageWalker,
+    PhysicalMemory,
+    RegionAllocator,
+)
+from repro.sim import Simulator
+
+GB = 1 << 30
+MM = DEFAULT_CONFIG.memory_map
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("host", 0x0, 64 << 20))
+    phys.add_region(MemoryRegion("nxp", MM.bar0_base, 4 * GB))
+    phys.add_region(MemoryRegion("bram", MM.nxp_bram_base, MM.nxp_bram_size))
+    pt = PageTables(phys, RegionAllocator("frames", 1 << 20, 16 << 20))
+    pt.map_page(0x10_000, 0x10_000, nx=False)  # host code page
+    pt.map_page(0x20_000, 0x20_000, nx=True)  # nxp code page (host-phys)
+    pt.map_page(0x30_000, 0x30_000, writable=False)  # read-only data
+    pt.map_page(0x100_000, MM.bar0_base, nx=True)  # window into NxP DRAM
+    pt.map_page(0x200_000, MM.nxp_bram_base, nx=True)  # window into BRAM
+    link = PCIeLink(sim, DEFAULT_CONFIG, phys)
+    return sim, phys, pt, link
+
+
+class TestHostPort:
+    def make(self, env):
+        sim, phys, pt, link = env
+        return sim, phys, HostMemoryPort(sim, DEFAULT_CONFIG, phys, link, pt)
+
+    def test_fetch_host_code_ok(self, env):
+        sim, phys, port = self.make(env)
+        phys.write(0x10_000, b"\x53")
+        assert sim.run_process(port.fetch(0x10_000, 1)) == b"\x53"
+
+    def test_fetch_nx_page_faults(self, env):
+        sim, _phys, port = self.make(env)
+        with pytest.raises(Exception) as exc:
+            sim.run_process(port.fetch(0x20_000, 1))
+        root = exc.value.__cause__ or exc.value
+        assert isinstance(root, PageFault)
+        assert root.is_exec
+
+    def test_host_dram_load_is_cheap(self, env):
+        sim, phys, port = self.make(env)
+        phys.write_u64(0x10_008, 7)
+        sim.run_process(port.load(0x10_008, 8))
+        assert sim.now == pytest.approx(DEFAULT_CONFIG.host_cached_mem_ns)
+
+    def test_bar_load_costs_825ns(self, env):
+        sim, _phys, port = self.make(env)
+        sim.run_process(port.load(0x100_000, 8))
+        assert sim.now == pytest.approx(825, rel=0.02)
+
+    def test_bram_load_cheaper_than_dram_bar(self, env):
+        sim, _phys, port = self.make(env)
+        sim.run_process(port.load(0x200_000, 8))
+        bram_t = sim.now
+        sim2, phys, pt, link = Simulator(), None, None, None
+        assert bram_t < 825
+
+    def test_readonly_store_faults(self, env):
+        sim, _phys, port = self.make(env)
+        with pytest.raises(Exception) as exc:
+            sim.run_process(port.store(0x30_000, b"\x01"))
+        root = exc.value.__cause__ or exc.value
+        assert isinstance(root, PageFault)
+        assert root.is_write
+
+    def test_store_to_bar_is_posted(self, env):
+        sim, phys, port = self.make(env)
+        sim.run_process(port.store(0x100_010, b"\xAB" * 8))
+        assert phys.read(MM.bar0_base + 0x10, 8) == b"\xAB" * 8
+        assert sim.now < 825  # posted: no completion wait
+
+
+class TestNxpPort:
+    def make(self, env):
+        sim, phys, pt, link = env
+        walker = PageWalker(sim, DEFAULT_CONFIG, lambda: pt)
+        return sim, phys, NxpMemoryPort(sim, DEFAULT_CONFIG, phys, link, walker)
+
+    def test_inverted_nx_fetch_of_host_code_faults(self, env):
+        sim, _phys, port = self.make(env)
+        with pytest.raises(Exception) as exc:
+            sim.run_process(port.fetch(0x10_000, 8))
+        root = exc.value.__cause__ or exc.value
+        assert isinstance(root, PageFault)
+
+    def test_fetch_of_nx_marked_code_succeeds(self, env):
+        sim, phys, port = self.make(env)
+        phys.write(0x20_000, bytes(8))
+        data = sim.run_process(port.fetch(0x20_000, 8))
+        assert len(data) == 8
+
+    def test_first_fetch_walks_then_hits(self, env):
+        sim, phys, port = self.make(env)
+        phys.write(0x20_000, bytes(16))
+        sim.run_process(port.fetch(0x20_000, 8))
+        first = sim.now
+        sim.run_process(port.fetch(0x20_000, 8))
+        second = sim.now - first
+        assert first > 2 * DEFAULT_CONFIG.mmu_walk_step_ns  # cold: real walk
+        assert second == pytest.approx(
+            DEFAULT_CONFIG.tlb_hit_ns + DEFAULT_CONFIG.nxp_icache_hit_ns
+        )
+
+    def test_local_window_load_fast_host_load_slow(self, env):
+        sim, _phys, port = self.make(env)
+        # Warm both D-TLB entries so only the access paths differ.
+        sim.run_process(port.load(0x100_000, 8))
+        sim.run_process(port.load(0x10_008, 8))
+        t0 = sim.now
+        sim.run_process(port.load(0x100_000, 8))  # NxP DRAM via remap
+        local = sim.now - t0
+        t1 = sim.now
+        sim.run_process(port.load(0x10_008, 8))  # host DRAM across PCIe
+        remote = sim.now - t1
+        assert local == pytest.approx(
+            DEFAULT_CONFIG.tlb_hit_ns + DEFAULT_CONFIG.nxp_to_local_read_ns
+        )
+        assert remote > 2.5 * local
+
+    def test_bram_loads_cheapest(self, env):
+        sim, _phys, port = self.make(env)
+        # Warm the TLB first.
+        sim.run_process(port.load(0x200_000, 8))
+        t0 = sim.now
+        sim.run_process(port.load(0x200_008, 8))
+        assert sim.now - t0 == pytest.approx(
+            DEFAULT_CONFIG.tlb_hit_ns + DEFAULT_CONFIG.nxp_bram_ns
+        )
+
+    def test_flush_tlbs_forces_rewalk(self, env):
+        sim, _phys, port = self.make(env)
+        sim.run_process(port.load(0x100_000, 8))
+        port.flush_tlbs()
+        t0 = sim.now
+        sim.run_process(port.load(0x100_000, 8))
+        assert sim.now - t0 > DEFAULT_CONFIG.mmu_walk_step_ns
+
+    def test_unmapped_load_faults(self, env):
+        sim, _phys, port = self.make(env)
+        with pytest.raises(Exception) as exc:
+            sim.run_process(port.load(0xDEAD_0000, 8))
+        root = exc.value.__cause__ or exc.value
+        assert isinstance(root, PageFault)
+
+
+class TestTranslationCache:
+    def test_cache_returns_same_translation(self, env):
+        _sim, _phys, pt, _link = env
+        tc = TranslationCache(pt)
+        assert tc.translate(0x10_123).paddr == pt.translate(0x10_123).paddr
+
+    def test_cache_invalidated_on_table_change(self, env):
+        _sim, _phys, pt, _link = env
+        tc = TranslationCache(pt)
+        assert tc.translate(0x10_000).paddr == 0x10_000
+        pt.unmap_page(0x10_000)
+        pt.map_page(0x10_000, 0x20_000, nx=False)
+        assert tc.translate(0x10_000).paddr == 0x20_000
+
+    def test_cache_handles_offsets_within_page(self, env):
+        _sim, _phys, pt, _link = env
+        tc = TranslationCache(pt)
+        tc.translate(0x10_000)
+        assert tc.translate(0x10_FFF).paddr == 0x10_FFF

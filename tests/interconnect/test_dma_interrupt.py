@@ -1,0 +1,203 @@
+"""Tests for the DMA descriptor engine and interrupt controller."""
+
+import pytest
+
+from repro.core.config import FlickConfig
+from repro.interconnect import (
+    MIGRATION_VECTOR,
+    DMAEngine,
+    DescriptorRing,
+    InterruptController,
+    PCIeLink,
+)
+from repro.memory import MemoryRegion, MMIORegion, PhysicalMemory
+from repro.sim import Simulator
+
+GB = 1024 * 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cfg = FlickConfig()
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 64 * 1024 * 1024))
+    phys.add_region(MemoryRegion("nxp", 0xA_0000_0000, 4 * GB))
+    mmio = MMIORegion("ctrl", 0xC_0000_0000, 64 * 1024)
+    phys.add_region(mmio)
+    link = PCIeLink(sim, cfg, phys)
+    irq = InterruptController(sim, cfg)
+    dma = DMAEngine(sim, cfg, link, irq)
+    nxp_ring = DescriptorRing(phys, 0xA_0000_0000, slots=8, slot_bytes=cfg.descriptor_bytes)
+    host_ring = DescriptorRing(phys, 0x10_0000, slots=8, slot_bytes=cfg.descriptor_bytes)
+    dma.attach_rings(nxp_ring, host_ring)
+    dma.register_mmio(mmio)
+    return sim, cfg, phys, mmio, irq, dma, nxp_ring, host_ring
+
+
+class TestRing:
+    def test_push_pop_fifo(self, env):
+        _sim, cfg, phys, _mmio, _irq, _dma, ring, _hr = env
+        a = ring.push_addr()
+        b = ring.push_addr()
+        assert b == a + cfg.descriptor_bytes
+        assert ring.pending == 2
+        assert ring.pop_addr() == a
+        assert ring.pop_addr() == b
+        assert ring.pending == 0
+
+    def test_wraparound(self, env):
+        _sim, _cfg, _phys, _mmio, _irq, _dma, ring, _hr = env
+        first = ring.push_addr()
+        for _ in range(7):
+            ring.push_addr()
+        for _ in range(8):
+            ring.pop_addr()
+        assert ring.push_addr() == first  # wrapped back to slot 0
+
+    def test_overflow_raises(self, env):
+        _sim, _cfg, _phys, _mmio, _irq, _dma, ring, _hr = env
+        for _ in range(8):
+            ring.push_addr()
+        with pytest.raises(RuntimeError):
+            ring.push_addr()
+
+    def test_underflow_raises(self, env):
+        _sim, _cfg, _phys, _mmio, _irq, _dma, ring, _hr = env
+        with pytest.raises(RuntimeError):
+            ring.pop_addr()
+
+
+class TestDMA:
+    def test_push_to_nxp_copies_descriptor(self, env):
+        sim, cfg, phys, _mmio, _irq, dma, ring, _hr = env
+        payload = bytes(range(cfg.descriptor_bytes % 256)) + b"\x00" * (
+            cfg.descriptor_bytes - cfg.descriptor_bytes % 256
+        )
+        payload = payload[: cfg.descriptor_bytes]
+        phys.write(0x8000, payload)
+        sim.run_process(dma.push_to_nxp(0x8000, cfg.descriptor_bytes))
+        assert ring.pending == 1
+        assert phys.read(ring.pop_addr(), cfg.descriptor_bytes) == payload
+
+    def test_status_register_reflects_pending(self, env):
+        sim, cfg, phys, _mmio, _irq, dma, ring, _hr = env
+        status_addr = 0xC_0000_0000
+        assert phys.read_u64(status_addr) == 0
+        sim.run_process(dma.push_to_nxp(0x8000, cfg.descriptor_bytes))
+        assert phys.read_u64(status_addr) == 1
+        ring.pop_addr()
+        assert phys.read_u64(status_addr) == 0
+
+    def test_status_not_visible_until_burst_completes(self, env):
+        """The NxP scheduler polls; it must not see a half-arrived
+        descriptor."""
+        sim, cfg, phys, _mmio, _irq, dma, _ring, _hr = env
+        seen = []
+
+        def poller(sim):
+            for _ in range(40):
+                seen.append((sim.now, phys.read_u64(0xC_0000_0000)))
+                yield sim.timeout(100)
+
+        sim.spawn(poller(sim))
+        sim.spawn(dma.push_to_nxp(0x8000, cfg.descriptor_bytes))
+        sim.run()
+        burst_ns = FlickConfig().dma_transfer_ns(cfg.descriptor_bytes)
+        for t, pending in seen:
+            if pending:
+                assert t >= burst_ns - 100
+        assert any(pending for _t, pending in seen)
+
+    def test_push_to_host_raises_migration_interrupt(self, env):
+        sim, cfg, phys, _mmio, irq, dma, _ring, host_ring = env
+        fired = []
+        irq.register(MIGRATION_VECTOR, lambda payload: fired.append((sim.now, payload)))
+        phys.write(0xA_0010_0000, b"\x55" * cfg.descriptor_bytes)
+        sim.run_process(dma.push_to_host(0xA_0010_0000, cfg.descriptor_bytes))
+        sim.run()
+        assert len(fired) == 1
+        assert host_ring.pending == 1
+        # Interrupt arrives only after burst + delivery latency.
+        assert fired[0][0] >= cfg.host_irq_delivery_ns
+
+    def test_push_to_host_without_interrupt(self, env):
+        sim, cfg, _phys, _mmio, irq, dma, _ring, host_ring = env
+        fired = []
+        irq.register(MIGRATION_VECTOR, lambda p: fired.append(p))
+        sim.run_process(dma.push_to_host(0xA_0010_0000, cfg.descriptor_bytes, interrupt=False))
+        sim.run()
+        assert not fired
+        assert host_ring.pending == 1
+
+    def test_unattached_rings_raise(self, env):
+        sim, cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        bare = DMAEngine(sim, cfg, _dma.link, irq)
+
+        def go(sim):
+            yield from bare.push_to_nxp(0x0, 64)
+
+        with pytest.raises(Exception):
+            sim.run_process(go(sim))
+
+
+class TestInterrupts:
+    def test_plain_handler_runs_after_delivery_latency(self, env):
+        sim, cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        hits = []
+        irq.register(1, lambda p: hits.append((sim.now, p)))
+        irq.raise_irq(1, payload="hello")
+        sim.run()
+        assert hits == [(cfg.host_irq_delivery_ns, "hello")]
+
+    def test_generator_handler_runs_as_process(self, env):
+        sim, cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        done = []
+
+        def handler(payload):
+            yield sim.timeout(500)
+            done.append((sim.now, payload))
+
+        irq.register(2, handler)
+        irq.raise_irq(2, payload=7)
+        sim.run()
+        assert done == [(cfg.host_irq_delivery_ns + 500, 7)]
+
+    def test_duplicate_vector_rejected(self, env):
+        _sim, _cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        irq.register(3, lambda p: None)
+        with pytest.raises(ValueError):
+            irq.register(3, lambda p: None)
+
+    def test_unhandled_vector_raises(self, env):
+        _sim, _cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        with pytest.raises(KeyError):
+            irq.raise_irq(0x99)
+
+    def test_unregister(self, env):
+        _sim, _cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        irq.register(4, lambda p: None)
+        irq.unregister(4)
+        with pytest.raises(KeyError):
+            irq.raise_irq(4)
+
+    def test_device_side_does_not_block_on_handler(self, env):
+        """raise_irq returns immediately; the raiser keeps running."""
+        sim, cfg, _phys, _mmio, irq, _dma, _r, _hr = env
+        order = []
+
+        def handler(p):
+            order.append(("handler", sim.now))
+
+        irq.register(5, handler)
+
+        def device(sim):
+            irq.raise_irq(5)
+            order.append(("device-continues", sim.now))
+            yield sim.timeout(1)
+
+        sim.spawn(device(sim))
+        sim.run()
+        assert order[0] == ("device-continues", 0.0)
+        assert order[1][0] == "handler"
+        assert order[1][1] == cfg.host_irq_delivery_ns

@@ -1,0 +1,92 @@
+"""Property-based interconnect invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.interconnect import PCIeLink
+from repro.memory import MemoryRegion, PhysicalMemory
+from repro.sim import Simulator
+
+GB = 1 << 30
+
+
+def fresh_link(cfg=None):
+    sim = Simulator()
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 64 << 20))
+    phys.add_region(MemoryRegion("nxp", 0xA_0000_0000, 4 * GB))
+    return sim, PCIeLink(sim, cfg or DEFAULT_CONFIG, phys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    small=st.integers(min_value=1, max_value=512),
+    extra=st.integers(min_value=1, max_value=1 << 16),
+)
+def test_property_burst_latency_monotone_in_size(small, extra):
+    sim1, link1 = fresh_link()
+    sim1.run_process(link1.burst(0x1000, 0xA_0000_0000, small))
+    sim2, link2 = fresh_link()
+    sim2.run_process(link2.burst(0x1000, 0xA_0000_0000, small + extra))
+    assert sim2.now > sim1.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(nbytes=st.integers(min_value=1, max_value=1 << 16))
+def test_property_burst_latency_matches_formula(nbytes):
+    cfg = DEFAULT_CONFIG
+    sim, link = fresh_link()
+    sim.run_process(link.burst(0x1000, 0xA_0000_0000, nbytes))
+    expected = cfg.dma_setup_ns + cfg.pcie_oneway_ns + (nbytes + 32) * cfg.pcie_ns_per_byte
+    assert sim.now == pytest.approx(expected, rel=0.001)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payloads=st.lists(
+        st.binary(min_size=1, max_size=64), min_size=1, max_size=8
+    )
+)
+def test_property_writes_are_faithful(payloads):
+    """Any sequence of posted writes lands byte-exact."""
+    sim, link = fresh_link()
+
+    def writer(sim):
+        for i, payload in enumerate(payloads):
+            yield from link.write(0xA_0000_0000 + i * 128, payload)
+
+    sim.run_process(writer(sim))
+    for i, payload in enumerate(payloads):
+        assert link.phys.read(0xA_0000_0000 + i * 128, len(payload)) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=64, max_value=1 << 14), min_size=2, max_size=6)
+)
+def test_property_serialized_transfers_never_faster_than_sum_of_wire(sizes):
+    """Concurrent bursts serialize on the link: total completion time is
+    at least the summed wire time of all payloads."""
+    cfg = DEFAULT_CONFIG
+    sim, link = fresh_link()
+    for i, nbytes in enumerate(sizes):
+        sim.spawn(link.burst(0x1000, 0xA_0000_0000 + i * (1 << 16), nbytes))
+    sim.run()
+    wire_total = sum((n + 32) * cfg.pcie_ns_per_byte for n in sizes)
+    assert sim.now >= wire_total
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    oneway=st.floats(min_value=50.0, max_value=5000.0),
+    bw=st.floats(min_value=8.0, max_value=256.0),
+)
+def test_property_latency_scales_with_config(oneway, bw):
+    cfg = DEFAULT_CONFIG.with_overrides(pcie_oneway_ns=oneway, pcie_bandwidth_gbps=bw)
+    sim, link = fresh_link(cfg)
+    sim.run_process(link.read(0xA_0000_0000, 8, service_ns=100.0))
+    # Non-posted read pays two propagation delays plus service.
+    assert sim.now >= 2 * oneway + 100.0
+    assert sim.now <= 2 * oneway + 100.0 + 64 * (8.0 / bw)

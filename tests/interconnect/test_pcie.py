@@ -1,0 +1,121 @@
+"""Tests for the PCIe link model: latency, bandwidth, serialization."""
+
+import pytest
+
+from repro.core.config import FlickConfig
+from repro.interconnect import PCIeLink
+from repro.memory import MemoryRegion, PhysicalMemory
+from repro.sim import Simulator
+
+GB = 1024 * 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cfg = FlickConfig()
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 64 * 1024 * 1024))
+    phys.add_region(MemoryRegion("nxp", 0xA_0000_0000, 4 * GB))
+    link = PCIeLink(sim, cfg, phys)
+    return sim, cfg, phys, link
+
+
+def test_read_returns_memory_contents(env):
+    sim, _cfg, phys, link = env
+    phys.write(0xA_0000_0000, b"\x11\x22\x33\x44\x55\x66\x77\x88")
+    data = sim.run_process(link.read(0xA_0000_0000, 8, service_ns=100))
+    assert data == b"\x11\x22\x33\x44\x55\x66\x77\x88"
+
+
+def test_host_read_nxp_word_matches_paper_825ns(env):
+    """Section V: host->NxP storage round trip ~= 825 ns."""
+    sim, _cfg, phys, link = env
+    phys.write_u64(0xA_0000_0000, 0xCAFE)
+    value = sim.run_process(link.host_read_nxp_word(0xA_0000_0000))
+    assert value == 0xCAFE
+    assert sim.now == pytest.approx(825, rel=0.02)
+
+
+def test_nxp_read_host_word_latency(env):
+    sim, cfg, phys, link = env
+    phys.write_u64(0x1000, 7)
+    value = sim.run_process(link.nxp_read_host_word(0x1000))
+    assert value == 7
+    # ~ 2x oneway + host DRAM service
+    assert sim.now == pytest.approx(2 * cfg.pcie_oneway_ns + cfg.host_dram_ns, rel=0.02)
+
+
+def test_write_is_posted_and_faster_than_read(env):
+    sim, _cfg, phys, link = env
+    sim.run_process(link.write(0xA_0000_0100, b"\xAA" * 8))
+    write_time = sim.now
+    assert phys.read(0xA_0000_0100, 8) == b"\xAA" * 8
+
+    sim2 = Simulator()
+    link2 = PCIeLink(sim2, FlickConfig(), phys)
+    sim2.run_process(link2.read(0xA_0000_0100, 8, service_ns=105))
+    assert write_time < sim2.now
+
+
+def test_burst_moves_data(env):
+    sim, _cfg, phys, link = env
+    phys.write(0x2000, b"descriptor-payload!" * 6)
+    sim.run_process(link.burst(0x2000, 0xA_0000_2000, 114))
+    assert phys.read(0xA_0000_2000, 114) == b"descriptor-payload!" * 6
+
+
+def test_burst_scales_with_size(env):
+    sim, _cfg, _phys, link = env
+    sim.run_process(link.burst(0x0, 0xA_0000_0000, 128))
+    small = sim.now
+    sim2 = Simulator()
+    link2 = PCIeLink(sim2, FlickConfig(), _phys)
+    sim2.run_process(link2.burst(0x0, 0xA_0000_0000, 64 * 1024))
+    large = sim2.now
+    assert large > small
+    cfg = FlickConfig()
+    assert large - small == pytest.approx((64 * 1024 - 128) * cfg.pcie_ns_per_byte, rel=0.01)
+
+
+def test_one_burst_beats_word_by_word_mmio(env):
+    """The design rationale for descriptor DMA (Section IV-B1)."""
+    sim, _cfg, _phys, link = env
+    sim.run_process(link.burst(0x0, 0xA_0000_0000, 128))
+    burst_time = sim.now
+
+    def word_by_word(sim, link):
+        for i in range(128 // 8):
+            yield from link.read(0xA_0000_0000 + 8 * i, 8, service_ns=105)
+
+    sim2 = Simulator()
+    link2 = PCIeLink(sim2, FlickConfig(), _phys)
+    sim2.run_process(word_by_word(sim2, link2))
+    assert sim2.now > 5 * burst_time
+
+
+def test_link_serializes_concurrent_transfers(env):
+    sim, cfg, _phys, link = env
+
+    def big(sim, link):
+        yield from link.burst(0x0, 0xA_0000_0000, 1 << 20)
+
+    def small(sim, link):
+        yield sim.timeout(1)  # start just after the big one
+        yield from link.burst(0x0, 0xA_0000_0000, 64)
+        return sim.now
+
+    sim.spawn(big(sim, link))
+    p = sim.spawn(small(sim, link))
+    sim.run()
+    wire_big = (1 << 20) * cfg.pcie_ns_per_byte
+    assert p.value > wire_big  # small transfer waited behind the big one
+    assert link.stats.accumulator("pcie.queue_wait_ns").count >= 1
+
+
+def test_stats_counted(env):
+    sim, _cfg, _phys, link = env
+    sim.run_process(link.read(0x0, 8, service_ns=10))
+    sim.run_process(link.write(0x0, b"x" * 8))
+    assert link.stats.get("pcie.read") == 1
+    assert link.stats.get("pcie.write") == 1

@@ -1,0 +1,59 @@
+"""Shared test helpers for ISA-level tests."""
+
+import pytest
+
+from repro.isa.interpreter import CostModel, Interpreter
+from repro.sim import Simulator
+
+
+class FlatPort:
+    """A zero-latency, flat, page-less memory port for interpreter tests."""
+
+    def __init__(self, size=1 << 20):
+        self.mem = bytearray(size)
+
+    def _gen(self, value):
+        if False:  # pragma: no cover - makes this a generator
+            yield
+        return value
+
+    def fetch(self, vaddr, nbytes):
+        return self._gen(bytes(self.mem[vaddr : vaddr + nbytes]))
+
+    def load(self, vaddr, nbytes):
+        return self._gen(bytes(self.mem[vaddr : vaddr + nbytes]))
+
+    def store(self, vaddr, data):
+        self.mem[vaddr : vaddr + len(data)] = data
+        return self._gen(None)
+
+    def write(self, vaddr, data):
+        self.mem[vaddr : vaddr + len(data)] = data
+
+    def read_u64(self, vaddr):
+        return int.from_bytes(self.mem[vaddr : vaddr + 8], "little")
+
+
+@pytest.fixture
+def flat_port():
+    return FlatPort()
+
+
+def make_cpu(isa, port, cycle_ns=1.0, ipc=1.0):
+    sim = Simulator()
+    cpu = Interpreter(isa, sim, port, CostModel(cycle_ns, ipc), name=isa)
+    return sim, cpu
+
+
+def run_to_exception(sim, cpu, max_steps=100_000):
+    """Step the CPU until an exception; return it (unwrapped)."""
+
+    def driver(sim):
+        yield from cpu.run(max_steps)
+
+    try:
+        sim.run_process(driver(sim))
+    except Exception as exc:
+        inner = exc.__cause__ if exc.__cause__ is not None else exc
+        return inner
+    raise AssertionError("cpu ran to completion without any control transfer")

@@ -1,0 +1,182 @@
+"""Tests for the two-ISA text assembler."""
+
+import pytest
+
+from repro.isa import assemble, parse
+from repro.isa.assembler import AsmError
+from repro.isa.base import Op, Sym
+from repro.isa import hisa, nisa
+
+
+class TestParseNISA:
+    def test_basic_alu(self):
+        (inst,) = parse("add a0, a1, a2", "nisa")
+        assert inst.op is Op.ADD
+        assert (inst.rd, inst.rs1, inst.rs2) == (10, 11, 12)
+
+    def test_add_with_immediate_becomes_addi(self):
+        (inst,) = parse("add sp, sp, -16", "nisa")
+        assert inst.op is Op.ADDI
+        assert inst.imm == -16
+
+    def test_load_store_memory_operands(self):
+        insts = parse(
+            """
+            ld t0, 8(a0)
+            st t0, -8(sp)
+            """,
+            "nisa",
+        )
+        ld, st_ = insts
+        assert (ld.op, ld.rd, ld.rs1, ld.imm) == (Op.LD, 5, 10, 8)
+        assert (st_.op, st_.rs2, st_.rs1, st_.imm) == (Op.ST, 5, 2, -8)
+
+    def test_labels_and_branches(self):
+        insts = parse(
+            """
+            loop:
+                beq a0, zero, done
+                j loop
+            done:
+                ret
+            """,
+            "nisa",
+        )
+        assert insts[0].label == "loop"
+        assert insts[0].imm == Sym("done")
+        assert insts[2].label == "done"
+
+    def test_la_pseudo_expands_to_pair(self):
+        insts = parse("la a0, mydata", "nisa")
+        assert [i.op for i in insts] == [Op.LI, Op.LIH]
+        assert insts[0].imm == Sym("mydata")
+
+    def test_comments_ignored(self):
+        insts = parse("nop ; trailing\n# whole line\nnop", "nisa")
+        assert len(insts) == 2
+
+    def test_hex_immediates(self):
+        (inst,) = parse("li a0, 0xff", "nisa")
+        assert inst.imm == 0xFF
+
+    def test_call_and_ret(self):
+        insts = parse("call helper\nret", "nisa")
+        assert insts[0].op is Op.CALL
+        assert insts[1].op is Op.RET
+
+    def test_register_aliases(self):
+        (inst,) = parse("mov x10, x0", "nisa")
+        (alias,) = parse("mov a0, zero", "nisa")
+        assert (inst.rd, inst.rs1) == (alias.rd, alias.rs1) == (10, 0)
+
+    def test_unknown_mnemonic_raises_with_line(self):
+        with pytest.raises(AsmError) as exc:
+            parse("nop\nbogus a0", "nisa")
+        assert exc.value.lineno == 2
+
+    def test_bad_register_raises(self):
+        with pytest.raises(AsmError):
+            parse("mov rax, a0", "nisa")  # HISA reg in NISA code
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AsmError):
+            parse("add a0, a1", "nisa")
+
+    def test_label_only_line_attaches_to_next_inst(self):
+        insts = parse("top:\n    nop", "nisa")
+        assert len(insts) == 1
+        assert insts[0].label == "top"
+
+    def test_trailing_label_emits_anchor_nop(self):
+        insts = parse("nop\nend:", "nisa")
+        assert insts[-1].label == "end"
+
+
+class TestParseHISA:
+    def test_two_operand_alu(self):
+        (inst,) = parse("add rax, rdi", "hisa")
+        assert (inst.op, inst.rd, inst.rs1) == (Op.ADD, 0, 7)
+
+    def test_alu_immediate_form(self):
+        (inst,) = parse("sub rsp, 32", "hisa")
+        assert (inst.op, inst.rd, inst.imm) == (Op.SUB, 4, 32)
+
+    def test_cmp_and_jcc(self):
+        insts = parse(
+            """
+            cmp rdi, 2
+            jl base
+            base: ret
+            """,
+            "hisa",
+        )
+        assert insts[0].op is Op.CMP
+        assert insts[1].op is Op.JCC
+        assert insts[1].cond == "lt"
+
+    def test_push_pop(self):
+        insts = parse("push rbp\npop rbp", "hisa")
+        assert insts[0].op is Op.PUSH
+        assert insts[1].op is Op.POP
+        assert insts[0].rd == 5
+
+    def test_call_register_indirect(self):
+        (inst,) = parse("call r10", "hisa")
+        assert inst.op is Op.CALLR
+        assert inst.rs1 == 10
+
+    def test_movabs_symbol(self):
+        (inst,) = parse("movabs rdi, graph_data", "hisa")
+        assert inst.op is Op.LI
+        assert inst.imm == Sym("graph_data")
+
+    def test_la_is_single_movabs(self):
+        insts = parse("la rdi, graph_data", "hisa")
+        assert len(insts) == 1
+
+    def test_nisa_branch_mnemonics_rejected(self):
+        with pytest.raises(AsmError):
+            parse("beq rax, rcx, done", "hisa")
+
+
+class TestAssemble:
+    def test_nisa_executable_roundtrip(self):
+        code, relocs, labels = assemble(
+            """
+            main:
+                li a0, 5
+                li a1, 7
+                add a0, a0, a1
+                halt
+            """,
+            "nisa",
+        )
+        assert len(code) == 4 * 8
+        assert not relocs
+        assert labels == {"main": 0}
+        inst, _l = nisa.decode(code[16:24], pc=0)
+        assert inst.op is Op.ADD
+
+    def test_hisa_executable_roundtrip(self):
+        code, relocs, labels = assemble(
+            """
+            main:
+                li rax, 5
+                add rax, 7
+                hlt
+            """,
+            "hisa",
+        )
+        assert labels == {"main": 0}
+        assert not relocs
+        inst, length = hisa.decode(code, pc=0)
+        assert inst.op is Op.LI and length == 6
+
+    def test_external_symbols_produce_relocations(self):
+        code, relocs, _labels = assemble("call external_fn\nret", "nisa")
+        assert len(relocs) == 1
+        assert relocs[0].symbol.name == "external_fn"
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("nop", "mips")

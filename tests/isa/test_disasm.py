@@ -1,0 +1,121 @@
+"""Disassembler tests, including assemble->disassemble->assemble stability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.isa.base import Instruction, Op
+from repro.isa.disasm import disassemble, format_instruction, iter_instructions
+from repro.isa import hisa, nisa
+
+
+class TestFormat:
+    def test_nisa_alu(self):
+        inst = Instruction(Op.ADD, rd=10, rs1=11, rs2=12)
+        assert format_instruction(inst, "nisa") == "add a0, a1, a2"
+
+    def test_nisa_load_store(self):
+        ld = Instruction(Op.LD, rd=5, rs1=10, imm=8)
+        st_ = Instruction(Op.ST, rs1=2, rs2=5, imm=-8)
+        assert format_instruction(ld, "nisa") == "ld t0, 8(a0)"
+        assert format_instruction(st_, "nisa") == "st t0, -8(sp)"
+
+    def test_nisa_ret_alias(self):
+        inst = Instruction(Op.JALR, rd=0, rs1=1, imm=0)
+        assert format_instruction(inst, "nisa") == "ret"
+
+    def test_hisa_two_operand(self):
+        inst = Instruction(Op.ADD, rd=0, rs1=7)
+        assert format_instruction(inst, "hisa") == "add rax, rdi"
+
+    def test_hisa_immediates(self):
+        inst = Instruction(Op.SUB, rd=4, imm=32)
+        assert format_instruction(inst, "hisa") == "sub rsp, 32"
+
+    def test_hisa_jcc_resolves_target(self):
+        inst = Instruction(Op.JCC, cond="lt", imm=16)
+        assert format_instruction(inst, "hisa", pc=0x100, length=5) == "jl 0x115"
+
+    def test_branch_target_arithmetic(self):
+        inst = Instruction(Op.J, imm=-24)
+        # nisa: pc + 8 + (-24)
+        assert format_instruction(inst, "nisa", pc=0x40, length=8) == "j 0x30"
+
+
+class TestDisassemble:
+    def test_lists_addresses_and_bytes(self):
+        code, _r, _l = assemble("li a0, 5\nret", "nisa")
+        out = disassemble(code, "nisa", base=0x1000)
+        lines = out.splitlines()
+        assert lines[0].startswith("0x00001000:")
+        assert "li a0, 5" in lines[0]
+        assert "ret" in lines[1]
+
+    def test_hisa_variable_lengths_tracked(self):
+        code, _r, _l = assemble("li rax, 5\nadd rax, rdi\nret", "hisa")
+        addrs = [pc for pc, _i, _l2 in iter_instructions(code, "hisa")]
+        assert addrs == [0, 6, 8]  # 6-byte li, 2-byte add, 1-byte ret
+
+    def test_stops_on_garbage(self):
+        code = bytes([0x53]) + b"\xff\xff\xff"  # ret then junk
+        out = disassemble(code, "hisa")
+        assert out.count("\n") == 0  # only the ret decoded
+        assert "ret" in out
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(ValueError):
+            disassemble(b"\x00", "arm")
+
+    def test_roundtrip_reassembly_nisa(self):
+        src = """
+        main:
+            li a0, 100
+            addi a0, a0, -1
+            add a1, a0, a0
+            slt a2, a0, a1
+            ret
+        """
+        code, _r, _l = assemble(src, "nisa")
+        listing = disassemble(code, "nisa")
+        # Strip addresses/bytes and re-assemble.
+        text = "\n".join(line.split("  ")[-1] for line in listing.splitlines())
+        code2, _r2, _l2 = assemble(text, "nisa")
+        assert code2 == code
+
+    def test_roundtrip_reassembly_hisa_straightline(self):
+        src = """
+        main:
+            li rax, 7
+            mov rcx, rax
+            add rax, rcx
+            push rbp
+            pop rbp
+            ret
+        """
+        code, _r, _l = assemble(src, "hisa")
+        listing = disassemble(code, "hisa")
+        text = "\n".join(line.split("  ")[-1] for line in listing.splitlines())
+        code2, _r2, _l2 = assemble(text, "hisa")
+        assert code2 == code
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    op=st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SLT]),
+    rd=st.integers(min_value=0, max_value=31),
+    rs1=st.integers(min_value=0, max_value=31),
+    rs2=st.integers(min_value=0, max_value=31),
+)
+def test_property_nisa_format_never_crashes(op, rd, rs1, rs2):
+    inst, _len = nisa.decode(nisa.encode(Instruction(op, rd=rd, rs1=rs1, rs2=rs2)), pc=0)
+    text = format_instruction(inst, "nisa")
+    assert op.value in text
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(min_size=0, max_size=64))
+def test_property_disassemble_never_crashes(data):
+    disassemble(data, "hisa")
+    if len(data) % 8 == 0:
+        disassemble(data, "nisa")

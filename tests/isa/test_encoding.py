@@ -1,0 +1,260 @@
+"""Encode/decode roundtrip tests for both ISAs, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import hisa, nisa
+from repro.isa.base import (
+    IllegalInstruction,
+    Instruction,
+    MisalignedFetch,
+    Op,
+    Sym,
+    sign_extend,
+)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x80, 8) == -128
+
+    def test_truncates_high_bits(self):
+        assert sign_extend(0x1_0000_0001, 32) == 1
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_property_roundtrip_32(self, v):
+        assert sign_extend(v & 0xFFFF_FFFF, 32) == v
+
+
+class TestNISAEncoding:
+    def test_fixed_length(self):
+        raw = nisa.encode(Instruction(Op.ADD, rd=1, rs1=2, rs2=3))
+        assert len(raw) == 8
+
+    def test_opcode_has_high_bit(self):
+        raw = nisa.encode(Instruction(Op.ADD, rd=1, rs1=2, rs2=3))
+        assert raw[0] >= 0x80
+
+    def test_roundtrip_alu(self):
+        inst = Instruction(Op.XOR, rd=5, rs1=10, rs2=31)
+        decoded, length = nisa.decode(nisa.encode(inst), pc=0)
+        assert length == 8
+        assert (decoded.op, decoded.rd, decoded.rs1, decoded.rs2) == (Op.XOR, 5, 10, 31)
+
+    def test_roundtrip_negative_imm(self):
+        inst = Instruction(Op.ADDI, rd=2, rs1=2, imm=-16)
+        decoded, _length = nisa.decode(nisa.encode(inst), pc=0)
+        assert decoded.imm == -16
+
+    def test_misaligned_pc_faults(self):
+        raw = nisa.encode(Instruction(Op.NOP))
+        with pytest.raises(MisalignedFetch):
+            nisa.decode(raw, pc=4)
+        with pytest.raises(MisalignedFetch):
+            nisa.decode(raw, pc=1)
+
+    def test_hisa_opcode_is_illegal_for_nisa(self):
+        """HISA opcodes (< 0x80) must not decode on the NxP core."""
+        raw = bytes([0x51]) + b"\x00" * 7  # HISA CALL rel32 + padding
+        with pytest.raises(IllegalInstruction):
+            nisa.decode(raw, pc=0)
+
+    def test_out_of_range_register_is_illegal(self):
+        raw = bytes([0x80, 40, 0, 0, 0, 0, 0, 0])  # rd=40 > 31
+        with pytest.raises(IllegalInstruction):
+            nisa.decode(raw, pc=0)
+
+    def test_call_alias_encodes_as_jal_ra(self):
+        raw = nisa.encode(Instruction(Op.CALL, imm=64))
+        decoded, _l = nisa.decode(raw, pc=0)
+        assert decoded.op is Op.JAL
+        assert decoded.rd == nisa.NISA_ABI.link_reg
+
+    def test_ret_alias_encodes_as_jalr_ra(self):
+        raw = nisa.encode(Instruction(Op.RET))
+        decoded, _l = nisa.decode(raw, pc=0)
+        assert decoded.op is Op.JALR
+        assert decoded.rs1 == nisa.NISA_ABI.link_reg
+        assert decoded.rd == 0
+
+    def test_symbolic_la_pair_generates_relocations(self):
+        relocs = []
+        nisa.encode(Instruction(Op.LI, rd=10, imm=Sym("graph")), offset=0, relocs=relocs)
+        nisa.encode(Instruction(Op.LIH, rd=10, imm=Sym("graph")), offset=8, relocs=relocs)
+        assert [r.kind for r in relocs] == ["abs32lo", "abs32hi"]
+        assert relocs[0].offset == 4  # imm field of first instruction
+        assert relocs[1].offset == 12
+
+    def test_symbolic_call_generates_rel32(self):
+        relocs = []
+        nisa.encode(Instruction(Op.CALL, imm=Sym("helper")), offset=16, relocs=relocs)
+        (r,) = relocs
+        assert r.kind == "rel32"
+        assert r.pc_base == 24  # next instruction
+
+    def test_encode_program_resolves_local_branches(self):
+        insts = [
+            Instruction(Op.LI, rd=10, imm=0, label="start"),
+            Instruction(Op.BEQ, rs1=10, rs2=0, imm=Sym("done")),
+            Instruction(Op.J, imm=Sym("start")),
+            Instruction(Op.NOP, label="done"),
+        ]
+        code, relocs, labels = nisa.encode_program(insts)
+        assert not relocs  # all local
+        assert labels == {"start": 0, "done": 24}
+        beq, _l = nisa.decode(code[8:16], pc=0)
+        assert beq.imm == 24 - (8 + 8)  # rel to next inst
+        jmp, _l = nisa.decode(code[16:24], pc=0)
+        assert jmp.imm == 0 - (16 + 8)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        op=st.sampled_from(
+            [Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.AND, Op.OR, Op.XOR, Op.SLT,
+             Op.ADDI, Op.LD, Op.ST, Op.LI, Op.LIH, Op.MOV, Op.BEQ, Op.J,
+             Op.JAL, Op.JALR, Op.ECALL, Op.NOP, Op.HALT]
+        ),
+        rd=st.integers(min_value=0, max_value=31),
+        rs1=st.integers(min_value=0, max_value=31),
+        rs2=st.integers(min_value=0, max_value=31),
+        imm=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    )
+    def test_property_roundtrip(self, op, rd, rs1, rs2, imm):
+        inst = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        decoded, length = nisa.decode(nisa.encode(inst), pc=0)
+        assert length == 8
+        assert decoded.op is op
+        assert decoded.rd == rd
+        assert decoded.rs1 == rs1
+        assert decoded.rs2 == rs2
+        assert decoded.imm == imm
+
+
+class TestHISAEncoding:
+    def test_variable_lengths(self):
+        assert len(hisa.encode(Instruction(Op.NOP))) == 1
+        assert len(hisa.encode(Instruction(Op.RET))) == 1
+        assert len(hisa.encode(Instruction(Op.MOV, rd=1, rs1=2))) == 2
+        assert len(hisa.encode(Instruction(Op.J, imm=100))) == 5
+        assert len(hisa.encode(Instruction(Op.LI, rd=1, imm=7))) == 6
+        assert len(hisa.encode(Instruction(Op.LD, rd=1, rs1=2, imm=8))) == 6
+        assert len(hisa.encode(Instruction(Op.LI, rd=1, imm=1 << 40))) == 10
+
+    def test_li_picks_imm64_for_large_values(self):
+        small = hisa.encode(Instruction(Op.LI, rd=3, imm=(1 << 31) - 1))
+        large = hisa.encode(Instruction(Op.LI, rd=3, imm=1 << 31))
+        assert len(small) == 6
+        assert len(large) == 10
+
+    def test_roundtrip_alu_rr(self):
+        inst = Instruction(Op.ADD, rd=3, rs1=12)
+        decoded, length = hisa.decode(hisa.encode(inst), pc=0)
+        assert length == 2
+        assert (decoded.op, decoded.rd, decoded.rs1) == (Op.ADD, 3, 12)
+
+    def test_roundtrip_store(self):
+        inst = Instruction(Op.ST, rs1=5, rs2=9, imm=-64)
+        decoded, _l = hisa.decode(hisa.encode(inst), pc=0)
+        assert (decoded.op, decoded.rs1, decoded.rs2, decoded.imm) == (Op.ST, 5, 9, -64)
+
+    def test_roundtrip_jcc_all_conditions(self):
+        for cond in hisa.COND_CODES:
+            inst = Instruction(Op.JCC, cond=cond, imm=-12)
+            decoded, _l = hisa.decode(hisa.encode(inst), pc=0)
+            assert decoded.cond == cond
+            assert decoded.imm == -12
+
+    def test_roundtrip_movabs(self):
+        inst = Instruction(Op.LI, rd=15, imm=0xDEAD_BEEF_CAFE_F00D)
+        decoded, length = hisa.decode(hisa.encode(inst), pc=0)
+        assert length == 10
+        assert decoded.imm == 0xDEAD_BEEF_CAFE_F00D
+
+    def test_nisa_opcode_is_illegal_for_hisa(self):
+        with pytest.raises(IllegalInstruction):
+            hisa.decode(bytes([0x80, 0, 0]), pc=0)
+
+    def test_symbolic_call_rel32(self):
+        relocs = []
+        hisa.encode(Instruction(Op.CALL, imm=Sym("nxp_func")), offset=10, relocs=relocs)
+        (r,) = relocs
+        assert r.kind == "rel32"
+        assert r.offset == 11  # patch field after opcode byte
+        assert r.pc_base == 15
+
+    def test_symbolic_address_abs64(self):
+        relocs = []
+        raw = hisa.encode(Instruction(Op.LI, rd=7, imm=Sym("table")), offset=0, relocs=relocs)
+        assert len(raw) == 10
+        assert relocs[0].kind == "abs64"
+        assert relocs[0].offset == 2
+
+    def test_encode_program_local_labels_with_variable_lengths(self):
+        insts = [
+            Instruction(Op.LI, rd=0, imm=0, label="top"),       # 6 bytes @0
+            Instruction(Op.CMP, rd=0, imm=10),                   # 6 bytes @6
+            Instruction(Op.JCC, cond="ge", imm=Sym("end")),      # 5 bytes @12
+            Instruction(Op.ADD, rd=0, imm=1),                    # 6 bytes @17
+            Instruction(Op.J, imm=Sym("top")),                   # 5 bytes @23
+            Instruction(Op.RET, label="end"),                    # 1 byte @28
+        ]
+        code, relocs, labels = hisa.encode_program(insts)
+        assert not relocs
+        assert labels == {"top": 0, "end": 28}
+        jcc, _l = hisa.decode(code[12:17], pc=0)
+        assert jcc.imm == 28 - 17
+        jmp, _l = hisa.decode(code[23:28], pc=0)
+        assert jmp.imm == 0 - 28
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        case=st.one_of(
+            st.tuples(
+                st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL]),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+                st.none(),
+            ),
+            st.tuples(
+                st.sampled_from([Op.ADD, Op.SUB, Op.CMP]),
+                st.integers(min_value=0, max_value=15),
+                st.none(),
+                st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+            ),
+            st.tuples(
+                st.just(Op.LI),
+                st.integers(min_value=0, max_value=15),
+                st.none(),
+                st.integers(min_value=0, max_value=(1 << 64) - 1),
+            ),
+        )
+    )
+    def test_property_roundtrip(self, case):
+        op, rd, rs1, imm = case
+        inst = Instruction(op, rd=rd, rs1=rs1, imm=imm)
+        decoded, length = hisa.decode(hisa.encode(inst), pc=0)
+        assert decoded.op is op
+        assert decoded.rd == rd
+        if rs1 is not None:
+            assert decoded.rs1 == rs1
+        if imm is not None:
+            if op is Op.LI and not (-(1 << 31) <= imm < (1 << 31)):
+                assert decoded.imm == imm  # imm64 path preserves full value
+            else:
+                assert decoded.imm == imm
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=16))
+    def test_property_decode_never_crashes(self, data):
+        """Arbitrary bytes either decode or raise IllegalInstruction —
+        never an unhandled error (the NxP relies on clean faults)."""
+        try:
+            inst, length = hisa.decode(data, pc=0)
+            assert 1 <= length <= 10
+        except IllegalInstruction:
+            pass

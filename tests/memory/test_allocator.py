@@ -1,0 +1,151 @@
+"""Unit and property-based tests for the region allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import AllocatorError, OutOfMemory, RegionAllocator
+
+
+def make(size=1 << 20, base=0x1000):
+    return RegionAllocator("test", base, size)
+
+
+def test_alloc_returns_in_region():
+    a = make()
+    addr = a.alloc(128)
+    assert a.owns(addr)
+
+
+def test_alloc_respects_alignment():
+    a = make(base=0x1008)
+    addr = a.alloc(64, align=4096)
+    assert addr % 4096 == 0
+
+
+def test_distinct_allocations_do_not_overlap():
+    a = make()
+    blocks = [(a.alloc(100), 100) for _ in range(50)]
+    blocks.sort()
+    for (addr1, size1), (addr2, _size2) in zip(blocks, blocks[1:]):
+        assert addr1 + size1 <= addr2
+
+
+def test_free_then_realloc_reuses_space():
+    a = make(size=256)
+    addr = a.alloc(256)
+    with pytest.raises(OutOfMemory):
+        a.alloc(1)
+    a.free(addr)
+    assert a.alloc(256) == addr
+
+
+def test_coalescing_of_adjacent_frees():
+    a = make(size=288)
+    x = a.alloc(96)
+    y = a.alloc(96)
+    z = a.alloc(96)
+    a.free(x)
+    a.free(z)
+    a.free(y)  # middle free should merge all three
+    assert a.free_bytes == 288
+    assert a.alloc(288)  # only possible if fully coalesced
+
+
+def test_double_free_raises():
+    a = make()
+    addr = a.alloc(8)
+    a.free(addr)
+    with pytest.raises(AllocatorError):
+        a.free(addr)
+
+
+def test_free_of_garbage_address_raises():
+    a = make()
+    with pytest.raises(AllocatorError):
+        a.free(0xDEAD)
+
+
+def test_out_of_memory():
+    a = make(size=64)
+    with pytest.raises(OutOfMemory):
+        a.alloc(65)
+
+
+def test_zero_size_alloc_rejected():
+    a = make()
+    with pytest.raises(ValueError):
+        a.alloc(0)
+
+
+def test_non_power_of_two_alignment_rejected():
+    a = make()
+    with pytest.raises(ValueError):
+        a.alloc(8, align=3)
+
+
+def test_allocation_size_lookup():
+    a = make()
+    addr = a.alloc(77)
+    assert a.allocation_size(addr) == 77
+    with pytest.raises(AllocatorError):
+        a.allocation_size(addr + 1)
+
+
+def test_accounting_totals():
+    a = make(size=1000)
+    x = a.alloc(100)
+    _y = a.alloc(200)
+    assert a.live_bytes == 300
+    a.free(x)
+    assert a.live_bytes == 200
+    assert a.free_bytes + a.live_bytes <= 1000
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("alloc"),
+                st.integers(min_value=1, max_value=4096),
+                st.sampled_from([1, 2, 8, 16, 64, 4096]),
+            ),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=50), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_invariants_hold_under_random_ops(ops):
+    """No overlap, containment, and conservation under arbitrary alloc/free."""
+    a = RegionAllocator("prop", 0x4000, 64 * 1024)
+    live = []
+    for kind, arg, align in ops:
+        if kind == "alloc":
+            try:
+                addr = a.alloc(arg, align=align)
+            except OutOfMemory:
+                continue
+            assert addr % align == 0
+            assert a.owns(addr)
+            live.append(addr)
+        elif live:
+            addr = live.pop(arg % len(live))
+            a.free(addr)
+        a.check_invariants()
+    # Every live block still tracked; freeing everything restores capacity.
+    for addr in live:
+        a.free(addr)
+    assert a.free_bytes == 64 * 1024
+    assert a.live_bytes == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40))
+def test_property_full_free_restores_capacity(sizes):
+    a = RegionAllocator("prop2", 0, 1 << 20)
+    addrs = [a.alloc(s) for s in sizes]
+    for addr in addrs:
+        a.free(addr)
+    assert a.free_bytes == 1 << 20
+    assert len(a._free) == 1  # fully coalesced back to one block

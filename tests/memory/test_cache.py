@@ -1,0 +1,121 @@
+"""Tests for the NxP cache models and the coherence filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Cache, CacheableFilter
+from repro.sim import StatRegistry
+
+
+def test_first_access_misses_second_hits():
+    c = Cache("ic", total_lines=16, line_bytes=64)
+    assert c.access(0x1000) is False
+    assert c.access(0x1000) is True
+
+
+def test_same_line_different_offsets_hit():
+    c = Cache("ic", total_lines=16, line_bytes=64)
+    c.access(0x1000)
+    assert c.access(0x103F) is True
+    assert c.access(0x1040) is False  # next line
+
+
+def test_lru_within_set():
+    # 1 set, 2 ways: every line maps to the same set.
+    c = Cache("c", total_lines=2, line_bytes=64, ways=2)
+    c.access(0x0)
+    c.access(0x40)
+    c.access(0x0)  # 0x0 most recent
+    c.access(0x80)  # evicts 0x40
+    assert c.probe(0x0)
+    assert c.probe(0x80)
+    assert not c.probe(0x40)
+
+
+def test_probe_does_not_mutate():
+    c = Cache("c", total_lines=2, line_bytes=64, ways=2)
+    stats_before = c.stats.get("c.hit")
+    c.probe(0x0)
+    assert not c.probe(0x0)  # still absent
+    assert c.stats.get("c.hit") == stats_before
+
+
+def test_set_indexing_spreads_lines():
+    c = Cache("c", total_lines=8, line_bytes=64, ways=1)
+    # 8 sets: lines 0..7 occupy distinct sets, no eviction.
+    for i in range(8):
+        c.access(i * 64)
+    assert all(c.probe(i * 64) for i in range(8))
+    assert c.stats.get("c.evict") == 0
+
+
+def test_flush():
+    c = Cache("c", total_lines=16, line_bytes=64)
+    c.access(0x1000)
+    c.flush()
+    assert c.occupancy == 0
+    assert not c.probe(0x1000)
+
+
+def test_invalidate_range():
+    c = Cache("c", total_lines=16, line_bytes=64)
+    for addr in (0x0, 0x40, 0x80, 0xC0):
+        c.access(addr)
+    c.invalidate_range(0x40, 0x80)  # lines 0x40 and 0x80
+    assert c.probe(0x0)
+    assert not c.probe(0x40)
+    assert not c.probe(0x80)
+    assert c.probe(0xC0)
+
+
+def test_stats():
+    stats = StatRegistry()
+    c = Cache("dc", total_lines=4, line_bytes=64, ways=4, stats=stats)
+    c.access(0x0)
+    c.access(0x0)
+    assert stats.get("dc.miss") == 1
+    assert stats.get("dc.hit") == 1
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache("c", total_lines=3, line_bytes=64, ways=2)
+    with pytest.raises(ValueError):
+        Cache("c", total_lines=4, line_bytes=63)
+    with pytest.raises(ValueError):
+        Cache("c", total_lines=0, line_bytes=64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200))
+def test_property_occupancy_bounded_and_repeat_hits(addrs):
+    c = Cache("p", total_lines=32, line_bytes=64, ways=4)
+    for addr in addrs:
+        c.access(addr)
+    assert c.occupancy <= 32
+    # Whatever probe says is present must actually hit.
+    for addr in addrs[-4:]:
+        if c.probe(addr):
+            assert c.access(addr) is True
+
+
+class TestCacheableFilter:
+    def test_default_nothing_cacheable(self):
+        f = CacheableFilter()
+        assert not f.cacheable(0x8000_0000)
+
+    def test_window_allows(self):
+        f = CacheableFilter()
+        f.allow(0x8000_0000, 1 << 20)
+        assert f.cacheable(0x8000_0000)
+        assert f.cacheable(0x8000_0000 + (1 << 20) - 1)
+        assert not f.cacheable(0x8000_0000 + (1 << 20))
+        assert not f.cacheable(0x7FFF_FFFF)
+
+    def test_host_dram_never_registered(self):
+        """Host-coherent data must not be cached on the NxP (PCIe has no
+        snooping) — the filter only ever whitelists local windows."""
+        f = CacheableFilter()
+        f.allow(0x8000_0000, 1 << 30)
+        assert not f.cacheable(0x1000)  # host DRAM

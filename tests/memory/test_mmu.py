@@ -1,0 +1,130 @@
+"""Tests for the timed page walker (the NxP's programmable MMU)."""
+
+import pytest
+
+from repro.core.config import FlickConfig
+from repro.memory import (
+    PAGE_1G,
+    PAGE_4K,
+    MemoryRegion,
+    PageFault,
+    PageTables,
+    PageWalker,
+    PhysicalMemory,
+    RegionAllocator,
+)
+from repro.sim import Simulator, StatRegistry
+
+GB = 1024 * 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cfg = FlickConfig()
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 64 * 1024 * 1024))
+    phys.add_region(MemoryRegion("nxp", 0xA_0000_0000, 4 * GB))
+    pt = PageTables(phys, RegionAllocator("f", 0x100_0000, 32 * 1024 * 1024))
+    stats = StatRegistry()
+    walker = PageWalker(sim, cfg, lambda: pt, stats=stats)
+    return sim, cfg, pt, walker, stats
+
+
+def run_walk(sim, walker, vaddr):
+    return sim.run_process(walker.walk(vaddr))
+
+
+def test_walk_returns_correct_translation(env):
+    sim, _cfg, pt, walker, _stats = env
+    pt.map_page(0x40_0000, 0x8000)
+    tr = run_walk(sim, walker, 0x40_0123)
+    assert tr.paddr == 0x8123
+
+
+def test_walk_charges_four_level_latency_for_4k(env):
+    sim, cfg, pt, walker, _stats = env
+    pt.map_page(0x40_0000, 0x8000)
+    run_walk(sim, walker, 0x40_0000)
+    expected = cfg.mmu_walker_overhead_ns + 4 * cfg.mmu_walk_step_ns
+    assert sim.now == pytest.approx(expected)
+
+
+def test_huge_page_walk_is_shorter(env):
+    """1GB pages terminate the walk at the PDPT: 2 reads, not 4."""
+    sim, cfg, pt, walker, _stats = env
+    pt.map_page(0x100_0000_0000, 0xA_0000_0000, PAGE_1G)
+    run_walk(sim, walker, 0x100_0000_0000)
+    expected = cfg.mmu_walker_overhead_ns + 2 * cfg.mmu_walk_step_ns
+    assert sim.now == pytest.approx(expected)
+
+
+def test_walk_fault_still_costs_time(env):
+    sim, _cfg, pt, walker, _stats = env
+    proc_gen = walker.walk(0xDEAD_0000)
+
+    def runner(sim):
+        try:
+            yield sim.spawn(proc_gen)
+        except Exception:
+            pass
+        return sim.now
+
+    # PageFault propagates out of the walk.
+    with pytest.raises(Exception):
+        sim.run_process(walker.walk(0xDEAD_0000))
+
+
+def test_walk_fault_raises_pagefault(env):
+    sim, _cfg, _pt, walker, _stats = env
+    gen = walker.walk(0xDEAD_0000)
+    with pytest.raises(Exception) as exc:
+        sim.run_process(gen)
+    assert isinstance(exc.value.__cause__, PageFault) or isinstance(exc.value, PageFault)
+
+
+def test_stats_count_walks_and_pte_reads(env):
+    sim, _cfg, pt, walker, stats = env
+    pt.map_page(0x40_0000, 0x8000)
+    run_walk(sim, walker, 0x40_0000)
+    assert stats.get("mmu.walk") == 1
+    assert stats.get("mmu.pte_read") == 4
+
+
+def test_hole_bypasses_walk(env):
+    sim, cfg, _pt, walker, stats = env
+    walker.add_hole(0x7000_0000, 1 << 20, 0xA_0000_0000)
+    tr = run_walk(sim, walker, 0x7000_0042)
+    assert tr.paddr == 0xA_0000_0042
+    assert sim.now == pytest.approx(cfg.tlb_hit_ns)  # no PTE reads
+    assert stats.get("mmu.walk") == 0
+    assert stats.get("mmu.hole_hit") == 1
+
+
+def test_overlapping_holes_rejected(env):
+    _sim, _cfg, _pt, walker, _stats = env
+    walker.add_hole(0x1000, 0x1000, 0xA_0000_0000)
+    with pytest.raises(ValueError):
+        walker.add_hole(0x1800, 0x1000, 0xA_0000_0000)
+
+
+def test_walker_follows_current_tables(env):
+    """The walker uses whatever PTBR the current context provides —
+    that is how the NxP shares the host's CR3 (Fig. 1)."""
+    sim, _cfg, pt, _walker, _stats = env
+    phys = pt.phys
+    pt2 = PageTables(phys, RegionAllocator("f2", 0x300_0000, 16 * 1024 * 1024))
+    pt.map_page(0x1000, 0x2000)
+    pt2.map_page(0x1000, 0x9000)
+    current = {"tables": pt}
+    walker = PageWalker(sim, FlickConfig(), lambda: current["tables"])
+    assert sim.run_process(walker.walk(0x1000)).paddr == 0x2000
+    current["tables"] = pt2  # context switch to another address space
+    assert sim.run_process(walker.walk(0x1000)).paddr == 0x9000
+
+
+def test_no_tables_faults(env):
+    sim, cfg, _pt, _walker, _stats = env
+    walker = PageWalker(sim, cfg, lambda: None)
+    with pytest.raises(Exception):
+        sim.run_process(walker.walk(0x1000))

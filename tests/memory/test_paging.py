@@ -1,0 +1,236 @@
+"""Tests for the 4-level page tables, NX semantics, and huge pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    MemoryRegion,
+    PageFault,
+    PageTables,
+    PhysicalMemory,
+    RegionAllocator,
+)
+
+GB = 1024 * 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 64 * 1024 * 1024))
+    phys.add_region(MemoryRegion("nxp", 0xA_0000_0000, 4 * GB))
+    frames = RegionAllocator("frames", 0x10_0000, 16 * 1024 * 1024)
+    tables = PageTables(phys, frames)
+    return phys, tables
+
+
+def test_simple_4k_mapping(env):
+    _phys, pt = env
+    pt.map_page(0x40_0000, 0x8000, PAGE_4K)
+    tr = pt.translate(0x40_0123)
+    assert tr.paddr == 0x8123
+    assert tr.page_size == PAGE_4K
+
+
+def test_unmapped_address_faults(env):
+    _phys, pt = env
+    with pytest.raises(PageFault) as exc:
+        pt.translate(0x1234_5000)
+    assert exc.value.kind == PageFault.NOT_PRESENT
+    assert exc.value.vaddr == 0x1234_5000
+
+
+def test_offset_preserved_within_page(env):
+    _phys, pt = env
+    pt.map_page(0x7000, 0x3000)
+    for off in (0, 1, 0xFFF):
+        assert pt.translate(0x7000 + off).paddr == 0x3000 + off
+
+
+def test_2m_huge_page(env):
+    _phys, pt = env
+    pt.map_page(0x20_0000, 0x40_0000, PAGE_2M)
+    tr = pt.translate(0x20_0000 + 0x12345)
+    assert tr.paddr == 0x40_0000 + 0x12345
+    assert tr.page_size == PAGE_2M
+
+
+def test_1g_huge_page_maps_nxp_storage(env):
+    """The paper maps the 4GB NxP store with four 1GB pages."""
+    _phys, pt = env
+    for i in range(4):
+        pt.map_page(0x100_0000_0000 + i * PAGE_1G, 0xA_0000_0000 + i * PAGE_1G, PAGE_1G)
+    tr = pt.translate(0x100_0000_0000 + 3 * PAGE_1G + 0xABCDE)
+    assert tr.paddr == 0xA_0000_0000 + 3 * PAGE_1G + 0xABCDE
+    assert tr.page_size == PAGE_1G
+    # Walk for a 1GB page is short: PML4 + PDPT only.
+    assert len(pt.walk_entry_addrs(0x100_0000_0000)) == 2
+
+
+def test_misaligned_mapping_rejected(env):
+    _phys, pt = env
+    with pytest.raises(ValueError):
+        pt.map_page(0x1234, 0x4000)
+    with pytest.raises(ValueError):
+        pt.map_page(0x20_0000, 0x1000, PAGE_2M)  # paddr not 2M-aligned
+
+
+def test_unsupported_page_size_rejected(env):
+    _phys, pt = env
+    with pytest.raises(ValueError):
+        pt.map_page(0x4000, 0x4000, page_size=8192)
+
+
+def test_map_range_counts_pages(env):
+    _phys, pt = env
+    n = pt.map_range(0x10_0000_0000, 0x2000, 5 * PAGE_4K)
+    assert n == 5
+    assert pt.translate(0x10_0000_0000 + 4 * PAGE_4K).paddr == 0x2000 + 4 * PAGE_4K
+
+
+def test_unmap_page(env):
+    _phys, pt = env
+    pt.map_page(0x5000, 0x5000)
+    pt.unmap_page(0x5000)
+    with pytest.raises(PageFault):
+        pt.translate(0x5000)
+
+
+def test_non_canonical_vaddr_faults(env):
+    _phys, pt = env
+    with pytest.raises(PageFault) as exc:
+        pt.translate(1 << 50)
+    assert exc.value.kind == PageFault.NON_CANONICAL
+
+
+class TestNXSemantics:
+    """The core Flick mechanism: NX on the host, inverted NX on the NxP."""
+
+    def test_nx_page_faults_on_host_exec(self, env):
+        _phys, pt = env
+        pt.map_page(0x9000, 0x9000, nx=True)  # NxP code page
+        with pytest.raises(PageFault) as exc:
+            pt.access(0x9000, is_exec=True)
+        assert exc.value.kind == PageFault.NX_VIOLATION
+
+    def test_nx_page_readable_on_host(self, env):
+        _phys, pt = env
+        pt.map_page(0x9000, 0x9000, nx=True)
+        assert pt.access(0x9000).paddr == 0x9000  # data read is fine
+
+    def test_host_code_executes_on_host(self, env):
+        _phys, pt = env
+        pt.map_page(0xA000, 0xA000, nx=False)
+        assert pt.access(0xA000, is_exec=True).paddr == 0xA000
+
+    def test_inverted_nx_host_code_faults_on_nxp(self, env):
+        _phys, pt = env
+        pt.map_page(0xA000, 0xA000, nx=False)  # host code page
+        with pytest.raises(PageFault) as exc:
+            pt.access(0xA000, is_exec=True, invert_nx=True)
+        assert exc.value.kind == PageFault.NX_VIOLATION
+
+    def test_inverted_nx_nxp_code_executes_on_nxp(self, env):
+        _phys, pt = env
+        pt.map_page(0x9000, 0x9000, nx=True)  # NxP code page
+        assert pt.access(0x9000, is_exec=True, invert_nx=True).paddr == 0x9000
+
+    def test_set_nx_flips_behaviour(self, env):
+        """The extended mprotect(): loader marks .text.riscv pages NX."""
+        _phys, pt = env
+        pt.map_range(0xB000, 0xB000, 3 * PAGE_4K, nx=False)
+        changed = pt.set_nx(0xB000, True, length=3 * PAGE_4K)
+        assert changed == 3
+        with pytest.raises(PageFault):
+            pt.access(0xB000, is_exec=True)
+        pt.set_nx(0xB000, False, length=PAGE_4K)
+        assert pt.access(0xB000, is_exec=True)  # first page host-exec again
+        with pytest.raises(PageFault):
+            pt.access(0xB000 + PAGE_4K, is_exec=True)  # others still NX
+
+    def test_write_protect_fault(self, env):
+        _phys, pt = env
+        pt.map_page(0xC000, 0xC000, writable=False)
+        with pytest.raises(PageFault) as exc:
+            pt.access(0xC000, is_write=True)
+        assert exc.value.kind == PageFault.WRITE_PROTECT
+
+
+class TestWalkerVisibility:
+    def test_walk_entry_addrs_has_four_levels_for_4k(self, env):
+        _phys, pt = env
+        pt.map_page(0x40_0000, 0x8000)
+        addrs = pt.walk_entry_addrs(0x40_0000)
+        assert len(addrs) == 4
+        assert addrs[0] // PAGE_4K * PAGE_4K == pt.cr3  # first read is in PML4
+
+    def test_walk_entries_are_real_memory(self, env):
+        """The PTE words live in simulated DRAM — an external walker
+        reading the same addresses sees the same mapping."""
+        phys, pt = env
+        pt.map_page(0x40_0000, 0x8000)
+        leaf_addr = pt.walk_entry_addrs(0x40_0000)[-1]
+        entry = phys.read_u64(leaf_addr)
+        assert entry & 1  # present
+        assert entry & 0x000F_FFFF_FFFF_F000 == 0x8000
+
+    def test_corrupting_pte_in_memory_changes_translation(self, env):
+        phys, pt = env
+        pt.map_page(0x40_0000, 0x8000)
+        leaf_addr = pt.walk_entry_addrs(0x40_0000)[-1]
+        entry = phys.read_u64(leaf_addr)
+        phys.write_u64(leaf_addr, (entry & ~0x000F_FFFF_FFFF_F000) | 0xF000)
+        assert pt.translate(0x40_0000).paddr == 0xF000
+
+    def test_mapped_leaves_enumeration(self, env):
+        _phys, pt = env
+        pt.map_page(0x1000, 0x2000)
+        pt.map_page(0x20_0000, 0x40_0000, PAGE_2M)
+        leaves = dict(pt.mapped_leaves())
+        assert leaves[0x1000].paddr == 0x2000
+        assert leaves[0x20_0000].page_size == PAGE_2M
+        assert len(leaves) == 2
+
+    def test_two_address_spaces_are_independent(self, env):
+        phys, pt1 = env
+        frames2 = RegionAllocator("frames2", 0x200_0000, 8 * 1024 * 1024)
+        pt2 = PageTables(phys, frames2)
+        pt1.map_page(0x1000, 0x2000)
+        pt2.map_page(0x1000, 0x9000)
+        assert pt1.translate(0x1000).paddr == 0x2000
+        assert pt2.translate(0x1000).paddr == 0x9000
+        assert pt1.cr3 != pt2.cr3
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mappings=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 36) - 1),
+            st.integers(min_value=0, max_value=(1 << 24) - 1),
+        ),
+        min_size=1,
+        max_size=20,
+        unique_by=lambda m: m[0],
+    ),
+    probe_offset=st.integers(min_value=0, max_value=PAGE_4K - 1),
+)
+def test_property_translate_matches_reference(mappings, probe_offset):
+    """For arbitrary distinct 4K mappings, translate() agrees with the
+    dictionary we built them from, including the page offset."""
+    phys = PhysicalMemory()
+    phys.add_region(MemoryRegion("dram", 0x0, 256 * 1024 * 1024))
+    frames = RegionAllocator("frames", 0x100_0000, 64 * 1024 * 1024)
+    pt = PageTables(phys, frames)
+    reference = {}
+    for vpage, ppage in mappings:
+        vaddr = vpage * PAGE_4K
+        paddr = ppage * PAGE_4K
+        pt.map_page(vaddr, paddr)
+        reference[vaddr] = paddr
+    for vaddr, paddr in reference.items():
+        assert pt.translate(vaddr + probe_offset).paddr == paddr + probe_offset

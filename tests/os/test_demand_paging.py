@@ -1,0 +1,132 @@
+"""Demand-paging kernel extension tests."""
+
+import pytest
+
+from repro import FlickMachine
+from repro.memory.paging import PageFault
+from repro.os.demand_paging import MINOR_FAULT_SERVICE_NS, LazyHeap
+from repro.os.kernel import ProcessCrash
+
+SRC = """
+func main(n) {
+    var buf = alloc(n * 8);
+    var i = 0;
+    while (i < n) {
+        store(buf + i * 8, i * 3);
+        i = i + 1;
+    }
+    var total = 0;
+    i = 0;
+    while (i < n) {
+        total = total + load(buf + i * 8);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+def run_lazy(n, heap_size=1 << 22):
+    machine = FlickMachine()
+    exe = machine.compile(SRC)
+    process = machine.load(exe)
+    lazy = machine.enable_lazy_heap(process, size=heap_size)
+    thread = machine.spawn(process, args=[n])
+    machine.run()
+    return machine, thread, lazy
+
+
+class TestLazyHeap:
+    def test_program_correct_under_demand_paging(self):
+        _m, thread, _lazy = run_lazy(100)
+        assert thread.result == sum(i * 3 for i in range(100))
+
+    def test_minor_faults_counted_once_per_page(self):
+        # 100 * 8 bytes = 800 bytes -> a single 4K page (alloc is 16-aligned).
+        _m, _t, lazy = run_lazy(100)
+        assert lazy.minor_faults == 1
+
+    def test_faults_scale_with_pages_touched(self):
+        # 4096 longs = 32KB = 8 pages.
+        _m, _t, lazy = run_lazy(4096)
+        assert lazy.minor_faults == 8
+
+    def test_pages_backed_after_touch(self):
+        m, _t, lazy = run_lazy(10)
+        assert lazy.is_backed(lazy.vbase)
+        assert not lazy.is_backed(lazy.vbase + lazy.size - 4096)
+
+    def test_fault_time_charged(self):
+        """Each minor fault costs kernel time."""
+        m_few, t_few, _l = run_lazy(16)  # 1 page
+        m_many, t_many, lazy_many = run_lazy(4096)  # 8 pages
+        extra_faults = lazy_many.minor_faults - 1
+        # Time difference includes fault service; crude lower bound.
+        assert t_many.finished_at - t_few.finished_at > extra_faults * MINOR_FAULT_SERVICE_NS
+
+    def test_trace_records_minor_faults(self):
+        m, _t, lazy = run_lazy(4096)
+        assert m.trace.count("minor_fault") == lazy.minor_faults
+        assert m.stats.get("kernel.minor_fault") == lazy.minor_faults
+
+    def test_eager_heap_unaffected(self):
+        machine = FlickMachine()
+        out = machine.run_program(SRC, args=[50])
+        assert out.retval == sum(i * 3 for i in range(50))
+        assert machine.stats.get("kernel.minor_fault") == 0
+
+    def test_access_outside_window_still_crashes(self):
+        machine = FlickMachine()
+        exe = machine.compile("func main() { return load(0x123456789000); }")
+        process = machine.load(exe)
+        machine.enable_lazy_heap(process)
+        machine.spawn(process)
+        with pytest.raises(Exception) as excinfo:
+            machine.run()
+        root = excinfo.value.__cause__ or excinfo.value
+        assert isinstance(root, ProcessCrash)
+
+    def test_unaligned_window_rejected(self):
+        machine = FlickMachine()
+        exe = machine.compile("func main() { return 0; }")
+        process = machine.load(exe)
+        with pytest.raises(ValueError):
+            LazyHeap(machine, process, vbase=0x1001, size=4096)
+
+    def test_service_outside_window_raises(self):
+        machine = FlickMachine()
+        exe = machine.compile("func main() { return 0; }")
+        process = machine.load(exe)
+        lazy = machine.enable_lazy_heap(process)
+        gen = lazy.service_fault(None, 0xDEAD_0000)
+        with pytest.raises(Exception) as excinfo:
+            machine.sim.run_process(gen)
+        root = excinfo.value.__cause__ or excinfo.value
+        assert isinstance(root, PageFault)
+
+
+class TestLazyHeapWithMigration:
+    def test_nxp_reads_host_demand_paged_data_after_touch(self):
+        """Host touches (and thereby backs) the pages, then the NxP
+        reads them through the shared page tables."""
+        src = """
+        @nxp func dev_sum(buf, n) {
+            var total = 0;
+            var i = 0;
+            while (i < n) { total = total + load(buf + i * 8); i = i + 1; }
+            return total;
+        }
+        func main(n) {
+            var buf = alloc(n * 8);
+            var i = 0;
+            while (i < n) { store(buf + i * 8, i); i = i + 1; }
+            return dev_sum(buf, n);
+        }
+        """
+        machine = FlickMachine()
+        exe = machine.compile(src)
+        process = machine.load(exe)
+        machine.enable_lazy_heap(process)
+        thread = machine.spawn(process, args=[64])
+        machine.run()
+        assert thread.result == sum(range(64))

@@ -1,0 +1,117 @@
+"""Host-core scheduling primitive tests."""
+
+import pytest
+
+from repro.os.scheduler import CorePool, CoreResource
+from repro.sim import Simulator
+
+
+class TestCoreResource:
+    def test_uncontended_acquire_is_immediate(self):
+        sim = Simulator()
+        core = CoreResource(sim, "c0")
+
+        def proc(sim):
+            yield from core.acquire("a")
+            return sim.now
+
+        assert sim.run_process(proc(sim)) == 0.0
+        assert core.busy
+
+    def test_fifo_handoff(self):
+        sim = Simulator()
+        core = CoreResource(sim, "c0")
+        order = []
+
+        def holder(sim):
+            yield from core.acquire("holder")
+            yield sim.timeout(10)
+            core.release()
+
+        def waiter(sim, tag, delay):
+            yield sim.timeout(delay)
+            yield from core.acquire(tag)
+            order.append((tag, sim.now))
+            yield sim.timeout(5)
+            core.release()
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim, "first", 1))
+        sim.spawn(waiter(sim, "second", 2))
+        sim.run()
+        assert order == [("first", 10), ("second", 15)]
+
+    def test_release_while_free_raises(self):
+        sim = Simulator()
+        core = CoreResource(sim, "c0")
+        with pytest.raises(RuntimeError):
+            core.release()
+
+    def test_release_then_reacquire(self):
+        sim = Simulator()
+        core = CoreResource(sim, "c0")
+
+        def proc(sim):
+            yield from core.acquire("a")
+            core.release()
+            yield from core.acquire("a")
+            return core.busy
+
+        assert sim.run_process(proc(sim)) is True
+
+
+class TestCorePool:
+    def test_pool_hands_out_distinct_cores(self):
+        sim = Simulator()
+        pool = CorePool(sim, 2)
+        held = []
+
+        def proc(sim, tag):
+            core = yield from pool.acquire(tag)
+            held.append(core)
+            yield sim.timeout(10)
+            pool.release(core)
+
+        sim.spawn(proc(sim, "a"))
+        sim.spawn(proc(sim, "b"))
+        sim.run()
+        assert held[0] is not held[1]
+
+    def test_third_task_waits_for_a_release(self):
+        sim = Simulator()
+        pool = CorePool(sim, 2)
+        times = {}
+
+        def proc(sim, tag, hold):
+            core = yield from pool.acquire(tag)
+            times[tag] = sim.now
+            yield sim.timeout(hold)
+            pool.release(core)
+
+        sim.spawn(proc(sim, "a", 10))
+        sim.spawn(proc(sim, "b", 20))
+        sim.spawn(proc(sim, "c", 5))
+        sim.run()
+        assert times["a"] == 0 and times["b"] == 0
+        assert times["c"] == 10  # got a's core
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CorePool(Simulator(), 0)
+
+    def test_many_tasks_one_core_all_run(self):
+        sim = Simulator()
+        pool = CorePool(sim, 1)
+        done = []
+
+        def proc(sim, i):
+            core = yield from pool.acquire(str(i))
+            yield sim.timeout(3)
+            done.append(i)
+            pool.release(core)
+
+        for i in range(6):
+            sim.spawn(proc(sim, i))
+        sim.run()
+        assert sorted(done) == list(range(6))
+        assert sim.now == 18  # fully serialized

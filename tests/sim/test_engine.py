@@ -1,0 +1,371 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Channel, Deadlock, Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(42.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 42.5
+    assert sim.now == 42.5
+
+
+def test_zero_timeout_is_legal():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(5):
+            yield sim.timeout(10)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 50
+
+
+def test_two_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def a(sim):
+        yield sim.timeout(5)
+        order.append(("a", sim.now))
+        yield sim.timeout(10)
+        order.append(("a", sim.now))
+
+    def b(sim):
+        yield sim.timeout(7)
+        order.append(("b", sim.now))
+
+    sim.spawn(a(sim))
+    sim.spawn(b(sim))
+    sim.run()
+    assert order == [("a", 5), ("b", 7), ("a", 15)]
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+
+    def trigger(sim, ev):
+        yield sim.timeout(3)
+        ev.trigger("hello")
+
+    def waiter(sim, ev):
+        value = yield ev
+        return (sim.now, value)
+
+    ev = Event(sim)
+    sim.spawn(trigger(sim, ev))
+    p = sim.spawn(waiter(sim, ev))
+    sim.run()
+    assert p.value == (3, "hello")
+
+
+def test_yield_on_already_triggered_event_returns_immediately():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger(99)
+
+    def waiter(sim, ev):
+        value = yield ev
+        return (sim.now, value)
+
+    assert sim.run_process(waiter(sim, ev)) == (0.0, 99)
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_event_reset_allows_retrigger():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger(1)
+    ev.reset()
+    assert not ev.triggered
+    ev.trigger(2)
+    assert ev.value == 2
+
+
+def test_event_reset_with_waiters_raises():
+    sim = Simulator()
+    ev = Event(sim)
+
+    def waiter(sim, ev):
+        yield ev
+
+    sim.spawn(waiter(sim, ev))
+    sim.run()  # waiter parks on the event
+    with pytest.raises(SimulationError):
+        ev.reset()
+
+
+def test_multiple_waiters_all_woken():
+    sim = Simulator()
+    ev = Event(sim)
+    results = []
+
+    def waiter(sim, ev, tag):
+        value = yield ev
+        results.append((tag, value))
+
+    for i in range(4):
+        sim.spawn(waiter(sim, ev, i))
+
+    def trigger(sim, ev):
+        yield sim.timeout(1)
+        ev.trigger("x")
+
+    sim.spawn(trigger(sim, ev))
+    sim.run()
+    assert sorted(results) == [(0, "x"), (1, "x"), (2, "x"), (3, "x")]
+
+
+def test_wait_on_process_gets_return_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(8)
+        return "done"
+
+    def parent(sim):
+        c = sim.spawn(child(sim))
+        value = yield c
+        return (sim.now, value)
+
+    assert sim.run_process(parent(sim), name="parent") == (8, "done")
+
+
+def test_wait_on_finished_process_returns_immediately():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        return 7
+
+    def parent(sim, c):
+        yield sim.timeout(10)
+        value = yield c
+        return (sim.now, value)
+
+    c = sim.spawn(child(sim))
+    p = sim.spawn(parent(sim, c))
+    sim.run()
+    assert p.value == (10, 7)
+
+
+def test_process_kill_stops_execution():
+    sim = Simulator()
+    hits = []
+
+    def forever(sim):
+        while True:
+            yield sim.timeout(1)
+            hits.append(sim.now)
+
+    def killer(sim, victim):
+        yield sim.timeout(3.5)
+        victim.kill()
+
+    victim = sim.spawn(forever(sim))
+    sim.spawn(killer(sim, victim))
+    sim.run()
+    assert hits == [1, 2, 3]
+    assert not victim.alive
+
+
+def test_uncaught_exception_propagates():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yield_unsupported_object_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 12345
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(10)
+
+    sim.spawn(ticker(sim))
+    sim.run(until=35)
+    assert sim.now == 35
+
+
+def test_run_until_deadlock_detected():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield Event(sim)  # never triggered
+
+    sim.spawn(stuck(sim))
+    with pytest.raises(Deadlock):
+        sim.run(until=100)
+
+
+def test_channel_fifo_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def producer(sim, ch):
+        for i in range(3):
+            yield sim.timeout(1)
+            ch.put(i)
+
+    def consumer(sim, ch):
+        for _ in range(3):
+            item = yield ch.get()
+            got.append((sim.now, item))
+
+    sim.spawn(producer(sim, ch))
+    sim.spawn(consumer(sim, ch))
+    sim.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_channel_get_before_put_blocks():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer(sim, ch):
+        item = yield ch.get()
+        return (sim.now, item)
+
+    def producer(sim, ch):
+        yield sim.timeout(50)
+        ch.put("late")
+
+    c = sim.spawn(consumer(sim, ch))
+    sim.spawn(producer(sim, ch))
+    sim.run()
+    assert c.value == (50, "late")
+
+
+def test_channel_buffers_when_no_getter():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.put(1)
+    ch.put(2)
+    assert len(ch) == 2
+
+    def consumer(sim, ch):
+        a = yield ch.get()
+        b = yield ch.get()
+        return [a, b]
+
+    assert sim.run_process(consumer(sim, ch)) == [1, 2]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    evs = [Event(sim) for _ in range(3)]
+
+    def trigger(sim, ev, t, v):
+        yield sim.timeout(t)
+        ev.trigger(v)
+
+    for i, ev in enumerate(evs):
+        sim.spawn(trigger(sim, ev, 10 * (i + 1), i))
+
+    def waiter(sim):
+        values = yield sim.all_of(evs)
+        return (sim.now, values)
+
+    assert sim.run_process(waiter(sim)) == (30, [0, 1, 2])
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+
+    def waiter(sim):
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(waiter(sim)) == []
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in ["first", "second", "third"]:
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_bare_yield_reschedules_same_time():
+    sim = Simulator()
+
+    def proc(sim):
+        yield None
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_nested_process_spawning():
+    sim = Simulator()
+
+    def leaf(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def parent(sim):
+        total = 0
+        for d in [1, 2, 3]:
+            total += yield sim.spawn(leaf(sim, d))
+        return (sim.now, total)
+
+    assert sim.run_process(parent(sim)) == (6, 6)

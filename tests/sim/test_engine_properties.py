@@ -1,0 +1,120 @@
+"""Property-based DES engine invariants: ordering and determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=80, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+def test_property_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def proc(sim, d):
+        yield sim.timeout(d)
+        fired.append(sim.now)
+
+    for d in delays:
+        sim.spawn(proc(sim, d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20))
+def test_property_simulation_is_deterministic(delays):
+    """The same schedule replayed twice produces identical histories."""
+
+    def run_once():
+        sim = Simulator()
+        history = []
+
+        def proc(sim, i, d):
+            yield sim.timeout(d)
+            history.append((sim.now, i))
+            yield sim.timeout(d / 2 + 1)
+            history.append((sim.now, i))
+
+        for i, d in enumerate(delays):
+            sim.spawn(proc(sim, i, d))
+        sim.run()
+        return history
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=15),
+    trigger_at=st.floats(min_value=0.0, max_value=200.0),
+)
+def test_property_event_wakes_all_waiters_at_trigger_time(delays, trigger_at):
+    sim = Simulator()
+    ev = sim.event("gate")
+    woken = []
+
+    def waiter(sim, i, d):
+        yield sim.timeout(d)
+        yield ev
+        woken.append((i, sim.now))
+
+    def trigger(sim):
+        yield sim.timeout(trigger_at)
+        ev.trigger()
+
+    for i, d in enumerate(delays):
+        sim.spawn(waiter(sim, i, d))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert len(woken) == len(delays)
+    for _i, t in woken:
+        # Each waiter resumes at max(its own arrival, the trigger time).
+        assert t >= trigger_at or t == max(d for d in delays)
+        assert t >= trigger_at - 1e-9 or any(d > trigger_at for d in delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=25),
+    consumer_head_start=st.booleans(),
+)
+def test_property_channel_preserves_fifo(items, consumer_head_start):
+    sim = Simulator()
+    ch = sim.channel("c")
+    received = []
+
+    def producer(sim):
+        for item in items:
+            yield sim.timeout(1)
+            ch.put(item)
+
+    def consumer(sim):
+        if not consumer_head_start:
+            yield sim.timeout(50)
+        for _ in items:
+            received.append((yield ch.get()))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    until=st.floats(min_value=1.0, max_value=500.0),
+    period=st.floats(min_value=0.5, max_value=50.0),
+)
+def test_property_run_until_never_overshoots(until, period):
+    sim = Simulator()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(period)
+
+    sim.spawn(ticker(sim))
+    sim.run(until=until)
+    assert sim.now == until

@@ -1,0 +1,82 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.sim import Accumulator, Counter, StatRegistry, mean, percentile
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == 2
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_percentile_nearest_rank():
+    vals = list(range(1, 101))
+    assert percentile(vals, 50) == 50
+    assert percentile(vals, 99) == 99
+    assert percentile(vals, 100) == 100
+    assert percentile(vals, 0) == 1
+
+
+def test_percentile_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_counter_add():
+    c = Counter("x")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    c = Counter("x")
+    with pytest.raises(ValueError):
+        c.add(-1)
+
+
+def test_accumulator_stats():
+    a = Accumulator("lat")
+    for v in [10.0, 20.0, 30.0]:
+        a.add(v)
+    assert a.count == 3
+    assert a.total == 60.0
+    assert a.mean == 20.0
+    assert a.min == 10.0
+    assert a.max == 30.0
+
+
+def test_registry_counter_is_shared():
+    reg = StatRegistry()
+    reg.count("tlb.miss")
+    reg.count("tlb.miss", 2)
+    assert reg.get("tlb.miss") == 3
+    assert reg.get("nonexistent") == 0
+    assert reg.get("nonexistent", default=-1) == -1
+
+
+def test_registry_sample_and_snapshot():
+    reg = StatRegistry()
+    reg.count("migrations", 5)
+    reg.sample("rt", 18.3)
+    reg.sample("rt", 16.9)
+    snap = reg.snapshot()
+    assert snap["migrations"] == 5
+    assert snap["rt.count"] == 2
+    assert snap["rt.mean"] == pytest.approx(17.6)
+
+
+def test_registry_same_name_same_object():
+    reg = StatRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.accumulator("b") is reg.accumulator("b")

@@ -1,0 +1,20 @@
+"""Run the doctests embedded in public docstrings (keeps examples honest)."""
+
+import doctest
+
+import pytest
+
+import repro.core.machine
+import repro.sim.engine
+import repro.toolchain.asm_unit
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.engine, repro.core.machine, repro.toolchain.asm_unit],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,88 @@
+"""Helpers to compile, link and execute FlickC programs on a flat port
+(single-ISA execution; cross-ISA migration is tested at the core layer)."""
+
+import pytest
+
+from repro.isa.interpreter import CostModel, EnvCall, Halted, Interpreter, ReturnToRuntime
+from repro.sim import Simulator
+from repro.toolchain import link
+from repro.toolchain.flickc import compile_source
+
+from tests.isa.conftest import FlatPort
+
+STACK_TOP = 0x70_0000
+
+# Fake stub addresses for runtime symbols; tests that don't call them can
+# still link programs that mention alloc/free.
+FAKE_STUBS = {
+    "__host_malloc": 0x7F_0000,
+    "__nxp_malloc": 0x7F_0100,
+    "__host_free": 0x7F_0200,
+    "__nxp_free": 0x7F_0300,
+}
+
+
+class ProgramResult:
+    def __init__(self, retval, prints, sim, cpu, port, exe):
+        self.retval = retval
+        self.prints = prints
+        self.sim = sim
+        self.cpu = cpu
+        self.port = port
+        self.exe = exe
+
+
+def run_flickc(source, entry="main", args=(), max_steps=500_000, extra_symbols=None, optimize=False):
+    """Compile+link ``source`` and run ``entry`` to completion.
+
+    Services print/exit ECALLs; returns a :class:`ProgramResult`.
+    Only valid when the whole call graph of ``entry`` stays on one ISA.
+    """
+    symbols = dict(FAKE_STUBS)
+    symbols.update(extra_symbols or {})
+    obj = compile_source(source, optimize=optimize)
+    exe = link([obj], entry_symbol=entry, extra_symbols=symbols)
+
+    port = FlatPort(size=32 * 1024 * 1024)
+    for seg in exe.segments:
+        port.write(seg.vaddr, seg.data)
+
+    isa = exe.isa_of_symbol[entry]
+    assert isa is not None, f"{entry} is not a function"
+    sim = Simulator()
+    cpu = Interpreter(isa, sim, port, CostModel(1.0), name=isa)
+    sim.run_process(cpu.setup_call(exe.symbol(entry), list(args), sp=STACK_TOP))
+
+    prints = []
+    steps = 0
+    while steps < max_steps:
+        try:
+            sim.run_process(cpu.step(), name="step")
+            steps += 1
+        except Exception as exc:
+            inner = exc.__cause__ if exc.__cause__ is not None else exc
+            if isinstance(inner, EnvCall):
+                code, value = cpu.get_args(2)
+                if code == 1:  # print
+                    prints.append(_signed(value))
+                    cpu.regs.write(cpu.abi.ret_reg, 0)
+                    continue
+                if code == 0:  # exit
+                    return ProgramResult(_signed(value), prints, sim, cpu, port, exe)
+                raise AssertionError(f"unknown syscall {code}")
+            if isinstance(inner, ReturnToRuntime):
+                return ProgramResult(_signed(inner.retval), prints, sim, cpu, port, exe)
+            if isinstance(inner, Halted):
+                return ProgramResult(None, prints, sim, cpu, port, exe)
+            raise inner
+    raise AssertionError("program did not finish within max_steps")
+
+
+def _signed(v):
+    v &= (1 << 64) - 1
+    return v - (1 << 64) if v >> 63 else v
+
+
+@pytest.fixture
+def flickc_runner():
+    return run_flickc

@@ -1,0 +1,140 @@
+"""Assembly-unit tests: hand-written dual-ISA code end to end."""
+
+import pytest
+
+from repro import FlickMachine
+from repro.toolchain.asm_unit import assemble_unit
+from repro.toolchain.felf import FelfError
+from repro.toolchain.linker import link
+
+
+def run_on_machine(obj, entry="main", args=()):
+    machine = FlickMachine()
+    exe = link([obj], entry_symbol=entry, extra_symbols=machine.runtime_symbols)
+    process = machine.load(exe)
+    thread = machine.spawn(process, entry=entry, args=args)
+    machine.run()
+    return machine, thread
+
+
+class TestAssembleUnit:
+    def test_sections_and_symbols(self):
+        obj = assemble_unit(
+            hisa_source="main: ret",
+            nisa_source="dev: ret",
+            data={"g": 5},
+            nxp_data={"d": 7},
+        )
+        assert obj.sections[".text.hisa"].symbols == {"main": 0}
+        assert obj.sections[".text.nisa"].symbols == {"dev": 0}
+        assert obj.sections[".data"].symbols == {"g": 0}
+        assert obj.sections[".data.nxp"].symbols == {"d": 0}
+
+    def test_empty_sources_make_empty_object(self):
+        obj = assemble_unit()
+        assert not obj.sections
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_unit(hisa_source="main: ret\nmain: ret")
+
+
+class TestExecution:
+    def test_host_only_assembly_program(self):
+        obj = assemble_unit(
+            hisa_source="""
+            main:
+                li rax, 40
+                add rax, 2
+                ret
+            """
+        )
+        _machine, thread = run_on_machine(obj)
+        assert thread.result == 42
+
+    def test_cross_isa_assembly_call_migrates(self):
+        """Hand-written HISA main far-calls hand-written NISA code."""
+        obj = assemble_unit(
+            hisa_source="""
+            main:
+                mov rax, rdi
+                la r10, dev_triple
+                call r10
+                ret
+            """,
+            nisa_source="""
+            dev_triple:
+                li t0, 3
+                mul a0, a0, t0
+                ret
+            """,
+        )
+        machine, thread = run_on_machine(obj, args=[14])
+        assert thread.result == 42
+        assert machine.trace.count("h2n_call_start") == 1
+
+    def test_wrong_abi_hand_off(self):
+        """The descriptor carries raw arg values: HISA rdi becomes NISA
+        a0 without the assembly author doing anything."""
+        obj = assemble_unit(
+            hisa_source="""
+            main:
+                la r10, dev_id
+                call r10
+                ret
+            """,
+            nisa_source="""
+            dev_id:
+                mov a0, a0
+                ret
+            """,
+        )
+        machine, thread = run_on_machine(obj, args=[123])
+        assert thread.result == 123
+
+    def test_assembly_reads_dual_placed_data(self):
+        obj = assemble_unit(
+            hisa_source="""
+            main:
+                la r10, host_val
+                ld rdi, 0(r10)      ; first argument register, not rax
+                la r10, dev_reader
+                call r10
+                ret
+            """,
+            nisa_source="""
+            dev_reader:
+                la t2, dev_val
+                ld t0, 0(t2)
+                add a0, a0, t0
+                ret
+            """,
+            data={"host_val": 30},
+            nxp_data={"dev_val": 12},
+        )
+        machine, thread = run_on_machine(obj)
+        assert thread.result == 42
+
+    def test_mixed_with_flickc_object(self):
+        """Assembly and FlickC objects link together (as the paper's
+        compiler-output + hand-written .s units would)."""
+        from repro.toolchain.flickc import compile_source
+
+        asm = assemble_unit(
+            nisa_source="""
+            fast_add:
+                add a0, a0, a1
+                ret
+            """,
+            name="asm_part",
+        )
+        c_obj = compile_source(
+            "func main(a, b) { return fast_add(a, b); }", name="c_part"
+        )
+        machine = FlickMachine()
+        exe = link([c_obj, asm], entry_symbol="main", extra_symbols=machine.runtime_symbols)
+        process = machine.load(exe)
+        thread = machine.spawn(process, args=[20, 22])
+        machine.run()
+        assert thread.result == 42
+        assert machine.trace.count("h2n_call_start") == 1

@@ -1,0 +1,134 @@
+"""FlickC lexer and parser tests."""
+
+import pytest
+
+from repro.toolchain.flickc import LexError, ParseError, parse_program, tokenize
+from repro.toolchain.flickc import ast_nodes as A
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("func f(a) { return a + 1; }")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "kw"
+        assert toks[0].text == "func"
+        assert kinds[-1] == "eof"
+
+    def test_annotations(self):
+        toks = tokenize("@nxp func f() {}")
+        assert toks[0].kind == "annotation"
+        assert toks[0].text == "@nxp"
+
+    def test_hex_and_decimal_ints(self):
+        toks = tokenize("0xff 42")
+        assert [t.text for t in toks[:2]] == ["0xff", "42"]
+
+    def test_two_char_operators(self):
+        toks = tokenize("a == b != c <= d >= e && f || g")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // comment with = stuff\nb")
+        assert [t.text for t in toks[:2]] == ["a", "b"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_function_default_host(self):
+        prog = parse_program("func f(a, b) { return a; }")
+        (fn,) = prog.functions
+        assert fn.isa == "hisa"
+        assert fn.params == ["a", "b"]
+
+    def test_nxp_annotation(self):
+        prog = parse_program("@nxp func traverse(p) { return p; }")
+        assert prog.functions[0].isa == "nisa"
+
+    def test_host_annotation_explicit(self):
+        prog = parse_program("@host func f() { return 0; }")
+        assert prog.functions[0].isa == "hisa"
+
+    def test_globals_with_placement(self):
+        prog = parse_program("var total = 5;\n@nxp var local_buf = 0;\nvar neg = -3;")
+        assert prog.globals[0].placement == "host"
+        assert prog.globals[0].init == 5
+        assert prog.globals[1].placement == "nxp"
+        assert prog.globals[2].init == -3
+
+    def test_precedence(self):
+        prog = parse_program("func f() { return 1 + 2 * 3; }")
+        ret = prog.functions[0].body.statements[0]
+        assert isinstance(ret.value, A.BinOp)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_parens_override_precedence(self):
+        prog = parse_program("func f() { return (1 + 2) * 3; }")
+        ret = prog.functions[0].body.statements[0]
+        assert ret.value.op == "*"
+
+    def test_comparison_and_logical(self):
+        prog = parse_program("func f(a, b) { return a < b && b != 0; }")
+        ret = prog.functions[0].body.statements[0]
+        assert ret.value.op == "&&"
+
+    def test_if_else_chain(self):
+        prog = parse_program(
+            "func f(a) { if (a > 1) { return 1; } else if (a > 0) { return 2; } else { return 3; } }"
+        )
+        if_stmt = prog.functions[0].body.statements[0]
+        assert isinstance(if_stmt, A.If)
+        nested = if_stmt.orelse.statements[0]
+        assert isinstance(nested, A.If)
+
+    def test_while_and_assign(self):
+        prog = parse_program("func f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }")
+        stmts = prog.functions[0].body.statements
+        assert isinstance(stmts[0], A.VarDecl)
+        assert isinstance(stmts[1], A.While)
+        assert isinstance(stmts[1].body.statements[0], A.Assign)
+
+    def test_call_and_addrof(self):
+        prog = parse_program("func f() { return g(&h, 2); }")
+        call = prog.functions[0].body.statements[0].value
+        assert isinstance(call, A.Call)
+        assert isinstance(call.args[0], A.AddrOf)
+
+    def test_call_ptr(self):
+        prog = parse_program("func f(fp) { return call_ptr(fp, 1, 2); }")
+        cp = prog.functions[0].body.statements[0].value
+        assert isinstance(cp, A.CallPtr)
+        assert len(cp.args) == 2
+
+    def test_unary_ops(self):
+        prog = parse_program("func f(a) { return -a + !a; }")
+        expr = prog.functions[0].body.statements[0].value
+        assert expr.left.op == "-"
+        assert expr.right.op == "!"
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("func f() { return 1 }")
+
+    def test_unknown_annotation_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("@gpu func f() { return 0; }")
+
+    def test_junk_at_top_level_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("return 1;")
+
+    def test_empty_return(self):
+        prog = parse_program("func f() { return; }")
+        assert prog.functions[0].body.statements[0].value is None

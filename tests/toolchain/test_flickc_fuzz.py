@@ -1,0 +1,133 @@
+"""Differential fuzzing of the FlickC compiler.
+
+Hypothesis generates random expression trees; we evaluate them with a
+Python reference evaluator (with FlickC's C-like semantics) and with the
+compiled program on *both* ISA backends.  Any divergence is a compiler,
+encoder or interpreter bug.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from .conftest import run_flickc
+
+MASK64 = (1 << 64) - 1
+
+
+def to_signed(v):
+    v &= MASK64
+    return v - (1 << 64) if v >> 63 else v
+
+
+def trunc_div(a, b):
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def trunc_rem(a, b):
+    return a - trunc_div(a, b) * b
+
+
+class Expr:
+    """Random expression tree with FlickC source + reference value."""
+
+    def __init__(self, src, value):
+        self.src = src
+        self.value = value  # signed python int per FlickC semantics
+
+
+@st.composite
+def expr(draw, depth=0, vars_available=("a", "b")):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            v = draw(st.integers(min_value=0, max_value=1 << 20))
+            return Expr(str(v), v)
+        name = draw(st.sampled_from(vars_available))
+        value = {"a": 13, "b": -7}[name]
+        return Expr(name, value)
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||"]))
+    left = draw(expr(depth=depth + 1, vars_available=vars_available))
+    right = draw(expr(depth=depth + 1, vars_available=vars_available))
+    src = f"({left.src} {op} {right.src})"
+    lv, rv = left.value, right.value
+    if op == "+":
+        value = to_signed(lv + rv)
+    elif op == "-":
+        value = to_signed(lv - rv)
+    elif op == "*":
+        value = to_signed(lv * rv)
+    elif op == "/":
+        assume(rv != 0)
+        value = to_signed(trunc_div(lv, rv))
+    elif op == "%":
+        assume(rv != 0)
+        value = to_signed(trunc_rem(lv, rv))
+    elif op == "<":
+        value = int(lv < rv)
+    elif op == ">":
+        value = int(lv > rv)
+    elif op == "<=":
+        value = int(lv <= rv)
+    elif op == ">=":
+        value = int(lv >= rv)
+    elif op == "==":
+        value = int(lv == rv)
+    elif op == "!=":
+        value = int(lv != rv)
+    elif op == "&&":
+        value = int(bool(lv) and bool(rv))
+    else:  # ||
+        value = int(bool(lv) or bool(rv))
+    return Expr(src, value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(e=expr())
+def test_property_host_backend_matches_reference(e):
+    src = f"func main(a, b) {{ return {e.src}; }}"
+    result = run_flickc(src, args=[13, (-7) & MASK64])
+    assert result.retval == e.value, e.src
+
+
+@settings(max_examples=60, deadline=None)
+@given(e=expr())
+def test_property_nxp_backend_matches_reference(e):
+    src = f"@nxp func main(a, b) {{ return {e.src}; }}"
+    result = run_flickc(src, args=[13, (-7) & MASK64])
+    assert result.retval == e.value, e.src
+
+
+@settings(max_examples=40, deadline=None)
+@given(e=expr())
+def test_property_both_backends_agree(e):
+    """ISA transparency: identical semantics on HISA and NISA."""
+    host = run_flickc(f"func main(a, b) {{ return {e.src}; }}", args=[13, (-7) & MASK64])
+    nxp = run_flickc(f"@nxp func main(a, b) {{ return {e.src}; }}", args=[13, (-7) & MASK64])
+    assert host.retval == nxp.retval, e.src
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-(1 << 30), max_value=1 << 30), min_size=1, max_size=8),
+)
+def test_property_loop_accumulation_matches(values):
+    """Store a list through memory, sum it in a loop, compare to Python."""
+    stores = "\n".join(
+        f"store(buf + {8 * i}, {v});" for i, v in enumerate(values)
+    )
+    src = f"""
+    func main(buf) {{
+        {stores}
+        var total = 0;
+        var i = 0;
+        while (i < {len(values)}) {{
+            total = total + load(buf + i * 8);
+            i = i + 1;
+        }}
+        return total;
+    }}
+    """
+    result = run_flickc(src, args=[0x10_0000])
+    assert result.retval == sum(values)

@@ -1,0 +1,176 @@
+"""Linker unit tests: layout, alignment, symbols, relocations."""
+
+import struct
+
+import pytest
+
+from repro.isa.base import Relocation, Sym
+from repro.toolchain import LinkError, LinkerScript, ObjectFile, link
+from repro.toolchain.flickc import compile_source
+
+PAGE = 4096
+
+
+def make_obj(name="a"):
+    return ObjectFile(name)
+
+
+def test_text_sections_page_aligned_and_separate():
+    obj = compile_source(
+        """
+        @nxp func n() { return 1; }
+        func main() { return n(); }
+        """
+    )
+    exe = link([obj])
+    hisa_seg = exe.segment_named(".text.hisa")
+    nisa_seg = exe.segment_named(".text.nisa")
+    assert hisa_seg.vaddr % PAGE == 0
+    assert nisa_seg.vaddr % PAGE == 0
+    # Never share a page: NX bits are per page (Section IV-C2).
+    hisa_pages = set(range(hisa_seg.vaddr // PAGE, (hisa_seg.vaddr + hisa_seg.size - 1) // PAGE + 1))
+    nisa_pages = set(range(nisa_seg.vaddr // PAGE, (nisa_seg.vaddr + nisa_seg.size - 1) // PAGE + 1))
+    assert not hisa_pages & nisa_pages
+
+
+def test_segments_tagged_with_isa_and_placement():
+    obj = compile_source(
+        """
+        @nxp var dev = 0;
+        var host_var = 1;
+        @nxp func n() { return 1; }
+        func main() { return 0; }
+        """
+    )
+    exe = link([obj])
+    assert exe.segment_named(".text.hisa").isa == "hisa"
+    assert exe.segment_named(".text.nisa").isa == "nisa"
+    assert exe.segment_named(".data").placement == "host"
+    assert exe.segment_named(".data.nxp").placement == "nxp"
+    assert exe.segment_named(".data").isa is None
+
+
+def test_symbol_addresses_absolute_and_isa_tagged():
+    obj = compile_source(
+        """
+        @nxp func traverse() { return 1; }
+        func main() { return 0; }
+        """
+    )
+    exe = link([obj])
+    assert exe.isa_of_symbol["main"] == "hisa"
+    assert exe.isa_of_symbol["traverse"] == "nisa"
+    assert exe.isa_at(exe.symbol("main")) == "hisa"
+    assert exe.isa_at(exe.symbol("traverse")) == "nisa"
+
+
+def test_undefined_symbol_raises():
+    obj = compile_source("func main() { return ghost_fn(); }")
+    with pytest.raises(LinkError):
+        link([obj])
+
+
+def test_duplicate_symbol_across_objects_raises():
+    a = compile_source("func dup() { return 1; } func main() { return 0; }")
+    b = compile_source("func dup() { return 2; }", name="b")
+    with pytest.raises(LinkError):
+        link([a, b])
+
+
+def test_missing_entry_symbol_raises():
+    obj = compile_source("func helper() { return 0; }")
+    with pytest.raises(LinkError):
+        link([obj], entry_symbol="main")
+
+
+def test_multiple_objects_merge():
+    a = compile_source("func main() { return helper(); }", name="a")
+    b = compile_source("func helper() { return 5; }", name="b")
+    exe = link([a, b])
+    assert "helper" in exe.symbols
+    assert exe.symbol("helper") != exe.symbol("main")
+
+
+def test_abs64_relocation_value():
+    obj = ObjectFile("t")
+    data = obj.section(".data")
+    data.add_symbol("target", 0)
+    data.data += struct.pack("<q", 7)
+    sec = obj.section(".rodata")
+    sec.data += b"\x00" * 8
+    sec.add_symbol("holder", 0)
+    sec.relocations.append(Relocation(0, Sym("target"), "abs64"))
+    exe = link([obj], entry_symbol="holder")
+    seg = exe.segment_named(".rodata")
+    patched = struct.unpack("<Q", seg.data[:8])[0]
+    assert patched == exe.symbol("target")
+
+
+def test_abs32_pair_reconstructs_address():
+    obj = ObjectFile("t")
+    data = obj.section(".data")
+    data.add_symbol("target", 0)
+    data.data += b"\x00" * 8
+    sec = obj.section(".rodata")
+    sec.data += b"\x00" * 8
+    sec.add_symbol("holder", 0)
+    sec.relocations.append(Relocation(0, Sym("target"), "abs32lo"))
+    sec.relocations.append(Relocation(4, Sym("target"), "abs32hi"))
+    exe = link([obj], entry_symbol="holder")
+    seg = exe.segment_named(".rodata")
+    lo, hi = struct.unpack("<II", seg.data[:8])
+    assert (hi << 32) | lo == exe.symbol("target")
+
+
+def test_relocation_addend_applied():
+    obj = ObjectFile("t")
+    data = obj.section(".data")
+    data.add_symbol("base", 0)
+    data.data += b"\x00" * 16
+    sec = obj.section(".rodata")
+    sec.data += b"\x00" * 8
+    sec.add_symbol("holder", 0)
+    sec.relocations.append(Relocation(0, Sym("base", addend=0x40), "abs64"))
+    exe = link([obj], entry_symbol="holder")
+    patched = struct.unpack("<Q", exe.segment_named(".rodata").data[:8])[0]
+    assert patched == exe.symbol("base") + 0x40
+
+
+def test_extra_symbols_bound():
+    obj = compile_source("func main() { return alloc(8); }")
+    exe = link([obj], extra_symbols={"__host_malloc": 0xDEAD000})
+    assert exe.symbol("__host_malloc") == 0xDEAD000
+
+
+def test_extra_symbol_collision_rejected():
+    obj = compile_source("func __host_malloc() { return 0; } func main() { return 0; }")
+    with pytest.raises(LinkError):
+        link([obj], extra_symbols={"__host_malloc": 0x1000})
+
+
+def test_custom_linker_script_base():
+    obj = compile_source("func main() { return 1; }")
+    script = LinkerScript(base_vaddr=0x100_0000)
+    exe = link([obj], script=script)
+    assert exe.symbol("main") == 0x100_0000
+
+
+def test_section_not_in_script_rejected():
+    obj = compile_source("@nxp var d = 0; func main() { return 0; }")
+    script = LinkerScript(order=(".text.hisa", ".data"))  # no .data.nxp
+    with pytest.raises(LinkError):
+        link([obj], script=script)
+
+
+def test_bss_occupies_address_space_without_bytes():
+    obj = ObjectFile("t")
+    bss = obj.section(".bss")
+    bss.bss_size = 4096
+    bss.add_symbol("buffer", 0)
+    text = obj.section(".text.hisa")
+    text.data += b"\x53"  # RET
+    text.add_symbol("main", 0)
+    exe = link([obj])
+    seg = exe.segment_named(".bss")
+    assert seg.size == 4096
+    assert seg.data == b""

@@ -1,0 +1,104 @@
+"""Property-based linker tests: random layouts always link soundly."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.base import Relocation, Sym
+from repro.toolchain.felf import ObjectFile, SECTION_PLACEMENT
+from repro.toolchain.linker import LinkerScript, link
+
+PAGE = 4096
+
+name_st = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@st.composite
+def object_files(draw):
+    """A set of object files with random data symbols and abs64 refs
+    between them; every reference resolvable."""
+    n_objs = draw(st.integers(min_value=1, max_value=3))
+    all_symbols = []
+    objs = []
+    for oi in range(n_objs):
+        obj = ObjectFile(f"obj{oi}")
+        n_syms = draw(st.integers(min_value=1, max_value=5))
+        section = obj.section(".data")
+        for si in range(n_syms):
+            sym = f"g{oi}_{si}"
+            offset = len(section.data)
+            section.data += struct.pack("<q", draw(st.integers(0, 1 << 30)))
+            section.add_symbol(sym, offset)
+            all_symbols.append(sym)
+        objs.append(obj)
+    # Add a .rodata section with abs64 references to random symbols.
+    ref_holder = objs[0].section(".rodata")
+    n_refs = draw(st.integers(min_value=0, max_value=6))
+    for ri in range(n_refs):
+        target = draw(st.sampled_from(all_symbols))
+        offset = len(ref_holder.data)
+        ref_holder.data += b"\x00" * 8
+        ref_holder.relocations.append(Relocation(offset, Sym(target), "abs64"))
+    # A trivial entry point.
+    text = objs[0].section(".text.hisa")
+    text.data += bytes([0x53])  # RET
+    text.add_symbol("main", 0)
+    return objs, all_symbols, n_refs
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=object_files())
+def test_property_layout_sound(data):
+    objs, all_symbols, _n_refs = data
+    exe = link(objs)
+
+    # 1. Every symbol resolved to a unique in-segment address.
+    addrs = {}
+    for sym in all_symbols + ["main"]:
+        addr = exe.symbol(sym)
+        assert addr not in addrs.values() or sym in addrs, "address collision"
+        addrs[sym] = addr
+
+    # 2. Segments are disjoint and correctly typed.
+    spans = sorted((seg.vaddr, seg.vaddr + seg.size, seg) for seg in exe.segments)
+    for (a_start, a_end, _s1), (b_start, _b_end, _s2) in zip(spans, spans[1:]):
+        assert a_end <= b_start, "overlapping segments"
+    for seg in exe.segments:
+        assert seg.placement == SECTION_PLACEMENT[seg.section_name]
+        if seg.section_name.startswith(".text"):
+            assert seg.vaddr % PAGE == 0
+
+    # 3. Data symbols fall inside the .data segment.
+    data_seg = exe.segment_named(".data")
+    for sym in all_symbols:
+        assert data_seg.vaddr <= exe.symbol(sym) < data_seg.vaddr + data_seg.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=object_files())
+def test_property_abs64_relocations_point_at_targets(data):
+    objs, _all_symbols, n_refs = data
+    exe = link(objs)
+    if n_refs == 0:
+        return
+    ro = exe.segment_named(".rodata")
+    # Each patched word must equal the address of SOME defined symbol.
+    valid_addrs = set(exe.symbols.values())
+    for i in range(n_refs):
+        patched = struct.unpack_from("<Q", ro.data, i * 8)[0]
+        assert patched in valid_addrs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=st.integers(min_value=1, max_value=1 << 20).map(lambda v: v * PAGE),
+    data=object_files(),
+)
+def test_property_base_address_shifts_everything(base, data):
+    objs, all_symbols, _ = data
+    exe_default = link(objs)
+    exe_moved = link(objs, script=LinkerScript(base_vaddr=base))
+    shift = exe_moved.symbol("main") - exe_default.symbol("main")
+    for sym in all_symbols:
+        assert exe_moved.symbol(sym) - exe_default.symbol(sym) == shift

@@ -1,0 +1,128 @@
+"""Constant-folding optimizer tests, incl. on/off differential fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.toolchain.flickc import ast_nodes as A
+from repro.toolchain.flickc import compile_source, parse_program
+from repro.toolchain.flickc.optimizer import fold_expr, optimize_program
+
+from .conftest import run_flickc
+from .test_flickc_fuzz import MASK64, expr
+
+
+def fold_src(expr_src: str):
+    prog = parse_program(f"func f(a, b) {{ return {expr_src}; }}")
+    ret = prog.functions[0].body.statements[0]
+    return fold_expr(ret.value)
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        assert fold_src("2 + 3 * 4").value == 14
+
+    def test_division_truncates_like_runtime(self):
+        assert fold_src("0 - 7 / 2").value == -3  # -(7/2), unary on fold
+        assert fold_src("(0 - 7) / 2").value == -3
+
+    def test_division_by_zero_not_folded(self):
+        node = fold_src("1 / 0")
+        assert isinstance(node, A.BinOp)  # left for the runtime fault
+
+    def test_comparisons_fold_to_bool(self):
+        assert fold_src("3 < 5").value == 1
+        assert fold_src("5 <= 4").value == 0
+
+    def test_logical_short_circuit_constants(self):
+        assert fold_src("0 && f(a)").value == 0  # rhs dropped: call unevaluated
+        assert fold_src("7 || f(a)").value == 1
+
+    def test_true_lhs_keeps_rhs_call(self):
+        node = fold_src("1 && f(a)")
+        # rhs must still be evaluated (it has effects) and boolified.
+        assert isinstance(node, A.BinOp) and node.op == "!="
+
+    def test_identities(self):
+        assert isinstance(fold_src("a + 0"), A.VarRef)
+        assert isinstance(fold_src("0 + a"), A.VarRef)
+        assert isinstance(fold_src("a - 0"), A.VarRef)
+        assert isinstance(fold_src("a * 1"), A.VarRef)
+        assert fold_src("a * 0").value == 0  # a is pure
+
+    def test_call_times_zero_not_dropped(self):
+        node = fold_src("f(a) * 0")
+        assert isinstance(node, A.BinOp)  # call has effects: kept
+
+    def test_unary_folds(self):
+        assert fold_src("-(3 + 4)").value == -7
+        assert fold_src("!5").value == 0
+        assert fold_src("!0").value == 1
+
+
+class TestStatementPruning:
+    def test_dead_if_branch_removed(self):
+        prog = parse_program(
+            "func f() { if (1) { return 10; } else { return 20; } }"
+        )
+        opt = optimize_program(prog)
+        stmts = opt.functions[0].body.statements
+        assert len(stmts) == 1
+        assert isinstance(stmts[0], A.Return)
+        assert stmts[0].value.value == 10
+
+    def test_while_zero_removed(self):
+        prog = parse_program("func f() { while (0) { f(); } return 1; }")
+        opt = optimize_program(prog)
+        assert len(opt.functions[0].body.statements) == 1
+
+    def test_pure_expression_statement_dropped(self):
+        prog = parse_program("func f(a) { a + 1; return a; }")
+        opt = optimize_program(prog)
+        assert len(opt.functions[0].body.statements) == 1
+
+    def test_effectful_statement_kept(self):
+        prog = parse_program("func g() { return 0; } func f() { g(); return 1; }")
+        opt = optimize_program(prog)
+        f = opt.function("f")
+        assert len(f.body.statements) == 2
+
+
+class TestCodeSizeAndBehaviour:
+    def test_optimized_code_is_smaller(self):
+        src = """
+        func main(a) {
+            var x = 2 * 3 + 4 * (10 - 5);
+            if (1 < 2) { x = x + 100 / 4; }
+            while (0) { x = x + 1; }
+            return x + a * 1 + 0;
+        }
+        """
+        plain = compile_source(src)
+        opt = compile_source(src, optimize=True)
+        assert len(opt.sections[".text.hisa"].data) < len(plain.sections[".text.hisa"].data)
+
+    def test_same_result_with_and_without(self):
+        src = """
+        func main(a) {
+            var x = 6 * 7;
+            if (a > 0 && 1) { x = x + a; } else { x = x - a; }
+            return x;
+        }
+        """
+        assert run_flickc(src, args=[5]).retval == run_flickc(src, args=[5], optimize=True).retval == 47
+
+    @settings(max_examples=50, deadline=None)
+    @given(e=expr())
+    def test_property_optimizer_preserves_semantics(self, e):
+        src = f"func main(a, b) {{ return {e.src}; }}"
+        plain = run_flickc(src, args=[13, (-7) & MASK64])
+        opt = run_flickc(src, args=[13, (-7) & MASK64], optimize=True)
+        assert plain.retval == opt.retval == e.value, e.src
+
+    @settings(max_examples=30, deadline=None)
+    @given(e=expr())
+    def test_property_optimizer_preserves_nisa_semantics(self, e):
+        src = f"@nxp func main(a, b) {{ return {e.src}; }}"
+        plain = run_flickc(src, args=[13, (-7) & MASK64])
+        opt = run_flickc(src, args=[13, (-7) & MASK64], optimize=True)
+        assert plain.retval == opt.retval, e.src

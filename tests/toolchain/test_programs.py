@@ -1,0 +1,235 @@
+"""Compiler stress tests: real algorithms, both ISAs, memory-heavy."""
+
+import pytest
+
+from .conftest import run_flickc
+
+PARAMS = [("hisa", False), ("nisa", True)]
+
+
+def render(body, nxp):
+    return body.replace("func ", "@nxp func ") if nxp else body
+
+
+@pytest.mark.parametrize("tag,nxp", PARAMS)
+class TestAlgorithms:
+    def test_insertion_sort(self, tag, nxp):
+        src = render(
+            """
+            func sort(buf, n) {
+                var i = 1;
+                while (i < n) {
+                    var key = load(buf + i * 8);
+                    var j = i - 1;
+                    while (j >= 0 && load(buf + j * 8) > key) {
+                        store(buf + (j + 1) * 8, load(buf + j * 8));
+                        j = j - 1;
+                    }
+                    store(buf + (j + 1) * 8, key);
+                    i = i + 1;
+                }
+                return 0;
+            }
+            func fill(buf, n, seed) {
+                var i = 0;
+                var x = seed;
+                while (i < n) {
+                    x = (x * 1103515245 + 12345) % 2147483648;
+                    store(buf + i * 8, x % 1000);
+                    i = i + 1;
+                }
+                return 0;
+            }
+            func is_sorted(buf, n) {
+                var i = 1;
+                while (i < n) {
+                    if (load(buf + (i - 1) * 8) > load(buf + i * 8)) { return 0; }
+                    i = i + 1;
+                }
+                return 1;
+            }
+            func main(buf, n) {
+                fill(buf, n, 42);
+                var before = is_sorted(buf, n);
+                sort(buf, n);
+                return is_sorted(buf, n) * 10 + before;
+            }
+            """,
+            nxp,
+        )
+        result = run_flickc(src, args=[0x10_0000, 40], max_steps=2_000_000)
+        assert result.retval == 10  # sorted after, unsorted before
+
+    def test_gcd_euclid(self, tag, nxp):
+        src = render(
+            """
+            func gcd(a, b) {
+                while (b != 0) {
+                    var t = b;
+                    b = a % b;
+                    a = t;
+                }
+                return a;
+            }
+            func main(a, b) { return gcd(a, b); }
+            """,
+            nxp,
+        )
+        assert run_flickc(src, args=[1071, 462]).retval == 21
+        assert run_flickc(src, args=[17, 13]).retval == 1
+
+    def test_binary_search(self, tag, nxp):
+        src = render(
+            """
+            func bsearch(buf, n, key) {
+                var lo = 0;
+                var hi = n - 1;
+                while (lo <= hi) {
+                    var mid = (lo + hi) / 2;
+                    var v = load(buf + mid * 8);
+                    if (v == key) { return mid; }
+                    if (v < key) { lo = mid + 1; } else { hi = mid - 1; }
+                }
+                return -1;
+            }
+            func main(buf, n, key) {
+                var i = 0;
+                while (i < n) {
+                    store(buf + i * 8, i * 3);
+                    i = i + 1;
+                }
+                return bsearch(buf, n, key);
+            }
+            """,
+            nxp,
+        )
+        assert run_flickc(src, args=[0x10_0000, 100, 63]).retval == 21
+        assert run_flickc(src, args=[0x10_0000, 100, 64]).retval == -1
+
+    def test_popcount_via_shifts(self, tag, nxp):
+        src = render(
+            """
+            func popcount(x) {
+                var count = 0;
+                var i = 0;
+                while (i < 64) {
+                    count = count + (x % 2);
+                    x = x / 2;
+                    i = i + 1;
+                }
+                return count;
+            }
+            func main(x) { return popcount(x); }
+            """,
+            nxp,
+        )
+        assert run_flickc(src, args=[0xFF]).retval == 8
+        assert run_flickc(src, args=[0b1010101]).retval == 4
+        assert run_flickc(src, args=[0]).retval == 0
+
+    def test_string_reverse_bytes(self, tag, nxp):
+        src = render(
+            """
+            func reverse(buf, n) {
+                var i = 0;
+                var j = n - 1;
+                while (i < j) {
+                    var a = load8(buf + i);
+                    var b = load8(buf + j);
+                    store8(buf + i, b);
+                    store8(buf + j, a);
+                    i = i + 1;
+                    j = j - 1;
+                }
+                return 0;
+            }
+            func main(buf, n) {
+                var i = 0;
+                while (i < n) { store8(buf + i, 65 + i); i = i + 1; }
+                reverse(buf, n);
+                return load8(buf) * 1000 + load8(buf + n - 1);
+            }
+            """,
+            nxp,
+        )
+        # bytes A..J reversed: first = 'J'(74), last = 'A'(65)
+        assert run_flickc(src, args=[0x10_0000, 10]).retval == 74 * 1000 + 65
+
+    def test_ackermann_small(self, tag, nxp):
+        src = render(
+            """
+            func ack(m, n) {
+                if (m == 0) { return n + 1; }
+                if (n == 0) { return ack(m - 1, 1); }
+                return ack(m - 1, ack(m, n - 1));
+            }
+            func main(m, n) { return ack(m, n); }
+            """,
+            nxp,
+        )
+        assert run_flickc(src, args=[2, 3], max_steps=2_000_000).retval == 9
+        assert run_flickc(src, args=[3, 3], max_steps=5_000_000).retval == 61
+
+    def test_fixed_point_sqrt(self, tag, nxp):
+        src = render(
+            """
+            func isqrt(x) {
+                if (x < 2) { return x; }
+                var lo = 1;
+                var hi = x;
+                while (lo + 1 < hi) {
+                    var mid = (lo + hi) / 2;
+                    if (mid * mid <= x) { lo = mid; } else { hi = mid; }
+                }
+                return lo;
+            }
+            func main(x) { return isqrt(x); }
+            """,
+            nxp,
+        )
+        for x, expected in [(0, 0), (1, 1), (15, 3), (16, 4), (1000000, 1000), (999999, 999)]:
+            assert run_flickc(src, args=[x]).retval == expected, x
+
+
+class TestCrossIsaAlgorithms:
+    """Whole algorithms split across the boundary on the machine."""
+
+    def test_sort_on_nxp_verify_on_host(self):
+        from repro import FlickMachine
+
+        src = """
+        @nxp func sort(buf, n) {
+            var i = 1;
+            while (i < n) {
+                var key = load(buf + i * 8);
+                var j = i - 1;
+                while (j >= 0 && load(buf + j * 8) > key) {
+                    store(buf + (j + 1) * 8, load(buf + j * 8));
+                    j = j - 1;
+                }
+                store(buf + (j + 1) * 8, key);
+                i = i + 1;
+            }
+            return 0;
+        }
+        @nxp func nxp_buf(n) { return alloc(n * 8); }
+        func main(n) {
+            var buf = nxp_buf(n);
+            var i = 0;
+            while (i < n) {
+                store(buf + i * 8, (n - i) * 7 % 13);
+                i = i + 1;
+            }
+            sort(buf, n);
+            i = 1;
+            while (i < n) {
+                if (load(buf + (i - 1) * 8) > load(buf + i * 8)) { return 0; }
+                i = i + 1;
+            }
+            return 1;
+        }
+        """
+        machine = FlickMachine()
+        out = machine.run_program(src, args=[24])
+        assert out.retval == 1
+        assert out.migrations == 2  # alloc + sort

@@ -1,0 +1,85 @@
+"""CLI tests (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+DEMO = """
+@nxp func near(x) { return x * 2; }
+func main(a) { print(near(a)); return near(a) + 1; }
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.fc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_run_reports_result_and_migrations(self, demo_file):
+        code, out = run_cli(["run", demo_file, "--args", "21"])
+        assert code == 0
+        assert "return value: 43" in out
+        assert "migrations: 2" in out
+        assert out.splitlines()[0] == "42"  # the print()
+
+    def test_run_with_trace(self, demo_file):
+        _code, out = run_cli(["run", demo_file, "--args", "1", "--trace"])
+        assert "h2n_call_start" in out
+        assert "nxp_dispatch_call" in out
+
+    def test_run_with_stats(self, demo_file):
+        _code, out = run_cli(["run", demo_file, "--args", "1", "--stats"])
+        assert "dma.to_nxp" in out
+
+    def test_run_optimized_same_answer(self, demo_file):
+        _c1, out1 = run_cli(["run", demo_file, "--args", "21"])
+        _c2, out2 = run_cli(["run", demo_file, "--args", "21", "--optimize"])
+        assert "return value: 43" in out1 and "return value: 43" in out2
+
+
+class TestCompile:
+    def test_compile_lists_segments_and_symbols(self, demo_file):
+        code, out = run_cli(["compile", demo_file])
+        assert code == 0
+        assert ".text.hisa" in out
+        assert ".text.nisa" in out
+        assert "near" in out
+        assert "[nisa]" in out
+        assert "main" in out
+
+
+class TestDisasm:
+    def test_disasm_shows_both_isas(self, demo_file):
+        code, out = run_cli(["disasm", demo_file])
+        assert code == 0
+        assert ".text.hisa (hisa):" in out
+        assert ".text.nisa (nisa):" in out
+        assert "push rbp" in out  # HISA prologue
+        assert "addi sp, sp" in out  # NISA prologue
+
+    def test_disasm_shows_far_cross_isa_call(self, demo_file):
+        _code, out = run_cli(["disasm", demo_file])
+        # Host calls the NxP function through an absolute address.
+        assert "li r10, 0x401000" in out
+        assert "call r10" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,100 @@
+"""Graph generator tests (the SNAP stand-ins)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graphs import (
+    PAPER_DATASETS,
+    GraphCSR,
+    scaled_dataset,
+    social_graph,
+)
+from repro.workloads.bfs import reference_bfs_order
+
+
+class TestSocialGraph:
+    def test_exact_vertex_and_edge_counts(self):
+        g = social_graph(100, 700, seed=1)
+        assert g.vertices == 100
+        assert g.edges == 700
+
+    def test_csr_invariants(self):
+        g = social_graph(50, 300, seed=2)
+        assert g.row_ptr[0] == 0
+        assert g.row_ptr[-1] == g.edges
+        assert np.all(np.diff(g.row_ptr) >= 0)
+        assert np.all(g.col >= 0)
+        assert np.all(g.col < g.vertices)
+
+    def test_fully_reachable_from_vertex_zero(self):
+        g = social_graph(200, 600, seed=3)
+        assert len(reference_bfs_order(g, 0)) == 200
+
+    def test_deterministic(self):
+        a = social_graph(64, 256, seed=5)
+        b = social_graph(64, 256, seed=5)
+        assert np.array_equal(a.row_ptr, b.row_ptr)
+        assert np.array_equal(a.col, b.col)
+
+    def test_different_seeds_differ(self):
+        a = social_graph(64, 256, seed=5)
+        b = social_graph(64, 256, seed=6)
+        assert not np.array_equal(a.col, b.col)
+
+    def test_degree_and_neighbors_consistent(self):
+        g = social_graph(40, 160, seed=7)
+        total = sum(g.degree(u) for u in range(g.vertices))
+        assert total == g.edges
+        for u in range(g.vertices):
+            assert len(g.neighbors(u)) == g.degree(u)
+
+    def test_degree_distribution_is_skewed(self):
+        """Social graphs have heavy-tailed out-degree."""
+        g = social_graph(1000, 10_000, seed=8)
+        degrees = np.diff(g.row_ptr)
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError):
+            social_graph(10, 5)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            social_graph(1, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        v=st.integers(min_value=2, max_value=300),
+        extra=st.integers(min_value=0, max_value=900),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_always_connected_and_counted(self, v, extra, seed):
+        g = social_graph(v, (v - 1) + extra, seed=seed)
+        assert g.vertices == v
+        assert g.edges == (v - 1) + extra
+        assert len(reference_bfs_order(g, 0)) == v
+
+
+class TestScaledDatasets:
+    def test_paper_ratios_preserved(self):
+        for name, spec in PAPER_DATASETS.items():
+            g, returned_spec, scale = scaled_dataset(name, scale=128)
+            assert returned_spec is spec
+            paper_ratio = spec.edges / spec.vertices
+            ours = g.edges / g.vertices
+            assert ours == pytest.approx(paper_ratio, rel=0.02)
+
+    def test_scale_divides_sizes(self):
+        g, spec, scale = scaled_dataset("epinions1", scale=64)
+        assert g.vertices == spec.vertices // 64
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            scaled_dataset("twitter")
+
+    def test_paper_dataset_constants_match_table_iv(self):
+        assert PAPER_DATASETS["epinions1"].vertices == 75_879
+        assert PAPER_DATASETS["pokec"].edges == 30_622_564
+        assert PAPER_DATASETS["livejournal1"].baseline_s == 240.5

@@ -1,0 +1,76 @@
+"""Near-data KV filter workload tests."""
+
+import pytest
+
+from repro.workloads.kv_filter import run_kv_filter, sweep_selectivity
+
+
+class TestCorrectness:
+    def test_both_modes_agree_on_matches(self):
+        f = run_kv_filter(500, modulus=7, residue=2, mode="flick")
+        h = run_kv_filter(500, modulus=7, residue=2, mode="host")
+        assert f.matches == h.matches
+        assert 0 < f.matches < 500
+
+    def test_modulus_one_matches_everything(self):
+        r = run_kv_filter(300, modulus=1, residue=0, mode="host")
+        assert r.matches == 300
+
+    def test_deterministic_given_seed(self):
+        a = run_kv_filter(200, mode="flick", seed=5)
+        b = run_kv_filter(200, mode="flick", seed=5)
+        assert a.matches == b.matches
+        assert a.sim_time_ns == b.sim_time_ns
+
+    def test_results_written_to_host_buffer(self):
+        """The matched values land in host memory, verifiable bytes."""
+        from repro.core.hosted import HostedMachine
+        from repro.workloads.kv_filter import _load_table, _make_program
+
+        prog = _make_program()
+        hosted = HostedMachine(prog)
+        table = _load_table(hosted, 100, seed=3)
+        out_buf = hosted.process.host_heap.alloc(100 * 8, align=4096)
+        out = hosted.run("main", [table, 100, 1, 0, out_buf, 1])  # match all
+        assert out.retval == 100
+        first = int.from_bytes(
+            hosted.machine.phys.read(hosted.translate(out_buf), 8), "little"
+        )
+        expected = int.from_bytes(
+            hosted.machine.phys.read(hosted.translate(table) + 8, 8), "little"
+        )
+        assert first == expected
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_kv_filter(10, mode="gpu")
+        with pytest.raises(ValueError):
+            run_kv_filter(10, modulus=0)
+        with pytest.raises(ValueError):
+            run_kv_filter(10, modulus=5, residue=5)
+
+
+class TestPerformanceShape:
+    def test_flick_wins_on_large_scans(self):
+        f = run_kv_filter(2000, mode="flick")
+        h = run_kv_filter(2000, mode="host")
+        assert h.sim_time_ns > 1.8 * f.sim_time_ns
+
+    def test_flick_loses_on_tiny_scans(self):
+        f = run_kv_filter(8, mode="flick")
+        h = run_kv_filter(8, mode="host")
+        assert f.sim_time_ns > h.sim_time_ns  # one migration dwarfs 8 reads
+
+    def test_selectivity_erodes_flick_advantage(self):
+        """The novel trade-off: matches are cross-PCIe writes for the
+        NxP but local writes for the host."""
+        sel = sweep_selectivity(1200, [1, 10, 100])
+        assert sel[0.01] > sel[0.1] > sel[1.0]
+        assert sel[1.0] > 1.0  # still a win: 2 loads saved vs 1 write paid
+
+    def test_per_record_cost_near_access_latencies(self):
+        f = run_kv_filter(3000, modulus=100, residue=0, mode="flick")
+        h = run_kv_filter(3000, modulus=100, residue=0, mode="host")
+        # Low selectivity: ~1 load per record dominates.
+        assert f.ns_per_record == pytest.approx(285, rel=0.15)
+        assert h.ns_per_record == pytest.approx(832, rel=0.15)

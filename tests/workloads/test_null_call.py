@@ -1,0 +1,52 @@
+"""Null-call microbenchmark plumbing tests (values locked in
+tests/core/test_calibration.py)."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.workloads.null_call import (
+    measure_h2n_roundtrip,
+    measure_n2h_roundtrip,
+    measure_roundtrips,
+)
+
+
+def test_result_fields_consistent():
+    r = measure_h2n_roundtrip(calls=20)
+    assert r.calls == 20
+    assert r.loop_total_ns > r.baseline_total_ns
+    assert r.roundtrip_ns == pytest.approx(
+        (r.loop_total_ns - r.baseline_total_ns) / 20
+    )
+    assert r.roundtrip_us == r.roundtrip_ns / 1000.0
+
+
+def test_roundtrip_independent_of_call_count():
+    small = measure_h2n_roundtrip(calls=20).roundtrip_ns
+    large = measure_h2n_roundtrip(calls=120).roundtrip_ns
+    assert small == pytest.approx(large, rel=0.02)
+
+
+def test_warmup_hides_first_migration_costs():
+    warm = measure_h2n_roundtrip(calls=30, warmup=3).roundtrip_ns
+    cold = measure_h2n_roundtrip(calls=30, warmup=0).roundtrip_ns
+    assert cold > warm  # stack allocation + cold TLB/I-cache amortized in
+
+
+def test_measure_roundtrips_returns_both_directions():
+    both = measure_roundtrips(calls=20)
+    assert set(both) == {"host-nxp-host", "nxp-host-nxp"}
+    assert both["host-nxp-host"].roundtrip_ns > both["nxp-host-nxp"].roundtrip_ns
+
+
+def test_faster_nxp_clock_reduces_roundtrip():
+    fast_cfg = DEFAULT_CONFIG.with_overrides(nxp_clock_mhz=800.0)
+    base = measure_h2n_roundtrip(calls=30).roundtrip_ns
+    fast = measure_h2n_roundtrip(cfg=fast_cfg, calls=30).roundtrip_ns
+    assert fast < base  # the paper: "hardened cores would reduce overhead"
+
+
+def test_injected_overhead_raises_roundtrip():
+    slow_cfg = DEFAULT_CONFIG.with_overrides(injected_migration_rt_ns=100_000.0)
+    slow = measure_h2n_roundtrip(cfg=slow_cfg, calls=20).roundtrip_ns
+    assert slow == pytest.approx(100_000 + 18_300, rel=0.05)

@@ -1,0 +1,114 @@
+"""Pointer-chase workload tests: correctness and Fig. 5 shape."""
+
+import pytest
+
+from repro.baselines import config_with_migration_rt
+from repro.core.hosted import HostedMachine
+from repro.workloads.pointer_chase import (
+    NODE_BYTES,
+    build_chain,
+    run_pointer_chase,
+    sweep_pointer_chase,
+    _make_program,
+)
+
+
+class TestChainBuilding:
+    def test_chain_has_requested_length(self):
+        hosted = HostedMachine(_make_program())
+        head = build_chain(hosted, 50)
+        seen = set()
+        node = head
+        while node:
+            assert node not in seen, "cycle in chain"
+            seen.add(node)
+            node = int.from_bytes(
+                hosted.machine.phys.read(hosted.translate(node), 8), "little"
+            )
+        assert len(seen) == 50
+
+    def test_chain_lives_in_nxp_window(self):
+        from repro.os.loader import NXP_WINDOW_VBASE
+
+        hosted = HostedMachine(_make_program())
+        head = build_chain(hosted, 10)
+        assert head >= NXP_WINDOW_VBASE
+
+    def test_nodes_are_16_byte_spaced(self):
+        hosted = HostedMachine(_make_program())
+        head = build_chain(hosted, 20)
+        node = head
+        while node:
+            assert node % NODE_BYTES == 0
+            node = int.from_bytes(
+                hosted.machine.phys.read(hosted.translate(node), 8), "little"
+            )
+
+    def test_deterministic_given_seed(self):
+        h1 = build_chain(HostedMachine(_make_program()), 30, seed=9)
+        h2 = build_chain(HostedMachine(_make_program()), 30, seed=9)
+        assert h1 == h2
+
+
+class TestSinglePoints:
+    def test_flick_slower_for_tiny_lists(self):
+        flick = run_pointer_chase(4, calls=5, mode="flick")
+        host = run_pointer_chase(4, calls=5, mode="host")
+        assert flick.avg_call_ns > host.avg_call_ns
+
+    def test_flick_faster_for_long_lists(self):
+        flick = run_pointer_chase(512, calls=5, mode="flick")
+        host = run_pointer_chase(512, calls=5, mode="host")
+        assert flick.avg_call_ns < host.avg_call_ns
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_pointer_chase(4, mode="gpu")
+
+    def test_per_call_time_scales_with_accesses(self):
+        short = run_pointer_chase(32, calls=5, mode="host")
+        long = run_pointer_chase(256, calls=5, mode="host")
+        assert long.avg_call_ns == pytest.approx(8 * short.avg_call_ns, rel=0.2)
+
+
+class TestFig5aShape:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return sweep_pointer_chase([4, 16, 32, 64, 256, 1024], calls=5)
+
+    def test_monotonically_improving(self, curve):
+        values = [curve[x] for x in sorted(curve)]
+        assert values == sorted(values)
+
+    def test_crossover_near_32_accesses(self, curve):
+        """Paper: Flick reaches baseline at ~32 accesses/migration."""
+        assert curve[16] < 1.0
+        assert curve[64] > 1.0
+        assert curve[32] == pytest.approx(1.0, abs=0.15)
+
+    def test_plateau_approaches_2_6x(self, curve):
+        assert curve[1024] == pytest.approx(2.5, abs=0.2)
+
+    def test_500us_system_needs_far_more_accesses(self, curve):
+        cfg = config_with_migration_rt(500_000)
+        slow = sweep_pointer_chase([32, 1024], calls=3, cfg=cfg)
+        assert slow[32] < 0.1  # nowhere near baseline at Flick's crossover
+        assert slow[1024] < 1.1  # barely break-even at the sweep's end
+        assert slow[1024] < curve[1024] / 2
+
+    def test_1ms_system_never_breaks_even(self):
+        cfg = config_with_migration_rt(1_000_000)
+        slow = sweep_pointer_chase([1024], calls=3, cfg=cfg)
+        assert slow[1024] < 1.0
+
+
+class TestFig5bShape:
+    def test_infrequent_migration_softens_penalty_and_plateau(self):
+        frequent = sweep_pointer_chase([4, 1024], calls=4)
+        infrequent = sweep_pointer_chase([4, 1024], calls=4, inter_call_ns=100_000)
+        # Penalty at small lists is much milder with 100us of host work.
+        assert infrequent[4] > 3 * frequent[4]
+        assert 0.7 < infrequent[4] < 1.0
+        # Plateau drops from ~2.6x toward ~2x (paper Fig. 5b).
+        assert infrequent[1024] == pytest.approx(2.1, abs=0.2)
+        assert infrequent[1024] < frequent[1024]
