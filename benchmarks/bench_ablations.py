@@ -14,7 +14,7 @@
 
 import pytest
 
-from repro.analysis import render_table
+from repro.analysis import parallel_map, render_table
 from repro.baselines import flick_roundtrip_component_ns, offload_roundtrip_ns
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.hosted import HostedMachine, HostedProgram
@@ -127,16 +127,26 @@ def test_ablation_descriptor_dma_vs_mmio(benchmark, report):
     assert times["mmio"] > 5 * times["burst"]
 
 
+def _roundtrip_us(job):
+    """Module-level so it is picklable for the parallel sweep workers."""
+    label, cfg = job
+    return label, measure_h2n_roundtrip(cfg=cfg, calls=40).roundtrip_us
+
+
 def test_ablation_poll_period_and_clock(benchmark, report):
+    # Each configuration is an independent simulation: fan the grid out
+    # across workers (serial when only one CPU / FLICK_SWEEP_WORKERS=1).
+    jobs = [
+        (f"poll={poll:.0f}ns", DEFAULT_CONFIG.with_overrides(nxp_poll_period_ns=poll))
+        for poll in (200.0, 600.0, 2400.0, 9600.0)
+    ] + [
+        (f"clock={mhz:.0f}MHz", DEFAULT_CONFIG.with_overrides(nxp_clock_mhz=mhz))
+        for mhz in (100.0, 200.0, 800.0)
+    ]
     results = {}
 
     def run():
-        for poll in (200.0, 600.0, 2400.0, 9600.0):
-            cfg = DEFAULT_CONFIG.with_overrides(nxp_poll_period_ns=poll)
-            results[f"poll={poll:.0f}ns"] = measure_h2n_roundtrip(cfg=cfg, calls=40).roundtrip_us
-        for mhz in (100.0, 200.0, 800.0):
-            cfg = DEFAULT_CONFIG.with_overrides(nxp_clock_mhz=mhz)
-            results[f"clock={mhz:.0f}MHz"] = measure_h2n_roundtrip(cfg=cfg, calls=40).roundtrip_us
+        results.update(parallel_map(_roundtrip_us, jobs))
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Simulator throughput tracking: instructions/sec, events/sec, speedup.
+
+Not a paper figure — this benchmark guards the acceleration layer
+(docs/PERFORMANCE.md).  It runs the interpreted workloads with all
+fast-path toggles on and off, asserts the two configurations agree
+bit-for-bit on everything observable (timing-invariance contract), and
+asserts the fast paths actually pay for themselves: >= 2x wall-clock on
+the interpreted null-call loop.  Results land in ``BENCH_simspeed.json``
+so the throughput trajectory is tracked from this PR on.
+"""
+
+import os
+
+from repro.analysis.simspeed import measure_all, render, write_report
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_simspeed.json")
+
+
+def test_simspeed(benchmark, report):
+    state = {}
+
+    def run():
+        state["results"] = measure_all(repeats=3)
+        return state["results"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    results = state["results"]
+    write_report(results, os.path.abspath(OUT_PATH))
+    report("Simulator throughput (fast paths on vs off)", render(results))
+
+    by_name = {r.workload: r for r in results}
+    for r in results:
+        assert r.parity, f"{r.workload}: fast/slow configs disagree"
+    # The acceleration layer's headline number: the interpreted
+    # null-call loop (full migrations through the whole stack).
+    assert by_name["null_call_loop"].speedup >= 2.0
+    assert by_name["compute_loop"].speedup >= 2.0

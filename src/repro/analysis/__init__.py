@@ -4,6 +4,8 @@ from repro.analysis.breakdown import PhaseBreakdown, measure_breakdown, render_b
 from repro.analysis.export import config_to_dict, export_results, load_results
 from repro.analysis.energy import EnergyEstimate, PowerModel, estimate_energy
 from repro.analysis.figures import ascii_plot, crossover_point, plateau_value, render_fig5
+from repro.analysis.simspeed import SimSpeedResult, measure_simspeed
+from repro.analysis.sweep import parallel_map, resolve_workers
 from repro.analysis.tables import (
     render_table,
     table1_system_spec,
@@ -31,4 +33,8 @@ __all__ = [
     "PhaseBreakdown",
     "measure_breakdown",
     "render_breakdown",
+    "parallel_map",
+    "resolve_workers",
+    "SimSpeedResult",
+    "measure_simspeed",
 ]

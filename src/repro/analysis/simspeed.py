@@ -1,0 +1,199 @@
+"""Simulator wall-clock speed: instructions/sec and events/sec.
+
+The acceleration layer (docs/PERFORMANCE.md) promises two things at
+once: the fast paths change nothing the simulation can observe, and
+they make the wall clock meaningfully faster.  This module measures
+both on interpreted workloads, running each one twice — all
+``FlickConfig`` fast-path toggles on, then all off — and reporting:
+
+* wall-clock seconds per config (best of ``repeats`` runs),
+* simulated instructions per wall second (from the ``*.inst`` counters),
+* DES events per wall second (``Simulator.events_processed``),
+* the speedup ratio, and
+* the parity verdict: retval, simulated ns, every stat counter, and the
+  processed-event count must be bit-identical across the two configs.
+
+``benchmarks/bench_simspeed.py`` runs the standard workloads and writes
+the result to ``BENCH_simspeed.json`` so the perf trajectory is tracked
+release over release; ``python -m repro bench --quick`` runs a smaller
+smoke of the same measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import FlickConfig
+from repro.core.machine import FlickMachine
+
+__all__ = [
+    "SimSpeedResult",
+    "WORKLOADS",
+    "fast_config",
+    "slow_config",
+    "measure_simspeed",
+    "measure_all",
+    "write_report",
+    "render",
+]
+
+# The interpreted null-call loop: every iteration is a full Flick
+# migration, so it exercises interpreter, ports, TLBs, DMA and the DES
+# engine together.  The compute loop stays on the host core and isolates
+# pure interpreter + decode overhead.
+NULL_CALL_LOOP = """
+@nxp func f(x) { return x + 1; }
+func main(n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) { acc = f(acc) + i; i = i + 1; }
+    return acc;
+}
+"""
+
+COMPUTE_LOOP = """
+func main(n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) { acc = acc * 3 + i; i = i + 1; }
+    return acc;
+}
+"""
+
+WORKLOADS = {
+    "null_call_loop": (NULL_CALL_LOOP, 400),
+    "compute_loop": (COMPUTE_LOOP, 4000),
+}
+
+
+@dataclass(frozen=True)
+class SimSpeedResult:
+    workload: str
+    iterations: int
+    wall_s_fast: float
+    wall_s_slow: float
+    speedup: float
+    instructions: int
+    inst_per_sec_fast: float
+    inst_per_sec_slow: float
+    events: int
+    events_per_sec_fast: float
+    events_per_sec_slow: float
+    sim_ns: float
+    parity: bool
+
+
+def fast_config() -> FlickConfig:
+    """All fast paths on (the defaults)."""
+    return FlickConfig()
+
+
+def slow_config() -> FlickConfig:
+    """Every fast path off — the reference timing path."""
+    return FlickConfig(
+        decode_cache=False,
+        translation_fast_path=False,
+        engine_fast_path=False,
+    )
+
+
+def _run_once(source: str, n: int, cfg: FlickConfig):
+    # Machine construction and toolchain compilation are one-time setup,
+    # identical across configs — the timed window is the simulation only.
+    machine = FlickMachine(cfg)
+    exe = machine.compile(source)
+    t0 = time.perf_counter()
+    outcome = machine.run_program(exe, args=[n])
+    wall = time.perf_counter() - t0
+    instructions = sum(
+        int(v) for k, v in outcome.stats.items() if k.endswith(".inst")
+    )
+    return {
+        "wall": wall,
+        "retval": outcome.retval,
+        "sim_ns": outcome.sim_time_ns,
+        "stats": outcome.stats,
+        "instructions": instructions,
+        "events": machine.sim.events_processed,
+    }
+
+
+def measure_simspeed(
+    workload: str,
+    iterations: Optional[int] = None,
+    repeats: int = 2,
+) -> SimSpeedResult:
+    """Measure one workload fast-vs-slow; wall times are best-of-repeats."""
+    source, default_n = WORKLOADS[workload]
+    n = default_n if iterations is None else iterations
+    # Untimed warmup: the first simulation in a fresh process pays
+    # allocator and code warm-up that would skew the fast/slow ratio.
+    _run_once(source, max(10, n // 10), fast_config())
+    _run_once(source, max(10, n // 10), slow_config())
+    fast = slow = None
+    wall_fast = wall_slow = float("inf")
+    for _ in range(max(1, repeats)):
+        run = _run_once(source, n, fast_config())
+        wall_fast = min(wall_fast, run["wall"])
+        fast = run
+        run = _run_once(source, n, slow_config())
+        wall_slow = min(wall_slow, run["wall"])
+        slow = run
+    parity = (
+        fast["retval"] == slow["retval"]
+        and fast["sim_ns"] == slow["sim_ns"]
+        and fast["stats"] == slow["stats"]
+        and fast["events"] == slow["events"]
+    )
+    return SimSpeedResult(
+        workload=workload,
+        iterations=n,
+        wall_s_fast=wall_fast,
+        wall_s_slow=wall_slow,
+        speedup=wall_slow / wall_fast,
+        instructions=fast["instructions"],
+        inst_per_sec_fast=fast["instructions"] / wall_fast,
+        inst_per_sec_slow=slow["instructions"] / wall_slow,
+        events=fast["events"],
+        events_per_sec_fast=fast["events"] / wall_fast,
+        events_per_sec_slow=slow["events"] / wall_slow,
+        sim_ns=fast["sim_ns"],
+        parity=parity,
+    )
+
+
+def measure_all(repeats: int = 2, scale: float = 1.0) -> List[SimSpeedResult]:
+    """Measure every standard workload; ``scale`` shrinks iteration counts
+    (the CLI's --quick smoke uses scale < 1 to stay under 30 s)."""
+    results = []
+    for name, (_source, default_n) in WORKLOADS.items():
+        n = max(10, int(default_n * scale))
+        results.append(measure_simspeed(name, iterations=n, repeats=repeats))
+    return results
+
+
+def write_report(results: List[SimSpeedResult], path: str) -> None:
+    payload: Dict[str, object] = {
+        "benchmark": "simspeed",
+        "workloads": [asdict(r) for r in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def render(results: List[SimSpeedResult]) -> str:
+    lines = [
+        f"{'workload':<16} {'fast':>8} {'slow':>8} {'speedup':>8} "
+        f"{'Minst/s':>8} {'Mev/s':>8} {'parity':>7}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r.workload:<16} {r.wall_s_fast:>7.3f}s {r.wall_s_slow:>7.3f}s "
+            f"{r.speedup:>7.2f}x {r.inst_per_sec_fast / 1e6:>8.3f} "
+            f"{r.events_per_sec_fast / 1e6:>8.3f} {str(r.parity):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Parallel experiment fan-out for sweeps and ablations.
+
+Every Fig. 5 sweep point and every ablation configuration is an
+independent simulation — the machines share no state, so the sweep is
+embarrassingly parallel.  :func:`parallel_map` fans a job list out over
+a ``multiprocessing`` pool and merges the results back **in input
+order**, so a parallel sweep produces byte-identical output to a serial
+one regardless of worker scheduling.
+
+Determinism and safety rules:
+
+* Results are ordered by input position (``Pool.map`` semantics), never
+  by completion time.
+* Job functions must be module-level (picklable); per-job arguments
+  travel inside the job tuple.
+* Any pool failure — unpicklable job, missing ``fork`` support,
+  restricted environment — falls back to the serial loop, so callers
+  never have to care whether parallelism is available.
+
+Worker count resolution: explicit ``workers`` argument, then the
+``FLICK_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
+Set ``FLICK_SWEEP_WORKERS=1`` to force serial execution everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: argument > FLICK_SWEEP_WORKERS > cpu_count."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get("FLICK_SWEEP_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: Optional[int] = None,
+) -> List[_R]:
+    """Map ``fn`` over ``items``, fanned out over worker processes.
+
+    Results come back in input order (deterministic merge).  With one
+    worker, one item, or any pool failure the map runs serially in this
+    process instead.
+    """
+    jobs = list(items)
+    count = min(resolve_workers(workers), len(jobs))
+    if count <= 1:
+        return [fn(job) for job in jobs]
+    try:
+        # fork keeps workers cheap and lets jobs reference module state
+        # already imported in the parent; unavailable on some platforms.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=count) as pool:
+            return pool.map(fn, jobs)
+    except Exception:
+        return [fn(job) for job in jobs]

@@ -157,6 +157,14 @@ class FlickConfig:
     # state-transformation systems.
     injected_migration_rt_ns: float = 0.0
 
+    # ---- wall-clock fast paths (docs/PERFORMANCE.md) -----------------------
+    # Each toggle trades interpreter/event-loop overhead for wall-clock
+    # speed without changing simulated time or stat counters; the parity
+    # tests in tests/core/test_fastpath_parity.py hold them to that.
+    decode_cache: bool = True          # PC-keyed decoded-instruction cache
+    translation_fast_path: bool = True  # flat page-granular host translations
+    engine_fast_path: bool = True      # DES zero-delay now-queue
+
     # -- derived helpers -----------------------------------------------------
 
     @property

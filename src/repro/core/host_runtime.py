@@ -27,7 +27,7 @@ from repro.core.descriptors import (
     KIND_RETURN,
     MigrationDescriptor,
 )
-from repro.core.stubs import is_stub, service_stub
+from repro.core.stubs import STUB_PCS, service_stub
 from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
 from repro.isa.interpreter import (
     CostModel,
@@ -61,6 +61,7 @@ class HostThread:
             CostModel(machine.cfg.host_cycle_ns, ipc=3.0),
             stats=machine.stats,
             name=f"host.{task.name}",
+            decode_cache=machine.cfg.decode_cache,
         )
         self.core = None
         self.result: Optional[int] = None
@@ -95,12 +96,14 @@ class HostThread:
 
     def _step_loop(self) -> Generator:
         cpu = self.cpu
+        step = cpu.step
+        stub_pcs = STUB_PCS
         while True:
-            if is_stub(cpu.pc):
+            if cpu.pc in stub_pcs:
                 yield from service_stub(self.machine, self.task, cpu)
                 continue
             try:
-                yield from cpu.step()
+                yield from step()
             except PageFault as fault:
                 if fault.kind == PageFault.NX_VIOLATION and fault.is_exec:
                     self.kernel.classify_exec_fault(self.task, fault, running_on="hisa")

@@ -188,7 +188,9 @@ class HostedMachine:
         self.machine.kernel.register_process(self.process)
         for fn in program.functions.values():
             self.process.add_exec_range(fn.addr, 0x1000, fn.isa)
-        self._tcache = TranslationCache(self.process.page_tables)
+        self._tcache = TranslationCache(
+            self.process.page_tables, fast=self.cfg.translation_fast_path
+        )
         # NxP-side translation state: a real TLB object with analytic
         # walk costs (so huge-page behaviour and the 16-entry capacity
         # are preserved without per-access DES events).
@@ -205,7 +207,7 @@ class HostedMachine:
     # -- shared helpers used by contexts -------------------------------------------
 
     def translate(self, vaddr: int) -> int:
-        return self._tcache.translate(vaddr).paddr
+        return vaddr + self._tcache.entry(vaddr)[0]
 
     def access_latency(self, side: str, vaddr: int, write: bool) -> float:
         cfg = self.cfg

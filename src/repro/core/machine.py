@@ -71,7 +71,7 @@ class FlickMachine:
     def __init__(self, cfg: FlickConfig = DEFAULT_CONFIG, host_cores: int = 2):
         self.cfg = cfg
         self.memory_map = cfg.memory_map
-        self.sim = Simulator()
+        self.sim = Simulator(fast_now_queue=cfg.engine_fast_path)
         self.stats = StatRegistry()
         self.trace = MigrationTrace(self.sim)
 

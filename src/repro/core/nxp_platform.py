@@ -32,7 +32,7 @@ from repro.core.descriptors import (
     MigrationDescriptor,
 )
 from repro.core.ports import NxpMemoryPort
-from repro.core.stubs import is_stub, service_stub
+from repro.core.stubs import STUB_PCS, service_stub
 from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
 from repro.isa.interpreter import (
     CostModel,
@@ -61,7 +61,13 @@ class NxpPlatform:
             self.sim, self.cfg, lambda: self.current_tables, stats=machine.stats, name="nxp.mmu"
         )
         self.port = NxpMemoryPort(
-            self.sim, self.cfg, machine.phys, machine.link, self.walker, stats=machine.stats
+            self.sim,
+            self.cfg,
+            machine.phys,
+            machine.link,
+            self.walker,
+            stats=machine.stats,
+            tables_provider=lambda: self.current_tables,
         )
         self.cpu = Interpreter(
             "nisa",
@@ -70,6 +76,7 @@ class NxpPlatform:
             CostModel(self.cfg.nxp_cycle_ns, ipc=1.0),
             stats=machine.stats,
             name="nxp.core",
+            decode_cache=self.cfg.decode_cache,
         )
         self._staging: Optional[int] = None
         self._proc = None
@@ -127,18 +134,23 @@ class NxpPlatform:
         if self.current_tables is not tables:
             self.current_tables = tables
             self.port.flush_tlbs()
+            # The decode cache is keyed by virtual PC; a different
+            # address space may map different code at the same PCs.
+            self.cpu.invalidate_decode_cache()
             self.machine.stats.count("nxp.address_space_switch")
 
     # -- thread execution until it leaves the NxP ----------------------------------
 
     def _run_thread(self, task: Task) -> Generator:
         cpu = self.cpu
+        step = cpu.step
+        stub_pcs = STUB_PCS
         while True:
-            if is_stub(cpu.pc):
+            if cpu.pc in stub_pcs:
                 yield from service_stub(self.machine, task, cpu)
                 continue
             try:
-                yield from cpu.step()
+                yield from step()
             except ReturnToRuntime as ret:
                 yield from self._return_migration(task, ret.retval)
                 return

@@ -17,7 +17,7 @@ from typing import Callable, Dict, Generator, Tuple
 from repro.isa.interpreter import Interpreter
 from repro.os.task import Task
 
-__all__ = ["STUB_BASE", "STUB_SYMBOLS", "is_stub", "service_stub"]
+__all__ = ["STUB_BASE", "STUB_SYMBOLS", "STUB_PCS", "is_stub", "service_stub"]
 
 STUB_BASE = 0x7F00_0000
 STUB_SYMBOLS: Dict[str, int] = {
@@ -27,6 +27,10 @@ STUB_SYMBOLS: Dict[str, int] = {
     "__nxp_free": STUB_BASE + 0x300,
 }
 _BY_ADDR = {addr: name for name, addr in STUB_SYMBOLS.items()}
+
+#: The stub PCs as a set — step loops test membership per instruction,
+#: so they hoist this into a local instead of calling :func:`is_stub`.
+STUB_PCS = frozenset(_BY_ADDR)
 
 
 def is_stub(pc: int) -> bool:

@@ -59,56 +59,65 @@ def to_unsigned(value: int) -> int:
     return value & MASK64
 
 
-class Op(enum.Enum):
-    """Semantic operations shared by both ISAs (each encodes its own subset)."""
+class Op(enum.IntEnum):
+    """Semantic operations shared by both ISAs (each encodes its own subset).
+
+    An ``IntEnum`` so member hashing and equality are C-level int
+    operations — Op-keyed dict/set lookups sit on the interpreter's
+    per-instruction path.  Mnemonics live in :attr:`mnemonic`.
+    """
 
     # ALU, three-operand on NISA / two-operand on HISA
-    ADD = "add"
-    SUB = "sub"
-    MUL = "mul"
-    DIV = "div"
-    REM = "rem"
-    AND = "and"
-    OR = "or"
-    XOR = "xor"
-    SHL = "shl"
-    SHR = "shr"
-    SAR = "sar"
-    SLT = "slt"
-    SLTU = "sltu"
-    SEQ = "seq"
-    SNE = "sne"
-    ADDI = "addi"
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    SAR = enum.auto()
+    SLT = enum.auto()
+    SLTU = enum.auto()
+    SEQ = enum.auto()
+    SNE = enum.auto()
+    ADDI = enum.auto()
     # data movement
-    LI = "li"          # rd = sign-extended imm32
-    LIH = "lih"        # rd = (rd & 0xFFFFFFFF) | imm32 << 32
-    MOV = "mov"
+    LI = enum.auto()          # rd = sign-extended imm32
+    LIH = enum.auto()        # rd = (rd & 0xFFFFFFFF) | imm32 << 32
+    MOV = enum.auto()
     # memory
-    LD = "ld"          # 8-byte load
-    LW = "lw"          # 4-byte load, zero-extended
-    LBU = "lbu"        # 1-byte load, zero-extended
-    ST = "st"
-    SW = "sw"
-    SB = "sb"
+    LD = enum.auto()          # 8-byte load
+    LW = enum.auto()          # 4-byte load, zero-extended
+    LBU = enum.auto()        # 1-byte load, zero-extended
+    ST = enum.auto()
+    SW = enum.auto()
+    SB = enum.auto()
     # control flow
-    BEQ = "beq"
-    BNE = "bne"
-    BLT = "blt"
-    BGE = "bge"
-    J = "j"
-    JAL = "jal"
-    JALR = "jalr"
-    CALL = "call"      # HISA: push return address; NISA assembler alias of JAL
-    CALLR = "callr"    # indirect call through a register
-    RET = "ret"
-    PUSH = "push"      # HISA only
-    POP = "pop"        # HISA only
-    CMP = "cmp"        # HISA only: set flags
-    JCC = "jcc"        # HISA only: conditional jump on flags (cond in imm2)
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JALR = enum.auto()
+    CALL = enum.auto()      # HISA: push return address; NISA assembler alias of JAL
+    CALLR = enum.auto()    # indirect call through a register
+    RET = enum.auto()
+    PUSH = enum.auto()      # HISA only
+    POP = enum.auto()        # HISA only
+    CMP = enum.auto()        # HISA only: set flags
+    JCC = enum.auto()        # HISA only: conditional jump on flags (cond in imm2)
     # system
-    ECALL = "ecall"
-    NOP = "nop"
-    HALT = "halt"
+    ECALL = enum.auto()
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+    @property
+    def mnemonic(self) -> str:
+        return self.name.lower()
 
 
 @dataclass(frozen=True)
@@ -144,7 +153,7 @@ class Instruction:
     label: Optional[str] = None  # attached label (definition site)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = [self.op.value]
+        parts = [self.op.mnemonic]
         for name in ("rd", "rs1", "rs2"):
             v = getattr(self, name)
             if v is not None:

@@ -81,7 +81,7 @@ def format_instruction(inst: Instruction, isa: str, pc: int = 0, length: int = 0
             return "ret"
         return f"jalr {r(inst.rs1)}"
     # Three-operand ALU (NISA) or two-operand (HISA).
-    name = op.value
+    name = op.mnemonic
     if isa == "nisa":
         return f"{name} {r(inst.rd)}, {r(inst.rs1)}, {r(inst.rs2)}"
     if inst.imm is not None:

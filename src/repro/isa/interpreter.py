@@ -52,7 +52,15 @@ RUNTIME_RETURN_ADDR = 0x0000_7FFF_FFFF_F000
 
 
 class MemoryPort(Protocol):
-    """Timed memory interface a core executes against."""
+    """Timed memory interface a core executes against.
+
+    Ports may additionally expose the decoded-instruction-cache contract:
+    a ``fetch_check(vaddr, nbytes)`` generator charging exactly what
+    ``fetch`` charges (same timed yields, same faults, same stats)
+    without returning bytes, and a ``code_generation`` attribute that
+    changes whenever code reachable through the port may have changed.
+    Ports without both simply run uncached (e.g. the tests' FlatPort).
+    """
 
     def fetch(self, vaddr: int, nbytes: int) -> Generator:  # pragma: no cover
         ...
@@ -134,6 +142,7 @@ class Interpreter:
         cost: CostModel,
         stats: Optional[StatRegistry] = None,
         name: str = "cpu",
+        decode_cache: bool = True,
     ):
         if isa not in ("hisa", "nisa"):
             raise ValueError(f"unknown isa {isa!r}")
@@ -148,6 +157,33 @@ class Interpreter:
         self.pc = 0
         self.zf = False  # HISA flags
         self.sf_lt = False
+        self._inst_counter = self.stats.counter(f"{name}.inst")
+        # Decoded-instruction cache: pc -> (inst, length, two_part,
+        # timeout).  Requires the port's fetch_check/code_generation
+        # contract (see MemoryPort); validity is keyed off the port's
+        # code_generation, so page-table changes and stores into
+        # registered executable ranges invalidate it wholesale.
+        self._decode_cache_enabled = bool(decode_cache) and hasattr(port, "fetch_check")
+        self._decode_cache: Dict[int, tuple] = {}
+        self._decode_gen: Optional[int] = None
+        self._fetch_check_sync = (
+            getattr(port, "fetch_check_sync", None) if self._decode_cache_enabled else None
+        )
+        self._fetch_check_fast = (
+            getattr(port, "fetch_check_fast", None) if self._decode_cache_enabled else None
+        )
+        # Ops whose execution yields (memory traffic) on this ISA; the
+        # rest run through the synchronous path without a generator.
+        mem_ops = set(self._SIZED_LOADS) | set(self._SIZED_STORES)
+        mem_ops |= {Op.CALL, Op.CALLR, Op.PUSH, Op.POP}
+        if isa == "hisa":
+            mem_ops.add(Op.RET)  # pops the return address off the stack
+        self._gen_ops = frozenset(mem_ops)
+
+    def invalidate_decode_cache(self) -> None:
+        """Drop all cached decodes (e.g. on an address-space switch)."""
+        self._decode_cache.clear()
+        self._decode_gen = None
 
     # -- ABI helpers used by the runtime ---------------------------------------
 
@@ -190,27 +226,90 @@ class Interpreter:
     # -- execution ---------------------------------------------------------------
 
     def step(self) -> Generator:
-        """Fetch, decode and execute one instruction."""
+        """Fetch, decode and execute one instruction.
+
+        With the decode cache enabled (and a port exposing the
+        fetch_check/code_generation contract), a PC seen before at the
+        current code generation skips re-decode: ``fetch_check`` replays
+        the exact fetch timing, faults and stats, so simulated results
+        are bit-identical to the uncached path.
+        """
         pc = self.pc
         if pc == RUNTIME_RETURN_ADDR:
             raise ReturnToRuntime(self.retval)
 
-        if self.isa == "nisa":
-            raw = yield from self.port.fetch(pc, nisa.INST_BYTES)
-            inst, length = nisa.decode(raw, pc)
+        port = self.port
+        gen = None
+        cached = None
+        if self._decode_cache_enabled:
+            gen = port.code_generation
+            if gen is not None:
+                if gen != self._decode_gen:
+                    self._decode_cache.clear()
+                    self._decode_gen = gen
+                cached = self._decode_cache.get(pc)
+
+        if cached is not None:
+            inst, length, two_part, pause, is_mem = cached
+            sync = self._fetch_check_sync
+            if sync is not None and sync(pc, 1 if two_part else length):
+                # Fully checked with no simulated time due: skip the
+                # generator machinery (a False return did nothing, so the
+                # fallback below replays the check from scratch).
+                if two_part:
+                    sync(pc + 1, length - 1)
+            elif two_part:
+                yield from port.fetch_check(pc, 1)
+                yield from port.fetch_check(pc + 1, length - 1)
+            elif self._fetch_check_fast is not None:
+                # The port resolved the common hit/hit case without a
+                # generator and handed back the pauses to charge.
+                r = self._fetch_check_fast(pc, length)
+                if type(r) is tuple:
+                    yield r[0]
+                    yield r[1]
+                else:
+                    yield from r
+            else:
+                yield from port.fetch_check(pc, length)
         else:
-            head = yield from self.port.fetch(pc, 1)
-            length = hisa._LEN_BY_OPCODE.get(head[0])
-            if length is None:
-                from repro.isa.base import IllegalInstruction
+            if self.isa == "nisa":
+                raw = yield from port.fetch(pc, nisa.INST_BYTES)
+                inst, length = nisa.decode(raw, pc)
+                two_part = False
+            else:
+                head = yield from port.fetch(pc, 1)
+                length = hisa._LEN_BY_OPCODE.get(head[0])
+                if length is None:
+                    from repro.isa.base import IllegalInstruction
 
-                raise IllegalInstruction(pc, head[0])
-            raw = head if length == 1 else head + (yield from self.port.load(pc + 1, length - 1))
-            inst, length = hisa.decode(raw, pc)
+                    raise IllegalInstruction(pc, head[0])
+                if length == 1:
+                    raw = head
+                    two_part = False
+                else:
+                    # Trailing bytes are instruction bytes: route them
+                    # through the fetch path (not the data-load path) so
+                    # fetch/load stats and NX semantics stay truthful.
+                    raw = head + (yield from port.fetch(pc + 1, length - 1))
+                    two_part = True
+                inst, length = hisa.decode(raw, pc)
+            pause = self.sim.timeout(self.cost.cost_ns(inst.op))
+            is_mem = inst.op in self._gen_ops
+            # Insert only if no store/remap invalidated the code while
+            # the fetch was suspended mid-flight.
+            if gen is not None and port.code_generation == gen:
+                self._decode_cache[pc] = (inst, length, two_part, pause, is_mem)
 
-        self.stats.count(f"{self.name}.inst")
-        yield self.sim.timeout(self.cost.cost_ns(inst.op))
-        yield from self._execute(inst, pc, length)
+        self._inst_counter.value += 1
+        yield pause
+        # Most instructions touch no memory: execute them with a plain
+        # call instead of spinning up an _execute generator; the class
+        # is resolved once at decode, not per execution.
+        if is_mem:
+            yield from self._execute(inst, pc, length)
+        elif not self._execute_sync(inst, pc, length):
+            yield from self._execute(inst, pc, length)  # pragma: no cover
 
     def run(self, max_steps: int = 10_000_000) -> Generator:
         """Step until an exception transfers control out."""
@@ -220,35 +319,25 @@ class Interpreter:
 
     # -- semantics ----------------------------------------------------------------
 
-    def _execute(self, inst: Instruction, pc: int, length: int) -> Generator:
+    _SIZED_LOADS = {Op.LD: 8, Op.LW: 4, Op.LBU: 1}
+    _SIZED_STORES = {Op.ST: 8, Op.SW: 4, Op.SB: 1}
+    _ALU_OPS = frozenset(
+        (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR,
+         Op.XOR, Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU, Op.SEQ, Op.SNE)
+    )
+
+    def _execute_sync(self, inst: Instruction, pc: int, length: int) -> bool:
+        """Execute ``inst`` when it needs no memory traffic (so no timed
+        yields): updates ``self.pc`` and returns True.  Returns False —
+        having done nothing — for ops the generator path must run."""
         op = inst.op
         regs = self.regs
+        rs = regs.read
         next_pc = pc + length
 
-        def rs(idx):
-            return regs.read(idx)
-
-        def srs(idx):
-            return to_signed(regs.read(idx))
-
-        if op in (Op.NOP,):
-            pass
-        elif op is Op.HALT:
-            self.pc = next_pc
-            raise Halted()
-        elif op is Op.ECALL:
-            self.pc = next_pc
-            raise EnvCall(next_pc)
-        elif op in (Op.LI,):
-            regs.write(inst.rd, inst.imm & MASK64)
-        elif op is Op.LIH:
-            regs.write(inst.rd, (rs(inst.rd) & 0xFFFF_FFFF) | ((inst.imm & 0xFFFF_FFFF) << 32))
-        elif op is Op.MOV:
-            regs.write(inst.rd, rs(inst.rs1))
-        elif op is Op.ADDI:
+        if op is Op.ADDI:
             regs.write(inst.rd, rs(inst.rs1) + inst.imm)
-        elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR,
-                    Op.XOR, Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU, Op.SEQ, Op.SNE):
+        elif op in self._ALU_OPS:
             if self.isa == "hisa":
                 a = rs(inst.rd)
                 b = inst.imm if inst.imm is not None else rs(inst.rs1)
@@ -258,26 +347,20 @@ class Interpreter:
                 b = rs(inst.rs2)
                 dest = inst.rd
             regs.write(dest, self._alu(op, a & MASK64, b & MASK64, pc))
-        elif op in (Op.LD, Op.LW, Op.LBU):
-            size = {Op.LD: 8, Op.LW: 4, Op.LBU: 1}[op]
-            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
-            data = yield from self.port.load(addr, size)
-            regs.write(inst.rd, int.from_bytes(data, "little"))
-        elif op in (Op.ST, Op.SW, Op.SB):
-            size = {Op.ST: 8, Op.SW: 4, Op.SB: 1}[op]
-            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
-            value = rs(inst.rs2) & ((1 << (8 * size)) - 1)
-            yield from self.port.store(addr, value.to_bytes(size, "little"))
+        elif op is Op.MOV:
+            regs.write(inst.rd, rs(inst.rs1))
+        elif op is Op.LI:
+            regs.write(inst.rd, inst.imm & MASK64)
         elif op is Op.CMP:
             a = to_signed(rs(inst.rd))
-            b = to_signed(inst.imm) if inst.imm is not None else srs(inst.rs1)
+            b = to_signed(inst.imm) if inst.imm is not None else to_signed(rs(inst.rs1))
             self.zf = a == b
             self.sf_lt = a < b
         elif op is Op.JCC:
             if self._cond(inst.cond):
                 next_pc = pc + length + inst.imm
         elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
-            a, b = srs(inst.rs1), srs(inst.rs2)
+            a, b = to_signed(rs(inst.rs1)), to_signed(rs(inst.rs2))
             taken = {
                 Op.BEQ: a == b,
                 Op.BNE: a != b,
@@ -294,6 +377,43 @@ class Interpreter:
         elif op is Op.JALR:
             regs.write(inst.rd, pc + length)
             next_pc = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+        elif op is Op.LIH:
+            regs.write(inst.rd, (rs(inst.rd) & 0xFFFF_FFFF) | ((inst.imm & 0xFFFF_FFFF) << 32))
+        elif op is Op.RET and self.isa != "hisa":
+            # encoded as JALR x0, ra on NISA; defensive fallback
+            next_pc = rs(self.abi.link_reg)
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.pc = next_pc
+            raise Halted()
+        elif op is Op.ECALL:
+            self.pc = next_pc
+            raise EnvCall(next_pc)
+        else:
+            return False
+
+        self.pc = next_pc
+        return True
+
+    def _execute(self, inst: Instruction, pc: int, length: int) -> Generator:
+        """Memory-touching ops (the yield-free rest live in
+        :meth:`_execute_sync`)."""
+        op = inst.op
+        regs = self.regs
+        rs = regs.read
+        next_pc = pc + length
+
+        if op in self._SIZED_LOADS:
+            size = self._SIZED_LOADS[op]
+            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+            data = yield from self.port.load(addr, size)
+            regs.write(inst.rd, int.from_bytes(data, "little"))
+        elif op in self._SIZED_STORES:
+            size = self._SIZED_STORES[op]
+            addr = (rs(inst.rs1) + (inst.imm or 0)) & MASK64
+            value = rs(inst.rs2) & ((1 << (8 * size)) - 1)
+            yield from self.port.store(addr, value.to_bytes(size, "little"))
         elif op is Op.CALL:  # HISA: push return address
             self.sp = self.sp - 8
             yield from self.port.store(self.sp, (pc + length).to_bytes(8, "little"))

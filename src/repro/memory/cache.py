@@ -43,6 +43,9 @@ class Cache:
         # sets[i] = list of (tag, lru_stamp)
         self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(self.num_sets)]
         self._stamp = itertools.count(1)
+        self._c_hit = self.stats.counter(f"{name}.hit")
+        self._c_miss = self.stats.counter(f"{name}.miss")
+        self._c_evict = self.stats.counter(f"{name}.evict")
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         line = addr // self.line_bytes
@@ -55,13 +58,13 @@ class Cache:
         for i, (existing_tag, _stamp) in enumerate(cache_set):
             if existing_tag == tag:
                 cache_set[i] = (tag, next(self._stamp))
-                self.stats.count(f"{self.name}.hit")
+                self._c_hit.value += 1
                 return True
-        self.stats.count(f"{self.name}.miss")
+        self._c_miss.value += 1
         if len(cache_set) >= self.ways:
             victim = min(range(len(cache_set)), key=lambda i: cache_set[i][1])
             del cache_set[victim]
-            self.stats.count(f"{self.name}.evict")
+            self._c_evict.value += 1
         cache_set.append((tag, next(self._stamp)))
         return False
 

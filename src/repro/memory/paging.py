@@ -113,6 +113,12 @@ class PageTables:
         #: bumped on every mapping change; consumers (software TLBs /
         #: per-port translation caches) use it to self-invalidate.
         self.generation = 0
+        #: bumped whenever the *code* visible through this address space
+        #: may have changed: any mapping change, plus stores that land in
+        #: a registered executable range.  Decoded-instruction caches key
+        #: their validity off this (see repro.isa.interpreter).
+        self.code_generation = 0
+        self._exec_ranges: List[Tuple[int, int]] = []
         self.cr3 = self._alloc_table_frame()
 
     # -- construction ----------------------------------------------------------
@@ -179,6 +185,7 @@ class PageTables:
             flags |= PTE_PS
         self.phys.write_u64(entry_addr, (paddr & _ADDR_MASK) | flags)
         self.generation += 1
+        self.code_generation += 1
 
     def map_range(
         self,
@@ -205,6 +212,7 @@ class PageTables:
         entry_addr, _entry, _size = self._find_leaf(vaddr)
         self.phys.write_u64(entry_addr, 0)
         self.generation += 1
+        self.code_generation += 1
 
     # -- NX manipulation (the extended mprotect() of Section IV-C3) -----------
 
@@ -228,7 +236,30 @@ class PageTables:
             changed += 1
             addr = (addr & ~(size - 1)) + size
         self.generation += 1
+        self.code_generation += 1
         return changed
+
+    # -- code-change tracking (decoded-instruction cache support) --------------
+
+    def note_exec_range(self, vaddr: int, size: int) -> None:
+        """Register a virtual range holding executable code.
+
+        Stores routed through the memory ports that overlap a registered
+        range bump :attr:`code_generation` (self-modifying / JIT-style
+        writes), invalidating any decoded-instruction cache built over
+        this address space.
+        """
+        self._exec_ranges.append((vaddr, size))
+        self.code_generation += 1
+
+    def note_code_store(self, vaddr: int, nbytes: int) -> None:
+        """Called by the ports on every store; bumps the code generation
+        when the written range overlaps registered executable code."""
+        end = vaddr + (nbytes if nbytes > 0 else 1)
+        for base, size in self._exec_ranges:
+            if vaddr < base + size and base < end:
+                self.code_generation += 1
+                return
 
     # -- translation -------------------------------------------------------------
 

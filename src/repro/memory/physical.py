@@ -57,8 +57,14 @@ class MemoryRegion:
             raise BadAddress(
                 f"read [{paddr:#x}, +{nbytes}) outside region {self.name!r}"
             )
-        out = bytearray(nbytes)
         offset = paddr - self.base
+        in_page = offset % _PAGE
+        if in_page + nbytes <= _PAGE:  # the common case: one page
+            page = self._pages.get(offset // _PAGE)
+            if page is None:
+                return bytes(nbytes)
+            return bytes(page[in_page : in_page + nbytes])
+        out = bytearray(nbytes)
         done = 0
         while done < nbytes:
             in_page = offset % _PAGE
@@ -76,6 +82,11 @@ class MemoryRegion:
                 f"write [{paddr:#x}, +{len(data)}) outside region {self.name!r}"
             )
         offset = paddr - self.base
+        in_page = offset % _PAGE
+        if in_page + len(data) <= _PAGE:
+            page = self._page_for(offset, create=True)
+            page[in_page : in_page + len(data)] = data
+            return
         done = 0
         while done < len(data):
             in_page = offset % _PAGE
@@ -143,6 +154,7 @@ class PhysicalMemory:
 
     def __init__(self) -> None:
         self._regions: List[object] = []
+        self._last_region = None  # most-recently-decoded region (hot path)
 
     def add_region(self, region) -> None:
         for other in self._regions:
@@ -155,8 +167,12 @@ class PhysicalMemory:
         self._regions.append(region)
 
     def region_for(self, paddr: int, nbytes: int = 1):
+        last = self._last_region
+        if last is not None and last.contains(paddr, nbytes):
+            return last
         for region in self._regions:
             if region.contains(paddr, nbytes):
+                self._last_region = region
                 return region
         raise BadAddress(f"no region decodes [{paddr:#x}, +{nbytes})")
 

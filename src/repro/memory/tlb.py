@@ -75,6 +75,10 @@ class TLB:
         self.remap = RemapWindow()
         self._entries: list[TLBEntry] = []
         self._stamp = itertools.count(1)
+        self._c_hit = self.stats.counter(f"{name}.hit")
+        self._c_miss = self.stats.counter(f"{name}.miss")
+        self._c_evict = self.stats.counter(f"{name}.evict")
+        self._c_flush = self.stats.counter(f"{name}.flush")
 
     # -- control register (written by the host driver over MMIO) ----------
 
@@ -88,9 +92,9 @@ class TLB:
         for entry in self._entries:
             if entry.covers(vaddr):
                 entry.lru_stamp = next(self._stamp)
-                self.stats.count(f"{self.name}.hit")
+                self._c_hit.value += 1
                 return entry
-        self.stats.count(f"{self.name}.miss")
+        self._c_miss.value += 1
         return None
 
     def insert(self, tr: Translation) -> TLBEntry:
@@ -112,13 +116,13 @@ class TLB:
         if len(self._entries) >= self.capacity:
             victim = min(range(len(self._entries)), key=lambda i: self._entries[i].lru_stamp)
             del self._entries[victim]
-            self.stats.count(f"{self.name}.evict")
+            self._c_evict.value += 1
         self._entries.append(entry)
         return entry
 
     def flush(self) -> None:
         self._entries.clear()
-        self.stats.count(f"{self.name}.flush")
+        self._c_flush.value += 1
 
     def flush_page(self, vaddr: int) -> None:
         self._entries = [e for e in self._entries if not e.covers(vaddr)]

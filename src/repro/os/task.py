@@ -79,6 +79,9 @@ class Process:
 
     def add_exec_range(self, vaddr: int, size: int, isa: str) -> None:
         self.exec_ranges.append(ExecRange(vaddr, size, isa))
+        # Mirror into the page tables so stores through the memory ports
+        # that hit code invalidate decoded-instruction caches.
+        self.page_tables.note_exec_range(vaddr, size)
 
     def isa_at(self, vaddr: int) -> Optional[str]:
         for r in self.exec_ranges:

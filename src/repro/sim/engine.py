@@ -35,8 +35,8 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Simulator",
@@ -105,7 +105,7 @@ class Event:
         self._value = value
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            self.sim._schedule(0.0, proc._resume, value)
+            self.sim._schedule(0.0, proc._resume_cb, value)
 
     def reset(self) -> None:
         """Re-arm a triggered event so it can be triggered again.
@@ -119,7 +119,7 @@ class Event:
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._triggered:
-            self.sim._schedule(0.0, proc._resume, self._value)
+            self.sim._schedule(0.0, proc._resume_cb, self._value)
         else:
             self._waiters.append(proc)
 
@@ -139,7 +139,9 @@ class Process:
     hides protocol bugs.
     """
 
-    __slots__ = ("sim", "gen", "name", "alive", "value", "_waiters")
+    __slots__ = (
+        "sim", "gen", "name", "alive", "value", "_waiters", "_resume_cb", "_sched"
+    )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
@@ -148,6 +150,12 @@ class Process:
         self.alive = True
         self.value: Any = None
         self._waiters: List["Process"] = []
+        # One bound method reused for every schedule of this process
+        # (attribute access would allocate a fresh one per event), and
+        # the scheduler entry point itself, hoisted off the two-level
+        # ``self.sim._schedule`` chase on the per-event path.
+        self._resume_cb = self._resume
+        self._sched = sim._schedule
 
     def _resume(self, send_value: Any = None) -> None:
         if not self.alive:
@@ -157,21 +165,24 @@ class Process:
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        self._wait_on(target)
+        if type(target) is Timeout:  # the dominant yield; no subclasses
+            self._sched(target.delay, self._resume_cb, None)
+        else:
+            self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, Timeout):
-            self.sim._schedule(target.delay, self._resume, None)
+            self._sched(target.delay, self._resume_cb, None)
         elif isinstance(target, Event):
             target._add_waiter(self)
         elif isinstance(target, Process):
             if target.alive:
                 target._waiters.append(self)
             else:
-                self.sim._schedule(0.0, self._resume, target.value)
+                self._sched(0.0, self._resume_cb, target.value)
         elif target is None:
             # Bare ``yield`` — cooperative re-schedule at the same time.
-            self.sim._schedule(0.0, self._resume, None)
+            self._sched(0.0, self._resume_cb, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported object {target!r}"
@@ -183,7 +194,7 @@ class Process:
         self.sim._live_processes -= 1
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            self.sim._schedule(0.0, proc._resume, value)
+            self.sim._schedule(0.0, proc._resume_cb, value)
 
     def kill(self) -> None:
         """Terminate the process without resuming it again."""
@@ -193,7 +204,7 @@ class Process:
             self.gen.close()
             waiters, self._waiters = self._waiters, []
             for proc in waiters:
-                self.sim._schedule(0.0, proc._resume, None)
+                self.sim._schedule(0.0, proc._resume_cb, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "done"
@@ -211,19 +222,19 @@ class Channel:
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).trigger(item)
+            self._getters.popleft().trigger(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         ev = Event(self.sim, name=f"{self.name}.get")
         if self._items:
-            ev.trigger(self._items.pop(0))
+            ev.trigger(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev
@@ -233,14 +244,33 @@ class Channel:
 
 
 class Simulator:
-    """The event loop and simulated clock (nanosecond granularity)."""
+    """The event loop and simulated clock (nanosecond granularity).
 
-    def __init__(self) -> None:
+    ``fast_now_queue`` enables a wall-clock fast path for zero-delay
+    wakeups (the dominant event class in the Flick protocol: event
+    triggers, process completions, channel hand-offs).  Instead of
+    churning the heap, they go to a plain FIFO drained only when the
+    heap holds nothing at the current instant.  This preserves the
+    global (time, schedule-order) firing sequence exactly: every heap
+    entry stamped at the current time was necessarily scheduled before
+    any entry now sitting in the FIFO (zero-delay schedules always
+    divert to the FIFO, and positive delays land strictly in the
+    future), so draining same-time heap entries first reproduces the
+    heapq order.  Simulated results are bit-identical either way —
+    the parity tests in tests/core/test_fastpath_parity.py enforce it.
+    """
+
+    def __init__(self, fast_now_queue: bool = True) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable, Any]] = []
-        self._seq = itertools.count()
+        self._now_q: Deque[Tuple[Callable, Any]] = deque()
+        self._fast = bool(fast_now_queue)
+        self._seq = 0
         self._live_processes = 0
         self._error: Optional[BaseException] = None
+        #: total callbacks dispatched; the events/sec numerator of
+        #: benchmarks/bench_simspeed.py.
+        self.events_processed = 0
 
     # -- process / primitive construction ---------------------------------
 
@@ -248,7 +278,7 @@ class Simulator:
         """Register a generator as a process, starting it at ``now``."""
         proc = Process(self, gen, name=name)
         self._live_processes += 1
-        self._schedule(0.0, proc._resume, None)
+        self._schedule(0.0, proc._resume_cb, None)
         return proc
 
     def timeout(self, delay: float) -> Timeout:
@@ -263,7 +293,11 @@ class Simulator:
     # -- scheduling core ---------------------------------------------------
 
     def _schedule(self, delay: float, callback: Callable, arg: Any) -> None:
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback, arg))
+        if self._fast and delay == 0.0:
+            self._now_q.append((callback, arg))
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or ``until`` ns is reached.
@@ -272,21 +306,36 @@ class Simulator:
         process went idle before that time (usually a lost wakeup).
         Re-raises the first uncaught exception from any process.
         """
-        while self._queue:
-            at, _seq, callback, arg = self._queue[0]
-            if until is not None and at > until:
-                self.now = until
-                return
-            heapq.heappop(self._queue)
-            self.now = at
-            try:
-                callback(arg)
-            except SimulationError:
-                raise
-            except BaseException as exc:
-                raise SimulationError(
-                    f"uncaught exception in simulated process at t={self.now}ns"
-                ) from exc
+        queue = self._queue
+        now_q = self._now_q
+        heappop = heapq.heappop
+        events = self.events_processed
+        try:
+            while queue or now_q:
+                if queue and queue[0][0] <= self.now:
+                    # Same-instant heap entries predate every now-queue
+                    # entry (see class docstring): they fire first.
+                    _at, _seq, callback, arg = heappop(queue)
+                elif now_q:
+                    callback, arg = now_q.popleft()
+                else:
+                    at = queue[0][0]
+                    if until is not None and at > until:
+                        self.now = until
+                        return
+                    _at, _seq, callback, arg = heappop(queue)
+                    self.now = _at
+                events += 1
+                try:
+                    callback(arg)
+                except SimulationError:
+                    raise
+                except BaseException as exc:
+                    raise SimulationError(
+                        f"uncaught exception in simulated process at t={self.now}ns"
+                    ) from exc
+        finally:
+            self.events_processed = events
         if until is not None:
             if self._live_processes > 0:
                 raise Deadlock(

@@ -5,12 +5,15 @@ Usage (also via ``python -m repro``):
     python -m repro run program.fc --args 6 7 --trace
     python -m repro compile program.fc
     python -m repro disasm program.fc
+    python -m repro bench --quick
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
 prints the linked image's sections and symbols.  ``disasm`` shows both
 ISAs' text sections side by side — useful for seeing what the dual
-backends emitted.
+backends emitted.  ``bench`` measures simulator throughput with the
+fast paths on vs off (docs/PERFORMANCE.md); ``--quick`` shrinks the
+workloads to a sub-30-second smoke.
 """
 
 from __future__ import annotations
@@ -53,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     disasm_p.add_argument("file")
     disasm_p.add_argument("--entry", default="main")
     disasm_p.add_argument("--optimize", action="store_true")
+
+    bench_p = sub.add_parser(
+        "bench", help="measure simulator throughput, fast paths on vs off"
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads, one repeat (a quick smoke, not a stable number)",
+    )
 
     return parser
 
@@ -116,10 +128,26 @@ def _cmd_disasm(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from repro.analysis.simspeed import measure_all, render
+
+    if args.quick:
+        results = measure_all(repeats=1, scale=0.15)
+    else:
+        results = measure_all(repeats=3)
+    print(render(results), file=out)
+    return 0 if all(r.parity for r in results) else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "compile": _cmd_compile, "disasm": _cmd_disasm}
+    handlers = {
+        "run": _cmd_run,
+        "compile": _cmd_compile,
+        "disasm": _cmd_disasm,
+        "bench": _cmd_bench,
+    }
     return handlers[args.command](args, out)
 
 

@@ -132,20 +132,32 @@ def paper_sweep_points(step: int = 4, max_accesses: int = 1024):
     return list(range(step, max_accesses + 1, step))
 
 
+def _sweep_job(job) -> tuple:
+    """One sweep point (module-level so the parallel runner can pickle it)."""
+    n, cfg, calls, inter_call_ns = job
+    flick = run_pointer_chase(n, calls=calls, mode="flick", cfg=cfg, inter_call_ns=inter_call_ns)
+    host = run_pointer_chase(n, calls=calls, mode="host", cfg=cfg, inter_call_ns=inter_call_ns)
+    return n, host.avg_call_ns / flick.avg_call_ns
+
+
 def sweep_pointer_chase(
     accesses_list: Sequence[int],
     cfg: Optional[FlickConfig] = None,
     calls: int = 10,
     inter_call_ns: float = 0.0,
+    workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """Normalized performance (baseline time / Flick time) per point.
 
     Values above 1.0 mean Flick outperforms the host-direct baseline —
     the y-axis of Fig. 5.
+
+    Points are independent simulations, so they fan out over
+    :func:`repro.analysis.sweep.parallel_map` (``workers`` argument,
+    ``FLICK_SWEEP_WORKERS``, or all cores; results merge in input order,
+    so the output is identical to a serial sweep).
     """
-    out: Dict[int, float] = {}
-    for n in accesses_list:
-        flick = run_pointer_chase(n, calls=calls, mode="flick", cfg=cfg, inter_call_ns=inter_call_ns)
-        host = run_pointer_chase(n, calls=calls, mode="host", cfg=cfg, inter_call_ns=inter_call_ns)
-        out[n] = host.avg_call_ns / flick.avg_call_ns
-    return out
+    from repro.analysis.sweep import parallel_map
+
+    jobs = [(n, cfg, calls, inter_call_ns) for n in accesses_list]
+    return dict(parallel_map(_sweep_job, jobs, workers=workers))

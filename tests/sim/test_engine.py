@@ -345,6 +345,125 @@ def test_same_time_events_fire_in_schedule_order():
     assert order == ["first", "second", "third"]
 
 
+def test_zero_delay_wakeups_run_after_pending_same_time_events():
+    """A zero-delay wakeup scheduled while processing time t must not
+    overtake events already queued for t (schedule order is global)."""
+    sim = Simulator()
+    order = []
+    ev = Event(sim)
+
+    def waiter(sim):
+        yield ev  # resumed with zero delay when triggered at t=5
+        order.append("woken")
+
+    def trigger(sim):
+        yield sim.timeout(5)
+        ev.trigger()
+        order.append("trigger")
+
+    def bystander(sim):
+        yield sim.timeout(5)  # queued for t=5 after trigger, before wakeup
+        order.append("bystander")
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.spawn(bystander(sim))
+    sim.run()
+    assert order == ["trigger", "bystander", "woken"]
+
+
+def test_zero_timeout_chain_preserves_schedule_order():
+    """Cascades of timeout(0) at one instant run in the order scheduled."""
+    sim = Simulator()
+    order = []
+
+    def chain(sim, tag, depth):
+        for i in range(depth):
+            yield sim.timeout(0)
+            order.append((tag, i))
+
+    sim.spawn(chain(sim, "a", 3))
+    sim.spawn(chain(sim, "b", 3))
+    sim.run()
+    assert order == [
+        ("a", 0), ("b", 0),
+        ("a", 1), ("b", 1),
+        ("a", 2), ("b", 2),
+    ]
+    assert sim.now == 0.0
+
+
+def test_event_reset_reuse_across_rounds():
+    """Trigger/reset cycles deliver each round's value exactly once,
+    provided the consumer re-waits only after the producer re-arms
+    (yielding a still-triggered event resumes immediately by design)."""
+    sim = Simulator()
+    ev = Event(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            got.append((yield ev))
+            yield sim.timeout(5)  # skip past the producer's reset point
+
+    def producer(sim):
+        for value in ["x", "y", "z"]:
+            yield sim.timeout(10)
+            ev.trigger(value)
+            yield sim.timeout(1)  # waiter drained at trigger time; re-arm
+            ev.reset()
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_yield_still_triggered_event_resumes_immediately_with_value():
+    """Level-triggered: re-waiting before reset() re-delivers the value."""
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger("v")
+
+    def waiter(sim):
+        first = yield ev
+        second = yield ev
+        return (first, second, sim.now)
+
+    assert sim.run_process(waiter(sim)) == ("v", "v", 0.0)
+
+
+def test_all_of_with_already_triggered_events():
+    sim = Simulator()
+    pre = Event(sim)
+    pre.trigger("early")
+    late = Event(sim)
+
+    def trigger(sim):
+        yield sim.timeout(4)
+        late.trigger("late")
+
+    def waiter(sim):
+        values = yield sim.all_of([pre, late])
+        return (sim.now, values)
+
+    sim.spawn(trigger(sim))
+    assert sim.run_process(waiter(sim)) == (4, ["early", "late"])
+
+
+def test_all_of_all_pretriggered_completes_at_current_time():
+    sim = Simulator()
+    evs = [Event(sim) for _ in range(3)]
+    for i, ev in enumerate(evs):
+        ev.trigger(i)
+
+    def waiter(sim):
+        values = yield sim.all_of(evs)
+        return (sim.now, values)
+
+    assert sim.run_process(waiter(sim)) == (0.0, [0, 1, 2])
+
+
 def test_bare_yield_reschedules_same_time():
     sim = Simulator()
 

@@ -75,6 +75,17 @@ class TestDisasm:
         assert "call r10" in out
 
 
+class TestBench:
+    def test_quick_bench_reports_parity(self):
+        code, out = run_cli(["bench", "--quick"])
+        assert code == 0  # non-zero would mean a parity violation
+        lines = out.splitlines()
+        assert "workload" in lines[0] and "parity" in lines[0]
+        assert any(line.startswith("null_call_loop") for line in lines)
+        assert any(line.startswith("compute_loop") for line in lines)
+        assert "False" not in out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
