@@ -5,13 +5,22 @@ Not a paper figure — this benchmark guards the acceleration layer
 fast-path toggles on and off, asserts the two configurations agree
 bit-for-bit on everything observable (timing-invariance contract), and
 asserts the fast paths actually pay for themselves: >= 2x wall-clock on
-the interpreted null-call loop.  Results land in ``BENCH_simspeed.json``
-so the throughput trajectory is tracked from this PR on.
+the interpreted null-call loop.  It also measures hosted-mode op
+batching on the million-access pointer-chase sweep (batched vs
+unbatched must be bit-identical AND >= 2x faster).  Results land in
+``BENCH_simspeed.json`` so the throughput trajectory is tracked from
+this PR on.
 """
 
 import os
 
-from repro.analysis.simspeed import measure_all, render, write_report
+from repro.analysis.simspeed import (
+    measure_all,
+    measure_hosted_batching,
+    render,
+    render_hosted,
+    write_report,
+)
 
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_simspeed.json")
 
@@ -21,12 +30,17 @@ def test_simspeed(benchmark, report):
 
     def run():
         state["results"] = measure_all(repeats=3)
+        state["hosted"] = measure_hosted_batching(accesses=1_000_000, repeats=2)
         return state["results"]
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     results = state["results"]
-    write_report(results, os.path.abspath(OUT_PATH))
-    report("Simulator throughput (fast paths on vs off)", render(results))
+    hosted = state["hosted"]
+    write_report(results, os.path.abspath(OUT_PATH), hosted=hosted)
+    report(
+        "Simulator throughput (fast paths on vs off)",
+        render(results) + "\n" + render_hosted(hosted),
+    )
 
     by_name = {r.workload: r for r in results}
     for r in results:
@@ -35,3 +49,7 @@ def test_simspeed(benchmark, report):
     # null-call loop (full migrations through the whole stack).
     assert by_name["null_call_loop"].speedup >= 2.0
     assert by_name["compute_loop"].speedup >= 2.0
+    # Hosted op batching: bit-identical results, >= 2x on the
+    # million-access sweep (docs/PERFORMANCE.md).
+    assert hosted.parity, "hosted batching changed simulated results"
+    assert hosted.speedup >= 2.0

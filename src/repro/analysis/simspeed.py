@@ -13,10 +13,15 @@ both on interpreted workloads, running each one twice — all
 * the parity verdict: retval, simulated ns, every stat counter, and the
   processed-event count must be bit-identical across the two configs.
 
+:func:`measure_hosted_batching` applies the same discipline to hosted
+mode: the million-access pointer-chase sweep with op batching on vs off,
+where parity is *bit-identical* (retval, simulated ns, every stat
+counter) and the speedup is the batching layer's headline number.
+
 ``benchmarks/bench_simspeed.py`` runs the standard workloads and writes
 the result to ``BENCH_simspeed.json`` so the perf trajectory is tracked
 release over release; ``python -m repro bench --quick`` runs a smaller
-smoke of the same measurement.
+smoke of the same measurement (add ``--hosted`` for the batching smoke).
 """
 
 from __future__ import annotations
@@ -31,13 +36,16 @@ from repro.core.machine import FlickMachine
 
 __all__ = [
     "SimSpeedResult",
+    "HostedSpeedResult",
     "WORKLOADS",
     "fast_config",
     "slow_config",
     "measure_simspeed",
     "measure_all",
+    "measure_hosted_batching",
     "write_report",
     "render",
+    "render_hosted",
 ]
 
 # The interpreted null-call loop: every iteration is a full Flick
@@ -175,11 +183,92 @@ def measure_all(repeats: int = 2, scale: float = 1.0) -> List[SimSpeedResult]:
     return results
 
 
-def write_report(results: List[SimSpeedResult], path: str) -> None:
+@dataclass(frozen=True)
+class HostedSpeedResult:
+    """Hosted-mode op batching, on vs off (docs/PERFORMANCE.md)."""
+
+    workload: str
+    accesses: int
+    calls: int
+    wall_s_batched: float
+    wall_s_unbatched: float
+    speedup: float
+    sim_ns: float
+    parity: bool
+
+
+def _hosted_run(cfg: FlickConfig, accesses: int, calls: int):
+    from repro.core.hosted import HostedMachine
+    from repro.workloads.pointer_chase import _make_program, build_chain
+
+    # Machine construction and chain materialization are one-time setup
+    # shared by both configs — the timed window is the simulation only.
+    hosted = HostedMachine(_make_program(), cfg=cfg)
+    head = build_chain(hosted, accesses)
+    t0 = time.perf_counter()
+    out = hosted.run("main", [head, accesses, calls, 1, 0.0])
+    wall = time.perf_counter() - t0
+    return {
+        "wall": wall,
+        "retval": out.retval,
+        "sim_ns": out.sim_time_ns,
+        "stats": out.stats,
+    }
+
+
+def measure_hosted_batching(
+    accesses: int = 1_000_000,
+    calls: int = 1,
+    repeats: int = 2,
+) -> HostedSpeedResult:
+    """The hosted million-access pointer-chase sweep, op batching on vs
+    off; wall times are best-of-repeats.
+
+    Parity here is *bit-identical*: return value, simulated ns, and
+    every stat counter must match exactly across the toggle (the
+    per-batch contract in docs/PERFORMANCE.md).
+    """
+    from dataclasses import replace
+
+    batched_cfg = FlickConfig()
+    unbatched_cfg = replace(batched_cfg, hosted_batch_ops=False)
+    batched = unbatched = None
+    wall_batched = wall_unbatched = float("inf")
+    for _ in range(max(1, repeats)):
+        run = _hosted_run(batched_cfg, accesses, calls)
+        wall_batched = min(wall_batched, run["wall"])
+        batched = run
+        run = _hosted_run(unbatched_cfg, accesses, calls)
+        wall_unbatched = min(wall_unbatched, run["wall"])
+        unbatched = run
+    parity = (
+        batched["retval"] == unbatched["retval"]
+        and batched["sim_ns"] == unbatched["sim_ns"]
+        and batched["stats"] == unbatched["stats"]
+    )
+    return HostedSpeedResult(
+        workload="hosted_pointer_chase",
+        accesses=accesses,
+        calls=calls,
+        wall_s_batched=wall_batched,
+        wall_s_unbatched=wall_unbatched,
+        speedup=wall_unbatched / wall_batched,
+        sim_ns=batched["sim_ns"],
+        parity=parity,
+    )
+
+
+def write_report(
+    results: List[SimSpeedResult],
+    path: str,
+    hosted: Optional[HostedSpeedResult] = None,
+) -> None:
     payload: Dict[str, object] = {
         "benchmark": "simspeed",
         "workloads": [asdict(r) for r in results],
     }
+    if hosted is not None:
+        payload["hosted_batching"] = asdict(hosted)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -197,3 +286,11 @@ def render(results: List[SimSpeedResult]) -> str:
             f"{r.events_per_sec_fast / 1e6:>8.3f} {str(r.parity):>7}"
         )
     return "\n".join(lines)
+
+
+def render_hosted(r: HostedSpeedResult) -> str:
+    return (
+        f"{r.workload:<22} {r.accesses} accesses x {r.calls} call(s): "
+        f"batched {r.wall_s_batched:.3f}s  unbatched {r.wall_s_unbatched:.3f}s  "
+        f"speedup {r.speedup:.2f}x  parity {r.parity}"
+    )

@@ -13,19 +13,26 @@ Determinism and safety rules:
   by completion time.
 * Job functions must be module-level (picklable); per-job arguments
   travel inside the job tuple.
-* Any pool failure — unpicklable job, missing ``fork`` support,
-  restricted environment — falls back to the serial loop, so callers
-  never have to care whether parallelism is available.
+* Only *pool-setup* failures — unpicklable job function or job list,
+  missing ``fork`` support, restricted environment — fall back to the
+  serial loop.  An exception raised *by a job* propagates to the caller
+  unchanged; it is never swallowed into a silent serial re-run (which
+  would execute every job twice and then raise anyway).
 
-Worker count resolution: explicit ``workers`` argument, then the
-``FLICK_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
-Set ``FLICK_SWEEP_WORKERS=1`` to force serial execution everywhere.
+Worker count resolution, in precedence order: explicit ``workers``
+argument, then the ``FLICK_SWEEP_WORKERS`` environment variable, then
+``os.cpu_count()``.  Set ``FLICK_SWEEP_WORKERS=1`` to force serial
+execution everywhere.  A malformed ``FLICK_SWEEP_WORKERS`` (anything
+``int()`` rejects) emits a :class:`RuntimeWarning` and falls through to
+``os.cpu_count()`` rather than being silently ignored.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import warnings
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 __all__ = ["parallel_map", "resolve_workers"]
@@ -35,7 +42,12 @@ _R = TypeVar("_R")
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Effective worker count: argument > FLICK_SWEEP_WORKERS > cpu_count."""
+    """Effective worker count: argument > FLICK_SWEEP_WORKERS > cpu_count.
+
+    A malformed ``FLICK_SWEEP_WORKERS`` warns (the user asked for a
+    specific parallelism and is not getting it) and falls back to
+    ``os.cpu_count()``.
+    """
     if workers is not None:
         return max(1, int(workers))
     env = os.environ.get("FLICK_SWEEP_WORKERS")
@@ -43,7 +55,12 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"FLICK_SWEEP_WORKERS={env!r} is not an integer; "
+                "falling back to os.cpu_count()",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
 
 
@@ -55,18 +72,27 @@ def parallel_map(
     """Map ``fn`` over ``items``, fanned out over worker processes.
 
     Results come back in input order (deterministic merge).  With one
-    worker, one item, or any pool failure the map runs serially in this
-    process instead.
+    worker, one item, or an unusable pool (unpicklable ``fn``/``items``,
+    no ``fork`` support) the map runs serially in this process instead.
+    An exception raised by a job propagates to the caller either way —
+    a failing sweep point must fail the sweep, not silently re-run
+    every point serially first.
     """
     jobs = list(items)
     count = min(resolve_workers(workers), len(jobs))
     if count <= 1:
         return [fn(job) for job in jobs]
     try:
+        # Everything the pool would need to ship across the process
+        # boundary must pickle; probing up front separates "the pool
+        # cannot run these jobs at all" from "a job failed".
+        pickle.dumps(fn)
+        pickle.dumps(jobs)
         # fork keeps workers cheap and lets jobs reference module state
         # already imported in the parent; unavailable on some platforms.
         ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=count) as pool:
-            return pool.map(fn, jobs)
+        pool = ctx.Pool(processes=count)
     except Exception:
         return [fn(job) for job in jobs]
+    with pool:
+        return pool.map(fn, jobs)

@@ -165,6 +165,17 @@ class FlickConfig:
     translation_fast_path: bool = True  # flat page-granular host translations
     engine_fast_path: bool = True      # DES zero-delay now-queue
 
+    # ---- hosted-mode op batching (docs/PERFORMANCE.md) ---------------------
+    # Hosted bodies may issue runs of timed ops between yield points;
+    # ``hosted_batch_ops`` lets those runs collapse into one consolidated
+    # timed yield of up to ``hosted_batch_size`` ops.  Batching is pinned
+    # bit-identical to the per-op path (retval, simulated ns, stat
+    # counters) by tests/core/test_hosted_batching.py; only the DES
+    # event count changes (one timed event per batch instead of per
+    # flush-threshold crossing).
+    hosted_batch_ops: bool = True      # collapse same-run hosted ops
+    hosted_batch_size: int = 256       # max ops per consolidated yield
+
     # -- derived helpers -----------------------------------------------------
 
     @property

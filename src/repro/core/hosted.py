@@ -16,13 +16,23 @@ same simulated memory system:
   (and, on the NxP side, through a real 16-entry TLB object with modeled
   walk costs) and touch the same :class:`PhysicalMemory` bytes;
 * per-access latencies come from the same :class:`FlickConfig` table;
-  they are *accumulated* and emitted as consolidated timeouts so the
+  they are *accumulated* and emitted as consolidated timed yields so the
   event queue stays small;
 * ``yield from ctx.call(name, ...)`` performs a full Flick migration
   when the callee's ISA differs from the current side.
 
 A parity test pins the hosted null-call round trip to the interpreted
 one, so the two modes cannot drift.
+
+Charge accounting (the batch accumulator, docs/PERFORMANCE.md):
+pending time is held in **integer femtoseconds**, so charging a run of
+``n`` same-cost ops with one multiply is *exactly* equal to ``n``
+individual charges — integer addition is associative where float
+addition is not.  Flushes sleep to an **absolute** instant
+(``anchor + charged``), so where the flush boundaries fall cannot move
+the clock by even an ulp: batched and unbatched execution produce
+bit-identical simulated time, return values and stat counters, and only
+the DES event count (one timed event per consolidated yield) differs.
 """
 
 from __future__ import annotations
@@ -50,6 +60,13 @@ __all__ = ["HostedProgram", "HostedMachine", "HostedFunction", "HostedOutcome"]
 
 HOSTED_TEXT_BASE = 0x6000_0000
 _FLUSH_THRESHOLD_NS = 50_000.0
+
+# Pending charges are accumulated in integer femtoseconds (1 ns =
+# 10**6 fs): exact, associative, and fine enough that quantizing a
+# sub-cycle charge loses < 1e-6 ns.
+_FS_PER_NS = 1_000_000
+_NS_PER_FS = 1e-6
+_FLUSH_THRESHOLD_FS = int(_FLUSH_THRESHOLD_NS) * _FS_PER_NS
 
 
 @dataclass
@@ -97,55 +114,244 @@ class HostedProgram:
 
 
 class HostedContext:
-    """Timed operations available to a hosted body on one side."""
+    """Timed operations available to a hosted body on one side.
+
+    Charges accumulate in an integer-femtosecond batch accumulator and
+    are emitted as consolidated timed yields.  Between two yield points
+    a body may issue any number of ``load``/``store``/``compute`` ops
+    (a *run*); :attr:`batch_ops` is the run length the workloads use,
+    and :attr:`need_flush` is the cheap (no generator) boundary check.
+    The flush target is the absolute instant ``anchor + charged``, so
+    chunking cannot drift the clock — see the module docstring.
+    """
 
     def __init__(self, executor, side: str):
         self._executor = executor
         self.side = side  # "host" | "nxp"
         self.machine = executor.machine
         self.cfg: FlickConfig = executor.machine.cfg
-        self._pending_ns = 0.0
+        self._sim = executor.machine.sim
+        # Batch accumulator state: all charges since ``_anchor`` (the
+        # sim time the context last observed), and how much of that has
+        # already been emitted as timed yields.
+        self._anchor: float = self._sim.now
+        self._charged_fs: int = 0
+        self._flushed_fs: int = 0
+        cfg = self.cfg
+        #: ops per consolidated run in the hosted workload bodies
+        #: (1 disables batching: one boundary check per op).
+        self.batch_ops: int = cfg.hosted_batch_size if cfg.hosted_batch_ops else 1
 
     # -- time accumulation --------------------------------------------------
 
     def charge(self, ns: float) -> None:
-        self._pending_ns += ns
+        self._charged_fs += round(ns * _FS_PER_NS)
+
+    def charge_run(self, ns: float, count: int) -> None:
+        """Charge ``count`` ops of ``ns`` each — exactly equal to
+        ``count`` individual :meth:`charge` calls (integer arithmetic)."""
+        self._charged_fs += round(ns * _FS_PER_NS) * count
+
+    def _cycle_ns(self, cycles: int) -> float:
+        cfg = self.cfg
+        if self.side == "host":
+            return cycles * cfg.host_cycle_ns / 3.0  # superscalar host
+        return cycles * cfg.nxp_cycle_ns
 
     def compute(self, cycles: int) -> None:
         """Charge ``cycles`` on the current core's clock."""
-        cfg = self.cfg
-        if self.side == "host":
-            self.charge(cycles * cfg.host_cycle_ns / 3.0)  # superscalar host
-        else:
-            self.charge(cycles * cfg.nxp_cycle_ns)
+        self._charged_fs += round(self._cycle_ns(cycles) * _FS_PER_NS)
+
+    def compute_run(self, cycles: int, count: int) -> None:
+        """Charge ``count`` same-cost compute steps of ``cycles`` each."""
+        self._charged_fs += round(self._cycle_ns(cycles) * _FS_PER_NS) * count
+
+    @property
+    def pending_ns(self) -> float:
+        """Charged-but-not-yet-flushed time, in nanoseconds."""
+        return (self._charged_fs - self._flushed_fs) * _NS_PER_FS
+
+    @property
+    def need_flush(self) -> bool:
+        """True when pending time crossed the consolidation threshold.
+
+        A plain boolean — the per-run boundary check — so the no-flush
+        case costs no generator machinery."""
+        return self._charged_fs - self._flushed_fs >= _FLUSH_THRESHOLD_FS
 
     def flush(self) -> Generator:
-        if self._pending_ns > 0:
-            pending, self._pending_ns = self._pending_ns, 0.0
-            yield self.machine.sim.timeout(pending)
+        """Drain every pending femtosecond as one timed yield.
+
+        The sleep target is absolute (``anchor + charged``), computed
+        from the chunk-independent cumulative charge, and the drain is
+        exact by construction: no residue survives, however the charges
+        were batched."""
+        if self._charged_fs > self._flushed_fs:
+            target = self._anchor + self._charged_fs * _NS_PER_FS
+            self._flushed_fs = self._charged_fs
+            yield self._sim.sleep_until(target)
+        assert self._flushed_fs == self._charged_fs, "flush left residue"
 
     def maybe_flush(self) -> Generator:
-        if self._pending_ns >= _FLUSH_THRESHOLD_NS:
+        if self._charged_fs - self._flushed_fs >= _FLUSH_THRESHOLD_FS:
             yield from self.flush()
+
+    def _reanchor(self) -> None:
+        """Re-base the accumulator after externally advanced sim time
+        (a dispatched call); pending charges are carried, not dropped."""
+        pending = self._charged_fs - self._flushed_fs
+        self._anchor = self._sim.now
+        self._charged_fs = pending
+        self._flushed_fs = 0
 
     # -- memory ---------------------------------------------------------------
 
     def load(self, vaddr: int, nbytes: int = 8) -> int:
-        self.charge(self._executor.access_latency(self.side, vaddr, write=False))
-        paddr = self._executor.translate(vaddr)
-        return int.from_bytes(self.machine.phys.read(paddr, nbytes), "little")
+        executor = self._executor
+        self._charged_fs += round(
+            executor.access_latency(self.side, vaddr, write=False) * _FS_PER_NS
+        )
+        paddr = executor.translate(vaddr)
+        phys = self.machine.phys
+        if nbytes == 8:
+            return phys.read_u64(paddr)
+        return int.from_bytes(phys.read(paddr, nbytes), "little")
 
     def store(self, vaddr: int, value: int, nbytes: int = 8) -> None:
-        self.charge(self._executor.access_latency(self.side, vaddr, write=True))
-        paddr = self._executor.translate(vaddr)
+        executor = self._executor
+        self._charged_fs += round(
+            executor.access_latency(self.side, vaddr, write=True) * _FS_PER_NS
+        )
+        paddr = executor.translate(vaddr)
         self.machine.phys.write(paddr, (value & (1 << (8 * nbytes)) - 1).to_bytes(nbytes, "little"))
+
+    def chase(self, vaddr: int, count: int, compute_cycles: int = 0) -> int:
+        """Follow a chain of ``count`` dependent pointer loads, charging
+        ``compute_cycles`` per hop — the batched kernel for linked-data
+        traversals (Fig. 5's inner loop).
+
+        Per hop this performs exactly the ops of ``load`` + ``compute``
+        in the same order — same access-latency model (TLB state
+        included), same translations, same stat counters — with the
+        loop-invariant lookups hoisted out of the hot loop.
+        """
+        executor = self._executor
+        entry = executor._tcache.entry
+        phys = self.machine.phys
+        read_u64 = phys.read_u64
+        step_fs = round(self._cycle_ns(compute_cycles) * _FS_PER_NS) if compute_cycles else 0
+        charged = self._charged_fs
+        node = vaddr
+        bram_lo, bram_hi = executor._bram_lo, executor._bram_hi
+        # Inline replica of MemoryRegion.read_u64's single-page branch,
+        # keyed on the last RAM region touched; anything else (region
+        # switch, page straddle, MMIO) falls back to phys.read_u64.
+        region_lo, region_hi = 0, -1
+        region_base = 0
+        region_pages: Dict[int, bytearray] = {}
+        if self.side == "host":
+            # access_latency's host branch, unrolled: translate, then
+            # three bounds checks pick a precomputed fs constant (same
+            # float sums, same round, so the charge is bit-identical).
+            dram_lo, dram_hi = executor._host_dram_lo, executor._host_dram_hi
+            fs_cached = round(executor._lat_host_cached * _FS_PER_NS) + step_fs
+            fs_bram = round(executor._lat_host_bram * _FS_PER_NS) + step_fs
+            fs_bar = round(executor._lat_host_bar_read * _FS_PER_NS) + step_fs
+            for _ in range(count):
+                paddr = node + entry(node)[0]
+                if dram_lo <= paddr < dram_hi:
+                    charged += fs_cached
+                elif bram_lo <= paddr < bram_hi:
+                    charged += fs_bram
+                else:
+                    charged += fs_bar
+                if region_lo <= paddr <= region_hi:
+                    offset = paddr - region_base
+                    in_page = offset & 4095
+                    if in_page <= 4088:
+                        page = region_pages.get(offset >> 12)
+                        node = (
+                            int.from_bytes(page[in_page : in_page + 8], "little")
+                            if page is not None
+                            else 0
+                        )
+                        continue
+                    node = read_u64(paddr)
+                    continue
+                node = read_u64(paddr)
+                region = phys.region_for(paddr, 8)
+                pages = getattr(region, "_pages", None)
+                if pages is not None:
+                    region_base = region_lo = region.base
+                    region_hi = region.base + region.size - 8
+                    region_pages = pages
+            self._charged_fs = charged
+            return node
+        # NxP side.  Inline the front-entry TLB hit (the hot-page case)
+        # with the exact bookkeeping access_latency performs — stamp
+        # bump, lru_stamp, hit counter; move-to-front is a no-op at
+        # index 0 — and precomputed hit+route fs constants built from
+        # the same float sums access_latency returns.  Anything else
+        # (front-entry miss, segment windows configured) takes the
+        # reference access_latency call unchanged.
+        latency = executor.access_latency
+        dtlb = executor._nxp_dtlb
+        entries = dtlb._entries  # mutated in place by lookup/insert/flush
+        hit_counter = dtlb._c_hit
+        remap = dtlb.remap
+        remap_lo = remap.bar_base
+        remap_hi = remap.bar_base + remap.size if remap.size > 0 else remap.bar_base
+        fs_hit_bram = round((executor._lat_tlb_hit + executor._lat_nxp_bram) * _FS_PER_NS) + step_fs
+        fs_hit_local = round((executor._lat_tlb_hit + executor._lat_nxp_local_read) * _FS_PER_NS) + step_fs
+        fs_hit_host = round((executor._lat_tlb_hit + executor._lat_nxp_host_read) * _FS_PER_NS) + step_fs
+        fast_ok = not executor.nxp_segments
+        for _ in range(count):
+            e = entries[0] if (fast_ok and entries) else None
+            if e is not None and e.vbase <= node < e.vbase + e.page_size:
+                dtlb._stamp += 1
+                e.lru_stamp = dtlb._stamp
+                hit_counter.value += 1
+                paddr = e.pbase | (node - e.vbase)
+                if bram_lo <= paddr < bram_hi:
+                    charged += fs_hit_bram
+                elif remap_lo <= paddr < remap_hi:
+                    charged += fs_hit_local
+                else:
+                    charged += fs_hit_host
+                if region_lo <= paddr <= region_hi:
+                    offset = paddr - region_base
+                    in_page = offset & 4095
+                    if in_page <= 4088:
+                        page = region_pages.get(offset >> 12)
+                        node = (
+                            int.from_bytes(page[in_page : in_page + 8], "little")
+                            if page is not None
+                            else 0
+                        )
+                        continue
+                    node = read_u64(paddr)
+                    continue
+                node = read_u64(paddr)
+                region = phys.region_for(paddr, 8)
+                pages = getattr(region, "_pages", None)
+                if pages is not None:
+                    region_base = region_lo = region.base
+                    region_hi = region.base + region.size - 8
+                    region_pages = pages
+            else:
+                charged += round(latency("nxp", node, False) * _FS_PER_NS) + step_fs
+                node = read_u64(node + entry(node)[0])
+        self._charged_fs = charged
+        return node
 
     # -- calls ------------------------------------------------------------------
 
     def call(self, name: str, *args) -> Generator:
         """Call another hosted function; migrates when ISAs differ."""
         yield from self.flush()
-        return (yield from self._executor.dispatch_call(self, name, list(args)))
+        result = yield from self._executor.dispatch_call(self, name, list(args))
+        self._reanchor()
+        return result
 
 
 class HostedOutcome:
@@ -203,6 +409,25 @@ class HostedMachine:
         self._nxp_engine = _HostedNxpEngine(self)
         self._task: Optional[Task] = None
         self._thread: Optional[_HostedHostThread] = None
+        # Hot-path latency constants.  FlickConfig is frozen, so these
+        # derived values cannot change after construction; hoisting them
+        # out of access_latency (where several are @property recomputes)
+        # is a pure wall-clock optimization.
+        cfg = self.cfg
+        mm = cfg.memory_map
+        self._host_dram_lo = mm.host_dram_base
+        self._host_dram_hi = mm.host_dram_base + mm.host_dram_size
+        self._bram_lo = mm.nxp_bram_base
+        self._bram_hi = mm.nxp_bram_base + mm.nxp_bram_size
+        self._lat_host_cached = cfg.host_cached_mem_ns
+        self._lat_host_bram = 2 * cfg.pcie_oneway_ns + cfg.nxp_bram_ns
+        self._lat_posted_write = cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
+        self._lat_host_bar_read = cfg.host_to_bar_read_ns
+        self._lat_tlb_hit = cfg.tlb_hit_ns
+        self._lat_nxp_bram = cfg.nxp_bram_ns
+        self._lat_nxp_local_write = cfg.nxp_to_local_write_ns
+        self._lat_nxp_local_read = cfg.nxp_to_local_read_ns
+        self._lat_nxp_host_read = cfg.nxp_to_host_read_ns
 
     # -- shared helpers used by contexts -------------------------------------------
 
@@ -210,53 +435,56 @@ class HostedMachine:
         return vaddr + self._tcache.entry(vaddr)[0]
 
     def access_latency(self, side: str, vaddr: int, write: bool) -> float:
-        cfg = self.cfg
-        mm = cfg.memory_map
         if side == "host":
-            paddr = self.translate(vaddr)
-            if mm.host_dram_contains(paddr):
-                return cfg.host_cached_mem_ns
-            if mm.bram_contains(paddr):
-                return 2 * cfg.pcie_oneway_ns + cfg.nxp_bram_ns
+            paddr = vaddr + self._tcache.entry(vaddr)[0]
+            if self._host_dram_lo <= paddr < self._host_dram_hi:
+                return self._lat_host_cached
+            if self._bram_lo <= paddr < self._bram_hi:
+                return self._lat_host_bram
             if write:
-                return cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte  # posted
-            return cfg.host_to_bar_read_ns
+                return self._lat_posted_write  # posted
+            return self._lat_host_bar_read
         # NxP side: segment windows bypass the TLB entirely (O(1)
         # base+limit check in the memory pipeline).
-        for seg_base, seg_size in self.nxp_segments:
-            if seg_base <= vaddr < seg_base + seg_size:
-                self.machine.stats.count("hosted.nxp.segment_hit")
-                paddr = self.process.page_tables.translate(vaddr).paddr
-                if mm.bram_contains(paddr):
-                    return cfg.nxp_bram_ns
-                if mm.bar0_contains(paddr):
-                    return cfg.nxp_to_local_write_ns if write else cfg.nxp_to_local_read_ns
-                return (
-                    cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
-                    if write
-                    else cfg.nxp_to_host_read_ns
-                )
+        if self.nxp_segments:
+            cfg = self.cfg
+            mm = cfg.memory_map
+            for seg_base, seg_size in self.nxp_segments:
+                if seg_base <= vaddr < seg_base + seg_size:
+                    self.machine.stats.count("hosted.nxp.segment_hit")
+                    paddr = self.process.page_tables.translate(vaddr).paddr
+                    if mm.bram_contains(paddr):
+                        return cfg.nxp_bram_ns
+                    if mm.bar0_contains(paddr):
+                        return cfg.nxp_to_local_write_ns if write else cfg.nxp_to_local_read_ns
+                    return (
+                        cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
+                        if write
+                        else cfg.nxp_to_host_read_ns
+                    )
         # Otherwise: real TLB lookup, analytic walk cost on miss.
-        entry = self._nxp_dtlb.lookup(vaddr)
+        dtlb = self._nxp_dtlb
+        entry = dtlb.lookup(vaddr)
         if entry is None:
+            cfg = self.cfg
             tr = self.process.page_tables.translate(vaddr)
             walk_cost = (
                 cfg.mmu_walker_overhead_ns
                 + len(self.process.page_tables.walk_entry_addrs(vaddr)) * cfg.mmu_walk_step_ns
             )
-            entry = self._nxp_dtlb.insert(tr)
+            entry = dtlb.insert(tr)
             base = walk_cost
         else:
-            base = cfg.tlb_hit_ns
-        paddr = entry.paddr_for(vaddr)
-        route, _local = self._nxp_dtlb.route(paddr)
-        if mm.bram_contains(paddr):
-            return base + cfg.nxp_bram_ns
-        if route == "local":
-            return base + (cfg.nxp_to_local_write_ns if write else cfg.nxp_to_local_read_ns)
+            base = self._lat_tlb_hit
+        paddr = entry.pbase | (vaddr - entry.vbase)
+        if self._bram_lo <= paddr < self._bram_hi:
+            return base + self._lat_nxp_bram
+        remap = dtlb.remap
+        if remap.size > 0 and remap.bar_base <= paddr < remap.bar_base + remap.size:
+            return base + (self._lat_nxp_local_write if write else self._lat_nxp_local_read)
         if write:
-            return base + cfg.pcie_oneway_ns + 8 * cfg.pcie_ns_per_byte
-        return base + cfg.nxp_to_host_read_ns
+            return base + self._lat_posted_write
+        return base + self._lat_nxp_host_read
 
     def dispatch_call(self, ctx: HostedContext, name: str, args: List[int]) -> Generator:
         fn = self.program.functions[name]

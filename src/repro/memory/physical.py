@@ -96,6 +96,19 @@ class MemoryRegion:
             offset += chunk
             done += chunk
 
+    def read_u64(self, paddr: int) -> int:
+        """Single-call 8-byte little-endian read (the dominant access
+        size on every hot path); falls back to :meth:`read` for
+        page-straddling or out-of-range addresses."""
+        offset = paddr - self.base
+        in_page = offset & (_PAGE - 1)
+        if 0 <= offset and in_page <= _PAGE - 8 and offset + 8 <= self.size:
+            page = self._pages.get(offset >> 12)
+            if page is None:
+                return 0
+            return int.from_bytes(page[in_page : in_page + 8], "little")
+        return int.from_bytes(self.read(paddr, 8), "little")
+
     @property
     def touched_bytes(self) -> int:
         """Bytes of backing store actually allocated (diagnostics)."""
@@ -147,6 +160,9 @@ class MMIORegion:
             return
         padded = bytes(data) + b"\x00" * (8 - len(data))
         handler(struct.unpack("<Q", padded[:8])[0])
+
+    def read_u64(self, paddr: int) -> int:
+        return int.from_bytes(self.read(paddr, 8), "little")
 
 
 class PhysicalMemory:
@@ -202,7 +218,7 @@ class PhysicalMemory:
         return struct.unpack("<I", self.read(paddr, 4))[0]
 
     def read_u64(self, paddr: int) -> int:
-        return struct.unpack("<Q", self.read(paddr, 8))[0]
+        return self.region_for(paddr, 8).read_u64(paddr)
 
     def write_u8(self, paddr: int, value: int) -> None:
         self.write(paddr, bytes([value & 0xFF]))

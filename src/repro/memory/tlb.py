@@ -16,7 +16,6 @@ two Flick-specific features the paper adds:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -74,7 +73,7 @@ class TLB:
         self.stats = stats or StatRegistry()
         self.remap = RemapWindow()
         self._entries: list[TLBEntry] = []
-        self._stamp = itertools.count(1)
+        self._stamp = 0
         self._c_hit = self.stats.counter(f"{name}.hit")
         self._c_miss = self.stats.counter(f"{name}.miss")
         self._c_evict = self.stats.counter(f"{name}.evict")
@@ -87,12 +86,26 @@ class TLB:
 
     # -- lookup / fill -----------------------------------------------------
 
+    def _bump_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
     def lookup(self, vaddr: int) -> Optional[TLBEntry]:
-        """Return the covering entry (bumping LRU), or None on miss."""
-        for entry in self._entries:
-            if entry.covers(vaddr):
-                entry.lru_stamp = next(self._stamp)
+        """Return the covering entry (bumping LRU), or None on miss.
+
+        Hits move their entry to the scan front — pure wall-clock help
+        for the common hot-page case; pages are disjoint, so scan order
+        cannot change which entry matches, and replacement uses
+        ``lru_stamp``, not list position."""
+        entries = self._entries
+        for i, entry in enumerate(entries):
+            if entry.vbase <= vaddr < entry.vbase + entry.page_size:
+                self._stamp += 1
+                entry.lru_stamp = self._stamp
                 self._c_hit.value += 1
+                if i:
+                    entries[i] = entries[0]
+                    entries[0] = entry
                 return entry
         self._c_miss.value += 1
         return None
@@ -106,7 +119,7 @@ class TLB:
             writable=tr.writable,
             user=tr.user,
             nx=tr.nx,
-            lru_stamp=next(self._stamp),
+            lru_stamp=self._bump_stamp(),
         )
         # Replace a stale entry for the same page if present.
         for i, existing in enumerate(self._entries):
@@ -141,6 +154,7 @@ class TLB:
         ``("pcie", paddr)`` otherwise (the access crosses the system bus
         to host memory).
         """
-        if self.remap.applies(paddr):
-            return "local", self.remap.to_local(paddr)
+        remap = self.remap
+        if remap.size > 0 and remap.bar_base <= paddr < remap.bar_base + remap.size:
+            return "local", paddr - remap.offset
         return "pcie", paddr

@@ -9,6 +9,8 @@ The engine is deliberately small and dependency-free.  Processes are
 plain Python generators that ``yield`` one of:
 
 * ``sim.timeout(dt)`` — suspend for ``dt`` simulated nanoseconds,
+* ``sim.sleep_until(t)`` — suspend until the absolute instant ``t``
+  (resumes with ``now == t`` exactly, no relative-delay round-off),
 * an :class:`Event` — suspend until someone calls ``event.trigger(value)``;
   the ``yield`` expression evaluates to ``value``,
 * another :class:`Process` — suspend until that process finishes; the
@@ -43,6 +45,7 @@ __all__ = [
     "Process",
     "Event",
     "Timeout",
+    "SleepUntil",
     "Channel",
     "SimulationError",
     "Deadlock",
@@ -70,6 +73,27 @@ class Timeout:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay!r})"
+
+
+class SleepUntil:
+    """Suspend until an *absolute* simulated instant; created via
+    :meth:`Simulator.sleep_until`.
+
+    Unlike ``timeout(target - now)``, resuming at ``at`` is exact: the
+    woken process observes ``sim.now == at`` bit-for-bit, with no
+    float round-off from the add-the-difference detour.  Consumers that
+    accumulate charges and emit them in variable-size chunks (the hosted
+    mode's batch accumulator) rely on this to make the final clock
+    independent of where the chunk boundaries fell.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SleepUntil({self.at!r})"
 
 
 class Event:
@@ -173,6 +197,8 @@ class Process:
     def _wait_on(self, target: Any) -> None:
         if isinstance(target, Timeout):
             self._sched(target.delay, self._resume_cb, None)
+        elif isinstance(target, SleepUntil):
+            self.sim._schedule_at(target.at, self._resume_cb, None)
         elif isinstance(target, Event):
             target._add_waiter(self)
         elif isinstance(target, Process):
@@ -284,6 +310,9 @@ class Simulator:
     def timeout(self, delay: float) -> Timeout:
         return Timeout(delay)
 
+    def sleep_until(self, at: float) -> SleepUntil:
+        return SleepUntil(at)
+
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 
@@ -298,6 +327,15 @@ class Simulator:
         else:
             self._seq += 1
             heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
+
+    def _schedule_at(self, at: float, callback: Callable, arg: Any) -> None:
+        """Schedule a callback at an absolute time (``at >= now``)."""
+        if at < self.now:
+            raise SimulationError(
+                f"sleep_until target {at!r} is in the past (now={self.now!r})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, callback, arg))
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or ``until`` ns is reached.

@@ -13,7 +13,9 @@ prints the linked image's sections and symbols.  ``disasm`` shows both
 ISAs' text sections side by side — useful for seeing what the dual
 backends emitted.  ``bench`` measures simulator throughput with the
 fast paths on vs off (docs/PERFORMANCE.md); ``--quick`` shrinks the
-workloads to a sub-30-second smoke.
+workloads to a sub-30-second smoke, and ``--hosted`` adds the
+hosted-mode op-batching measurement (batched vs unbatched pointer
+chase, asserting bit-identical parity via the exit code).
 """
 
 from __future__ import annotations
@@ -64,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="smaller workloads, one repeat (a quick smoke, not a stable number)",
+    )
+    bench_p.add_argument(
+        "--hosted",
+        action="store_true",
+        help="also measure hosted-mode op batching (on vs off, exact parity)",
     )
 
     return parser
@@ -129,14 +136,27 @@ def _cmd_disasm(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
-    from repro.analysis.simspeed import measure_all, render
+    from repro.analysis.simspeed import (
+        measure_all,
+        measure_hosted_batching,
+        render,
+        render_hosted,
+    )
 
     if args.quick:
         results = measure_all(repeats=1, scale=0.15)
     else:
         results = measure_all(repeats=3)
     print(render(results), file=out)
-    return 0 if all(r.parity for r in results) else 1
+    ok = all(r.parity for r in results)
+    if args.hosted:
+        if args.quick:
+            hosted = measure_hosted_batching(accesses=30_000, repeats=1)
+        else:
+            hosted = measure_hosted_batching()
+        print(render_hosted(hosted), file=out)
+        ok = ok and hosted.parity
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:

@@ -68,29 +68,67 @@ def _build_program(visit_host: bool) -> HostedProgram:
     prog.register("host_visit", "hisa", host_visit)
 
     def traverse(ctx, heads, visited, frontier, source, vertices, unused):
-        """BFS over linked adjacency lists in simulated memory."""
-        ctx.store(visited + source, 1, nbytes=1)
-        ctx.store(frontier, source)
+        """BFS over linked adjacency lists in simulated memory.
+
+        With batching off the edge loop runs a generator flush check per
+        edge (the original reference path); with batching on it checks
+        once per ``ctx.batch_ops`` edges via a countdown, with the timed
+        ops hoisted to locals.  Edge order is preserved exactly either
+        way, so the two paths match bit for bit.
+        """
+        if ctx.batch_ops <= 1:
+            ctx.store(visited + source, 1, nbytes=1)
+            ctx.store(frontier, source)
+            head_idx, tail = 0, 1
+            discovered = 1
+            while head_idx < tail:
+                u = ctx.load(frontier + head_idx * 8)
+                head_idx += 1
+                node = ctx.load(heads + u * 8)
+                ctx.compute(PER_VERTEX_COMPUTE_CYCLES)
+                while node:
+                    v = ctx.load(node)  # edge target
+                    nxt = ctx.load(node + 8)  # next edge node
+                    ctx.compute(PER_EDGE_COMPUTE_CYCLES)
+                    if ctx.load(visited + v, nbytes=1) == 0:
+                        ctx.store(visited + v, 1, nbytes=1)
+                        ctx.store(frontier + tail * 8, v)
+                        tail += 1
+                        discovered += 1
+                        if visit_host:
+                            yield from ctx.call("host_visit", v)
+                    node = nxt
+                    yield from ctx.maybe_flush()
+            return discovered
+        load, store, compute = ctx.load, ctx.store, ctx.compute
+        store(visited + source, 1, nbytes=1)
+        store(frontier, source)
         head_idx, tail = 0, 1
         discovered = 1
+        batch = ctx.batch_ops
+        budget = batch
         while head_idx < tail:
-            u = ctx.load(frontier + head_idx * 8)
+            u = load(frontier + head_idx * 8)
             head_idx += 1
-            node = ctx.load(heads + u * 8)
-            ctx.compute(PER_VERTEX_COMPUTE_CYCLES)
+            node = load(heads + u * 8)
+            compute(PER_VERTEX_COMPUTE_CYCLES)
             while node:
-                v = ctx.load(node)  # edge target
-                nxt = ctx.load(node + 8)  # next edge node
-                ctx.compute(PER_EDGE_COMPUTE_CYCLES)
-                if ctx.load(visited + v, nbytes=1) == 0:
-                    ctx.store(visited + v, 1, nbytes=1)
-                    ctx.store(frontier + tail * 8, v)
+                v = load(node)  # edge target
+                nxt = load(node + 8)  # next edge node
+                compute(PER_EDGE_COMPUTE_CYCLES)
+                if load(visited + v, nbytes=1) == 0:
+                    store(visited + v, 1, nbytes=1)
+                    store(frontier + tail * 8, v)
                     tail += 1
                     discovered += 1
                     if visit_host:
                         yield from ctx.call("host_visit", v)
                 node = nxt
-                yield from ctx.maybe_flush()
+                budget -= 1
+                if budget <= 0:
+                    budget = batch
+                    if ctx.need_flush:
+                        yield from ctx.flush()
         return discovered
 
     prog.register("traverse_nxp", "nisa", traverse)

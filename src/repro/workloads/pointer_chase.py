@@ -21,6 +21,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import DEFAULT_CONFIG, FlickConfig
 from repro.core.hosted import HostedMachine, HostedProgram
 
@@ -54,13 +56,29 @@ def _make_program() -> HostedProgram:
     prog = HostedProgram()
 
     def traverse(ctx, head, count):
+        if ctx.batch_ops <= 1:
+            # Batching off: the original per-op loop — one load, one
+            # compute, one flush check per node.  This is the reference
+            # path the batched branch must match bit for bit.
+            node = head
+            remaining = count
+            while remaining > 0:
+                node = ctx.load(node)
+                ctx.compute(PER_NODE_COMPUTE_CYCLES)
+                remaining -= 1
+                yield from ctx.maybe_flush()
+            return node
+        # Batching on: up to ctx.batch_ops dependent loads per ctx.chase
+        # call, one flush check per consolidated run.
         node = head
         remaining = count
+        batch = ctx.batch_ops
         while remaining > 0:
-            node = ctx.load(node)
-            ctx.compute(PER_NODE_COMPUTE_CYCLES)
-            remaining -= 1
-            yield from ctx.maybe_flush()
+            run = batch if batch < remaining else remaining
+            node = ctx.chase(node, run, PER_NODE_COMPUTE_CYCLES)
+            remaining -= run
+            if ctx.need_flush:
+                yield from ctx.flush()
         return node
 
     prog.register("traverse_nxp", "nisa", traverse)
@@ -90,9 +108,17 @@ def build_chain(hosted: HostedMachine, nodes: int, seed: int = 7) -> int:
     base = hosted.process.nxp_heap.alloc(span, align=4096)
     slots = rng.sample(range(span // NODE_BYTES), nodes)
     addrs = [base + s * NODE_BYTES for s in slots]
+    # Vectorized image construction (same node addresses and links as
+    # the one-write-per-node loop this replaces), flushed with one
+    # physical write per 4 KB page so no write assumes physically
+    # contiguous mappings across page boundaries.
+    image = np.zeros(span // 8, dtype="<u8")
+    idx = (np.array(addrs, dtype=np.int64) - base) >> 3
+    image[idx[:-1]] = np.array(addrs[1:], dtype="<u8")
+    raw = image.tobytes()
     phys = hosted.machine.phys
-    for here, nxt in zip(addrs, addrs[1:] + [0]):
-        phys.write(hosted.translate(here), nxt.to_bytes(8, "little"))
+    for off in range(0, span, 4096):
+        phys.write(hosted.translate(base + off), raw[off : off + 4096])
     return addrs[0]
 
 

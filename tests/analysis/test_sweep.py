@@ -2,6 +2,7 @@
 
 import os
 import time
+import warnings
 
 import pytest
 
@@ -23,6 +24,20 @@ def _sleep_job(seconds):
     return os.getpid()
 
 
+def _log_and_maybe_raise(job):
+    """Append one line per execution; raise for the poisoned input.
+
+    Fork workers share the parent's filesystem, so the log file counts
+    *actual executions* across all processes.
+    """
+    log_path, x = job
+    with open(log_path, "a") as f:
+        f.write(f"{x}\n")
+    if x == 3:
+        raise ValueError(f"job {x} failed")
+    return x * x
+
+
 class TestResolveWorkers:
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("FLICK_SWEEP_WORKERS", "7")
@@ -32,9 +47,16 @@ class TestResolveWorkers:
         monkeypatch.setenv("FLICK_SWEEP_WORKERS", "5")
         assert resolve_workers() == 5
 
-    def test_env_garbage_falls_back_to_cpu_count(self, monkeypatch):
+    def test_env_garbage_warns_and_falls_back_to_cpu_count(self, monkeypatch):
         monkeypatch.setenv("FLICK_SWEEP_WORKERS", "many")
-        assert resolve_workers() == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="FLICK_SWEEP_WORKERS"):
+            assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_valid_env_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("FLICK_SWEEP_WORKERS", "5")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers() == 5
 
     def test_floor_of_one(self):
         assert resolve_workers(0) == 1
@@ -69,6 +91,35 @@ class TestParallelMap:
     def test_env_forces_serial(self, monkeypatch):
         monkeypatch.setenv("FLICK_SWEEP_WORKERS", "1")
         assert parallel_map(_square, list(range(6))) == [x * x for x in range(6)]
+
+
+class TestJobExceptionPropagation:
+    """Regression: a bare ``except Exception`` around ``pool.map`` used
+    to swallow job exceptions and silently re-run the whole job list
+    serially — every job executed twice, then the same exception raised
+    from the serial pass anyway."""
+
+    def test_job_exception_propagates_from_pool(self, tmp_path):
+        jobs = [(str(tmp_path / "ran.log"), x) for x in range(6)]
+        with pytest.raises(ValueError, match="job 3 failed"):
+            parallel_map(_log_and_maybe_raise, jobs, workers=3)
+
+    def test_job_exception_propagates_serially(self, tmp_path):
+        jobs = [(str(tmp_path / "ran.log"), x) for x in range(6)]
+        with pytest.raises(ValueError, match="job 3 failed"):
+            parallel_map(_log_and_maybe_raise, jobs, workers=1)
+
+    def test_failing_job_list_is_not_rerun(self, tmp_path):
+        # The proof of no silent serial re-run: each job executes at
+        # most once.  The old harness logged the pool's executions PLUS
+        # a serial pass up to the poisoned job (> len(jobs) lines).
+        log = tmp_path / "ran.log"
+        jobs = [(str(log), x) for x in range(6)]
+        with pytest.raises(ValueError):
+            parallel_map(_log_and_maybe_raise, jobs, workers=2)
+        executions = log.read_text().splitlines()
+        assert len(executions) <= len(jobs)
+        assert len(executions) == len(set(executions))  # no job ran twice
 
 
 class TestSweepDeterminism:

@@ -85,6 +85,13 @@ class TestBench:
         assert any(line.startswith("compute_loop") for line in lines)
         assert "False" not in out
 
+    def test_quick_hosted_smoke_asserts_parity(self):
+        code, out = run_cli(["bench", "--quick", "--hosted"])
+        assert code == 0  # non-zero would mean a parity violation
+        assert "hosted_pointer_chase" in out
+        assert "parity True" in out
+        assert "False" not in out
+
 
 class TestParser:
     def test_missing_command_errors(self):
