@@ -1,6 +1,12 @@
 """Result rendering: the paper's tables and figures from measured data."""
 
-from repro.analysis.breakdown import PhaseBreakdown, measure_breakdown, render_breakdown
+from repro.analysis.breakdown import (
+    PhaseBreakdown,
+    chrome_phase_events,
+    measure_breakdown,
+    measure_breakdown_by_pid,
+    render_breakdown,
+)
 from repro.analysis.export import config_to_dict, export_results, load_results
 from repro.analysis.energy import EnergyEstimate, PowerModel, estimate_energy
 from repro.analysis.figures import ascii_plot, crossover_point, plateau_value, render_fig5
@@ -31,7 +37,9 @@ __all__ = [
     "export_results",
     "load_results",
     "PhaseBreakdown",
+    "chrome_phase_events",
     "measure_breakdown",
+    "measure_breakdown_by_pid",
     "render_breakdown",
     "parallel_map",
     "resolve_workers",

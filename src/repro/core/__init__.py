@@ -10,7 +10,7 @@ from repro.core.descriptors import (
     MigrationDescriptor,
 )
 from repro.core.machine import FlickMachine, ProgramOutcome
-from repro.core.trace import MigrationTrace, TraceEvent
+from repro.core.trace import MigrationTrace, Span, TraceEvent, TraceTruncated
 
 __all__ = [
     "FlickConfig",
@@ -26,5 +26,7 @@ __all__ = [
     "FlickMachine",
     "ProgramOutcome",
     "MigrationTrace",
+    "Span",
     "TraceEvent",
+    "TraceTruncated",
 ]

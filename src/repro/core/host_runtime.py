@@ -76,6 +76,7 @@ class HostThread:
         self.core = yield from self.machine.cores.acquire(task.name)
         task.state = TaskState.RUNNING
         self.machine.trace.record("thread_start", pid=task.pid, target=entry)
+        self.machine.trace.begin("thread", pid=task.pid, target=entry)
         yield from self.cpu.setup_call(entry, args, sp=HOST_STACK_TOP - 64)
         try:
             retval = yield from self._step_loop()
@@ -90,6 +91,7 @@ class HostThread:
         self.finished_at = self.sim.now
         task.process.exit_code = retval
         self.machine.trace.record("thread_done", pid=task.pid)
+        self.machine.trace.end("thread", pid=task.pid)
         return retval
 
     # -- the step loop (one per nesting level) ------------------------------------
@@ -154,6 +156,7 @@ class HostThread:
         task.faulting_target = target
         yield self.sim.timeout(cfg.host_handler_entry_ns)
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=target)
+        self.machine.trace.begin("h2n_session", pid=task.pid, target=target)
 
         if task.nxp_stack_base is None:  # first migration: allocate NxP stack
             yield self.sim.timeout(cfg.host_stack_alloc_ns)
@@ -178,7 +181,9 @@ class HostThread:
             task.nxp_sp = inbound.nxp_sp  # thread's NxP stack advanced
             yield self.sim.timeout(cfg.host_ioctl_return_ns)
             self.machine.trace.record("n2h_call_exec", pid=task.pid, target=inbound.target)
+            self.machine.trace.begin("n2h_host_exec", pid=task.pid, target=inbound.target)
             host_retval = yield from self._call_host_function(inbound.target, inbound.args)
+            self.machine.trace.end("n2h_host_exec", pid=task.pid)
             ret_desc = MigrationDescriptor(
                 kind=KIND_RETURN,
                 direction=DIR_H2N,
@@ -193,6 +198,7 @@ class HostThread:
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
         yield self.sim.timeout(cfg.host_handler_return_ns)
         self.machine.trace.record("h2n_call_done", pid=task.pid, target=target)
+        self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval
 
     def _call_host_function(self, target: int, args: List[int]) -> Generator:
@@ -230,7 +236,7 @@ class HostThread:
         task.migration_pending = False
         self.machine.trace.record("dma_h2n", pid=task.pid, kind=desc.kind)
         self.sim.spawn(
-            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES),
+            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-h2n-{task.name}",
         )
 

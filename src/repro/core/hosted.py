@@ -542,8 +542,12 @@ class _HostedHostThread:
         task = self.task
         self.core = yield from self.machine.cores.acquire(task.name)
         task.state = TaskState.RUNNING
+        self.machine.trace.record("thread_start", pid=task.pid, target=fn.addr)
+        self.machine.trace.begin("thread", pid=task.pid, target=fn.addr)
         retval = yield from self.hosted.run_body(fn, args, "host")
         task.state = TaskState.DONE
+        self.machine.trace.record("thread_done", pid=task.pid)
+        self.machine.trace.end("thread", pid=task.pid)
         self.machine.cores.release(self.core)
         self.core = None
         self.result = retval
@@ -557,10 +561,12 @@ class _HostedHostThread:
         yield self.sim.timeout(cfg.host_page_fault_ns)
         yield self.sim.timeout(cfg.host_handler_entry_ns)
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=fn.addr)
+        self.machine.trace.begin("h2n_session", pid=task.pid, target=fn.addr)
         if task.nxp_stack_base is None:
             yield self.sim.timeout(cfg.host_stack_alloc_ns)
             task.nxp_stack_base = self.machine.alloc_nxp_stack()
             task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
+            self.machine.trace.record("nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base)
         desc = MigrationDescriptor(
             kind=KIND_CALL, direction=DIR_H2N, pid=task.pid, target=fn.addr,
             args=args[:6], cr3=task.process.cr3, nxp_sp=task.nxp_sp,
@@ -569,9 +575,12 @@ class _HostedHostThread:
         while inbound.is_call:
             task.nxp_sp = inbound.nxp_sp
             yield self.sim.timeout(cfg.host_ioctl_return_ns)
+            self.machine.trace.record("n2h_call_exec", pid=task.pid, target=inbound.target)
+            self.machine.trace.begin("n2h_host_exec", pid=task.pid, target=inbound.target)
             yield self.sim.timeout(cfg.host_call_dispatch_ns)
             target_fn = self.hosted.program.by_addr[inbound.target]
             host_retval = yield from self.hosted.run_body(target_fn, inbound.args, "host")
+            self.machine.trace.end("n2h_host_exec", pid=task.pid)
             ret_desc = MigrationDescriptor(
                 kind=KIND_RETURN, direction=DIR_H2N, pid=task.pid,
                 retval=host_retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp,
@@ -580,6 +589,7 @@ class _HostedHostThread:
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
         yield self.sim.timeout(cfg.host_handler_return_ns)
         self.machine.trace.record("h2n_call_done", pid=task.pid, target=fn.addr)
+        self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval
 
     def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
@@ -599,8 +609,9 @@ class _HostedHostThread:
         self.machine.cores.release(self.core)
         self.core = None
         yield self.sim.timeout(cfg.host_dma_kick_ns)
+        self.machine.trace.record("dma_h2n", pid=task.pid, kind=desc.kind)
         self.sim.spawn(
-            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES),
+            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-h2n-{task.name}",
         )
         inbound = yield wake
@@ -647,12 +658,16 @@ class _HostedNxpEngine:
             if desc.is_call:
                 fn = self.hosted.program.by_addr[desc.target]
                 task = self.machine.kernel.task_by_pid(desc.pid)
+                self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
+                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="call")
                 self.sim.spawn(self._run_call(task, fn, desc.args), name=f"nxp-body-{fn.name}")
             else:
                 # Resume the most recently parked body for this pid.
                 stack = self._parked.get(desc.pid)
                 if not stack:
                     raise RuntimeError("hosted: return descriptor with no parked body")
+                self.machine.trace.record("nxp_dispatch_return", pid=desc.pid)
+                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="return")
                 stack.pop().trigger((desc.retval, idle))
             yield idle  # core is busy until the body parks or finishes
             self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)
@@ -666,6 +681,8 @@ class _HostedNxpEngine:
             retval=retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp or 0,
         )
         yield from self._send_to_host(desc)
+        self.machine.trace.record("n2h_return", pid=task.pid)
+        self.machine.trace.end("nxp_resident", pid=task.pid, exit="return")
         # Hand the core back to the dispatcher.  self._idle is always the
         # event the dispatcher armed for the *current* activation, which
         # under LIFO nesting is exactly the one waiting on this body.
@@ -684,6 +701,8 @@ class _HostedNxpEngine:
         resume = Event(self.sim, name="nxp.body.resume")
         self._parked.setdefault(task.pid, []).append(resume)
         yield from self._send_to_host(desc)
+        self.machine.trace.record("n2h_call", pid=task.pid, target=fn.addr)
+        self.machine.trace.end("nxp_resident", pid=task.pid, exit="call")
         self._idle.trigger()  # hand the NxP core back to the dispatcher
         retval, idle = yield resume  # woken by a host->NxP return descriptor
         self._idle = idle
@@ -703,5 +722,6 @@ class _HostedNxpEngine:
         yield self.sim.timeout(cfg.nxp_context_switch_ns)
         yield self.sim.timeout(cfg.nxp_dma_kick_ns)
         self.sim.spawn(
-            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES), name="dma-n2h-hosted"
+            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=desc.pid),
+            name="dma-n2h-hosted",
         )

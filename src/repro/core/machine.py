@@ -94,9 +94,11 @@ class FlickMachine:
         self.bram_phys = RegionAllocator("bram_phys", mm.nxp_bram_base, mm.nxp_bram_size)
 
         # -- interconnect -------------------------------------------------------
-        self.link = PCIeLink(self.sim, cfg, self.phys, stats=self.stats)
-        self.irq = InterruptController(self.sim, cfg, stats=self.stats)
-        self.dma = DMAEngine(self.sim, cfg, self.link, self.irq, stats=self.stats)
+        self.link = PCIeLink(self.sim, cfg, self.phys, stats=self.stats, trace=self.trace)
+        self.irq = InterruptController(self.sim, cfg, stats=self.stats, trace=self.trace)
+        self.dma = DMAEngine(
+            self.sim, cfg, self.link, self.irq, stats=self.stats, trace=self.trace
+        )
         nxp_ring_base = self.bram_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
         host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
         self.nxp_ring = DescriptorRing(self.phys, nxp_ring_base, 16, DESCRIPTOR_BYTES)

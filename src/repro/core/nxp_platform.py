@@ -112,9 +112,11 @@ class NxpPlatform:
 
             if desc.is_call:
                 self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
+                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="call")
                 yield from self.cpu.setup_call(desc.target, desc.args, sp=desc.nxp_sp)
             else:
                 self.machine.trace.record("nxp_dispatch_return", pid=desc.pid)
+                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="return")
                 if not task.nxp_context_stack:
                     raise ProcessCrash(task, "return descriptor with no suspended NxP context")
                 ctx = task.nxp_context_stack.pop()
@@ -200,6 +202,7 @@ class NxpPlatform:
         )
         yield from self._send_to_host(task, desc)
         self.machine.trace.record("n2h_return", pid=task.pid)
+        self.machine.trace.end("nxp_resident", pid=task.pid, exit="return")
 
     def _call_migration(self, task: Task, target: int, trigger: str) -> Generator:
         cfg = self.cfg
@@ -224,6 +227,7 @@ class NxpPlatform:
         )
         yield from self._send_to_host(task, desc)
         self.machine.trace.record("n2h_call", pid=task.pid, target=target)
+        self.machine.trace.end("nxp_resident", pid=task.pid, exit="call")
 
     def _send_to_host(self, task: Task, desc: MigrationDescriptor) -> Generator:
         cfg = self.cfg
@@ -243,6 +247,6 @@ class NxpPlatform:
         yield self.sim.timeout(cfg.nxp_context_switch_ns)  # back to scheduler
         yield self.sim.timeout(cfg.nxp_dma_kick_ns)
         self.sim.spawn(
-            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES),
+            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-n2h-{task.name}",
         )

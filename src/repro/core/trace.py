@@ -1,66 +1,400 @@
-"""Migration trace: a timeline of Flick protocol events.
+"""Structured observability for the simulated Flick machine.
 
-Used by tests to assert protocol ordering (Fig. 2's (a)-(g) sequence)
-and by examples to show the migration dance to the user.
+The trace layer is how the reproduction's headline numbers are
+*measured* (Table III's round-trip breakdown, Fig. 5's crossover
+analysis), so it has to stay trustworthy under everything the machine
+can do — concurrent migrating tasks, nested bidirectional calls, and
+bounded buffers.  Three building blocks:
+
+**Instant events** (:class:`TraceEvent`) — typed, timestamped points
+with an explicit ``pid`` field (``None`` marks a *device-scoped* event
+such as a PCIe transaction that belongs to no task).  Events live in a
+bounded ring: when full, the *oldest* event is evicted and the eviction
+is counted in :attr:`MigrationTrace.dropped` — truncation is queryable,
+never silent, and downstream analyses refuse or warn instead of
+computing on partial data.
+
+**Spans** (:class:`Span`) — durations with a begin and an end.  Each
+task pid owns a *span stack*: :meth:`MigrationTrace.begin` pushes,
+:meth:`MigrationTrace.end` closes the innermost open span with a
+matching name, so nested bidirectional migrations (host→NxP→host→NxP)
+attribute correctly and two concurrent pids can never conflate.
+Device-side work that may overlap arbitrarily (DMA bursts, interrupt
+delivery) uses the stack-free handle API instead —
+:meth:`MigrationTrace.open_span` / :meth:`MigrationTrace.close`.
+
+**Exports** — :meth:`MigrationTrace.to_chrome` emits Chrome
+``trace_event``-format JSON (load it in ``chrome://tracing`` or
+Perfetto); completed spans become complete (``"ph": "X"``) events and
+instants become instant (``"ph": "i"``) events, one track per pid.
+``python -m repro trace`` and ``python -m repro profile`` expose this
+on the command line.
+
+Invariance contract: tracing *observes* simulated time, it never
+charges it.  With tracing enabled or disabled (or ``detail`` on or
+off), a workload's return value, simulated nanoseconds, stat counters
+and DES event count are bit-identical — parity-tested in
+``tests/core/test_trace_parity.py`` exactly like the PR-1/PR-2 fast
+paths.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from itertools import islice
+from typing import Any, Deque, Dict, IO, List, Optional, Union
 
-__all__ = ["TraceEvent", "MigrationTrace"]
+__all__ = [
+    "TraceEvent",
+    "Span",
+    "MigrationTrace",
+    "TraceTruncated",
+    "EVENT_CATEGORIES",
+]
+
+#: Event taxonomy (docs/OBSERVABILITY.md): every known event/span name
+#: maps to the subsystem that emits it.  Used as the ``cat`` field of
+#: the Chrome export; unknown names fall back to "misc".
+EVENT_CATEGORIES: Dict[str, str] = {
+    # thread lifecycle (host runtime)
+    "thread_start": "thread",
+    "thread_done": "thread",
+    "thread": "thread",
+    # protocol point events (host runtime / NxP platform / hosted twins)
+    "h2n_call_start": "protocol",
+    "h2n_call_done": "protocol",
+    "n2h_call": "protocol",
+    "n2h_return": "protocol",
+    "n2h_call_exec": "protocol",
+    "nxp_dispatch_call": "protocol",
+    "nxp_dispatch_return": "protocol",
+    "nxp_stack_alloc": "protocol",
+    "dma_h2n": "protocol",
+    # protocol spans
+    "h2n_session": "protocol",
+    "nxp_resident": "protocol",
+    "n2h_host_exec": "protocol",
+    # kernel events
+    "irq": "kernel",
+    "task_wake": "kernel",
+    "minor_fault": "kernel",
+    # device-scoped events/spans (interconnect)
+    "dma.h2n": "device",
+    "dma.n2h": "device",
+    "irq_raise": "device",
+    "irq_deliver": "device",
+    "pcie_read": "device",
+    "pcie_write": "device",
+    "pcie_burst": "device",
+}
+
+
+class TraceTruncated(RuntimeError):
+    """An analysis refused to run on a trace that dropped events."""
 
 
 @dataclass(frozen=True)
 class TraceEvent:
+    """One instant event: a timestamped point with a task scope.
+
+    ``pid`` is ``None`` for device-scoped events; task-scoped emitters
+    always set it so per-pid analyses never have to guess.
+    """
+
     time: float
     name: str
+    pid: Optional[int]
     attrs: Dict[str, Any]
 
     def __repr__(self) -> str:
         kv = " ".join(f"{k}={v:#x}" if isinstance(v, int) and k in ("target", "addr")
                       else f"{k}={v}" for k, v in self.attrs.items())
-        return f"[{self.time / 1000.0:10.3f}us] {self.name} {kv}"
+        pid = f"pid={self.pid} " if self.pid is not None else ""
+        return f"[{self.time / 1000.0:10.3f}us] {self.name} {pid}{kv}".rstrip()
+
+
+@dataclass
+class Span:
+    """A named duration on one task's (or the device's) timeline."""
+
+    name: str
+    pid: Optional[int]
+    start: float
+    end: Optional[float] = None
+    depth: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        end = f"{self.end / 1000.0:.3f}us" if self.end is not None else "..."
+        pid = f" pid={self.pid}" if self.pid is not None else ""
+        return f"<span {self.name}{pid} [{self.start / 1000.0:.3f}us..{end}] depth={self.depth}>"
 
 
 class MigrationTrace:
-    """Bounded in-memory event log."""
+    """Bounded event ring + per-task span stacks with drop accounting.
 
-    def __init__(self, sim, limit: int = 100_000):
+    The event ring keeps the most recent ``limit`` events; completed
+    spans keep the most recent ``span_limit``.  Evictions increment
+    :attr:`dropped` / :attr:`spans_dropped` so consumers can tell a
+    complete trace from a windowed one (:attr:`truncated`).
+    """
+
+    def __init__(self, sim, limit: int = 100_000, span_limit: int = 100_000):
         self.sim = sim
         self.limit = limit
-        self.events: List[TraceEvent] = []
+        self.span_limit = span_limit
         self.enabled = True
+        #: opt-in device-level detail (per-transaction PCIe events);
+        #: off by default so interpreted hot loops stay fast.
+        self.detail = False
+        self._events: Deque[TraceEvent] = deque()
+        self._finished_spans: Deque[Span] = deque()
+        self._stacks: Dict[Optional[int], List[Span]] = {}
+        self._open_handles: List[Span] = []  # stack-free device spans
+        self.dropped = 0
+        self.spans_dropped = 0
 
-    def record(self, name: str, **attrs) -> None:
-        if not self.enabled or len(self.events) >= self.limit:
+    # -- instant events ------------------------------------------------------
+
+    def record(self, name: str, pid: Optional[int] = None, **attrs) -> None:
+        """Append one instant event (ring-bounded, drops counted)."""
+        if not self.enabled:
             return
-        self.events.append(TraceEvent(self.sim.now, name, attrs))
+        if len(self._events) >= self.limit:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(TraceEvent(self.sim.now, name, pid, attrs))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ring evicted anything: analyses over
+        :attr:`events` would see a window, not the whole run."""
+        return self.dropped > 0 or self.spans_dropped > 0
 
     def names(self) -> List[str]:
-        return [e.name for e in self.events]
+        return [e.name for e in self._events]
 
     def filter(self, name: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.name == name]
+        return [e for e in self._events if e.name == name]
 
     def count(self, name: str) -> int:
-        return sum(1 for e in self.events if e.name == name)
+        return sum(1 for e in self._events if e.name == name)
 
-    def spans(self, start_name: str, end_name: str) -> List[float]:
-        """Durations between consecutive start/end event pairs."""
-        out: List[float] = []
-        start_time: Optional[float] = None
-        for e in self.events:
-            if e.name == start_name and start_time is None:
-                start_time = e.time
-            elif e.name == end_name and start_time is not None:
-                out.append(e.time - start_time)
-                start_time = None
+    # -- spans ---------------------------------------------------------------
+
+    def begin(self, name: str, pid: Optional[int] = None, **attrs) -> Optional[Span]:
+        """Open a span on ``pid``'s span stack (LIFO nesting)."""
+        if not self.enabled:
+            return None
+        stack = self._stacks.setdefault(pid, [])
+        span = Span(name, pid, self.sim.now, depth=len(stack), attrs=attrs)
+        stack.append(span)
+        return span
+
+    def end(self, name: str, pid: Optional[int] = None, **attrs) -> Optional[Span]:
+        """Close the innermost open span named ``name`` on ``pid``'s stack.
+
+        Searching from the top keeps protocol spans robust even if an
+        unrelated span was left open deeper on the stack.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stacks.get(pid)
+        if not stack:
+            return None
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i].name == name:
+                span = stack.pop(i)
+                span.end = self.sim.now
+                span.attrs.update(attrs)
+                self._finish(span)
+                return span
+        return None
+
+    def open_span(self, name: str, pid: Optional[int] = None, **attrs) -> Optional[Span]:
+        """Open a stack-free span (device work that may overlap freely);
+        close it with :meth:`close` on the returned handle."""
+        if not self.enabled:
+            return None
+        span = Span(name, pid, self.sim.now, attrs=attrs)
+        self._open_handles.append(span)
+        return span
+
+    def close(self, span: Optional[Span], **attrs) -> Optional[Span]:
+        """Close a span handle from :meth:`open_span` (None-safe)."""
+        if span is None or span.end is not None:
+            return span
+        try:
+            self._open_handles.remove(span)
+        except ValueError:
+            pass
+        span.end = self.sim.now
+        span.attrs.update(attrs)
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if len(self._finished_spans) >= self.span_limit:
+            self._finished_spans.popleft()
+            self.spans_dropped += 1
+        self._finished_spans.append(span)
+
+    def finished_spans(
+        self, name: Optional[str] = None, pid: Optional[int] = None
+    ) -> List[Span]:
+        """Completed spans, optionally filtered by name and/or pid."""
+        return [
+            s
+            for s in self._finished_spans
+            if (name is None or s.name == name) and (pid is None or s.pid == pid)
+        ]
+
+    def open_spans(self, pid: Optional[int] = None) -> List[Span]:
+        """Spans begun but not yet ended (stacked and handle-based)."""
+        out: List[Span] = []
+        for stack_pid, stack in self._stacks.items():
+            if pid is None or stack_pid == pid:
+                out.extend(stack)
+        out.extend(s for s in self._open_handles if pid is None or s.pid == pid)
         return out
 
+    def spans(
+        self, start_name: str, end_name: str, pid: Optional[int] = None
+    ) -> List[float]:
+        """Durations between matched start/end event pairs, paired
+        **per pid** with a stack (so concurrent tasks never conflate and
+        nested sessions pair innermost-first).
+
+        Warns loudly when the event ring dropped anything: pairs whose
+        start was evicted are silently incomplete.
+        """
+        if self.dropped:
+            import warnings
+
+            warnings.warn(
+                f"trace ring dropped {self.dropped} events; span pairing over "
+                f"a truncated trace may be incomplete",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        out: List[float] = []
+        open_starts: Dict[Optional[int], List[float]] = {}
+        for e in self._events:
+            if pid is not None and e.pid != pid:
+                continue
+            if e.name == start_name:
+                open_starts.setdefault(e.pid, []).append(e.time)
+            elif e.name == end_name:
+                starts = open_starts.get(e.pid)
+                if starts:
+                    out.append(e.time - starts.pop())
+        return out
+
+    # -- exports -------------------------------------------------------------
+
+    def to_chrome(self, extra_events: Optional[List[dict]] = None) -> dict:
+        """Build a Chrome ``trace_event``-format dict (JSON-serializable).
+
+        Completed spans become complete events (``ph: "X"``), open spans
+        become begin events (``ph: "B"``), instants become instant
+        events (``ph: "i"``).  Timestamps are microseconds as the format
+        requires; device-scoped entries (pid ``None``) land on pid 0's
+        "device" track.  ``extra_events`` lets analyses append derived
+        entries (e.g. per-phase spans from ``repro.analysis.breakdown``).
+        """
+        trace_events: List[dict] = []
+        for span in self._finished_spans:
+            trace_events.append(
+                {
+                    "name": span.name,
+                    "cat": EVENT_CATEGORIES.get(span.name, "misc"),
+                    "ph": "X",
+                    "ts": span.start / 1000.0,
+                    "dur": (span.end - span.start) / 1000.0,
+                    "pid": span.pid if span.pid is not None else 0,
+                    "tid": span.pid if span.pid is not None else 0,
+                    "args": _jsonable_attrs(span.attrs),
+                }
+            )
+        for span in self.open_spans():
+            trace_events.append(
+                {
+                    "name": span.name,
+                    "cat": EVENT_CATEGORIES.get(span.name, "misc"),
+                    "ph": "B",
+                    "ts": span.start / 1000.0,
+                    "pid": span.pid if span.pid is not None else 0,
+                    "tid": span.pid if span.pid is not None else 0,
+                    "args": _jsonable_attrs(span.attrs),
+                }
+            )
+        for event in self._events:
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "cat": EVENT_CATEGORIES.get(event.name, "misc"),
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.time / 1000.0,
+                    "pid": event.pid if event.pid is not None else 0,
+                    "tid": event.pid if event.pid is not None else 0,
+                    "args": _jsonable_attrs(event.attrs),
+                }
+            )
+        if extra_events:
+            trace_events.extend(extra_events)
+        trace_events.sort(key=lambda e: e["ts"])
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "dropped_events": self.dropped,
+                "dropped_spans": self.spans_dropped,
+                "truncated": self.truncated,
+            },
+        }
+
+    def export_chrome(
+        self, dst: Union[str, IO[str]], extra_events: Optional[List[dict]] = None
+    ) -> dict:
+        """Serialize :meth:`to_chrome` to a path or file object."""
+        doc = self.to_chrome(extra_events=extra_events)
+        if hasattr(dst, "write"):
+            json.dump(doc, dst, indent=1)
+        else:
+            with open(dst, "w") as handle:
+                json.dump(doc, handle, indent=1)
+        return doc
+
+    # -- rendering -----------------------------------------------------------
+
     def render(self, limit: int = 50) -> str:
-        lines = [repr(e) for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+        lines = [repr(e) for e in islice(self._events, limit)]
+        if len(self._events) > limit:
+            lines.append(f"... {len(self._events) - limit} more events")
+        if self.dropped:
+            lines.append(f"!!! ring dropped {self.dropped} older events (truncated trace)")
         return "\n".join(lines)
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        k: v if isinstance(v, (int, float, str, bool)) or v is None else repr(v)
+        for k, v in attrs.items()
+    }

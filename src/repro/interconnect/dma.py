@@ -100,12 +100,14 @@ class DMAEngine:
         link: PCIeLink,
         irq: InterruptController,
         stats: Optional[StatRegistry] = None,
+        trace=None,
     ):
         self.sim = sim
         self.cfg = cfg
         self.link = link
         self.irq = irq
         self.stats = stats or StatRegistry()
+        self.trace = trace  # optional MigrationTrace for device-level spans
         self.nxp_inbound: Optional[DescriptorRing] = None
         self.host_inbound: Optional[DescriptorRing] = None
         # Completion notification for the NxP side.  Hardware-wise the
@@ -131,28 +133,44 @@ class DMAEngine:
 
     # -- transfers ---------------------------------------------------------------
 
-    def push_to_nxp(self, src_paddr: int, nbytes: int) -> Generator:
+    def push_to_nxp(self, src_paddr: int, nbytes: int, pid: Optional[int] = None) -> Generator:
         """Burst a descriptor from host DRAM into the NxP inbound ring.
 
         The NxP scheduler's poll of the STATUS register sees the new
-        pending count only after the burst completes.
+        pending count only after the burst completes.  ``pid`` (when the
+        caller knows it) attributes the transfer span to a task; bursts
+        may overlap, so the span uses the stack-free handle API.
         """
         if self.nxp_inbound is None:
             raise RuntimeError("rings not attached")
         dst = self.nxp_inbound.claim_addr()
         self.stats.count("dma.to_nxp")
+        trace = self.trace
+        span = trace.open_span("dma.h2n", pid=pid, bytes=nbytes) if trace is not None else None
         yield from self.link.burst(src_paddr, dst, nbytes)
+        if trace is not None:
+            trace.close(span)
         self.nxp_inbound.publish()
         self.nxp_arrival.put(True)
 
-    def push_to_host(self, src_paddr: int, nbytes: int, interrupt: bool = True) -> Generator:
+    def push_to_host(
+        self,
+        src_paddr: int,
+        nbytes: int,
+        interrupt: bool = True,
+        pid: Optional[int] = None,
+    ) -> Generator:
         """Burst a descriptor from NxP memory into the host inbound ring,
         then (optionally) raise the migration interrupt."""
         if self.host_inbound is None:
             raise RuntimeError("rings not attached")
         dst = self.host_inbound.claim_addr()
         self.stats.count("dma.to_host")
+        trace = self.trace
+        span = trace.open_span("dma.n2h", pid=pid, bytes=nbytes) if trace is not None else None
         yield from self.link.burst(src_paddr, dst, nbytes)
+        if trace is not None:
+            trace.close(span)
         self.host_inbound.publish()
         if interrupt:
             self.irq.raise_irq(MIGRATION_VECTOR, payload=dst)

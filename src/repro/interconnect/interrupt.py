@@ -32,10 +32,12 @@ class InterruptController:
         sim: Simulator,
         cfg: FlickConfig,
         stats: Optional[StatRegistry] = None,
+        trace=None,
     ):
         self.sim = sim
         self.cfg = cfg
         self.stats = stats or StatRegistry()
+        self.trace = trace  # optional MigrationTrace for delivery spans
         self._handlers: Dict[int, Callable[[Any], Any]] = {}
 
     def register(self, vector: int, handler: Callable[[Any], Any]) -> None:
@@ -56,9 +58,17 @@ class InterruptController:
         if handler is None:
             raise KeyError(f"unhandled interrupt vector {vector:#x}")
         self.stats.count(f"irq.{vector:#x}")
+        trace = self.trace
+        span = None
+        if trace is not None:
+            trace.record("irq_raise", vector=vector)
+            # Deliveries of distinct vectors may overlap: handle API.
+            span = trace.open_span("irq_deliver", vector=vector)
 
         def delivery(sim: Simulator):
             yield sim.timeout(self.cfg.host_irq_delivery_ns)
+            if trace is not None:
+                trace.close(span)
             result = handler(payload)
             if result is not None and hasattr(result, "send"):
                 yield sim.spawn(result, name=f"irq-handler-{vector:#x}")

@@ -38,12 +38,21 @@ class PCIeLink:
         cfg: FlickConfig,
         phys: PhysicalMemory,
         stats: Optional[StatRegistry] = None,
+        trace=None,
     ):
         self.sim = sim
         self.cfg = cfg
         self.phys = phys
         self.stats = stats or StatRegistry()
+        # Per-transaction trace events are opt-in (trace.detail): the
+        # interpreted hot loops issue one transaction per remote access.
+        self.trace = trace
         self._link_free_at = 0.0
+
+    def _detail(self, name: str, nbytes: int) -> None:
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.record(name, bytes=nbytes)
 
     # -- occupancy ------------------------------------------------------------
 
@@ -74,6 +83,7 @@ class PCIeLink:
         Returns the bytes read.
         """
         self.stats.count("pcie.read")
+        self._detail("pcie_read", nbytes)
         yield from self._occupy(self._wire_time(16))  # request TLP header
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)  # propagate request
         yield self.sim.timeout(service_ns)  # far side services it
@@ -84,6 +94,7 @@ class PCIeLink:
     def write(self, paddr: int, data: bytes, posted: bool = True) -> Generator:
         """Posted write: fire-and-forget from the initiator's view."""
         self.stats.count("pcie.write")
+        self._detail("pcie_write", len(data))
         yield from self._occupy(self._wire_time(len(data) + 16))
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)
         self.phys.write(paddr, data)
@@ -99,6 +110,7 @@ class PCIeLink:
         """
         self.stats.count("pcie.burst")
         self.stats.sample("pcie.burst_bytes", nbytes)
+        self._detail("pcie_burst", nbytes)
         yield self.sim.timeout(self.cfg.dma_setup_ns)
         yield from self._occupy(self._wire_time(nbytes + 32))
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)

@@ -112,6 +112,7 @@ class Kernel:
 
         def waker(sim: Simulator):
             yield sim.timeout(self.cfg.host_wakeup_ns)
+            self.machine.trace.record("task_wake", pid=desc.pid)
             event, task.wake_event = task.wake_event, None
             event.trigger(desc)
 

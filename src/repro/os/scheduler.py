@@ -67,14 +67,27 @@ class CorePool:
         self._waiters: List[Event] = []
 
     def acquire(self, who: str = "?") -> Generator:
-        """Acquire any free core; returns the CoreResource held."""
+        """Acquire any free core; returns the CoreResource held.
+
+        A woken waiter can lose the race: another task may grab the
+        freed core before the waiter's resume runs (the release/trigger
+        is not a hand-off at pool level).  The loser re-waits at the
+        *front* of the queue — it was the oldest waiter, and sending it
+        to the back would let every later arrival overtake it once per
+        race (starvation under contention).
+        """
+        queued = False
         while True:
             for core in self.cores:
                 if not core.busy:
                     yield from core.acquire(who)
                     return core
             ev = Event(self.sim, name=f"cores.wait[{who}]")
-            self._waiters.append(ev)
+            if queued:
+                self._waiters.insert(0, ev)
+            else:
+                self._waiters.append(ev)
+                queued = True
             yield ev
 
     def release(self, core: CoreResource) -> None:

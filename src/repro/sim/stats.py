@@ -112,3 +112,17 @@ class StatRegistry:
                 out[f"{k}.mean"] = a.mean
                 out[f"{k}.count"] = a.count
         return out
+
+    def delta(self, since: Dict[str, float]) -> Dict[str, float]:
+        """Change in every stat relative to an earlier :meth:`snapshot`.
+
+        Keys absent from ``since`` count from zero; keys that vanished
+        (possible only for accumulator-derived entries) are omitted.
+        Zero-change entries are dropped so the result reads as "what
+        this phase did".
+        """
+        now = self.snapshot()
+        out = {
+            k: v - since.get(k, 0.0) for k, v in now.items() if v != since.get(k, 0.0)
+        }
+        return out

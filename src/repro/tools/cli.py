@@ -5,17 +5,26 @@ Usage (also via ``python -m repro``):
     python -m repro run program.fc --args 6 7 --trace
     python -m repro compile program.fc
     python -m repro disasm program.fc
+    python -m repro trace program.fc --out program.trace.json
+    python -m repro profile program.fc --args 10
     python -m repro bench --quick
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
 prints the linked image's sections and symbols.  ``disasm`` shows both
 ISAs' text sections side by side — useful for seeing what the dual
-backends emitted.  ``bench`` measures simulator throughput with the
-fast paths on vs off (docs/PERFORMANCE.md); ``--quick`` shrinks the
-workloads to a sub-30-second smoke, and ``--hosted`` adds the
-hosted-mode op-batching measurement (batched vs unbatched pointer
-chase, asserting bit-identical parity via the exit code).
+backends emitted.  ``trace`` runs the program and exports the event
+timeline as Chrome ``trace_event`` JSON (load it in ``chrome://tracing``
+or Perfetto); ``--phases`` overlays the measured per-migration phase
+decomposition, ``--detail`` adds per-TLP PCIe events.  ``profile`` runs
+the program and prints the observability summary: the measured
+migration breakdown (per pid with ``--by-pid``), the span census, and
+the statistics the run changed (see docs/OBSERVABILITY.md).  ``bench``
+measures simulator throughput with the fast paths on vs off
+(docs/PERFORMANCE.md); ``--quick`` shrinks the workloads to a
+sub-30-second smoke, and ``--hosted`` adds the hosted-mode op-batching
+measurement (batched vs unbatched pointer chase, asserting bit-identical
+parity via the exit code).
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from typing import List, Optional
 
 from repro.core.machine import FlickMachine
 from repro.isa.disasm import disassemble
+from repro.toolchain.felf import FelfError
 from repro.toolchain.flickc import compile_source
 from repro.toolchain.linker import link
 from repro.core.stubs import STUB_SYMBOLS
@@ -58,6 +68,39 @@ def build_parser() -> argparse.ArgumentParser:
     disasm_p.add_argument("file")
     disasm_p.add_argument("--entry", default="main")
     disasm_p.add_argument("--optimize", action="store_true")
+
+    trace_p = sub.add_parser(
+        "trace", help="run and export a Chrome trace_event JSON timeline"
+    )
+    trace_p.add_argument("file")
+    trace_p.add_argument("--args", nargs="*", type=int, default=[])
+    trace_p.add_argument("--entry", default="main")
+    trace_p.add_argument("--optimize", action="store_true")
+    trace_p.add_argument(
+        "--out", default=None, help="output path (default: <file>.trace.json)"
+    )
+    trace_p.add_argument(
+        "--phases",
+        action="store_true",
+        help="overlay the measured per-migration phase decomposition",
+    )
+    trace_p.add_argument(
+        "--detail", action="store_true", help="record per-TLP PCIe events too"
+    )
+    trace_p.add_argument(
+        "--limit", type=int, default=None, help="event ring size (default 100000)"
+    )
+
+    profile_p = sub.add_parser(
+        "profile", help="run and print the observability summary"
+    )
+    profile_p.add_argument("file")
+    profile_p.add_argument("--args", nargs="*", type=int, default=[])
+    profile_p.add_argument("--entry", default="main")
+    profile_p.add_argument("--optimize", action="store_true")
+    profile_p.add_argument(
+        "--by-pid", action="store_true", help="one breakdown table per migrating task"
+    )
 
     bench_p = sub.add_parser(
         "bench", help="measure simulator throughput, fast paths on vs off"
@@ -127,11 +170,87 @@ def _cmd_disasm(args, out) -> int:
     for section_name, isa in ((".text.hisa", "hisa"), (".text.nisa", "nisa")):
         try:
             seg = exe.segment_named(section_name)
-        except Exception:
-            continue
+        except FelfError:
+            continue  # program has no functions on this ISA
         print(f"{section_name} ({isa}):", file=out)
         print(disassemble(seg.data, isa, base=seg.vaddr), file=out)
         print(file=out)
+    return 0
+
+
+def _run_machine(args):
+    """Shared compile+load+run for the observability commands."""
+    machine = FlickMachine()
+    if getattr(args, "limit", None):
+        machine.trace.limit = args.limit
+    if getattr(args, "detail", False):
+        machine.trace.detail = True
+    obj = compile_source(_read(args.file), optimize=args.optimize)
+    exe = link([obj], entry_symbol=args.entry, extra_symbols=machine.runtime_symbols)
+    outcome = machine.run_program(exe, entry=args.entry, args=args.args)
+    return machine, outcome
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.analysis.breakdown import chrome_phase_events
+
+    machine, outcome = _run_machine(args)
+    extra = chrome_phase_events(machine.trace, allow_truncated=True) if args.phases else None
+    dst = args.out or f"{args.file}.trace.json"
+    machine.trace.export_chrome(dst, extra_events=extra)
+    print(
+        f"{len(machine.trace.events)} events, {outcome.migrations} migrations, "
+        f"{outcome.sim_time_us:.3f} us simulated -> {dst}",
+        file=out,
+    )
+    if machine.trace.truncated:
+        print(
+            f"WARNING: ring dropped {machine.trace.dropped} events "
+            f"({machine.trace.spans_dropped} spans); raise --limit for a full trace",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.analysis.breakdown import (
+        measure_breakdown,
+        measure_breakdown_by_pid,
+        render_breakdown,
+    )
+
+    machine, outcome = _run_machine(args)
+    trace = machine.trace
+    print(f"return value: {outcome.retval}", file=out)
+    print(f"simulated time: {outcome.sim_time_us:.3f} us", file=out)
+    print(file=out)
+    if args.by_pid:
+        for pid, breakdown in measure_breakdown_by_pid(trace).items():
+            print(f"pid {pid}:", file=out)
+            print(render_breakdown(breakdown, machine.cfg.host_page_fault_ns), file=out)
+            print(file=out)
+    else:
+        breakdown = measure_breakdown(trace)
+        print(render_breakdown(breakdown, machine.cfg.host_page_fault_ns), file=out)
+        print(file=out)
+    spans = trace.finished_spans()
+    if spans:
+        print("spans:", file=out)
+        census = {}
+        for span in spans:
+            census.setdefault(span.name, []).append(span.duration)
+        for name, durations in sorted(census.items()):
+            total_us = sum(durations) / 1000.0
+            print(
+                f"  {name:14s} n={len(durations):4d} total={total_us:10.3f}us "
+                f"mean={total_us / len(durations):8.3f}us",
+                file=out,
+            )
+        print(file=out)
+    print("stats:", file=out)
+    for key, value in sorted(outcome.stats.items()):
+        print(f"  {key} = {value}", file=out)
     return 0
 
 
@@ -166,6 +285,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "run": _cmd_run,
         "compile": _cmd_compile,
         "disasm": _cmd_disasm,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)

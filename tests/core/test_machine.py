@@ -313,7 +313,7 @@ class TestProtocolDetails:
             """,
             args=[1],
         )
-        names = [n for n in m.trace.names() if n not in ("thread_start", "thread_done", "irq", "nxp_stack_alloc")]
+        names = [n for n in m.trace.names() if n not in ("thread_start", "thread_done", "irq", "irq_raise", "task_wake", "nxp_stack_alloc")]
         assert names == [
             "h2n_call_start",    # (a) host faults, handler packs descriptor
             "dma_h2n",           # (a) descriptor crosses

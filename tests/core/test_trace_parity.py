@@ -1,0 +1,129 @@
+"""Timing-invariance contract of the observability layer.
+
+Tracing *observes* simulated time, it never charges it: with tracing
+enabled, disabled, or in ``detail`` mode, a workload must produce the
+same return value, the same simulated nanoseconds, the same stat
+counters, and the same number of processed DES events — bit-identical,
+in the style of ``test_fastpath_parity.py``.  Interpreted and hosted
+modes both emit the full protocol event set, so both are pinned.
+"""
+
+import pytest
+
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.core.machine import FlickMachine
+
+NULL_CALL = """
+@nxp func f() { return 0; }
+func main(n) {
+    var i = 0;
+    while (i < n) { f(); i = i + 1; }
+    return 0;
+}
+"""
+
+DOUBLY_NESTED = """
+@nxp func inner(x) { return x * 10; }
+func host_mid(x) { return inner(x) + 1; }
+@nxp func dev(x) { return host_mid(x) + 100; }
+func main() { return dev(2); }
+"""
+
+MODES = ("enabled", "disabled", "detail")
+
+
+def _configure(trace, mode):
+    trace.enabled = mode != "disabled"
+    trace.detail = mode == "detail"
+
+
+def _run_interpreted(source, args, mode):
+    machine = FlickMachine()
+    _configure(machine.trace, mode)
+    outcome = machine.run_program(source, args=args)
+    return {
+        "retval": outcome.retval,
+        "sim_ns": outcome.sim_time_ns,
+        "stats": outcome.stats,
+        "events": machine.sim.events_processed,
+    }
+
+
+def _nested_hosted_program():
+    prog = HostedProgram()
+
+    @prog.host()
+    def host_mid(ctx, x):
+        result = yield from ctx.call("inner", x)
+        return result + 1
+
+    @prog.nxp()
+    def inner(ctx, x):
+        return x * 10
+        yield
+
+    @prog.nxp()
+    def dev(ctx, x):
+        result = yield from ctx.call("host_mid", x)
+        return result + 100
+
+    @prog.host()
+    def main(ctx, n):
+        total = 0
+        for _ in range(n):
+            total = yield from ctx.call("dev", 2)
+        return total
+
+    return prog
+
+
+def _run_hosted(mode):
+    hosted = HostedMachine(_nested_hosted_program())
+    _configure(hosted.machine.trace, mode)
+    out = hosted.run("main", [3])
+    return {
+        "retval": out.retval,
+        "sim_ns": out.sim_time_ns,
+        "stats": out.stats,
+        "events": hosted.sim.events_processed,
+    }
+
+
+class TestInterpretedParity:
+    @pytest.mark.parametrize("mode", MODES[1:])
+    def test_null_call_loop(self, mode):
+        assert _run_interpreted(NULL_CALL, [10], mode) == _run_interpreted(
+            NULL_CALL, [10], "enabled"
+        )
+
+    @pytest.mark.parametrize("mode", MODES[1:])
+    def test_nested_migrations(self, mode):
+        assert _run_interpreted(DOUBLY_NESTED, [], mode) == _run_interpreted(
+            DOUBLY_NESTED, [], "enabled"
+        )
+
+
+class TestHostedParity:
+    @pytest.mark.parametrize("mode", MODES[1:])
+    def test_nested_hosted_run(self, mode):
+        assert _run_hosted(mode) == _run_hosted("enabled")
+
+    def test_hosted_emits_protocol_events(self):
+        """Hosted mode mirrors the interpreted protocol event set (the
+        parity above proves doing so charges nothing)."""
+        hosted = HostedMachine(_nested_hosted_program())
+        hosted.run("main", [1])
+        names = set(hosted.machine.trace.names())
+        assert {
+            "h2n_call_start",
+            "dma_h2n",
+            "nxp_dispatch_call",
+            "n2h_call",
+            "n2h_call_exec",
+            "n2h_return",
+            "irq",
+            "task_wake",
+            "h2n_call_done",
+        } <= names
+        sessions = hosted.machine.trace.finished_spans("h2n_session")
+        assert len(sessions) == 2  # outer dev() + nested inner()

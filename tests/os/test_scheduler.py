@@ -95,6 +95,41 @@ class TestCorePool:
         assert times["a"] == 0 and times["b"] == 0
         assert times["c"] == 10  # got a's core
 
+    def test_woken_loser_keeps_queue_position(self):
+        """A woken waiter that loses the race to a core thief must not
+        drop to the back of the wait queue.
+
+        One core: A holds it; B then D queue up.  A releases and
+        synchronously re-acquires in the same step — the trigger only
+        *schedules* B's resume, so A steals the core first and B
+        re-waits.  B was the oldest waiter, so B must still get the core
+        before D on A's final release.
+        """
+        sim = Simulator()
+        pool = CorePool(sim, 1)
+        order = []
+
+        def thief(sim):
+            core = yield from pool.acquire("a")
+            yield sim.timeout(5)
+            pool.release(core)  # wakes B...
+            core = yield from pool.acquire("a")  # ...but steals the core
+            yield sim.timeout(5)
+            pool.release(core)
+
+        def waiter(sim, tag, delay):
+            yield sim.timeout(delay)
+            core = yield from pool.acquire(tag)
+            order.append(tag)
+            yield sim.timeout(1)
+            pool.release(core)
+
+        sim.spawn(thief(sim))
+        sim.spawn(waiter(sim, "b", 1))
+        sim.spawn(waiter(sim, "d", 2))
+        sim.run()
+        assert order == ["b", "d"]
+
     def test_zero_cores_rejected(self):
         with pytest.raises(ValueError):
             CorePool(Simulator(), 0)

@@ -80,3 +80,21 @@ def test_registry_same_name_same_object():
     reg = StatRegistry()
     assert reg.counter("a") is reg.counter("a")
     assert reg.accumulator("b") is reg.accumulator("b")
+
+
+def test_registry_delta_reports_only_changes():
+    reg = StatRegistry()
+    reg.count("migrations", 5)
+    reg.count("tlb.miss", 2)
+    before = reg.snapshot()
+    reg.count("migrations", 3)
+    reg.count("dma.to_nxp")  # born after the snapshot: counts from zero
+    delta = reg.delta(before)
+    assert delta == {"migrations": 3, "dma.to_nxp": 1}
+
+
+def test_registry_delta_of_unchanged_registry_is_empty():
+    reg = StatRegistry()
+    reg.count("migrations", 5)
+    reg.sample("rt", 18.3)
+    assert reg.delta(reg.snapshot()) == {}

@@ -75,6 +75,68 @@ class TestDisasm:
         assert "call r10" in out
 
 
+class TestDisasmHostOnly:
+    def test_host_only_program_skips_missing_nisa_section(self, tmp_path):
+        """A program with no @nxp functions has no .text.nisa segment;
+        disasm must skip it cleanly (and only swallow that specific
+        missing-segment error, not arbitrary failures)."""
+        path = tmp_path / "hostonly.fc"
+        path.write_text("func main(a) { return a + 1; }")
+        code, out = run_cli(["disasm", str(path)])
+        assert code == 0
+        assert ".text.hisa (hisa):" in out
+        assert ".text.nisa" not in out
+
+
+class TestTrace:
+    def test_trace_exports_chrome_json(self, demo_file, tmp_path):
+        import json
+
+        dst = tmp_path / "demo.trace.json"
+        code, out = run_cli(["trace", demo_file, "--args", "3", "--out", str(dst)])
+        assert code == 0
+        assert str(dst) in out
+        doc = json.loads(dst.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "h2n_session" in names
+        assert doc["otherData"]["truncated"] is False
+
+    def test_trace_phases_overlay(self, demo_file, tmp_path):
+        import json
+
+        dst = tmp_path / "demo.trace.json"
+        code, _out = run_cli(
+            ["trace", demo_file, "--args", "3", "--out", str(dst), "--phases"]
+        )
+        assert code == 0
+        doc = json.loads(dst.read_text())
+        phase_names = {e["name"] for e in doc["traceEvents"] if e.get("cat") == "phase"}
+        assert {"host_out", "transfer_to_nxp", "nxp_execute"} <= phase_names
+
+    def test_trace_truncation_warns_and_fails(self, demo_file, tmp_path):
+        dst = tmp_path / "demo.trace.json"
+        code, out = run_cli(
+            ["trace", demo_file, "--args", "3", "--out", str(dst), "--limit", "5"]
+        )
+        assert code == 1
+        assert "WARNING" in out and "dropped" in out
+
+
+class TestProfile:
+    def test_profile_prints_breakdown_spans_and_stats(self, demo_file):
+        code, out = run_cli(["profile", demo_file, "--args", "3"])
+        assert code == 0
+        assert "Measured migration breakdown" in out
+        assert "h2n_session" in out  # span census
+        assert "dma.to_nxp" in out  # stats dump
+
+    def test_profile_by_pid(self, demo_file):
+        code, out = run_cli(["profile", demo_file, "--args", "3", "--by-pid"])
+        assert code == 0
+        assert "pid " in out
+        assert "Measured migration breakdown" in out
+
+
 class TestBench:
     def test_quick_bench_reports_parity(self):
         code, out = run_cli(["bench", "--quick"])
