@@ -10,6 +10,21 @@ from repro.analysis.breakdown import (
 from repro.analysis.export import config_to_dict, export_results, load_results
 from repro.analysis.energy import EnergyEstimate, PowerModel, estimate_energy
 from repro.analysis.figures import ascii_plot, crossover_point, plateau_value, render_fig5
+from repro.analysis.metrics import (
+    HistogramSummary,
+    RunReport,
+    UtilizationSummary,
+    build_run_report,
+    render_json,
+    render_openmetrics,
+    report_from_json,
+)
+from repro.analysis.regression import (
+    RegressionResult,
+    compare,
+    compare_files,
+    render_regression,
+)
 from repro.analysis.simspeed import SimSpeedResult, measure_simspeed
 from repro.analysis.sweep import parallel_map, resolve_workers
 from repro.analysis.tables import (
@@ -45,4 +60,15 @@ __all__ = [
     "resolve_workers",
     "SimSpeedResult",
     "measure_simspeed",
+    "HistogramSummary",
+    "RunReport",
+    "UtilizationSummary",
+    "build_run_report",
+    "render_json",
+    "render_openmetrics",
+    "report_from_json",
+    "RegressionResult",
+    "compare",
+    "compare_files",
+    "render_regression",
 ]

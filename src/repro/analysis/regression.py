@@ -1,0 +1,226 @@
+"""Bench regression gate: diff two BENCH_*.json documents with tolerances.
+
+The simulator's benchmark reports (``repro.analysis.simspeed``) mix two
+kinds of numbers:
+
+* **Deterministic** fields — simulated nanoseconds, instruction and DES
+  event counts, parity verdicts.  These are pure functions of the model;
+  any drift means the *simulation changed*, not that the machine was
+  slow.  They are compared **exactly**.
+
+* **Wall-clock** fields — seconds and derived rates.  These depend on
+  the machine running the bench, so absolute values are useless as a
+  gate.  The *speedup ratios* (fast/slow, batched/unbatched) are
+  however self-normalizing: both sides ran on the same machine in the
+  same process.  Speedups are gated with a generous relative lower
+  bound (an optimization that stops working shows up as a collapsed
+  ratio, while run-to-run noise does not).  Raw seconds and rates are
+  reported but never gated.
+
+``compare`` returns a :class:`RegressionResult` whose ``ok`` property
+drives the CLI exit code (``python -m repro bench --check BASELINE``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Check",
+    "RegressionResult",
+    "DEFAULT_SPEEDUP_REL_TOL",
+    "compare",
+    "compare_files",
+    "render_regression",
+]
+
+#: a current speedup may fall this fraction below baseline before failing
+#: (generous: speedups are noisy at --quick scales; an optimization that
+#: actually regressed collapses toward 1.0 and still trips this)
+DEFAULT_SPEEDUP_REL_TOL = 0.5
+
+#: per-workload fields compared exactly (simulation determinism)
+_EXACT_FIELDS = ("iterations", "sim_ns", "instructions", "events", "parity")
+
+#: per-workload fields gated as lower-bounded ratios
+_SPEEDUP_FIELDS = ("speedup",)
+
+#: wall-clock fields carried into the report but never gated
+_INFO_FIELDS = (
+    "wall_s_fast",
+    "wall_s_slow",
+    "inst_per_sec_fast",
+    "inst_per_sec_slow",
+    "events_per_sec_fast",
+    "events_per_sec_slow",
+)
+
+
+@dataclass
+class Check:
+    """One comparison: ``status`` is ``ok``, ``fail`` or ``info``."""
+
+    name: str
+    status: str
+    baseline: object = None
+    current: object = None
+    note: str = ""
+
+    def __str__(self) -> str:
+        tag = {"ok": "  ok ", "fail": "FAIL ", "info": "  -- "}[self.status]
+        detail = f" ({self.note})" if self.note else ""
+        return f"{tag}{self.name}: {self.baseline!r} -> {self.current!r}{detail}"
+
+
+@dataclass
+class RegressionResult:
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Check]:
+        return [c for c in self.checks if c.status == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def add(self, *args, **kwargs) -> None:
+        self.checks.append(Check(*args, **kwargs))
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        if isinstance(a, float) and isinstance(b, float):
+            if math.isnan(a) and math.isnan(b):
+                return True
+        return a == b
+    return a == b
+
+
+def _check_section(
+    result: RegressionResult,
+    prefix: str,
+    baseline: dict,
+    current: dict,
+    speedup_rel_tol: float,
+) -> None:
+    """Gate one record (a workload entry or the hosted_batching block)."""
+    for fld in _EXACT_FIELDS:
+        if fld not in baseline and fld not in current:
+            continue
+        name = f"{prefix}.{fld}"
+        if fld not in baseline or fld not in current:
+            result.add(name, "fail", baseline.get(fld), current.get(fld),
+                       "field missing on one side")
+            continue
+        b, c = baseline[fld], current[fld]
+        if _values_equal(b, c):
+            result.add(name, "ok", b, c)
+        else:
+            result.add(name, "fail", b, c, "deterministic field drifted")
+
+    for fld in _SPEEDUP_FIELDS:
+        if fld not in baseline or fld not in current:
+            continue
+        name = f"{prefix}.{fld}"
+        b, c = baseline[fld], current[fld]
+        floor = b * (1.0 - speedup_rel_tol)
+        if c >= floor:
+            result.add(name, "ok", b, c, f"floor {floor:.2f}x")
+        else:
+            result.add(name, "fail", b, c,
+                       f"below floor {floor:.2f}x (rel_tol {speedup_rel_tol})")
+
+    for fld in _INFO_FIELDS:
+        if fld in baseline or fld in current:
+            result.add(f"{prefix}.{fld}", "info",
+                       baseline.get(fld), current.get(fld))
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    speedup_rel_tol: float = DEFAULT_SPEEDUP_REL_TOL,
+) -> RegressionResult:
+    """Diff two simspeed bench documents; failures gate CI.
+
+    Both arguments are parsed BENCH_simspeed.json documents
+    (:func:`repro.analysis.simspeed.write_report` shape).  Workloads are
+    matched by name; a workload present in the baseline but missing from
+    the current run is a failure (coverage must not silently shrink),
+    while a *new* workload is informational.
+    """
+    result = RegressionResult()
+
+    b_kind = baseline.get("benchmark")
+    c_kind = current.get("benchmark")
+    if b_kind != c_kind:
+        result.add("benchmark", "fail", b_kind, c_kind, "different benchmark kinds")
+        return result
+    result.add("benchmark", "ok", b_kind, c_kind)
+
+    b_workloads = {w["workload"]: w for w in baseline.get("workloads", [])}
+    c_workloads = {w["workload"]: w for w in current.get("workloads", [])}
+
+    for name in sorted(b_workloads):
+        if name not in c_workloads:
+            result.add(f"workloads.{name}", "fail", "present", "missing",
+                       "workload dropped from current run")
+            continue
+        _check_section(result, f"workloads.{name}", b_workloads[name],
+                       c_workloads[name], speedup_rel_tol)
+    for name in sorted(set(c_workloads) - set(b_workloads)):
+        result.add(f"workloads.{name}", "info", "missing", "present",
+                   "new workload (not in baseline)")
+
+    b_hosted = baseline.get("hosted_batching")
+    c_hosted = current.get("hosted_batching")
+    if b_hosted and not c_hosted:
+        result.add("hosted_batching", "fail", "present", "missing",
+                   "hosted-batching section dropped")
+    elif b_hosted and c_hosted:
+        _check_section(result, "hosted_batching", b_hosted, c_hosted,
+                       speedup_rel_tol)
+    elif c_hosted:
+        result.add("hosted_batching", "info", "missing", "present")
+
+    return result
+
+
+def compare_files(
+    baseline_path: str,
+    current_path: Optional[str] = None,
+    current_doc: Optional[dict] = None,
+    speedup_rel_tol: float = DEFAULT_SPEEDUP_REL_TOL,
+) -> RegressionResult:
+    """File-level wrapper: load JSON, then :func:`compare`.
+
+    Pass either ``current_path`` or an in-memory ``current_doc`` (the
+    CLI uses the latter to gate the run it just measured).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if current_doc is None:
+        if current_path is None:
+            raise ValueError("need current_path or current_doc")
+        with open(current_path) as fh:
+            current_doc = json.load(fh)
+    return compare(baseline, current_doc, speedup_rel_tol=speedup_rel_tol)
+
+
+def render_regression(result: RegressionResult, verbose: bool = False) -> str:
+    """Human-readable gate report; failures always shown."""
+    lines = ["bench regression gate"]
+    shown: Dict[str, int] = {"ok": 0, "info": 0}
+    for check in result.checks:
+        if check.status == "fail" or verbose:
+            lines.append("  " + str(check))
+        else:
+            shown[check.status] += 1
+    if not verbose:
+        lines.append(f"  ({shown['ok']} ok, {shown['info']} informational)")
+    lines.append("PASS" if result.ok else f"FAIL ({len(result.failures)} regressions)")
+    return "\n".join(lines)

@@ -165,6 +165,15 @@ class FlickConfig:
     translation_fast_path: bool = True  # flat page-granular host translations
     engine_fast_path: bool = True      # DES zero-delay now-queue
 
+    # ---- metrics layer (docs/OBSERVABILITY.md) -----------------------------
+    # Gauges and histograms (the derived-metrics tier of StatRegistry):
+    # per-leg latency histograms, scheduler queue-depth gauges.  Pure
+    # observation — enabled/disabled is pinned bit-identical in retval,
+    # simulated ns, base stats and DES event count by
+    # tests/core/test_metrics_parity.py.  Counters and accumulators
+    # (the base tier) are always on.
+    metrics: bool = True
+
     # ---- hosted-mode op batching (docs/PERFORMANCE.md) ---------------------
     # Hosted bodies may issue runs of timed ops between yield points;
     # ``hosted_batch_ops`` lets those runs collapse into one consolidated

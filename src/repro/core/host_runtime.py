@@ -155,6 +155,7 @@ class HostThread:
         yield self.sim.timeout(cfg.host_page_fault_ns)
         task.faulting_target = target
         yield self.sim.timeout(cfg.host_handler_entry_ns)
+        session_start = self.sim.now
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=target)
         self.machine.trace.begin("h2n_session", pid=task.pid, target=target)
 
@@ -197,6 +198,9 @@ class HostThread:
         # Return migration: resume at the original call site.
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
         yield self.sim.timeout(cfg.host_handler_return_ns)
+        self.machine.stats.observe(
+            "latency.h2n_session_ns", self.sim.now - session_start
+        )
         self.machine.trace.record("h2n_call_done", pid=task.pid, target=target)
         self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval

@@ -560,6 +560,7 @@ class _HostedHostThread:
         cfg = self.cfg
         yield self.sim.timeout(cfg.host_page_fault_ns)
         yield self.sim.timeout(cfg.host_handler_entry_ns)
+        session_start = self.sim.now
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=fn.addr)
         self.machine.trace.begin("h2n_session", pid=task.pid, target=fn.addr)
         if task.nxp_stack_base is None:
@@ -588,6 +589,9 @@ class _HostedHostThread:
             inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
         yield self.sim.timeout(cfg.host_handler_return_ns)
+        self.machine.stats.observe(
+            "latency.h2n_session_ns", self.sim.now - session_start
+        )
         self.machine.trace.record("h2n_call_done", pid=task.pid, target=fn.addr)
         self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval

@@ -72,7 +72,7 @@ class FlickMachine:
         self.cfg = cfg
         self.memory_map = cfg.memory_map
         self.sim = Simulator(fast_now_queue=cfg.engine_fast_path)
-        self.stats = StatRegistry()
+        self.stats = StatRegistry(metrics_enabled=cfg.metrics)
         self.trace = MigrationTrace(self.sim)
 
         # -- physical memory ------------------------------------------------
@@ -107,7 +107,7 @@ class FlickMachine:
         self.dma.register_mmio(self.mmio)
 
         # -- OS + platforms ---------------------------------------------------------
-        self.cores = CorePool(self.sim, host_cores)
+        self.cores = CorePool(self.sim, host_cores, stats=self.stats)
         self.kernel = Kernel(self.sim, cfg, self)
         self.nxp = NxpPlatform(self)
         self.threads: List[HostThread] = []

@@ -147,7 +147,9 @@ class DMAEngine:
         self.stats.count("dma.to_nxp")
         trace = self.trace
         span = trace.open_span("dma.h2n", pid=pid, bytes=nbytes) if trace is not None else None
+        t0 = self.sim.now
         yield from self.link.burst(src_paddr, dst, nbytes)
+        self.stats.observe("latency.dma.h2n_ns", self.sim.now - t0)
         if trace is not None:
             trace.close(span)
         self.nxp_inbound.publish()
@@ -168,7 +170,9 @@ class DMAEngine:
         self.stats.count("dma.to_host")
         trace = self.trace
         span = trace.open_span("dma.n2h", pid=pid, bytes=nbytes) if trace is not None else None
+        t0 = self.sim.now
         yield from self.link.burst(src_paddr, dst, nbytes)
+        self.stats.observe("latency.dma.n2h_ns", self.sim.now - t0)
         if trace is not None:
             trace.close(span)
         self.host_inbound.publish()

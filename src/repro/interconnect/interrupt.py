@@ -65,8 +65,11 @@ class InterruptController:
             # Deliveries of distinct vectors may overlap: handle API.
             span = trace.open_span("irq_deliver", vector=vector)
 
+        raised_at = self.sim.now
+
         def delivery(sim: Simulator):
             yield sim.timeout(self.cfg.host_irq_delivery_ns)
+            self.stats.observe("latency.irq_deliver_ns", sim.now - raised_at)
             if trace is not None:
                 trace.close(span)
             result = handler(payload)

@@ -57,14 +57,27 @@ class CoreResource:
 
 
 class CorePool:
-    """A set of host cores; tasks grab the first free one (FIFO overall)."""
+    """A set of host cores; tasks grab the first free one (FIFO overall).
 
-    def __init__(self, sim: Simulator, count: int):
+    When a :class:`~repro.sim.stats.StatRegistry` is attached, the pool
+    keeps the scheduler queue-depth metrics current (gauge
+    ``sched.run_queue_depth``, histogram ``sched.queue_depth_at_enqueue``,
+    histogram ``sched.core_wait_ns``) — pure observation, never a
+    simulated-time charge.
+    """
+
+    def __init__(self, sim: Simulator, count: int, stats=None):
         if count < 1:
             raise ValueError("need at least one core")
         self.sim = sim
         self.cores = [CoreResource(sim, f"core{i}") for i in range(count)]
         self._waiters: List[Event] = []
+        self._stats = stats
+        self._note_queue_depth()  # register the gauge (depth 0) up front
+
+    def _note_queue_depth(self) -> None:
+        if self._stats is not None:
+            self._stats.set_gauge("sched.run_queue_depth", len(self._waiters))
 
     def acquire(self, who: str = "?") -> Generator:
         """Acquire any free core; returns the CoreResource held.
@@ -77,10 +90,15 @@ class CorePool:
         race (starvation under contention).
         """
         queued = False
+        enqueued_at = 0.0
         while True:
             for core in self.cores:
                 if not core.busy:
                     yield from core.acquire(who)
+                    if queued and self._stats is not None:
+                        self._stats.observe(
+                            "sched.core_wait_ns", self.sim.now - enqueued_at
+                        )
                     return core
             ev = Event(self.sim, name=f"cores.wait[{who}]")
             if queued:
@@ -88,12 +106,19 @@ class CorePool:
             else:
                 self._waiters.append(ev)
                 queued = True
+                enqueued_at = self.sim.now
+                if self._stats is not None:
+                    self._stats.observe(
+                        "sched.queue_depth_at_enqueue", len(self._waiters)
+                    )
+            self._note_queue_depth()
             yield ev
 
     def release(self, core: CoreResource) -> None:
         core.release()
         if self._waiters:
             self._waiters.pop(0).trigger()
+            self._note_queue_depth()
 
     @property
     def busy_ns(self) -> float:

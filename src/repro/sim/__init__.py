@@ -9,7 +9,16 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
-from repro.sim.stats import Accumulator, Counter, StatRegistry, mean, percentile
+from repro.sim.stats import (
+    Accumulator,
+    Counter,
+    Gauge,
+    Histogram,
+    StatRegistry,
+    mean,
+    percentile,
+    quantile,
+)
 
 __all__ = [
     "Simulator",
@@ -20,8 +29,11 @@ __all__ = [
     "SimulationError",
     "Deadlock",
     "Counter",
+    "Gauge",
     "Accumulator",
+    "Histogram",
     "StatRegistry",
     "mean",
     "percentile",
+    "quantile",
 ]

@@ -7,7 +7,9 @@ Usage (also via ``python -m repro``):
     python -m repro disasm program.fc
     python -m repro trace program.fc --out program.trace.json
     python -m repro profile program.fc --args 10
+    python -m repro metrics program.fc --format openmetrics
     python -m repro bench --quick
+    python -m repro bench --quick --check benchmarks/baseline_simspeed.json
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
@@ -19,12 +21,17 @@ or Perfetto); ``--phases`` overlays the measured per-migration phase
 decomposition, ``--detail`` adds per-TLP PCIe events.  ``profile`` runs
 the program and prints the observability summary: the measured
 migration breakdown (per pid with ``--by-pid``), the span census, and
-the statistics the run changed (see docs/OBSERVABILITY.md).  ``bench``
-measures simulator throughput with the fast paths on vs off
+the statistics the run changed (see docs/OBSERVABILITY.md).  ``metrics``
+runs the program and emits the derived metrics — latency histograms,
+per-device utilization, counters — as OpenMetrics/Prometheus text or a
+JSON ``RunReport`` (``--format``, ``--by-pid`` for per-pid series).
+``bench`` measures simulator throughput with the fast paths on vs off
 (docs/PERFORMANCE.md); ``--quick`` shrinks the workloads to a
-sub-30-second smoke, and ``--hosted`` adds the hosted-mode op-batching
+sub-30-second smoke, ``--hosted`` adds the hosted-mode op-batching
 measurement (batched vs unbatched pointer chase, asserting bit-identical
-parity via the exit code).
+parity via the exit code), ``--save`` writes the report as a baseline
+JSON, and ``--check BASELINE`` gates the run against a saved baseline
+(exit 1 on regression — the CI perf job).
 """
 
 from __future__ import annotations
@@ -102,6 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--by-pid", action="store_true", help="one breakdown table per migrating task"
     )
 
+    metrics_p = sub.add_parser(
+        "metrics", help="run and emit derived metrics (OpenMetrics or JSON)"
+    )
+    metrics_p.add_argument("file")
+    metrics_p.add_argument("--args", nargs="*", type=int, default=[])
+    metrics_p.add_argument("--entry", default="main")
+    metrics_p.add_argument("--optimize", action="store_true")
+    metrics_p.add_argument(
+        "--format",
+        choices=("openmetrics", "json"),
+        default="openmetrics",
+        help="output format (default: openmetrics)",
+    )
+    metrics_p.add_argument(
+        "--by-pid",
+        action="store_true",
+        help="include per-pid latency histogram series",
+    )
+    metrics_p.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+
     bench_p = sub.add_parser(
         "bench", help="measure simulator throughput, fast paths on vs off"
     )
@@ -114,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--hosted",
         action="store_true",
         help="also measure hosted-mode op batching (on vs off, exact parity)",
+    )
+    bench_p.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="write this run's report as a baseline JSON",
+    )
+    bench_p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="gate this run against a saved baseline (exit 1 on regression)",
     )
 
     return parser
@@ -254,7 +295,30 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _cmd_metrics(args, out) -> int:
+    from repro.analysis.metrics import (
+        build_run_report,
+        render_json,
+        render_openmetrics,
+    )
+
+    machine, _outcome = _run_machine(args)
+    report = build_run_report(machine, allow_truncated=True)
+    if not args.by_pid:
+        report.by_pid = {}
+    text = render_json(report) if args.format == "json" else render_openmetrics(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} report -> {args.out}", file=out)
+    else:
+        out.write(text)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
+    from dataclasses import asdict
+
     from repro.analysis.simspeed import (
         measure_all,
         measure_hosted_batching,
@@ -268,6 +332,7 @@ def _cmd_bench(args, out) -> int:
         results = measure_all(repeats=3)
     print(render(results), file=out)
     ok = all(r.parity for r in results)
+    hosted = None
     if args.hosted:
         if args.quick:
             hosted = measure_hosted_batching(accesses=30_000, repeats=1)
@@ -275,6 +340,26 @@ def _cmd_bench(args, out) -> int:
             hosted = measure_hosted_batching()
         print(render_hosted(hosted), file=out)
         ok = ok and hosted.parity
+
+    if args.save or args.check:
+        doc = {
+            "benchmark": "simspeed",
+            "workloads": [asdict(r) for r in results],
+        }
+        if hosted is not None:
+            doc["hosted_batching"] = asdict(hosted)
+        if args.save:
+            import json
+
+            with open(args.save, "w") as handle:
+                json.dump(doc, handle, indent=2)
+            print(f"baseline saved -> {args.save}", file=out)
+        if args.check:
+            from repro.analysis.regression import compare_files, render_regression
+
+            gate = compare_files(args.check, current_doc=doc)
+            print(render_regression(gate), file=out)
+            ok = ok and gate.ok
     return 0 if ok else 1
 
 
@@ -287,6 +372,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "disasm": _cmd_disasm,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "metrics": _cmd_metrics,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)

@@ -1,0 +1,255 @@
+"""RunReport derivation, reconciliation with breakdown, and exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.breakdown import measure_breakdown
+from repro.analysis.metrics import (
+    HistogramSummary,
+    _merge,
+    _subtract,
+    _timeline,
+    build_run_report,
+    device_utilization,
+    render_json,
+    render_openmetrics,
+    report_from_json,
+    session_latency_histograms,
+    _escape_label,
+    _metric_name,
+)
+from repro.core.machine import FlickMachine
+
+NULL_CALL = """
+@nxp func f() { return 0; }
+func main(n) {
+    var i = 0;
+    while (i < n) { f(); i = i + 1; }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def run():
+    machine = FlickMachine()
+    outcome = machine.run_program(NULL_CALL, args=[5])
+    return machine, outcome
+
+
+@pytest.fixture(scope="module")
+def report(run):
+    machine, _outcome = run
+    return build_run_report(machine)
+
+
+class TestIntervalMath:
+    def test_merge_overlapping(self):
+        assert _merge([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_drops_empty(self):
+        assert _merge([(2, 2), (3, 1)]) == []
+
+    def test_subtract_carves_holes(self):
+        assert _subtract([(0, 10)], [(2, 4), (6, 8)]) == [(0, 2), (4, 6), (8, 10)]
+
+    def test_subtract_total_removal(self):
+        assert _subtract([(2, 4)], [(0, 10)]) == []
+
+    def test_timeline_fractions(self):
+        # busy [0,5) of a 10ns run split in 2 slices: [1.0, 0.0]
+        assert _timeline([(0, 5)], 10, 2) == [1.0, 0.0]
+        assert _timeline([], 10, 2) == [0.0, 0.0]
+        assert _timeline([(0, 5)], 0, 2) == []
+
+
+class TestLatencyHistograms:
+    def test_session_count_matches_migrations(self, run):
+        machine, outcome = run
+        overall, by_pid = session_latency_histograms(machine.trace)
+        assert overall["h2n_session_ns"].count == outcome.migrations == 5
+        # single task: the per-pid histogram carries the same sessions
+        (pid,) = by_pid.keys()
+        assert by_pid[pid]["h2n_session_ns"].count == 5
+
+    def test_all_legs_present(self, run):
+        machine, _ = run
+        overall, _ = session_latency_histograms(machine.trace)
+        assert {"h2n_session_ns", "dma_h2n_ns", "dma_n2h_ns", "irq_deliver_ns"} <= set(
+            overall
+        )
+        assert overall["dma_h2n_ns"].count == 5
+        assert overall["dma_n2h_ns"].count == 5
+        assert overall["irq_deliver_ns"].count == 5
+
+    def test_session_sum_reconciles_with_breakdown(self, run):
+        # The breakdown's phases tile each session exactly, so
+        # mean-session-total x sessions == histogram sum of end-to-end
+        # session durations (single-task trace; acceptance criterion).
+        machine, _ = run
+        overall, _ = session_latency_histograms(machine.trace)
+        breakdown = measure_breakdown(machine.trace)
+        assert overall["h2n_session_ns"].sum == pytest.approx(
+            breakdown.total_ns * breakdown.sessions
+        )
+        assert sum(breakdown.phases.values()) == pytest.approx(breakdown.total_ns)
+
+    def test_leg_sums_nest_inside_the_session(self, run):
+        machine, _ = run
+        overall, _ = session_latency_histograms(machine.trace)
+        session = overall["h2n_session_ns"].sum
+        legs = (
+            overall["dma_h2n_ns"].sum
+            + overall["dma_n2h_ns"].sum
+            + overall["irq_deliver_ns"].sum
+        )
+        assert 0 < legs < session
+
+
+class TestUtilization:
+    def test_fractions_in_unit_interval(self, run):
+        machine, _ = run
+        util = device_utilization(machine.trace, machine.sim.now)
+        assert set(util) == {"host_core", "nxp", "dma"}
+        for summary in util.values():
+            assert 0.0 <= summary.fraction <= 1.0
+            assert summary.busy_ns <= summary.total_ns
+            assert len(summary.timeline) == 20
+            assert all(0.0 <= f <= 1.0 + 1e-9 for f in summary.timeline)
+
+    def test_devices_actually_used(self, run):
+        machine, _ = run
+        util = device_utilization(machine.trace, machine.sim.now)
+        # 5 migrations: every device saw traffic
+        assert util["nxp"].fraction > 0
+        assert util["dma"].fraction > 0
+        assert util["host_core"].fraction > 0
+
+    def test_nxp_busy_matches_resident_spans(self, run):
+        machine, _ = run
+        util = device_utilization(machine.trace, machine.sim.now)
+        resident = sum(
+            s.duration for s in machine.trace.finished_spans("nxp_resident")
+        )
+        # single task: residencies never overlap, union == sum
+        assert util["nxp"].busy_ns == pytest.approx(resident)
+
+
+class TestRunReport:
+    def test_report_shape(self, report, run):
+        _machine, outcome = run
+        assert report.sim_ns == pytest.approx(outcome.sim_time_ns)
+        assert report.sessions == 5
+        assert not report.truncated
+        assert "h2n_session_ns" in report.histograms
+        assert report.histograms["h2n_session_ns"].count == 5
+        assert report.stats["dma.to_nxp"] == 5
+
+    def test_json_round_trip(self, report):
+        doc = render_json(report)
+        back = report_from_json(doc)
+        assert back.sim_ns == report.sim_ns
+        assert back.sessions == report.sessions
+        assert back.stats == report.stats
+        assert back.phases == report.phases
+        assert back.truncated == report.truncated
+        assert set(back.histograms) == set(report.histograms)
+        for name in report.histograms:
+            a, b = back.histograms[name], report.histograms[name]
+            assert (a.count, a.sum, a.min, a.max, a.buckets) == (
+                b.count,
+                b.sum,
+                b.min,
+                b.max,
+                b.buckets,
+            )
+        assert set(back.by_pid) == set(report.by_pid)
+        for device in report.utilization:
+            assert back.utilization[device].to_dict() == report.utilization[
+                device
+            ].to_dict()
+
+    def test_json_is_valid_json_with_schema(self, report):
+        doc = json.loads(render_json(report))
+        assert doc["schema"] == "flick.run_report.v1"
+
+    def test_from_json_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            report_from_json({"schema": "something.else"})
+
+
+class TestOpenMetricsFormat:
+    @pytest.fixture(scope="class")
+    def text(self, report):
+        return render_openmetrics(report)
+
+    def test_ends_with_eof(self, text):
+        assert text.endswith("# EOF\n")
+
+    def test_counter_family(self, text):
+        assert "# TYPE flick_dma_to_nxp counter" in text
+        assert "flick_dma_to_nxp_total 5" in text
+
+    def test_histogram_family_suffixes(self, text):
+        assert "# TYPE flick_latency_h2n_session_ns histogram" in text
+        assert 'flick_latency_h2n_session_ns_bucket{le="+Inf"} 5' in text
+        assert "flick_latency_h2n_session_ns_sum " in text
+        assert "flick_latency_h2n_session_ns_count 5" in text
+
+    def test_histogram_buckets_cumulative(self, text):
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("flick_latency_h2n_session_ns_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_summary_family(self, text):
+        # registry accumulators (e.g. nxp.busy_ns) render as summaries
+        assert "# TYPE flick_nxp_busy_ns summary" in text
+        assert 'flick_nxp_busy_ns{quantile="0.5"}' in text
+        assert "flick_nxp_busy_ns_sum " in text
+        assert "flick_nxp_busy_ns_count 5" in text
+
+    def test_gauge_families(self, text):
+        assert "# TYPE flick_sched_run_queue_depth gauge" in text
+        assert "# TYPE flick_device_utilization gauge" in text
+        assert 'flick_device_utilization{device="nxp"}' in text
+        assert 'flick_phase_mean_ns{phase="nxp_execute"}' in text
+
+    def test_no_per_pid_series_by_default(self, run):
+        machine, _ = run
+        report = build_run_report(machine)
+        report.by_pid = {}
+        assert "pid=" not in render_openmetrics(report)
+
+    def test_per_pid_series_carry_pid_label(self, report):
+        text = render_openmetrics(report)
+        assert 'flick_latency_h2n_session_ns_bucket{pid="' in text
+        # the TYPE line is emitted once per family, not once per series
+        assert text.count("# TYPE flick_latency_h2n_session_ns histogram") == 1
+
+    def test_label_escaping(self):
+        assert _escape_label('a"b') == 'a\\"b'
+        assert _escape_label("a\\b") == "a\\\\b"
+        assert _escape_label("a\nb") == "a\\nb"
+
+    def test_metric_name_sanitization(self):
+        assert _metric_name("dma.to_nxp") == "flick_dma_to_nxp"
+        assert _metric_name("irq.0x42") == "flick_irq_0x42"
+        assert _metric_name("9lives") == "flick__9lives"
+
+
+class TestHistogramSummary:
+    def test_empty_histogram_round_trips_via_null(self):
+        from repro.sim.stats import Histogram
+
+        summary = HistogramSummary.of(Histogram("idle"))
+        back = HistogramSummary.from_dict(summary.to_dict())
+        assert back.count == 0
+        assert back.buckets == []
+        # nan -> null -> nan
+        import math
+
+        assert math.isnan(back.min) and math.isnan(back.max)

@@ -1,0 +1,165 @@
+"""Bench regression gate: tolerances, failure modes, CI exit semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.regression import (
+    DEFAULT_SPEEDUP_REL_TOL,
+    compare,
+    compare_files,
+    render_regression,
+)
+
+
+def _doc(**overrides):
+    workload = {
+        "workload": "null_call_loop",
+        "iterations": 100,
+        "wall_s_fast": 0.05,
+        "wall_s_slow": 0.10,
+        "speedup": 2.0,
+        "instructions": 12345,
+        "inst_per_sec_fast": 1e6,
+        "inst_per_sec_slow": 5e5,
+        "events": 6789,
+        "events_per_sec_fast": 2e6,
+        "events_per_sec_slow": 1e6,
+        "sim_ns": 1122334.5,
+        "parity": True,
+    }
+    workload.update(overrides)
+    return {"benchmark": "simspeed", "workloads": [workload]}
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        base = _doc()
+        assert compare(base, json.loads(json.dumps(base))).ok
+
+    def test_deterministic_drift_fails(self):
+        for field, value in (
+            ("sim_ns", 1122335.5),
+            ("instructions", 12346),
+            ("events", 6790),
+            ("iterations", 101),
+            ("parity", False),
+        ):
+            result = compare(_doc(), _doc(**{field: value}))
+            assert not result.ok, field
+            assert any(field in c.name for c in result.failures)
+
+    def test_wall_clock_drift_is_informational(self):
+        # machine-dependent numbers never gate
+        result = compare(_doc(), _doc(wall_s_fast=9.9, inst_per_sec_fast=1.0))
+        assert result.ok
+
+    def test_speedup_within_tolerance_passes(self):
+        floor = 2.0 * (1 - DEFAULT_SPEEDUP_REL_TOL)
+        assert compare(_doc(), _doc(speedup=floor + 0.01)).ok
+
+    def test_collapsed_speedup_fails(self):
+        result = compare(_doc(), _doc(speedup=0.9))
+        assert not result.ok
+        (failure,) = result.failures
+        assert "speedup" in failure.name
+
+    def test_custom_tolerance(self):
+        assert not compare(_doc(), _doc(speedup=1.9), speedup_rel_tol=0.01).ok
+        assert compare(_doc(), _doc(speedup=1.9), speedup_rel_tol=0.1).ok
+
+    def test_dropped_workload_fails(self):
+        current = _doc()
+        current["workloads"] = []
+        result = compare(_doc(), current)
+        assert not result.ok
+        assert "dropped" in result.failures[0].note
+
+    def test_new_workload_is_informational(self):
+        current = _doc()
+        current["workloads"].append(dict(current["workloads"][0], workload="extra"))
+        assert compare(_doc(), current).ok
+
+    def test_benchmark_kind_mismatch_fails_fast(self):
+        other = _doc()
+        other["benchmark"] = "other"
+        result = compare(_doc(), other)
+        assert not result.ok
+        assert result.checks[0].status == "fail"
+
+    def test_hosted_section_gated_when_present(self):
+        base, current = _doc(), _doc()
+        hosted = {
+            "workload": "hosted_pointer_chase",
+            "accesses": 30000,
+            "calls": 1,
+            "wall_s_batched": 0.02,
+            "wall_s_unbatched": 0.08,
+            "speedup": 4.0,
+            "sim_ns": 555.0,
+            "parity": True,
+        }
+        base["hosted_batching"] = dict(hosted)
+        current["hosted_batching"] = dict(hosted, sim_ns=556.0)
+        result = compare(base, current)
+        assert not result.ok
+        assert any("hosted_batching.sim_ns" in c.name for c in result.failures)
+
+    def test_dropped_hosted_section_fails(self):
+        base = _doc()
+        base["hosted_batching"] = {"workload": "x", "sim_ns": 1.0, "parity": True}
+        result = compare(base, _doc())
+        assert not result.ok
+
+
+class TestCompareFiles:
+    def test_round_trip_via_files(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(_doc()))
+        assert compare_files(str(base_path), current_doc=_doc()).ok
+
+        cur_path = tmp_path / "cur.json"
+        cur_path.write_text(json.dumps(_doc(sim_ns=999.0)))
+        assert not compare_files(str(base_path), str(cur_path)).ok
+
+    def test_requires_a_current_side(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(_doc()))
+        with pytest.raises(ValueError):
+            compare_files(str(base_path))
+
+
+class TestRender:
+    def test_pass_report(self):
+        text = render_regression(compare(_doc(), _doc()))
+        assert text.endswith("PASS")
+        assert "FAIL" not in text.splitlines()[-1]
+
+    def test_fail_report_shows_each_regression(self):
+        text = render_regression(compare(_doc(), _doc(sim_ns=1.0, speedup=0.5)))
+        assert "FAIL (2 regressions)" in text
+        assert "sim_ns" in text and "speedup" in text
+
+    def test_verbose_lists_everything(self):
+        result = compare(_doc(), _doc())
+        assert len(render_regression(result, verbose=True).splitlines()) > len(
+            render_regression(result).splitlines()
+        )
+
+
+class TestCommittedBaseline:
+    def test_gate_passes_on_itself(self):
+        # The committed baseline must be self-consistent (acceptance:
+        # the CI perf job checks a fresh run against this file; here we
+        # pin the degenerate identity case plus a deliberate violation).
+        with open("benchmarks/baseline_simspeed.json") as fh:
+            base = json.load(fh)
+        assert compare(base, json.loads(json.dumps(base))).ok
+
+    def test_gate_rejects_doctored_baseline(self):
+        with open("benchmarks/baseline_simspeed.json") as fh:
+            base = json.load(fh)
+        doctored = json.loads(json.dumps(base))
+        doctored["workloads"][0]["sim_ns"] += 1.0
+        result = compare(base, doctored)
+        assert not result.ok

@@ -1,0 +1,127 @@
+"""Timing-invariance contract of the metrics layer.
+
+Metrics *observe* simulated time, they never charge it: with the metrics
+tier (gauges + histograms, ``FlickConfig.metrics``) enabled or disabled,
+a workload must produce the same return value, the same simulated
+nanoseconds, the same number of processed DES events, and a
+bit-identical **base** stat snapshot (counters + accumulators — the tier
+present in both runs), in the style of ``test_trace_parity.py``.
+Interpreted and hosted modes both host emit points, so both are pinned.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.core.machine import FlickMachine
+
+NULL_CALL = """
+@nxp func f() { return 0; }
+func main(n) {
+    var i = 0;
+    while (i < n) { f(); i = i + 1; }
+    return 0;
+}
+"""
+
+DOUBLY_NESTED = """
+@nxp func inner(x) { return x * 10; }
+func host_mid(x) { return inner(x) + 1; }
+@nxp func dev(x) { return host_mid(x) + 100; }
+func main() { return dev(2); }
+"""
+
+
+def _config(metrics):
+    return replace(DEFAULT_CONFIG, metrics=metrics)
+
+
+def _run_interpreted(source, args, metrics):
+    machine = FlickMachine(_config(metrics))
+    outcome = machine.run_program(source, args=args)
+    return {
+        "retval": outcome.retval,
+        "sim_ns": outcome.sim_time_ns,
+        "base_stats": machine.stats.base_snapshot(),
+        "events": machine.sim.events_processed,
+    }
+
+
+def _nested_hosted_program():
+    prog = HostedProgram()
+
+    @prog.host()
+    def host_mid(ctx, x):
+        result = yield from ctx.call("inner", x)
+        return result + 1
+
+    @prog.nxp()
+    def inner(ctx, x):
+        return x * 10
+        yield
+
+    @prog.nxp()
+    def dev(ctx, x):
+        result = yield from ctx.call("host_mid", x)
+        return result + 100
+
+    @prog.host()
+    def main(ctx, n):
+        total = 0
+        for _ in range(n):
+            total = yield from ctx.call("dev", 2)
+        return total
+
+    return prog
+
+
+def _run_hosted(metrics):
+    hosted = HostedMachine(_nested_hosted_program(), cfg=_config(metrics))
+    out = hosted.run("main", [3])
+    return {
+        "retval": out.retval,
+        "sim_ns": out.sim_time_ns,
+        "base_stats": hosted.machine.stats.base_snapshot(),
+        "events": hosted.sim.events_processed,
+    }
+
+
+class TestInterpretedParity:
+    def test_null_call_loop(self):
+        assert _run_interpreted(NULL_CALL, [10], False) == _run_interpreted(
+            NULL_CALL, [10], True
+        )
+
+    def test_nested_migrations(self):
+        assert _run_interpreted(DOUBLY_NESTED, [], False) == _run_interpreted(
+            DOUBLY_NESTED, [], True
+        )
+
+
+class TestHostedParity:
+    def test_nested_hosted_run(self):
+        assert _run_hosted(False) == _run_hosted(True)
+
+
+class TestTierSeparation:
+    def test_metrics_off_run_has_no_metrics_tier(self):
+        machine = FlickMachine(_config(False))
+        machine.run_program(NULL_CALL, args=[3])
+        assert machine.stats.histograms == {}
+        assert machine.stats.gauges == {}
+        # the flat snapshot of a metrics-off run IS the base tier
+        assert machine.stats.snapshot() == machine.stats.base_snapshot()
+
+    def test_metrics_on_run_carries_the_latency_histograms(self):
+        machine = FlickMachine(_config(True))
+        outcome = machine.run_program(NULL_CALL, args=[3])
+        snap = machine.stats.snapshot()
+        assert snap["latency.h2n_session_ns.count"] == outcome.migrations
+        assert "latency.dma.h2n_ns.count" in snap
+        assert "latency.irq_deliver_ns.count" in snap
+        assert "sched.run_queue_depth" in snap
+
+    def test_metrics_default_on(self):
+        assert DEFAULT_CONFIG.metrics is True

@@ -1,0 +1,174 @@
+"""Property tests: Histogram invariants and quantile estimators vs oracles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import Histogram, percentile, quantile
+
+# simulated-ns-like magnitudes: integers spanning many log2 buckets
+ns_values = st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200)
+float_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+pcts = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestBucketScheme:
+    def test_bucket_exponent_boundaries(self):
+        # bucket 0 covers [0, 1]; bucket k covers (2^(k-1), 2^k]
+        assert Histogram.bucket_exponent(0) == 0
+        assert Histogram.bucket_exponent(1) == 0
+        assert Histogram.bucket_exponent(1.5) == 1
+        assert Histogram.bucket_exponent(2) == 1
+        assert Histogram.bucket_exponent(3) == 2
+        assert Histogram.bucket_exponent(4) == 2
+        assert Histogram.bucket_exponent(5) == 3
+        assert Histogram.bucket_exponent(1024) == 10
+        assert Histogram.bucket_exponent(1025) == 11
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_value_falls_inside_its_bucket(self, v):
+        k = Histogram.bucket_exponent(v)
+        hi = 2**k
+        lo = 0 if k == 0 else 2 ** (k - 1)
+        if k == 0:
+            assert 0 <= v <= hi
+        else:
+            assert lo < v <= hi
+
+
+class TestHistogramProperties:
+    @given(ns_values)
+    @settings(max_examples=200)
+    def test_exact_aggregates_match_oracle(self, values):
+        h = Histogram("t")
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(sum(values))
+        assert h.min == min(values)
+        assert h.max == max(values)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+
+    @given(ns_values)
+    def test_buckets_cumulative_and_complete(self, values):
+        h = Histogram("t")
+        for v in values:
+            h.observe(v)
+        buckets = h.buckets()
+        les = [le for le, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert les == sorted(les)
+        assert counts == sorted(counts)  # cumulative: non-decreasing
+        assert counts[-1] == h.count  # every sample landed in some bucket
+
+    @given(ns_values, pcts)
+    @settings(max_examples=200)
+    def test_quantile_estimate_within_observed_range(self, values, pct):
+        h = Histogram("t")
+        for v in values:
+            h.observe(v)
+        q = h.quantile(pct)
+        assert h.min <= q <= h.max
+
+    @given(ns_values, pcts)
+    def test_quantile_within_one_bucket_of_true_quantile(self, values, pct):
+        # The estimate may be off inside a bucket but must land in (or at
+        # the edge of) the bucket holding the true nearest-rank quantile.
+        h = Histogram("t")
+        for v in values:
+            h.observe(v)
+        true = percentile(values, pct)
+        est = h.quantile(pct)
+        k = Histogram.bucket_exponent(true)
+        lo = 0.0 if k == 0 else float(2 ** (k - 1))
+        hi = float(2**k)
+        # clamping to [min, max] can only tighten toward the true value
+        assert min(lo, h.min) <= est <= max(hi, h.min)
+
+    def test_empty_histogram_is_nan_not_raise(self):
+        h = Histogram("idle")
+        assert h.count == 0
+        assert math.isnan(h.min)
+        assert math.isnan(h.max)
+        assert math.isnan(h.mean)
+        assert math.isnan(h.quantile(50))
+        assert h.buckets() == []
+
+    def test_negative_observations_clamp_to_zero(self):
+        h = Histogram("t")
+        h.observe(-5.0)
+        assert h.count == 1
+        assert h.min == 0.0
+        assert h.sum == 0.0
+
+    @given(ns_values, ns_values)
+    def test_merge_equals_feeding_both(self, a_vals, b_vals):
+        merged = Histogram("m")
+        for v in a_vals:
+            merged.observe(v)
+        other = Histogram("o")
+        for v in b_vals:
+            other.observe(v)
+        merged.merge(other)
+
+        oracle = Histogram("all")
+        for v in a_vals + b_vals:
+            oracle.observe(v)
+        assert merged.count == oracle.count
+        assert merged.sum == pytest.approx(oracle.sum)
+        assert merged.min == oracle.min
+        assert merged.max == oracle.max
+        assert merged.buckets() == oracle.buckets()
+
+
+class TestQuantileOracles:
+    """The interpolated and nearest-rank estimators vs sorted-list oracles."""
+
+    @given(float_values, pcts)
+    @settings(max_examples=200)
+    def test_linear_quantile_matches_manual_oracle(self, values, pct):
+        s = sorted(values)
+        rank = (len(s) - 1) * pct / 100.0
+        lo, hi = math.floor(rank), math.ceil(rank)
+        expected = s[lo] if lo == hi else s[lo] + (rank - lo) * (s[hi] - s[lo])
+        assert quantile(values, pct, method="linear") == pytest.approx(expected)
+
+    @given(float_values, pcts)
+    def test_nearest_quantile_is_a_real_sample(self, values, pct):
+        assert quantile(values, pct, method="nearest") in values
+
+    @given(float_values)
+    def test_methods_agree_at_extremes(self, values):
+        for pct, expected in ((0, min(values)), (100, max(values))):
+            assert quantile(values, pct, method="linear") == expected
+            assert quantile(values, pct, method="nearest") == expected
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False), pcts)
+    def test_single_sample_both_methods(self, v, pct):
+        assert quantile([v], pct, method="linear") == v
+        assert quantile([v], pct, method="nearest") == v
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        st.integers(min_value=1, max_value=50),
+        pcts,
+    )
+    def test_ties_collapse_to_the_tied_value(self, v, n, pct):
+        values = [v] * n
+        assert quantile(values, pct, method="linear") == v
+        assert quantile(values, pct, method="nearest") == v
+
+    @given(float_values, pcts)
+    def test_linear_is_monotone_in_pct(self, values, pct):
+        if pct <= 99.0:
+            assert quantile(values, pct) <= quantile(values, pct + 1.0) + 1e-6
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 50, method="midpoint")

@@ -155,6 +155,99 @@ class TestBench:
         assert "False" not in out
 
 
+class TestMetrics:
+    def test_openmetrics_output(self, demo_file):
+        code, out = run_cli(["metrics", demo_file, "--args", "3"])
+        assert code == 0
+        assert out.rstrip().endswith("# EOF")
+        assert "# TYPE flick_latency_h2n_session_ns histogram" in out
+        assert 'flick_latency_h2n_session_ns_bucket{le="+Inf"} 2' in out
+        assert 'flick_device_utilization{device="nxp"}' in out
+        assert "pid=" not in out  # per-pid series are opt-in
+
+    def test_openmetrics_by_pid(self, demo_file):
+        code, out = run_cli(["metrics", demo_file, "--args", "3", "--by-pid"])
+        assert code == 0
+        assert 'flick_latency_h2n_session_ns_bucket{pid="' in out
+
+    def test_json_output_round_trips(self, demo_file):
+        import json
+
+        from repro.analysis.metrics import report_from_json
+
+        code, out = run_cli(["metrics", demo_file, "--args", "3", "--format", "json"])
+        assert code == 0
+        report = report_from_json(json.loads(out))
+        assert report.sessions == 2
+        assert report.histograms["h2n_session_ns"].count == 2
+        assert 0.0 <= report.utilization["nxp"].fraction <= 1.0
+
+    def test_out_file(self, demo_file, tmp_path):
+        dst = tmp_path / "metrics.json"
+        code, out = run_cli(
+            ["metrics", demo_file, "--args", "3", "--format", "json", "--out", str(dst)]
+        )
+        assert code == 0
+        assert str(dst) in out
+        assert dst.read_text().startswith("{")
+
+
+class TestBenchGate:
+    """--save/--check without paying for a real measurement."""
+
+    @pytest.fixture
+    def fake_measure(self, monkeypatch):
+        from repro.analysis.simspeed import SimSpeedResult
+
+        result = SimSpeedResult(
+            workload="null_call_loop",
+            iterations=50,
+            wall_s_fast=0.01,
+            wall_s_slow=0.02,
+            speedup=2.0,
+            instructions=1000,
+            inst_per_sec_fast=1e5,
+            inst_per_sec_slow=5e4,
+            events=2000,
+            events_per_sec_fast=2e5,
+            events_per_sec_slow=1e5,
+            sim_ns=123456.0,
+            parity=True,
+        )
+        calls = {"n": 0}
+
+        def fake_all(repeats=2, scale=1.0):
+            calls["n"] += 1
+            return [result]
+
+        import repro.analysis.simspeed as simspeed
+
+        monkeypatch.setattr(simspeed, "measure_all", fake_all)
+        return result
+
+    def test_save_then_check_passes(self, fake_measure, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, out = run_cli(["bench", "--quick", "--save", str(baseline)])
+        assert code == 0
+        assert baseline.exists()
+        code, out = run_cli(["bench", "--quick", "--check", str(baseline)])
+        assert code == 0
+        assert "PASS" in out
+
+    def test_check_fails_on_deterministic_drift(self, fake_measure, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        run_cli(["bench", "--quick", "--save", str(baseline)])
+        doc = json.loads(baseline.read_text())
+        doc["workloads"][0]["sim_ns"] += 1.0  # deliberate violation
+        baseline.write_text(json.dumps(doc))
+        code, out = run_cli(["bench", "--quick", "--check", str(baseline)])
+        assert code == 1
+        assert "FAIL" in out
+        assert "sim_ns" in out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
