@@ -1,0 +1,299 @@
+"""Chaos harness: run workloads under seeded fault plans and classify.
+
+This is the driver behind ``python -m repro chaos`` and the chaos-matrix
+tests.  Each case arms one :class:`~repro.sim.faults.FaultPlan` on a
+fresh machine, runs a fixed workload with a **simulated-time bound**,
+and classifies the terminal state against a golden faults-off run:
+
+============  =====================================================
+``survived``  Correct return value, no degraded (host-fallback)
+              calls — the hardened protocol absorbed every fault.
+``degraded``  Correct return value, but at least one NISA call ran
+              on the host-fallback interpreter (NxP declared dead).
+``crashed``   The workload raised a typed :class:`ProcessCrash`
+              (e.g. the NxP died mid-migration-session).
+``hung``      The workload neither finished nor crashed within the
+              sim-time bound.  Always a bug: the watchdog/retry/
+              fallback ladder must produce one of the above.
+``mismatch``  Finished, but with the wrong return value.  Always a
+              bug: corruption must never survive the checksum.
+============  =====================================================
+
+Both execution modes are exercised: ``null_call`` is an interpreted
+FlickC migration loop; ``pointer_chase`` is a hosted-mode traversal of
+a linked list in NxP DRAM whose return value (the final node address)
+is data-dependent, so silent corruption cannot hide.
+
+Everything is deterministic: plans are seeded, workloads are fixed, and
+the machine has no wall-clock inputs — a matrix run is replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.errors import ProcessCrash, WorkloadHung
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.core.machine import FlickMachine
+from repro.sim.engine import Deadlock, SimulationError
+from repro.sim.faults import FaultPlan, builtin_plans
+from repro.workloads.pointer_chase import build_chain
+
+__all__ = [
+    "ChaosResult",
+    "WORKLOADS",
+    "DEFAULT_BOUND_NS",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "render_verdicts",
+]
+
+#: Generous sim-time ceiling: the slowest legitimate recovery (declare
+#: dead after 3 exhausted retry ladders, then fall back) finishes well
+#: under 20 ms of simulated time for these workloads.
+DEFAULT_BOUND_NS = 50_000_000.0
+
+NULL_CALL_ITERS = 4
+NULL_CALL_SRC = """
+@nxp func bump(x) { return x + 3; }
+func main(n) {
+    var i = 0;
+    var acc = 0;
+    while (i < n) { acc = bump(acc); i = i + 1; }
+    return acc;
+}
+"""
+
+CHASE_NODES = 24
+CHASE_CALLS = 3
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Terminal classification of one (plan, workload) chaos case."""
+
+    plan: str
+    workload: str
+    verdict: str  # survived | degraded | crashed | hung | mismatch
+    retval: Optional[int]
+    expected: Optional[int]
+    sim_ns: float
+    degraded_calls: int
+    faults_fired: int
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True for the verdicts the hardening contract allows."""
+        return self.verdict in ("survived", "degraded", "crashed")
+
+
+@dataclass
+class _Probe:
+    """Raw terminal state of one bounded run, before classification."""
+
+    retval: Optional[int]
+    done: bool
+    sim_ns: float
+    degraded_calls: int
+    faults_fired: int
+    crash: Optional[ProcessCrash] = None
+
+
+def _run_null_call(cfg: FlickConfig, bound_ns: float) -> _Probe:
+    """Interpreted mode: a loop of NISA migrations accumulating state."""
+    machine = FlickMachine(cfg)
+    process = machine.load(machine.compile(NULL_CALL_SRC))
+    thread = machine.spawn(process, args=[NULL_CALL_ITERS])
+    crash = None
+    try:
+        machine.sim.run(until=bound_ns)
+    except Deadlock:
+        # The NxP scheduler is always a live waiting process, so every
+        # bounded run that drains its queue ends in Deadlock; the
+        # thread's own state decides what actually happened.
+        pass
+    except SimulationError as exc:
+        if isinstance(exc.__cause__, ProcessCrash):
+            crash = exc.__cause__
+        else:
+            raise
+    done = thread.task.state.value == "done"
+    retval = thread.result if done else None
+    if retval is not None and retval >> 63:
+        retval -= 1 << 64
+    stats = machine.stats.snapshot()
+    return _Probe(
+        retval=retval,
+        done=done,
+        sim_ns=thread.finished_at if thread.finished_at is not None else machine.sim.now,
+        degraded_calls=int(stats.get("degraded.calls", 0)),
+        faults_fired=machine.injector.fired_total if machine.injector else 0,
+        crash=crash,
+    )
+
+
+def _chase_program() -> HostedProgram:
+    prog = HostedProgram()
+
+    def traverse(ctx, head, count):
+        node = head
+        remaining = count
+        while remaining > 0:
+            node = ctx.load(node)
+            ctx.compute(10)
+            remaining -= 1
+            yield from ctx.maybe_flush()
+        return node
+
+    prog.register("traverse", "nisa", traverse)
+
+    def main(ctx, head, count, calls):
+        last = 0
+        for _ in range(calls):
+            last = yield from ctx.call("traverse", head, count)
+        return last
+
+    prog.register("main", "hisa", main)
+    return prog
+
+
+def _run_pointer_chase(cfg: FlickConfig, bound_ns: float) -> _Probe:
+    """Hosted mode: chase a list in NxP DRAM, return the final node."""
+    hosted = HostedMachine(_chase_program(), cfg=cfg)
+    head = build_chain(hosted, CHASE_NODES, seed=11)
+    machine = hosted.machine
+    crash = None
+    done = False
+    retval: Optional[int] = None
+    sim_ns = 0.0
+    try:
+        out = hosted.run("main", [head, CHASE_NODES - 1, CHASE_CALLS], until=bound_ns)
+        retval = out.retval
+        sim_ns = out.sim_time_ns
+        done = True
+    except WorkloadHung:
+        sim_ns = hosted.sim.now
+    except SimulationError as exc:
+        if isinstance(exc.__cause__, ProcessCrash):
+            crash = exc.__cause__
+            sim_ns = hosted.sim.now
+        else:
+            raise
+    stats = machine.stats.snapshot()
+    return _Probe(
+        retval=retval,
+        done=done,
+        sim_ns=sim_ns,
+        degraded_calls=int(stats.get("degraded.calls", 0)),
+        faults_fired=machine.injector.fired_total if machine.injector else 0,
+        crash=crash,
+    )
+
+
+WORKLOADS = {
+    "null_call": _run_null_call,
+    "pointer_chase": _run_pointer_chase,
+}
+
+
+def _classify(probe: _Probe, expected: Optional[int]) -> tuple:
+    if probe.crash is not None:
+        return "crashed", str(probe.crash)
+    if not probe.done:
+        return "hung", "sim-time bound reached without completion or crash"
+    if expected is not None and probe.retval != expected:
+        return "mismatch", f"retval {probe.retval} != expected {expected}"
+    if probe.degraded_calls:
+        return "degraded", f"{probe.degraded_calls} call(s) via host fallback"
+    return "survived", ""
+
+
+def run_chaos_case(
+    plan: FaultPlan,
+    workload: str,
+    cfg: FlickConfig = DEFAULT_CONFIG,
+    bound_ns: float = DEFAULT_BOUND_NS,
+    expected: Optional[int] = None,
+) -> ChaosResult:
+    """Run one (plan, workload) case and classify its terminal state.
+
+    ``expected`` is the golden faults-off return value; pass ``None``
+    to skip the mismatch check (the matrix driver always supplies it).
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r} (know {sorted(WORKLOADS)})")
+    probe = WORKLOADS[workload](plan.apply(cfg), bound_ns)
+    verdict, detail = _classify(probe, expected)
+    return ChaosResult(
+        plan=plan.name or "<unnamed>",
+        workload=workload,
+        verdict=verdict,
+        retval=probe.retval,
+        expected=expected,
+        sim_ns=probe.sim_ns,
+        degraded_calls=probe.degraded_calls,
+        faults_fired=probe.faults_fired,
+        detail=detail,
+    )
+
+
+def run_chaos_matrix(
+    plans: Optional[Sequence[FaultPlan]] = None,
+    workloads: Optional[Iterable[str]] = None,
+    cfg: FlickConfig = DEFAULT_CONFIG,
+    seed: int = 0,
+    bound_ns: float = DEFAULT_BOUND_NS,
+) -> List[ChaosResult]:
+    """The full chaos matrix: every plan crossed with every workload.
+
+    A golden faults-off run per workload supplies the expected return
+    value; a golden run that fails is a configuration error, not a
+    chaos verdict, and raises immediately.
+    """
+    if plans is None:
+        plans = list(builtin_plans(seed).values())
+    names = list(workloads) if workloads is not None else sorted(WORKLOADS)
+    golden: Dict[str, int] = {}
+    for name in names:
+        probe = WORKLOADS[name](cfg.with_overrides(faults=(), fault_seed=0), bound_ns)
+        if probe.crash is not None or not probe.done:
+            raise RuntimeError(f"golden faults-off run of {name!r} did not complete")
+        golden[name] = probe.retval
+    results = []
+    for plan in plans:
+        for name in names:
+            results.append(
+                run_chaos_case(plan, name, cfg=cfg, bound_ns=bound_ns, expected=golden[name])
+            )
+    return results
+
+
+def render_verdicts(results: Sequence[ChaosResult]) -> str:
+    """Aligned verdict table plus a one-line tally."""
+    rows = [("plan", "workload", "verdict", "retval", "degraded", "faults", "sim_ms")]
+    for r in results:
+        rows.append(
+            (
+                r.plan,
+                r.workload,
+                r.verdict,
+                "-" if r.retval is None else str(r.retval),
+                str(r.degraded_calls),
+                str(r.faults_fired),
+                f"{r.sim_ns / 1e6:.3f}",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip() for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    tally: Dict[str, int] = {}
+    for r in results:
+        tally[r.verdict] = tally.get(r.verdict, 0) + 1
+    order = ["survived", "degraded", "crashed", "hung", "mismatch"]
+    summary = ", ".join(f"{tally[v]} {v}" for v in order if v in tally)
+    lines.append("")
+    lines.append(f"{len(results)} cases: {summary}")
+    return "\n".join(lines)

@@ -9,6 +9,21 @@ from repro.core.descriptors import (
     KIND_RETURN,
     MigrationDescriptor,
 )
+from repro.core.errors import (
+    DescriptorCorrupt,
+    FlickError,
+    NxpDeadError,
+    ProcessCrash,
+    ProtocolError,
+    RingOverflow,
+    RingPublishError,
+    RingUnderflow,
+    RingsNotAttached,
+    UnhandledVector,
+    VectorAlreadyClaimed,
+    WorkloadHung,
+)
+from repro.core.health import HealthState, NxpHealth
 from repro.core.machine import FlickMachine, ProgramOutcome
 from repro.core.trace import MigrationTrace, Span, TraceEvent, TraceTruncated
 
@@ -29,4 +44,18 @@ __all__ = [
     "Span",
     "TraceEvent",
     "TraceTruncated",
+    "FlickError",
+    "ProtocolError",
+    "RingOverflow",
+    "RingUnderflow",
+    "RingsNotAttached",
+    "RingPublishError",
+    "VectorAlreadyClaimed",
+    "UnhandledVector",
+    "DescriptorCorrupt",
+    "NxpDeadError",
+    "WorkloadHung",
+    "ProcessCrash",
+    "NxpHealth",
+    "HealthState",
 ]

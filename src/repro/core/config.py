@@ -185,6 +185,38 @@ class FlickConfig:
     hosted_batch_ops: bool = True      # collapse same-run hosted ops
     hosted_batch_size: int = 256       # max ops per consolidated yield
 
+    # ---- fault injection + hardened migration (docs/ROBUSTNESS.md) ---------
+    # ``faults`` is a tuple of repro.sim.faults.FaultRule; non-empty arms
+    # the FaultInjector AND the hardened protocol paths (sequence numbers,
+    # watchdogs, bounded retry, health tracking).  Empty (the default)
+    # leaves the exact pre-hardening code paths — pinned bit-identical by
+    # tests/core/test_fault_parity.py.  ``fault_seed`` feeds each rule's
+    # private RNG so chaos runs replay deterministically.
+    faults: tuple = ()
+    fault_seed: int = 0
+    # Watchdog on each h2n session leg (DMA kick -> wake), in sim ns.
+    # Must exceed the longest legitimate NxP residency of the workloads
+    # under test or false trips burn retries (idempotent, but wasteful).
+    migration_watchdog_ns: float = 500_000.0
+    # Bounded retry with deterministic exponential backoff: after a
+    # watchdog trip the leg is retransmitted up to ``migration_retry_limit``
+    # times, waiting base * factor**attempt between sends.
+    migration_retry_limit: int = 3
+    migration_backoff_base_ns: float = 20_000.0
+    migration_backoff_factor: float = 2.0
+    # Health state machine: this many *consecutive* exhausted legs moves
+    # the NxP healthy -> suspect -> dead.  Keep
+    # (migration_retry_limit + 1) * nxp_dead_threshold <= ring slots (16)
+    # so a dying session can never overflow the inbound descriptor ring.
+    nxp_dead_threshold: int = 3
+    # Dead-NxP degradation: NISA functions execute on the host instead.
+    # Each emulated NISA instruction costs this many host cycles
+    # (interpreted mode scales the fallback interpreter's CostModel;
+    # hosted mode scales compute charges); memory reaches NxP-resident
+    # data across PCIe at the normal host-port cost.
+    host_fallback_penalty: float = 20.0
+    host_fallback_entry_ns: float = 5_000.0  # switch into the emulation path
+
     # -- derived helpers -----------------------------------------------------
 
     @property

@@ -16,8 +16,17 @@ word 4  argc
 word 5..10  args[0..5]
 word 11 CR3 (page-table base the NxP MMU must use)
 word 12 NxP stack pointer (current, for context switch-in)
-word 13..15 reserved
+word 13 sequence number (hardened protocol: retransmit dedup/replay)
+word 14 reserved
+word 15 checksum (u64 sum of words 0..14)
 ======  =====================================================
+
+The checksum is verified on every :meth:`MigrationDescriptor.unpack`;
+a mismatch (or bad magic / out-of-range argc) raises
+:class:`repro.core.errors.DescriptorCorrupt`, which the hardened
+receive paths catch to discard the descriptor and let the sender's
+watchdog retransmit it.  ``DescriptorCorrupt`` subclasses
+``ValueError``, so pre-hardening callers are unaffected.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from typing import List
+
+from repro.core.errors import DescriptorCorrupt
 
 __all__ = ["MigrationDescriptor", "KIND_CALL", "KIND_RETURN", "DIR_H2N", "DIR_N2H", "DESCRIPTOR_BYTES"]
 
@@ -49,6 +60,7 @@ class MigrationDescriptor:
     args: List[int] = field(default_factory=list)
     cr3: int = 0
     nxp_sp: int = 0
+    seq: int = 0  # hardened-protocol sequence number (0 when unarmed)
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_CALL, KIND_RETURN):
@@ -77,20 +89,26 @@ class MigrationDescriptor:
             words[5 + i] = arg & _U64
         words[11] = self.cr3 & _U64
         words[12] = self.nxp_sp & _U64
+        words[13] = self.seq & _U64
+        words[15] = sum(words[:15]) & _U64
         return struct.pack("<16Q", *words)
 
     @classmethod
     def unpack(cls, raw: bytes) -> "MigrationDescriptor":
         if len(raw) < DESCRIPTOR_BYTES:
-            raise ValueError(f"descriptor too short: {len(raw)} bytes")
+            raise DescriptorCorrupt(f"descriptor too short: {len(raw)} bytes")
         words = struct.unpack("<16Q", raw[:DESCRIPTOR_BYTES])
+        if sum(words[:15]) & _U64 != words[15]:
+            raise DescriptorCorrupt(
+                f"descriptor checksum mismatch (stored {words[15]:#x})"
+            )
         if words[0] & 0xFFFF_FFFF != MAGIC:
-            raise ValueError(f"bad descriptor magic {words[0]:#x}")
+            raise DescriptorCorrupt(f"bad descriptor magic {words[0]:#x}")
         kind = (words[0] >> 32) & 0xFF
         direction = (words[0] >> 40) & 0xFF
         argc = words[4]
         if argc > _MAX_ARGS:
-            raise ValueError(f"descriptor argc {argc} out of range")
+            raise DescriptorCorrupt(f"descriptor argc {argc} out of range")
         return cls(
             kind=kind,
             direction=direction,
@@ -100,4 +118,5 @@ class MigrationDescriptor:
             args=list(words[5 : 5 + argc]),
             cr3=words[11],
             nxp_sp=words[12],
+            seq=words[13],
         )

@@ -1,0 +1,142 @@
+"""Typed exception hierarchy for the Flick protocol stack.
+
+Before this module the protocol raised bare ``RuntimeError``/``ValueError``
+/``KeyError`` for conditions that the hardened migration path needs to
+catch *precisely* (a corrupt descriptor must be discarded and retried; a
+ring overflow must abort the run).  Every class below also inherits the
+builtin exception its call site historically raised, so existing callers
+(and tests) that catch the broad type keep working unchanged.
+
+Taxonomy
+--------
+
+``FlickError``
+    Root of everything this package raises deliberately.
+``ProtocolError``
+    Migration-protocol faults: descriptor transport, rings, vectors.
+``RingOverflow`` / ``RingUnderflow`` / ``RingsNotAttached`` / ``RingPublishError``
+    Descriptor-ring misuse (``interconnect.dma``), all ``RuntimeError``
+    for backward compatibility.
+``VectorAlreadyClaimed`` / ``UnhandledVector``
+    Interrupt-controller registration/delivery faults
+    (``interconnect.interrupt``); ``ValueError``/``KeyError`` compatible.
+``DescriptorCorrupt``
+    A migration descriptor failed its wire-format checks (bad magic,
+    argc out of range, checksum mismatch); ``ValueError`` compatible.
+``MigrationTimeout``
+    A watchdog expired on one leg of a migration session (internal —
+    the bounded-retry loop consumes it).
+``NxpDeadError``
+    The NxP health state machine declared the device dead; the host
+    handler catches this and degrades to local emulation.
+``WorkloadHung``
+    A bounded chaos run hit its sim-time budget without terminating.
+``ProcessCrash``
+    A fault that is *not* a migration trigger (a real segfault).
+    Historically defined in ``repro.os.kernel`` and still re-exported
+    there; it now carries the faulting PC and the originating fault.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "FlickError",
+    "ProtocolError",
+    "RingOverflow",
+    "RingUnderflow",
+    "RingsNotAttached",
+    "RingPublishError",
+    "VectorAlreadyClaimed",
+    "UnhandledVector",
+    "DescriptorCorrupt",
+    "MigrationTimeout",
+    "NxpDeadError",
+    "WorkloadHung",
+    "ProcessCrash",
+    "WATCHDOG_EXPIRED",
+]
+
+
+class FlickError(Exception):
+    """Root of all deliberate Flick-reproduction exceptions."""
+
+
+class ProtocolError(FlickError):
+    """A migration-protocol-level fault (transport, rings, vectors)."""
+
+
+class RingOverflow(ProtocolError, RuntimeError):
+    """A producer claimed a slot in a full descriptor ring."""
+
+
+class RingUnderflow(ProtocolError, RuntimeError):
+    """A consumer popped from an empty descriptor ring."""
+
+
+class RingsNotAttached(ProtocolError, RuntimeError):
+    """The DMA engine was kicked before ``attach_rings``."""
+
+
+class RingPublishError(ProtocolError, RuntimeError):
+    """``publish`` was called with no claimed in-flight slot."""
+
+
+class VectorAlreadyClaimed(ProtocolError, ValueError):
+    """Two handlers tried to register the same interrupt vector."""
+
+
+class UnhandledVector(ProtocolError, KeyError):
+    """An interrupt was raised on a vector with no registered handler."""
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return self.args[0] if self.args else ""
+
+
+class DescriptorCorrupt(ProtocolError, ValueError):
+    """A migration descriptor failed magic/argc/checksum verification."""
+
+
+class MigrationTimeout(ProtocolError):
+    """A sim-time watchdog expired on one migration-session leg."""
+
+
+class NxpDeadError(FlickError):
+    """The NxP health machine declared the device dead mid-protocol.
+
+    Raised out of the bounded-retry send path once
+    ``FlickConfig.nxp_dead_threshold`` consecutive legs have failed; the
+    host migration handler catches it and degrades to host-side
+    emulation of the NISA callee.
+    """
+
+    def __init__(self, task, reason: str = "NxP unresponsive"):
+        self.task = task
+        super().__init__(f"{getattr(task, 'name', task)}: {reason}")
+
+
+class WorkloadHung(FlickError):
+    """A bounded run exhausted its sim-time budget without terminating."""
+
+
+class ProcessCrash(FlickError):
+    """A fault that is *not* a migration trigger (a real segfault).
+
+    ``pc`` is the program counter of the faulting instruction when the
+    crash site knows it; ``fault`` is the originating low-level
+    exception (e.g. a :class:`repro.memory.paging.PageFault`), kept for
+    programmatic inspection of the access kind.
+    """
+
+    def __init__(self, task, reason: str, pc: Optional[int] = None, fault=None):
+        self.task = task
+        self.reason = reason
+        self.pc = pc
+        self.fault = fault
+        super().__init__(f"{getattr(task, 'name', task)}: {reason}")
+
+
+#: Sentinel delivered through a task's wake event when the leg watchdog
+#: expires before the migration interrupt arrives.  Identity-compared.
+WATCHDOG_EXPIRED = object()

@@ -1,0 +1,94 @@
+"""NxP health state machine: healthy → suspect → dead.
+
+The hardened migration path (docs/ROBUSTNESS.md) needs a single answer
+to one question before every ISA-crossing call: *is the device still
+worth talking to?*  This module keeps that answer.
+
+Semantics
+---------
+
+* Every migration-session leg that completes (a descriptor went out and
+  its answer came back) reports :meth:`NxpHealth.record_success`, which
+  resets the machine to ``HEALTHY``.
+* Every leg that exhausts its bounded retries reports
+  :meth:`NxpHealth.record_failure`.  The first failure moves the
+  machine to ``SUSPECT``; after ``threshold`` *consecutive* failures it
+  latches ``DEAD``.
+* ``DEAD`` is terminal for the simulated machine's lifetime: the host
+  runtime stops sending descriptors entirely and degrades new
+  NISA calls to host-side emulation (:class:`NxpDeadError` triggers the
+  switch; subsequent calls check :attr:`NxpHealth.dead` up front and
+  never touch the wire).
+
+State changes are counted in the stat registry and recorded as trace
+events; steady-state success paths emit nothing, so an armed-but-quiet
+fault configuration stays bit-identical in base stats to a run without
+the hardening layer (pinned by ``tests/core/test_fault_parity.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["HealthState", "NxpHealth"]
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class NxpHealth:
+    """Tracks consecutive migration-leg failures for one NxP device."""
+
+    def __init__(self, threshold: int, stats=None, trace=None):
+        if threshold < 1:
+            raise ValueError(f"dead threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.stats = stats
+        self.trace = trace
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.total_failures = 0
+
+    @property
+    def dead(self) -> bool:
+        return self.state is HealthState.DEAD
+
+    def record_success(self) -> HealthState:
+        """A leg completed; a dead device stays dead (no flapping)."""
+        if self.state is HealthState.DEAD:
+            return self.state
+        if self.state is HealthState.SUSPECT:
+            self._transition(HealthState.HEALTHY)
+        self.consecutive_failures = 0
+        return self.state
+
+    def record_failure(self) -> HealthState:
+        """A leg exhausted its retries; returns the resulting state."""
+        if self.state is HealthState.DEAD:
+            return self.state
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.stats is not None:
+            self.stats.count("health.leg_failure")
+        if self.consecutive_failures >= self.threshold:
+            self._transition(HealthState.DEAD)
+        elif self.state is HealthState.HEALTHY:
+            self._transition(HealthState.SUSPECT)
+        return self.state
+
+    def _transition(self, new: HealthState) -> None:
+        old, self.state = self.state, new
+        if self.stats is not None:
+            self.stats.count(f"health.transition.{new.value}")
+        if self.trace is not None:
+            self.trace.record("health", state=new.value, prev=old.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NxpHealth {self.state.value} "
+            f"fails={self.consecutive_failures}/{self.threshold}>"
+        )

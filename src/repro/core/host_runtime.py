@@ -27,6 +27,8 @@ from repro.core.descriptors import (
     KIND_RETURN,
     MigrationDescriptor,
 )
+from repro.core.errors import WATCHDOG_EXPIRED, NxpDeadError
+from repro.core.ports import FallbackMemoryPort
 from repro.core.stubs import STUB_PCS, service_stub
 from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
 from repro.isa.interpreter import (
@@ -67,6 +69,7 @@ class HostThread:
         self.result: Optional[int] = None
         self.finished_at: Optional[float] = None
         self._staging: Optional[int] = None  # host DRAM descriptor buffer
+        self._fallback_cpu: Optional[Interpreter] = None  # degraded-mode NISA emulator
 
     # -- thread entry ------------------------------------------------------------
 
@@ -123,7 +126,13 @@ class HostThread:
                         self.task, fault.vaddr
                     )
                 else:
-                    raise ProcessCrash(self.task, f"host {fault}")
+                    raise ProcessCrash(
+                        self.task,
+                        f"unexpected host page fault at pc={cpu.pc:#x}: "
+                        f"{fault.access_kind} access to {fault.vaddr:#x} ({fault.kind})",
+                        pc=cpu.pc,
+                        fault=fault,
+                    )
             except EnvCall:
                 code, value = cpu.get_args(2)
                 result = self.kernel.service_syscall(self.task, code, value)
@@ -133,9 +142,13 @@ class HostThread:
             except Halted:
                 return 0
             except (MisalignedFetch, IllegalInstruction) as fault:
-                raise ProcessCrash(self.task, f"host fetch fault: {fault}")
+                raise ProcessCrash(
+                    self.task, f"host fetch fault at pc={cpu.pc:#x}: {fault}", pc=cpu.pc
+                )
             except IsaFault as fault:
-                raise ProcessCrash(self.task, f"host fault: {fault}")
+                raise ProcessCrash(
+                    self.task, f"host fault at pc={cpu.pc:#x}: {fault}", pc=cpu.pc
+                )
 
     def _hijacked_return(self, retval: int) -> Generator:
         """Return from the hijacked call site as if it ran locally."""
@@ -166,6 +179,11 @@ class HostThread:
             self.machine.trace.record("nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base)
 
         args = self.cpu.get_args(6)
+        machine = self.machine
+        if machine.hardened and machine.health.dead:
+            # The NxP was already declared dead: don't even try the wire.
+            retval = yield from self._fallback_execute(target, args, session_start)
+            return retval
         desc = MigrationDescriptor(
             kind=KIND_CALL,
             direction=DIR_H2N,
@@ -175,7 +193,14 @@ class HostThread:
             cr3=task.process.cr3,
             nxp_sp=task.nxp_sp,
         )
-        inbound = yield from self._ioctl_migrate_and_suspend(desc)
+        try:
+            inbound = yield from self._ioctl_migrate_and_suspend(desc)
+        except NxpDeadError:
+            # The opening call leg never reached the device; no NxP
+            # state exists for this session, so it can be re-run whole
+            # on the host at the degradation penalty.
+            retval = yield from self._fallback_execute(target, args, session_start)
+            return retval
 
         # The paper's while (nxp_to_host_call) loop.
         while inbound.is_call:
@@ -193,7 +218,17 @@ class HostThread:
                 cr3=task.process.cr3,
                 nxp_sp=task.nxp_sp,
             )
-            inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+            try:
+                inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+            except NxpDeadError:
+                # Mid-ladder death: the thread's suspended NxP frames
+                # (and any state the NISA callee built there) are gone.
+                # There is no correct way to resume — this is a crash,
+                # which the chaos invariant accepts as terminal.
+                raise ProcessCrash(
+                    task,
+                    "NxP died mid-migration-session (suspended NxP frames lost)",
+                )
 
         # Return migration: resume at the original call site.
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
@@ -214,6 +249,9 @@ class HostThread:
     # -- the ioctl(MIGRATE_AND_SUSPEND) path -------------------------------------------
 
     def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+        if self.machine.hardened:
+            result = yield from self._ioctl_hardened(desc)
+            return result
         task = self.task
         cfg = self.cfg
         if cfg.injected_migration_rt_ns:
@@ -248,3 +286,212 @@ class HostThread:
         self.core = yield from self.machine.cores.acquire(task.name)
         task.state = TaskState.RUNNING
         return inbound
+
+    # -- hardened protocol (active only when a fault plan is armed) ---------------
+
+    def _ioctl_hardened(self, desc: MigrationDescriptor) -> Generator:
+        """``ioctl(MIGRATE_AND_SUSPEND)`` with watchdog + bounded retry.
+
+        Each *leg* (one h2n descriptor and the n2h answer that wakes us)
+        gets a sim-time watchdog.  On expiry the descriptor is resent —
+        same sequence number, so the NxP side deduplicates or replays
+        its cached response — with deterministic exponential backoff
+        between attempts.  ``migration_retry_limit + 1`` consecutive
+        expiries are one *leg failure*; ``nxp_dead_threshold`` of those
+        flips the health machine to DEAD and raises
+        :class:`NxpDeadError` for the caller to degrade.
+        """
+        task = self.task
+        cfg = self.cfg
+        machine = self.machine
+        health = machine.health
+        if cfg.injected_migration_rt_ns:
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        yield self.sim.timeout(cfg.host_ioctl_entry_ns)
+        yield self.sim.timeout(cfg.host_desc_build_ns)
+        task.h2n_seq += 1
+        desc.seq = task.h2n_seq
+        if self._staging is None:
+            self._staging = machine.host_phys.alloc(DESCRIPTOR_BYTES, align=64)
+        machine.phys.write(self._staging, desc.pack())
+
+        task.state = TaskState.SUSPENDED
+        task.migration_pending = True
+        yield self.sim.timeout(cfg.host_context_switch_ns)
+        machine.cores.release(self.core)
+        self.core = None
+
+        while True:
+            for attempt in range(cfg.migration_retry_limit + 1):
+                wake = Event(self.sim, name=f"{task.name}.wake.s{desc.seq}a{attempt}")
+                task.wake_event = wake
+                yield self.sim.timeout(cfg.host_dma_kick_ns)
+                task.migration_pending = False
+                machine.trace.record(
+                    "dma_h2n", pid=task.pid, kind=desc.kind, attempt=attempt
+                )
+                if attempt:
+                    machine.stats.count("migration.retry")
+                    machine.trace.record("retry", pid=task.pid, seq=desc.seq, attempt=attempt)
+                self.sim.spawn(
+                    machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+                    name=f"dma-h2n-{task.name}-a{attempt}",
+                )
+                self._spawn_watchdog(wake, cfg.migration_watchdog_ns)
+                inbound = yield wake
+                if inbound is not WATCHDOG_EXPIRED:
+                    health.record_success()
+                    self.core = yield from machine.cores.acquire(task.name)
+                    task.state = TaskState.RUNNING
+                    return inbound
+                task.wake_event = None
+                machine.stats.count("migration.watchdog_trip")
+                machine.trace.record(
+                    "watchdog_trip", pid=task.pid, seq=desc.seq, attempt=attempt
+                )
+                backoff = cfg.migration_backoff_base_ns * (
+                    cfg.migration_backoff_factor ** attempt
+                )
+                yield self.sim.timeout(backoff)
+            health.record_failure()
+            if health.dead:
+                # The thread resumes on a host core to run the fallback
+                # (or to crash): reacquire before surfacing the error.
+                self.core = yield from machine.cores.acquire(task.name)
+                task.state = TaskState.RUNNING
+                raise NxpDeadError(task)
+            # SUSPECT: keep trying — a transient stall may clear.
+
+    def _spawn_watchdog(self, wake: Event, timeout_ns: float) -> None:
+        def watchdog(sim):
+            yield sim.timeout(timeout_ns)
+            if not wake.triggered:
+                wake.trigger(WATCHDOG_EXPIRED)
+
+        self.sim.spawn(watchdog(self.sim), name=f"watchdog-{self.task.name}")
+
+    # -- degraded mode: host-side NISA emulation ----------------------------------
+
+    def _fallback_execute(self, target: int, args: List[int], session_start: float) -> Generator:
+        """Run the NISA callee on the host via a penalized interpreter.
+
+        The dead NxP can no longer execute anything, but the NISA text
+        and the thread's NxP stack window are still mapped in the shared
+        address space, so the host can *emulate* the callee: a second
+        interpreter over a :class:`FallbackMemoryPort` (inverted NX
+        sense, like the NxP MMU) at ``host_fallback_penalty`` times the
+        host cycle time — emulation, not native issue.  NxP-resident
+        data (BRAM stack, BAR0 windows) is reached over PCIe, adding the
+        natural placement penalty on top.
+        """
+        task = self.task
+        cfg = self.cfg
+        machine = self.machine
+        machine.stats.count("degraded.calls")
+        machine.trace.record("degraded_call", pid=task.pid, target=target)
+        # Runtime check + emulator setup on entry to the degraded path.
+        yield self.sim.timeout(cfg.host_fallback_entry_ns)
+        if self._fallback_cpu is None:
+            port = FallbackMemoryPort(
+                self.sim,
+                cfg,
+                machine.phys,
+                machine.link,
+                task.process.page_tables,
+                stats=machine.stats,
+            )
+            self._fallback_cpu = Interpreter(
+                "nisa",
+                self.sim,
+                port,
+                CostModel(cfg.host_cycle_ns * cfg.host_fallback_penalty, ipc=1.0),
+                stats=machine.stats,
+                name=f"fallback.{task.name}",
+                decode_cache=cfg.decode_cache,
+            )
+        retval = yield from self._run_fallback(target, args)
+        machine.stats.observe("latency.degraded_session_ns", self.sim.now - session_start)
+        machine.trace.record("degraded_done", pid=task.pid, target=target)
+        machine.trace.end("h2n_session", pid=task.pid)
+        return retval
+
+    def _run_fallback(self, target: int, args: List[int]) -> Generator:
+        """The fallback twin of the NxP's ``_run_thread`` loop.
+
+        A fetch that faults under the inverted NX sense (or misaligns /
+        fails to decode) is NISA code calling back into host code; where
+        the live NxP would emit a call-migration descriptor, the
+        emulator just runs the host function *inline* on this thread's
+        real host interpreter, then replays the NxP's return dispatch
+        (pc <- ra, retval in a0) on the emulated register file.
+        """
+        task = self.task
+        fcpu = self._fallback_cpu
+        machine = self.machine
+        yield from fcpu.setup_call(target, list(args), sp=task.nxp_sp)
+        stub_pcs = STUB_PCS
+        while True:
+            if fcpu.pc in stub_pcs:
+                yield from service_stub(machine, task, fcpu)
+                continue
+            try:
+                yield from fcpu.step()
+            except ReturnToRuntime as ret:
+                task.nxp_sp = fcpu.sp
+                return ret.retval
+            except PageFault as fault:
+                if fault.kind == PageFault.NX_VIOLATION and fault.is_exec:
+                    self.kernel.classify_exec_fault(task, fault, running_on="nisa")
+                    yield from self._fallback_host_call(fault.vaddr)
+                    continue
+                if (
+                    fault.kind == PageFault.NOT_PRESENT
+                    and task.process.lazy_heap is not None
+                    and task.process.lazy_heap.covers(fault.vaddr)
+                ):
+                    yield from task.process.lazy_heap.service_fault(task, fault.vaddr)
+                    continue
+                raise ProcessCrash(
+                    task,
+                    f"fallback page fault at pc={fcpu.pc:#x}: "
+                    f"{fault.access_kind} access to {fault.vaddr:#x} ({fault.kind})",
+                    pc=fcpu.pc,
+                    fault=fault,
+                )
+            except MisalignedFetch as fault:
+                self.kernel.classify_exec_fault(
+                    task, PageFault(fault.pc, PageFault.NX_VIOLATION, is_exec=True), "nisa"
+                )
+                yield from self._fallback_host_call(fault.pc)
+            except IllegalInstruction as fault:
+                self.kernel.classify_exec_fault(
+                    task, PageFault(fault.pc, PageFault.NX_VIOLATION, is_exec=True), "nisa"
+                )
+                yield from self._fallback_host_call(fault.pc)
+            except EnvCall:
+                code, value = fcpu.get_args(2)
+                result = self.kernel.service_syscall(task, code, value)
+                fcpu.regs.write(fcpu.abi.ret_reg, result or 0)
+            except Halted:
+                task.nxp_sp = fcpu.sp
+                return 0
+            except IsaFault as fault:
+                raise ProcessCrash(
+                    task, f"fallback fault at pc={fcpu.pc:#x}: {fault}", pc=fcpu.pc
+                )
+
+    def _fallback_host_call(self, target: int) -> Generator:
+        """Nested HISA call out of emulated NISA code, executed inline."""
+        fcpu = self._fallback_cpu
+        task = self.task
+        host_args = fcpu.get_args(6)
+        saved_regs = fcpu.regs.snapshot()
+        task.nxp_sp = fcpu.sp  # deeper fallback levels stack below us
+        self.machine.trace.record("degraded_n2h_call", pid=task.pid, target=target)
+        host_ret = yield from self._call_host_function(target, host_args)
+        # The host function may itself have re-entered the fallback
+        # emulator (NxP still dead); restore our register file and
+        # replay the NxP's return dispatch.
+        fcpu.regs.restore(saved_regs)
+        fcpu.pc = fcpu.regs.read(fcpu.abi.link_reg)
+        fcpu.regs.write(fcpu.abi.ret_reg, host_ret)

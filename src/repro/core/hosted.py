@@ -49,12 +49,19 @@ from repro.core.descriptors import (
     KIND_RETURN,
     MigrationDescriptor,
 )
+from repro.core.errors import (
+    WATCHDOG_EXPIRED,
+    DescriptorCorrupt,
+    NxpDeadError,
+    ProcessCrash,
+    WorkloadHung,
+)
 from repro.core.machine import FlickMachine
 from repro.core.ports import TranslationCache
 from repro.memory.tlb import TLB
 from repro.os.loader import create_address_space
 from repro.os.task import Task, TaskState
-from repro.sim.engine import Event
+from repro.sim.engine import Deadlock, Event
 
 __all__ = ["HostedProgram", "HostedMachine", "HostedFunction", "HostedOutcome"]
 
@@ -127,7 +134,7 @@ class HostedContext:
 
     def __init__(self, executor, side: str):
         self._executor = executor
-        self.side = side  # "host" | "nxp"
+        self.side = side  # "host" | "nxp" | "fallback" (degraded NISA emulation)
         self.machine = executor.machine
         self.cfg: FlickConfig = executor.machine.cfg
         self._sim = executor.machine.sim
@@ -156,6 +163,10 @@ class HostedContext:
         cfg = self.cfg
         if self.side == "host":
             return cycles * cfg.host_cycle_ns / 3.0  # superscalar host
+        if self.side == "fallback":
+            # Degraded mode: the host core *emulates* NISA ops serially
+            # at the configured per-op penalty (no superscalar credit).
+            return cycles * cfg.host_cycle_ns * cfg.host_fallback_penalty
         return cycles * cfg.nxp_cycle_ns
 
     def compute(self, cycles: int) -> None:
@@ -249,7 +260,7 @@ class HostedContext:
         region_lo, region_hi = 0, -1
         region_base = 0
         region_pages: Dict[int, bytearray] = {}
-        if self.side == "host":
+        if self.side != "nxp":  # host, or fallback emulation on a host core
             # access_latency's host branch, unrolled: translate, then
             # three bounds checks pick a precomputed fs constant (same
             # float sums, same round, so the charge is bit-identical).
@@ -435,7 +446,7 @@ class HostedMachine:
         return vaddr + self._tcache.entry(vaddr)[0]
 
     def access_latency(self, side: str, vaddr: int, write: bool) -> float:
-        if side == "host":
+        if side != "nxp":  # host, or degraded-mode emulation on a host core
             paddr = vaddr + self._tcache.entry(vaddr)[0]
             if self._host_dram_lo <= paddr < self._host_dram_hi:
                 return self._lat_host_cached
@@ -488,6 +499,13 @@ class HostedMachine:
 
     def dispatch_call(self, ctx: HostedContext, name: str, args: List[int]) -> Generator:
         fn = self.program.functions[name]
+        if ctx.side == "fallback":
+            # Degraded mode: NISA callees stay in the emulator; HISA
+            # callees run natively on this (host) core — the NxP is
+            # dead, so nothing ever migrates to it.
+            ctx.compute(6)
+            side = "fallback" if fn.isa == "nisa" else "host"
+            return (yield from self.run_body(fn, args, side))
         same_side = (fn.isa == "hisa") == (ctx.side == "host")
         if same_side:
             ctx.compute(6)  # plain call/ret overhead
@@ -504,8 +522,16 @@ class HostedMachine:
 
     # -- lifecycle -------------------------------------------------------------------
 
-    def run(self, entry: str, args=(), reset_time: bool = False) -> HostedOutcome:
-        """Run ``entry`` (a host-side hosted function) to completion."""
+    def run(
+        self, entry: str, args=(), reset_time: bool = False, until: Optional[float] = None
+    ) -> HostedOutcome:
+        """Run ``entry`` (a host-side hosted function) to completion.
+
+        With ``until``, the run is bounded in sim time (chaos runs): a
+        program still unfinished at the bound — or idle before it with
+        nothing left to wake it — raises :class:`WorkloadHung` instead
+        of blocking forever on a dead device.
+        """
         fn = self.program.functions[entry]
         if fn.isa != "hisa":
             raise ValueError("hosted entry functions start on the host")
@@ -517,9 +543,24 @@ class HostedMachine:
         self._nxp_engine.start()
         start = self.sim.now
         self.sim.spawn(thread.thread_main(fn, list(args)), name=task.name)
-        self.sim.run()
-        if thread.finished_at is None:
-            raise RuntimeError("hosted program did not finish")
+        if until is None:
+            self.sim.run()
+            if thread.finished_at is None:
+                raise RuntimeError("hosted program did not finish")
+        else:
+            try:
+                self.sim.run(until=until)
+            except Deadlock:
+                # The dispatcher (and any parked body) is always a live
+                # process, so every bounded run ends in Deadlock once
+                # the queue drains; it only matters if the thread is
+                # still unfinished.
+                pass
+            if thread.finished_at is None:
+                raise WorkloadHung(
+                    f"hosted program did not finish within {until} ns "
+                    f"(t={self.sim.now} ns)"
+                )
         return HostedOutcome(thread.result, thread.finished_at - start, self.machine)
 
 
@@ -568,11 +609,19 @@ class _HostedHostThread:
             task.nxp_stack_base = self.machine.alloc_nxp_stack()
             task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
             self.machine.trace.record("nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base)
+        machine = self.machine
+        if machine.hardened and machine.health.dead:
+            retval = yield from self._fallback_call(fn, args, session_start)
+            return retval
         desc = MigrationDescriptor(
             kind=KIND_CALL, direction=DIR_H2N, pid=task.pid, target=fn.addr,
             args=args[:6], cr3=task.process.cr3, nxp_sp=task.nxp_sp,
         )
-        inbound = yield from self._ioctl_migrate_and_suspend(desc)
+        try:
+            inbound = yield from self._ioctl_migrate_and_suspend(desc)
+        except NxpDeadError:
+            retval = yield from self._fallback_call(fn, args, session_start)
+            return retval
         while inbound.is_call:
             task.nxp_sp = inbound.nxp_sp
             yield self.sim.timeout(cfg.host_ioctl_return_ns)
@@ -586,7 +635,13 @@ class _HostedHostThread:
                 kind=KIND_RETURN, direction=DIR_H2N, pid=task.pid,
                 retval=host_retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp,
             )
-            inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+            try:
+                inbound = yield from self._ioctl_migrate_and_suspend(ret_desc)
+            except NxpDeadError:
+                raise ProcessCrash(
+                    task,
+                    "NxP died mid-migration-session (suspended NxP frames lost)",
+                )
         yield self.sim.timeout(cfg.host_ioctl_return_ns)
         yield self.sim.timeout(cfg.host_handler_return_ns)
         self.machine.stats.observe(
@@ -597,6 +652,9 @@ class _HostedHostThread:
         return inbound.retval
 
     def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+        if self.machine.hardened:
+            result = yield from self._ioctl_hardened(desc)
+            return result
         task = self.task
         cfg = self.cfg
         if cfg.injected_migration_rt_ns:
@@ -623,6 +681,85 @@ class _HostedHostThread:
         task.state = TaskState.RUNNING
         return inbound
 
+    # Hosted twin of HostThread._ioctl_hardened (see host_runtime.py for
+    # the watchdog/retry/health semantics — same loop, same constants).
+    def _ioctl_hardened(self, desc: MigrationDescriptor) -> Generator:
+        task = self.task
+        cfg = self.cfg
+        machine = self.machine
+        health = machine.health
+        if cfg.injected_migration_rt_ns:
+            yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        yield self.sim.timeout(cfg.host_ioctl_entry_ns)
+        yield self.sim.timeout(cfg.host_desc_build_ns)
+        task.h2n_seq += 1
+        desc.seq = task.h2n_seq
+        if self._staging is None:
+            self._staging = machine.host_phys.alloc(DESCRIPTOR_BYTES, align=64)
+        machine.phys.write(self._staging, desc.pack())
+        task.state = TaskState.SUSPENDED
+        yield self.sim.timeout(cfg.host_context_switch_ns)
+        machine.cores.release(self.core)
+        self.core = None
+        while True:
+            for attempt in range(cfg.migration_retry_limit + 1):
+                wake = Event(self.sim, name=f"{task.name}.wake.s{desc.seq}a{attempt}")
+                task.wake_event = wake
+                yield self.sim.timeout(cfg.host_dma_kick_ns)
+                machine.trace.record(
+                    "dma_h2n", pid=task.pid, kind=desc.kind, attempt=attempt
+                )
+                if attempt:
+                    machine.stats.count("migration.retry")
+                    machine.trace.record("retry", pid=task.pid, seq=desc.seq, attempt=attempt)
+                self.sim.spawn(
+                    machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+                    name=f"dma-h2n-{task.name}-a{attempt}",
+                )
+                self._spawn_watchdog(wake, cfg.migration_watchdog_ns)
+                inbound = yield wake
+                if inbound is not WATCHDOG_EXPIRED:
+                    health.record_success()
+                    self.core = yield from machine.cores.acquire(task.name)
+                    task.state = TaskState.RUNNING
+                    return inbound
+                task.wake_event = None
+                machine.stats.count("migration.watchdog_trip")
+                machine.trace.record(
+                    "watchdog_trip", pid=task.pid, seq=desc.seq, attempt=attempt
+                )
+                backoff = cfg.migration_backoff_base_ns * (
+                    cfg.migration_backoff_factor ** attempt
+                )
+                yield self.sim.timeout(backoff)
+            health.record_failure()
+            if health.dead:
+                self.core = yield from machine.cores.acquire(task.name)
+                task.state = TaskState.RUNNING
+                raise NxpDeadError(task)
+
+    def _spawn_watchdog(self, wake: Event, timeout_ns: float) -> None:
+        def watchdog(sim):
+            yield sim.timeout(timeout_ns)
+            if not wake.triggered:
+                wake.trigger(WATCHDOG_EXPIRED)
+
+        self.sim.spawn(watchdog(self.sim), name=f"watchdog-{self.task.name}")
+
+    def _fallback_call(self, fn: HostedFunction, args: List[int], session_start: float) -> Generator:
+        """Degraded mode: run the NISA body in the ``"fallback"`` context
+        (penalized host emulation) instead of migrating to the dead NxP."""
+        task = self.task
+        machine = self.machine
+        machine.stats.count("degraded.calls")
+        machine.trace.record("degraded_call", pid=task.pid, target=fn.addr)
+        yield self.sim.timeout(self.cfg.host_fallback_entry_ns)
+        retval = yield from self.hosted.run_body(fn, args, "fallback")
+        machine.stats.observe("latency.degraded_session_ns", self.sim.now - session_start)
+        machine.trace.record("degraded_done", pid=task.pid, target=fn.addr)
+        machine.trace.end("h2n_session", pid=task.pid)
+        return retval
+
 
 class _HostedNxpEngine:
     """Hosted twin of :class:`NxpPlatform`: dispatch loop + migrations."""
@@ -639,6 +776,11 @@ class _HostedNxpEngine:
         # host function's return (nesting-safe).
         self._parked: Dict[int, List[Event]] = {}
         self._idle: Optional[Event] = None  # body finished/parked handshake
+        # Hardened-protocol state (idempotent replay), mirrors NxpPlatform.
+        self._last_req_seq: Dict[int, int] = {}
+        self._n2h_seq: Dict[int, int] = {}
+        self._resp_cache: Dict[int, MigrationDescriptor] = {}
+        self._resp_ready: Dict[int, bool] = {}
 
     def start(self) -> None:
         if self._proc is None:
@@ -655,7 +797,13 @@ class _HostedNxpEngine:
             dispatch_start = self.sim.now
             yield self.sim.timeout(self.cfg.nxp_sched_dispatch_ns)
             slot = ring.pop_addr()
-            desc = MigrationDescriptor.unpack(self.machine.phys.read(slot, DESCRIPTOR_BYTES))
+            raw = self.machine.phys.read(slot, DESCRIPTOR_BYTES)
+            if self.machine.hardened:
+                desc = yield from self._hardened_admit(raw)
+                if desc is None:
+                    continue
+            else:
+                desc = MigrationDescriptor.unpack(raw)
             yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
             idle = Event(self.sim, name="nxp.idle")
             self._idle = idle
@@ -712,7 +860,64 @@ class _HostedNxpEngine:
         self._idle = idle
         return retval
 
+    # Hosted twin of NxpPlatform._hardened_admit: fault pulls, descriptor
+    # integrity, and idempotent-replay dedup on the inbound (h2n) leg.
+    def _hardened_admit(self, raw: bytes) -> Generator:
+        machine = self.machine
+        injector = machine.injector
+        for rule in injector.pull("nxp"):
+            if rule.kind == "nxp_crash":
+                machine.stats.count("nxp.crashed")
+                machine.trace.record("nxp_crash")
+                yield from self._park_forever()
+            if rule.kind == "nxp_hang" and rule.delay_ns > 0:
+                machine.stats.count("nxp.stall")
+                machine.trace.record("nxp_stall", delay_ns=rule.delay_ns)
+                yield self.sim.timeout(rule.delay_ns)
+                # Transient stall: the descriptor is lost but dedup state
+                # is untouched, so the host's retransmit is processed fresh.
+                return None
+            if rule.kind == "nxp_hang":
+                machine.stats.count("nxp.hung")
+                machine.trace.record("nxp_hang")
+                yield from self._park_forever()
+        try:
+            desc = MigrationDescriptor.unpack(raw)
+        except DescriptorCorrupt as exc:
+            machine.stats.count("nxp.desc_corrupt_discarded")
+            machine.trace.record("desc_discard", where="nxp", reason=str(exc))
+            return None
+        last = self._last_req_seq.get(desc.pid, 0)
+        if desc.seq <= last:
+            if desc.seq == last and self._resp_ready.get(desc.pid):
+                machine.stats.count("nxp.replay")
+                machine.trace.record("replay", pid=desc.pid, seq=desc.seq)
+                yield from self._retransmit_response(desc.pid)
+            else:
+                machine.stats.count("nxp.dup_discarded")
+            return None
+        self._last_req_seq[desc.pid] = desc.seq
+        self._resp_ready[desc.pid] = False
+        return desc
+
+    def _park_forever(self) -> Generator:
+        yield Event(self.sim, name="hosted-nxp.dead")  # never triggered
+
+    def _retransmit_response(self, pid: int) -> Generator:
+        desc = self._resp_cache.get(pid)
+        if desc is not None:
+            yield from self._push_desc(desc)
+
     def _send_to_host(self, desc: MigrationDescriptor) -> Generator:
+        if self.machine.hardened:
+            seq = self._n2h_seq.get(desc.pid, 0) + 1
+            self._n2h_seq[desc.pid] = seq
+            desc.seq = seq
+            self._resp_cache[desc.pid] = desc
+            self._resp_ready[desc.pid] = True
+        yield from self._push_desc(desc)
+
+    def _push_desc(self, desc: MigrationDescriptor) -> Generator:
         cfg = self.cfg
         if cfg.injected_migration_rt_ns:
             yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)

@@ -59,6 +59,9 @@ class ProgramOutcome:
     migrations: int
     stats: Dict[str, float]
     process: Process
+    #: True when at least one NISA call completed via host-fallback
+    #: emulation because the NxP was declared dead (chaos runs only).
+    degraded: bool = False
 
     @property
     def sim_time_us(self) -> float:
@@ -93,11 +96,38 @@ class FlickMachine:
         self.nxp_phys = RegionAllocator("nxp_phys", mm.bar0_base, mm.nxp_local_size)
         self.bram_phys = RegionAllocator("bram_phys", mm.nxp_bram_base, mm.nxp_bram_size)
 
+        # -- fault injection (tentpole of docs/ROBUSTNESS.md) -----------------
+        # The injector exists ONLY when a fault plan is armed; with it
+        # absent (the default), every hardened branch below is skipped
+        # and the machine executes the exact pre-hardening code paths —
+        # that is the faults-off parity contract.
+        if cfg.faults:
+            from repro.core.health import NxpHealth
+            from repro.sim.faults import FaultInjector
+
+            self.injector = FaultInjector(
+                cfg.faults,
+                seed=cfg.fault_seed,
+                sim=self.sim,
+                stats=self.stats,
+                trace=self.trace,
+            )
+            self.health = NxpHealth(
+                cfg.nxp_dead_threshold, stats=self.stats, trace=self.trace
+            )
+        else:
+            self.injector = None
+            self.health = None
+
         # -- interconnect -------------------------------------------------------
-        self.link = PCIeLink(self.sim, cfg, self.phys, stats=self.stats, trace=self.trace)
+        self.link = PCIeLink(
+            self.sim, cfg, self.phys, stats=self.stats, trace=self.trace,
+            injector=self.injector,
+        )
         self.irq = InterruptController(self.sim, cfg, stats=self.stats, trace=self.trace)
         self.dma = DMAEngine(
-            self.sim, cfg, self.link, self.irq, stats=self.stats, trace=self.trace
+            self.sim, cfg, self.link, self.irq, stats=self.stats, trace=self.trace,
+            injector=self.injector,
         )
         nxp_ring_base = self.bram_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
         host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
@@ -118,6 +148,11 @@ class FlickMachine:
         self.kernel_modules = []
         self.module_symbols: Dict[str, int] = {}
         self.module_isa_of_symbol: Dict[str, object] = {}
+
+    @property
+    def hardened(self) -> bool:
+        """True when a fault plan is armed (protocol hardening active)."""
+        return self.injector is not None
 
     # -- program lifecycle ----------------------------------------------------------
 
@@ -190,13 +225,15 @@ class FlickMachine:
         self.run()
         retval = thread.result
         signed = retval - (1 << 64) if retval is not None and retval >> 63 else retval
+        stats_snapshot = self.stats.snapshot()
         return ProgramOutcome(
             retval=signed,
             output=list(process.output),
             sim_time_ns=thread.finished_at if thread.finished_at is not None else self.sim.now,
             migrations=self.trace.count("h2n_call_done"),
-            stats=self.stats.snapshot(),
+            stats=stats_snapshot,
             process=process,
+            degraded=bool(stats_snapshot.get("degraded.calls", 0)),
         )
 
     # -- optional kernel extensions ------------------------------------------------------

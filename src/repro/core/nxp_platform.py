@@ -31,6 +31,7 @@ from repro.core.descriptors import (
     KIND_RETURN,
     MigrationDescriptor,
 )
+from repro.core.errors import DescriptorCorrupt
 from repro.core.ports import NxpMemoryPort
 from repro.core.stubs import STUB_PCS, service_stub
 from repro.isa.base import IllegalInstruction, IsaFault, MisalignedFetch
@@ -45,6 +46,7 @@ from repro.memory.mmu import PageWalker
 from repro.memory.paging import PageFault, PageTables
 from repro.os.kernel import ProcessCrash
 from repro.os.task import CpuContext, Task
+from repro.sim.engine import Event
 
 __all__ = ["NxpPlatform"]
 
@@ -80,6 +82,13 @@ class NxpPlatform:
         )
         self._staging: Optional[int] = None
         self._proc = None
+        # Hardened-protocol state (advanced only when faults are armed):
+        # per-pid inbound dedup and the outbound replay cache that lets a
+        # retransmitted request be answered without re-executing it.
+        self._last_req_seq: dict = {}
+        self._n2h_seq: dict = {}
+        self._resp_cache: dict = {}
+        self._resp_ready: dict = {}
 
     def start(self) -> None:
         """Boot the scheduler (idempotent)."""
@@ -105,7 +114,12 @@ class NxpPlatform:
             yield self.sim.timeout(self.cfg.nxp_sched_dispatch_ns)
             slot = ring.pop_addr()
             raw = self.machine.phys.read(slot, DESCRIPTOR_BYTES)
-            desc = MigrationDescriptor.unpack(raw)
+            if self.machine.hardened:
+                desc = yield from self._hardened_admit(raw)
+                if desc is None:
+                    continue
+            else:
+                desc = MigrationDescriptor.unpack(raw)
             task = self.machine.kernel.task_by_pid(desc.pid)
             self._switch_address_space(task, desc.cr3)
             yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
@@ -128,6 +142,69 @@ class NxpPlatform:
 
             yield from self._run_thread(task)
             self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)
+
+    # -- hardened intake (active only when a fault plan is armed) -----------------
+
+    def _hardened_admit(self, raw: bytes) -> Generator:
+        """Gate one popped descriptor through faults, checksum and dedup.
+
+        Returns the descriptor to dispatch, or ``None`` when it was
+        consumed here (dropped, discarded, or answered from the replay
+        cache).  A permanently hung/crashed NxP parks the scheduler on
+        a never-triggered event — from the host's perspective the
+        device simply stops answering, which is exactly what the
+        watchdog/health machinery must detect.
+        """
+        machine = self.machine
+        for rule in machine.injector.pull("nxp"):
+            if rule.kind == "nxp_crash":
+                machine.stats.count("nxp.crashed")
+                machine.trace.record("nxp_crash")
+                yield from self._park_forever()
+            elif rule.kind == "nxp_hang":
+                if rule.delay_ns > 0:
+                    # Transient stall: the in-flight descriptor is lost,
+                    # but the device recovers — dedup state untouched so
+                    # the sender's retransmit is processed fresh.
+                    machine.stats.count("nxp.stall")
+                    machine.trace.record("nxp_stall", delay_ns=rule.delay_ns)
+                    yield self.sim.timeout(rule.delay_ns)
+                    return None
+                machine.stats.count("nxp.hung")
+                machine.trace.record("nxp_hang")
+                yield from self._park_forever()
+        try:
+            desc = MigrationDescriptor.unpack(raw)
+        except DescriptorCorrupt:
+            machine.stats.count("nxp.desc_corrupt_discarded")
+            machine.trace.record("desc_discard", reason="corrupt", side="nxp")
+            return None
+        last = self._last_req_seq.get(desc.pid, 0)
+        if desc.seq <= last:
+            if desc.seq == last and self._resp_ready.get(desc.pid):
+                # Retransmit of a request already answered: the answer
+                # (or its interrupt) was lost in flight — replay it.
+                machine.stats.count("nxp.replay")
+                machine.trace.record("replay", pid=desc.pid, seq=desc.seq)
+                yield from self._retransmit_response(desc.pid)
+            else:
+                # Duplicate of the request currently being processed
+                # (or an ancient straggler): nothing to do yet.
+                machine.stats.count("nxp.dup_discarded")
+            return None
+        self._last_req_seq[desc.pid] = desc.seq
+        self._resp_ready[desc.pid] = False
+        return desc
+
+    def _park_forever(self) -> Generator:
+        yield Event(self.sim, name="nxp.dead")  # never triggered
+
+    def _retransmit_response(self, pid: int) -> Generator:
+        desc = self._resp_cache.get(pid)
+        if desc is None:
+            return
+        task = self.machine.kernel.task_by_pid(pid)
+        yield from self._push_desc(task, desc)
 
     def _switch_address_space(self, task: Task, cr3: int) -> None:
         tables = task.process.page_tables
@@ -161,7 +238,13 @@ class NxpPlatform:
                     self.machine.kernel.classify_exec_fault(task, fault, running_on="nisa")
                     yield from self._call_migration(task, fault.vaddr, trigger="nx")
                     return
-                raise ProcessCrash(task, f"nxp {fault}")
+                raise ProcessCrash(
+                    task,
+                    f"unexpected nxp page fault at pc={cpu.pc:#x}: "
+                    f"{fault.access_kind} access to {fault.vaddr:#x} ({fault.kind})",
+                    pc=cpu.pc,
+                    fault=fault,
+                )
             except MisalignedFetch as fault:
                 # Variable-length HISA code rarely sits 8-aligned: treat
                 # as a migration request if it points at host text.
@@ -184,7 +267,9 @@ class NxpPlatform:
                 yield from self._return_migration(task, 0)
                 return
             except IsaFault as fault:
-                raise ProcessCrash(task, f"nxp fault: {fault}")
+                raise ProcessCrash(
+                    task, f"nxp fault at pc={cpu.pc:#x}: {fault}", pc=cpu.pc
+                )
 
     # -- outbound migrations (Listing 2) ----------------------------------------------
 
@@ -230,6 +315,18 @@ class NxpPlatform:
         self.machine.trace.end("nxp_resident", pid=task.pid, exit="call")
 
     def _send_to_host(self, task: Task, desc: MigrationDescriptor) -> Generator:
+        if self.machine.hardened:
+            # Stamp the per-pid n2h sequence and remember the descriptor:
+            # if this answer (or its IRQ) is lost, the host's retransmit
+            # of the matching request replays it from the cache.
+            seq = self._n2h_seq.get(task.pid, 0) + 1
+            self._n2h_seq[task.pid] = seq
+            desc.seq = seq
+            self._resp_cache[task.pid] = desc
+            self._resp_ready[task.pid] = True
+        yield from self._push_desc(task, desc)
+
+    def _push_desc(self, task: Task, desc: MigrationDescriptor) -> Generator:
         cfg = self.cfg
         if cfg.injected_migration_rt_ns:
             # Prior-work overhead emulation (see host_runtime counterpart).

@@ -34,7 +34,7 @@ from repro.memory.tlb import TLB
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatRegistry
 
-__all__ = ["HostMemoryPort", "NxpMemoryPort", "TranslationCache"]
+__all__ = ["HostMemoryPort", "FallbackMemoryPort", "NxpMemoryPort", "TranslationCache"]
 
 
 class TranslationCache:
@@ -200,6 +200,42 @@ class HostMemoryPort:
             return
         self._c_store_pcie.value += 1
         yield from self.link.write(paddr, data, posted=True)
+
+
+class FallbackMemoryPort(HostMemoryPort):
+    """A host core *emulating the NISA* after the NxP died (degraded mode).
+
+    The host-side fallback interpreter executes NxP-ISA code, so its
+    fetch path must apply the **inverted** NX sense the NxP MMU would
+    (Section IV-B2): NX-set pages hold NISA code and execute normally,
+    NX-clear pages are host code and fault — which the fallback loop
+    turns into a nested host call.  Data accesses are unchanged from the
+    host port; NxP-resident data (BRAM stack, BAR0 windows) is reached
+    over PCIe at host cost, which is part of the degradation penalty.
+    """
+
+    def fetch(self, vaddr: int, nbytes: int) -> Generator:
+        delta, _writable, nx = self.tcache.entry(vaddr)
+        if not nx:
+            raise PageFault(vaddr, PageFault.NX_VIOLATION, is_exec=True)
+        if self.cfg.host_ifetch_ns:
+            yield self.sim.timeout(self.cfg.host_ifetch_ns)
+        return self.phys.read(vaddr + delta, nbytes)
+
+    def fetch_check(self, vaddr: int, nbytes: int) -> Generator:
+        _delta, _writable, nx = self.tcache.entry(vaddr)
+        if not nx:
+            raise PageFault(vaddr, PageFault.NX_VIOLATION, is_exec=True)
+        if self.cfg.host_ifetch_ns:
+            yield self.sim.timeout(self.cfg.host_ifetch_ns)
+
+    def fetch_check_sync(self, vaddr: int, nbytes: int) -> bool:
+        if self.cfg.host_ifetch_ns:
+            return False
+        _delta, _writable, nx = self.tcache.entry(vaddr)
+        if not nx:
+            raise PageFault(vaddr, PageFault.NX_VIOLATION, is_exec=True)
+        return True
 
 
 class NxpMemoryPort:

@@ -88,6 +88,23 @@ EVENT_CATEGORIES: Dict[str, str] = {
     "pcie_read": "device",
     "pcie_write": "device",
     "pcie_burst": "device",
+    # fault injection + hardened protocol (docs/ROBUSTNESS.md)
+    "fault_inject": "fault",
+    "watchdog_trip": "fault",
+    "retry": "fault",
+    "replay": "fault",
+    "spurious_irq": "fault",
+    "late_delivery": "fault",
+    "late_wake": "fault",
+    "desc_discard": "fault",
+    "nxp_stall": "fault",
+    "nxp_hang": "fault",
+    "nxp_crash": "fault",
+    "health": "fault",
+    # degraded (host-fallback) execution
+    "degraded_call": "degraded",
+    "degraded_n2h_call": "degraded",
+    "degraded_done": "degraded",
 }
 
 

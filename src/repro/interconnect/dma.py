@@ -18,6 +18,15 @@ MMIO register map (offsets within the platform's control window):
 0x08   HOST_STATUS: pending inbound count on the host side
 0x10   (reserved for SRC/DST/LEN of a general-purpose channel)
 ====== ==========================
+
+Fault-injection sites (docs/ROBUSTNESS.md): an armed
+:class:`repro.sim.faults.FaultInjector` is consulted once per transfer.
+``dma_delay`` stalls the engine before the burst; ``dma_drop`` occupies
+the wire for the full transfer time but never claims a ring slot,
+publishes, or signals arrival; ``dma_corrupt`` lands the burst and then
+flips one deterministic byte in the slot (caught by the descriptor
+checksum on the consumer side); ``irq_loss``/``irq_spurious`` suppress
+or duplicate the NxP→host migration interrupt.
 """
 
 from __future__ import annotations
@@ -25,6 +34,12 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.core.config import FlickConfig
+from repro.core.errors import (
+    RingOverflow,
+    RingPublishError,
+    RingsNotAttached,
+    RingUnderflow,
+)
 from repro.interconnect.interrupt import MIGRATION_VECTOR, InterruptController
 from repro.interconnect.pcie import PCIeLink
 from repro.memory.physical import MMIORegion
@@ -61,7 +76,7 @@ class DescriptorRing:
         one another's descriptors.
         """
         if self.reserved - self.head >= self.slots:
-            raise RuntimeError("descriptor ring overflow")
+            raise RingOverflow("descriptor ring overflow")
         addr = self.slot_addr(self.reserved)
         self.reserved += 1
         return addr
@@ -73,7 +88,7 @@ class DescriptorRing:
         single tail pointer suffices.
         """
         if self.tail >= self.reserved:
-            raise RuntimeError("publish without a claimed slot")
+            raise RingPublishError("publish without a claimed slot")
         self.tail += 1
 
     def push_addr(self) -> int:
@@ -84,7 +99,7 @@ class DescriptorRing:
 
     def pop_addr(self) -> int:
         if not self.pending:
-            raise RuntimeError("descriptor ring underflow")
+            raise RingUnderflow("descriptor ring underflow")
         addr = self.slot_addr(self.head)
         self.head += 1
         return addr
@@ -101,6 +116,7 @@ class DMAEngine:
         irq: InterruptController,
         stats: Optional[StatRegistry] = None,
         trace=None,
+        injector=None,
     ):
         self.sim = sim
         self.cfg = cfg
@@ -108,6 +124,7 @@ class DMAEngine:
         self.irq = irq
         self.stats = stats or StatRegistry()
         self.trace = trace  # optional MigrationTrace for device-level spans
+        self.injector = injector  # optional FaultInjector (None = unarmed)
         self.nxp_inbound: Optional[DescriptorRing] = None
         self.host_inbound: Optional[DescriptorRing] = None
         # Completion notification for the NxP side.  Hardware-wise the
@@ -131,6 +148,29 @@ class DMAEngine:
     def _read_host_status(self) -> int:
         return self.host_inbound.pending if self.host_inbound else 0
 
+    # -- fault hooks -------------------------------------------------------------
+
+    def _pull_dma_faults(self, direction: str):
+        """Returns ``(delay_ns, dropped, corrupt_rule)`` for one transfer."""
+        delay_ns, dropped, corrupt = 0.0, False, None
+        for rule in self.injector.pull("dma", direction=direction):
+            if rule.kind == "dma_delay":
+                delay_ns += rule.delay_ns
+            elif rule.kind == "dma_drop":
+                dropped = True
+            elif rule.kind == "dma_corrupt":
+                corrupt = rule
+        return delay_ns, dropped, corrupt
+
+    def _corrupt_slot(self, dst: int, nbytes: int, rule) -> None:
+        offset = self.injector.corrupt_offset(rule, nbytes)
+        raw = bytearray(self.link.phys.read(dst, nbytes))
+        raw[offset] ^= 0xFF
+        self.link.phys.write(dst, bytes(raw))
+        self.stats.count("fault.dma_corrupt_applied")
+        if self.trace is not None:
+            self.trace.record("fault_inject_detail", site="dma", offset=offset)
+
     # -- transfers ---------------------------------------------------------------
 
     def push_to_nxp(self, src_paddr: int, nbytes: int, pid: Optional[int] = None) -> Generator:
@@ -142,7 +182,18 @@ class DMAEngine:
         may overlap, so the span uses the stack-free handle API.
         """
         if self.nxp_inbound is None:
-            raise RuntimeError("rings not attached")
+            raise RingsNotAttached("rings not attached")
+        if self.injector is not None:
+            delay_ns, dropped, corrupt = self._pull_dma_faults("h2n")
+            if delay_ns:
+                yield self.sim.timeout(delay_ns)
+            if dropped:
+                # The wire carries the burst; nothing lands, no slot is
+                # claimed, the consumer never learns of it.
+                yield from self.link.burst(src_paddr, 0, nbytes, deliver=False)
+                return
+        else:
+            corrupt = None
         dst = self.nxp_inbound.claim_addr()
         self.stats.count("dma.to_nxp")
         trace = self.trace
@@ -152,6 +203,8 @@ class DMAEngine:
         self.stats.observe("latency.dma.h2n_ns", self.sim.now - t0)
         if trace is not None:
             trace.close(span)
+        if corrupt is not None:
+            self._corrupt_slot(dst, nbytes, corrupt)
         self.nxp_inbound.publish()
         self.nxp_arrival.put(True)
 
@@ -165,7 +218,22 @@ class DMAEngine:
         """Burst a descriptor from NxP memory into the host inbound ring,
         then (optionally) raise the migration interrupt."""
         if self.host_inbound is None:
-            raise RuntimeError("rings not attached")
+            raise RingsNotAttached("rings not attached")
+        irq_lost, spurious = False, 0
+        if self.injector is not None:
+            delay_ns, dropped, corrupt = self._pull_dma_faults("n2h")
+            if delay_ns:
+                yield self.sim.timeout(delay_ns)
+            if dropped:
+                yield from self.link.burst(src_paddr, 0, nbytes, deliver=False)
+                return
+            for rule in self.injector.pull("irq", direction="n2h"):
+                if rule.kind == "irq_loss":
+                    irq_lost = True
+                elif rule.kind == "irq_spurious":
+                    spurious += 1
+        else:
+            corrupt = None
         dst = self.host_inbound.claim_addr()
         self.stats.count("dma.to_host")
         trace = self.trace
@@ -175,6 +243,15 @@ class DMAEngine:
         self.stats.observe("latency.dma.n2h_ns", self.sim.now - t0)
         if trace is not None:
             trace.close(span)
+        if corrupt is not None:
+            self._corrupt_slot(dst, nbytes, corrupt)
         self.host_inbound.publish()
         if interrupt:
-            self.irq.raise_irq(MIGRATION_VECTOR, payload=dst)
+            for _ in range(spurious):
+                # A duplicate MSI with no descriptor behind it: the
+                # hardened IRQ handler must drain/dedup around it.
+                self.irq.raise_irq(MIGRATION_VECTOR, payload=None)
+            if irq_lost:
+                self.stats.count("fault.irq_loss_applied")
+            else:
+                self.irq.raise_irq(MIGRATION_VECTOR, payload=dst)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.config import FlickConfig
+from repro.core.errors import UnhandledVector, VectorAlreadyClaimed
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatRegistry
 
@@ -47,7 +48,7 @@ class InterruptController:
         (taking the payload) — generator handlers run as timed processes.
         """
         if vector in self._handlers:
-            raise ValueError(f"vector {vector:#x} already claimed")
+            raise VectorAlreadyClaimed(f"vector {vector:#x} already claimed")
         self._handlers[vector] = handler
 
     def unregister(self, vector: int) -> None:
@@ -56,7 +57,7 @@ class InterruptController:
     def raise_irq(self, vector: int, payload: Any = None) -> None:
         handler = self._handlers.get(vector)
         if handler is None:
-            raise KeyError(f"unhandled interrupt vector {vector:#x}")
+            raise UnhandledVector(f"unhandled interrupt vector {vector:#x}")
         self.stats.count(f"irq.{vector:#x}")
         trace = self.trace
         span = None

@@ -39,6 +39,7 @@ class PCIeLink:
         phys: PhysicalMemory,
         stats: Optional[StatRegistry] = None,
         trace=None,
+        injector=None,
     ):
         self.sim = sim
         self.cfg = cfg
@@ -47,7 +48,11 @@ class PCIeLink:
         # Per-transaction trace events are opt-in (trace.detail): the
         # interpreted hot loops issue one transaction per remote access.
         self.trace = trace
+        self.injector = injector  # optional repro.sim.faults.FaultInjector
         self._link_free_at = 0.0
+        # Link-flap fault state: no transfer may start before this
+        # instant.  Stays 0.0 (and branchless-equivalent) when unarmed.
+        self._down_until = 0.0
 
     def _detail(self, name: str, nbytes: int) -> None:
         trace = self.trace
@@ -65,11 +70,24 @@ class PCIeLink:
         than overlapping on the wire.
         """
         start = max(self.sim.now, self._link_free_at)
+        if self._down_until > start:  # link flap: wait out the outage
+            start = self._down_until
         self._link_free_at = start + wire_ns
         queue_wait = start - self.sim.now
         if queue_wait > 0:
             self.stats.sample("pcie.queue_wait_ns", queue_wait)
         yield self.sim.timeout(queue_wait + wire_ns)
+
+    def _check_flap(self) -> None:
+        """Fault hook: a firing ``pcie_flap`` rule takes the link down."""
+        if self.injector is None:
+            return
+        for rule in self.injector.pull("pcie"):
+            if rule.kind == "pcie_flap":
+                down_until = self.sim.now + rule.down_ns
+                if down_until > self._down_until:
+                    self._down_until = down_until
+                self.stats.count("fault.pcie_flap_applied")
 
     def _wire_time(self, nbytes: int) -> float:
         return nbytes * self.cfg.pcie_ns_per_byte
@@ -84,6 +102,8 @@ class PCIeLink:
         """
         self.stats.count("pcie.read")
         self._detail("pcie_read", nbytes)
+        if self.injector is not None:
+            self._check_flap()
         yield from self._occupy(self._wire_time(16))  # request TLP header
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)  # propagate request
         yield self.sim.timeout(service_ns)  # far side services it
@@ -95,26 +115,33 @@ class PCIeLink:
         """Posted write: fire-and-forget from the initiator's view."""
         self.stats.count("pcie.write")
         self._detail("pcie_write", len(data))
+        if self.injector is not None:
+            self._check_flap()
         yield from self._occupy(self._wire_time(len(data) + 16))
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)
         self.phys.write(paddr, data)
         if not posted:
             yield self.sim.timeout(self.cfg.pcie_oneway_ns)
 
-    def burst(self, src: int, dst: int, nbytes: int) -> Generator:
+    def burst(self, src: int, dst: int, nbytes: int, deliver: bool = True) -> Generator:
         """One DMA burst moving ``nbytes`` from ``src`` to ``dst``.
 
         Models a single engine-driven transfer: setup, one propagation,
         and wire time for the payload.  Data moves functionally at the
-        end of the transfer.
+        end of the transfer.  ``deliver=False`` (the ``dma_drop`` fault
+        model) burns the identical link time but never lands the bytes
+        — the wire was occupied, the far side saw nothing.
         """
         self.stats.count("pcie.burst")
         self.stats.sample("pcie.burst_bytes", nbytes)
         self._detail("pcie_burst", nbytes)
+        if self.injector is not None:
+            self._check_flap()
         yield self.sim.timeout(self.cfg.dma_setup_ns)
         yield from self._occupy(self._wire_time(nbytes + 32))
         yield self.sim.timeout(self.cfg.pcie_oneway_ns)
-        self.phys.write(dst, self.phys.read(src, nbytes))
+        if deliver:
+            self.phys.write(dst, self.phys.read(src, nbytes))
 
     # -- convenience round-trip latencies (match Section V measurements) -------
 

@@ -70,6 +70,15 @@ class PageFault(Exception):
         self.is_exec = is_exec
         super().__init__(f"page fault at {vaddr:#x} ({kind})")
 
+    @property
+    def access_kind(self) -> str:
+        """The access that faulted, for crash diagnostics."""
+        if self.is_exec:
+            return "execute"
+        if self.is_write:
+            return "write"
+        return "read"
+
 
 @dataclass(frozen=True)
 class Translation:

@@ -19,24 +19,19 @@ from typing import Dict, Generator, Optional
 
 from repro.core.config import FlickConfig
 from repro.core.descriptors import DESCRIPTOR_BYTES, MigrationDescriptor
+from repro.core.errors import DescriptorCorrupt, ProcessCrash
 from repro.interconnect.interrupt import MIGRATION_VECTOR
 from repro.memory.paging import PageFault
 from repro.os.task import Process, Task, TaskState
 from repro.sim.engine import Simulator
 
+# ProcessCrash historically lived here; it moved to repro.core.errors so
+# the whole taxonomy sits in one module, and stays re-exported for the
+# many call sites (and tests) that import it from repro.os.kernel.
 __all__ = ["Kernel", "ProcessCrash", "SYS_EXIT", "SYS_PRINT"]
 
 SYS_EXIT = 0
 SYS_PRINT = 1
-
-
-class ProcessCrash(Exception):
-    """A fault that is *not* a migration trigger (a real segfault)."""
-
-    def __init__(self, task: Task, reason: str):
-        self.task = task
-        self.reason = reason
-        super().__init__(f"{task.name}: {reason}")
 
 
 class Kernel:
@@ -98,6 +93,9 @@ class Kernel:
 
     def _migration_irq(self, _payload) -> Generator:
         """Generator IRQ handler: find the thread by PID and wake it."""
+        if getattr(self.machine, "hardened", False):
+            yield from self._migration_irq_hardened()
+            return
         yield self.sim.timeout(self.cfg.host_irq_handler_ns)
         ring = self.machine.host_ring
         slot = ring.pop_addr()
@@ -115,6 +113,83 @@ class Kernel:
             self.machine.trace.record("task_wake", pid=desc.pid)
             event, task.wake_event = task.wake_event, None
             event.trigger(desc)
+
+        self.sim.spawn(waker(self.sim), name=f"wake-{task.name}")
+
+    def _migration_irq_hardened(self) -> Generator:
+        """Fault-tolerant IRQ path, taken only when faults are armed.
+
+        Differences from the fast path, each tied to a fault mode:
+
+        * an empty ring is a *spurious* interrupt (``irq_spurious``, or
+          an MSI raised for a descriptor a prior drain already took) —
+          counted and ignored, never a crash;
+        * the ring is drained completely, because a lost interrupt
+          (``irq_loss``) leaves earlier descriptors stranded behind the
+          one this MSI announces;
+        * descriptors failing wire-format checks (``dma_corrupt``) are
+          discarded — the sender's watchdog retransmits them;
+        * retransmit duplicates are deduplicated by per-task sequence
+          number, and the waker refuses to fire a wake event the leg
+          watchdog already claimed.
+        """
+        yield self.sim.timeout(self.cfg.host_irq_handler_ns)
+        stats = self.machine.stats
+        ring = self.machine.host_ring
+        if not ring.pending:
+            stats.count("kernel.spurious_irq")
+            self.machine.trace.record("spurious_irq")
+            return
+        best: Dict[int, MigrationDescriptor] = {}
+        while ring.pending:
+            slot = ring.pop_addr()
+            raw = self.machine.phys.read(slot, DESCRIPTOR_BYTES)
+            try:
+                desc = MigrationDescriptor.unpack(raw)
+            except DescriptorCorrupt:
+                stats.count("kernel.desc_corrupt_discarded")
+                self.machine.trace.record("desc_discard", reason="corrupt")
+                continue
+            prev = best.get(desc.pid)
+            if prev is not None and prev.seq >= desc.seq:
+                stats.count("kernel.desc_dup_discarded")
+                continue
+            best[desc.pid] = desc
+        for desc in best.values():
+            task = self.tasks.get(desc.pid)
+            if task is None:
+                stats.count("kernel.desc_unknown_pid")
+                continue
+            self.machine.trace.record(
+                "irq", pid=desc.pid, kind="call" if desc.is_call else "return"
+            )
+            if desc.seq <= task.last_in_seq:
+                # A retransmit of a leg the thread already completed
+                # (its own watchdog resent, both copies arrived).
+                stats.count("kernel.late_delivery")
+                self.machine.trace.record("late_delivery", pid=desc.pid, seq=desc.seq)
+                continue
+            if task.state is not TaskState.SUSPENDED or task.wake_event is None:
+                stats.count("kernel.late_delivery")
+                self.machine.trace.record("late_delivery", pid=desc.pid, seq=desc.seq)
+                continue
+            self._spawn_guarded_waker(task, desc)
+
+    def _spawn_guarded_waker(self, task: Task, desc: MigrationDescriptor) -> None:
+        ev = task.wake_event
+
+        def waker(sim: Simulator):
+            yield sim.timeout(self.cfg.host_wakeup_ns)
+            # The leg watchdog races this wakeup; whoever triggers the
+            # event first wins, the loser must stand down (a triggered
+            # Event raises on re-trigger).
+            if ev is None or ev.triggered or task.wake_event is not ev:
+                self.machine.stats.count("kernel.late_wake")
+                return
+            self.machine.trace.record("task_wake", pid=desc.pid)
+            task.wake_event = None
+            task.last_in_seq = desc.seq
+            ev.trigger(desc)
 
         self.sim.spawn(waker(self.sim), name=f"wake-{task.name}")
 

@@ -110,6 +110,11 @@ class Task:
         # the inbound descriptor slot address.
         self.wake_event = None  # repro.sim.Event, armed by the ioctl
         self.wake_payload: Optional[int] = None
+        # Hardened-protocol bookkeeping (only advanced when faults are
+        # armed): the per-thread h2n sequence counter and the highest
+        # inbound (n2h) sequence already delivered to the ioctl.
+        self.h2n_seq: int = 0
+        self.last_in_seq: int = 0
 
     @property
     def pid(self) -> int:

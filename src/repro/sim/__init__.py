@@ -9,6 +9,13 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    builtin_plans,
+)
 from repro.sim.stats import (
     Accumulator,
     Counter,
@@ -36,4 +43,9 @@ __all__ = [
     "mean",
     "percentile",
     "quantile",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "builtin_plans",
 ]

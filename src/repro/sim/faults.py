@@ -1,0 +1,256 @@
+"""Deterministic, seeded fault injection for the simulated machine.
+
+The migration path the paper measures (NX fault → descriptor → DMA →
+IRQ → NxP execute → return IRQ) is exactly the path a real deployment
+must survive when the PCIe-attached device misbehaves.  This module is
+the *source* of that misbehaviour: a :class:`FaultPlan` arms typed
+injection points inside the interconnect and the NxP scheduler, and a
+:class:`FaultInjector` (one per machine) decides — fully
+deterministically — which protocol events each rule hits.
+
+Fault taxonomy (see docs/ROBUSTNESS.md for the injection-point map):
+
+==============  ====================================================
+``dma_drop``    A descriptor burst occupies the wire but is never
+                delivered: no ring slot claimed, no arrival signal.
+``dma_corrupt`` The burst delivers, but bytes in the landed
+                descriptor are flipped (caught by the checksum).
+``dma_delay``   Extra ``delay_ns`` of latency before the burst.
+``irq_loss``    The NxP→host descriptor lands but the migration
+                interrupt is never raised.
+``irq_spurious`` An extra migration interrupt with no new descriptor.
+``pcie_flap``   The link goes down for ``down_ns``; traffic queues.
+``nxp_hang``    The NxP scheduler stalls: ``delay_ns`` > 0 stalls
+                transiently (dropping the in-flight descriptor),
+                ``delay_ns`` == 0 parks it forever (a dead device).
+``nxp_crash``   The NxP scheduler halts permanently at dispatch.
+==============  ====================================================
+
+Determinism guarantee
+---------------------
+
+A rule fires as a pure function of *(plan seed, rule index, eligible
+occurrence count, sim time)*:
+
+* each rule counts its own *eligible occurrences* (events matching its
+  site/direction with ``sim.now >= after_ns``) and fires from the
+  ``nth`` one, at most ``count`` times (``count=None`` = unlimited);
+* probabilistic rules draw from a private ``random.Random`` seeded from
+  ``(seed, rule index)`` — independent of every other rule and of any
+  global RNG state;
+* no wall-clock input exists anywhere in the pipeline.
+
+Re-running the same plan against the same workload therefore replays
+the exact same faults at the exact same simulated instants.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FaultRule", "FaultPlan", "FaultInjector", "FAULT_KINDS", "builtin_plans"]
+
+#: kind -> injection site (the subsystem that pulls the rule).
+FAULT_KINDS: Dict[str, str] = {
+    "dma_drop": "dma",
+    "dma_corrupt": "dma",
+    "dma_delay": "dma",
+    "irq_loss": "irq",
+    "irq_spurious": "irq",
+    "pcie_flap": "pcie",
+    "nxp_hang": "nxp",
+    "nxp_crash": "nxp",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed injection point.
+
+    ``direction`` filters DMA/IRQ rules to one transfer direction
+    (``"h2n"`` or ``"n2h"``; ``None`` matches both).  ``after_ns``
+    gates eligibility on simulated time.  ``nth``/``count`` select the
+    occurrence window (1-based, consecutive); ``probability`` makes the
+    in-window firings stochastic under the rule's private seeded RNG.
+    """
+
+    kind: str
+    direction: Optional[str] = None
+    after_ns: float = 0.0
+    nth: int = 1
+    count: Optional[int] = 1
+    probability: Optional[float] = None
+    delay_ns: float = 0.0
+    down_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (know {sorted(FAULT_KINDS)})")
+        if self.direction not in (None, "h2n", "n2h"):
+            raise ValueError(f"bad fault direction {self.direction!r}")
+        if self.nth < 1:
+            raise ValueError(f"nth is 1-based, got {self.nth}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1 or None, got {self.count}")
+
+    @property
+    def site(self) -> str:
+        return FAULT_KINDS[self.kind]
+
+    def to_dict(self) -> Dict:
+        d = asdict(self)
+        return {k: v for k, v in d.items() if v != FaultRule.__dataclass_fields__[k].default}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultRule":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of fault rules — one chaos scenario."""
+
+    rules: tuple = ()
+    seed: int = 0
+    name: str = ""
+
+    def apply(self, cfg):
+        """Return ``cfg`` with this plan armed (``faults``/``fault_seed``)."""
+        return cfg.with_overrides(faults=tuple(self.rules), fault_seed=self.seed)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # -- JSON I/O ----------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        doc = {
+            "schema": "flick.fault_plan.v1",
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [r.to_dict() for r in self.rules],
+        }
+        return json.dumps(doc, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        if doc.get("schema", "flick.fault_plan.v1") != "flick.fault_plan.v1":
+            raise ValueError(f"unknown fault-plan schema {doc.get('schema')!r}")
+        return cls(
+            rules=tuple(FaultRule.from_dict(r) for r in doc.get("rules", [])),
+            seed=int(doc.get("seed", 0)),
+            name=str(doc.get("name", "")),
+        )
+
+
+class _ArmedRule:
+    """Per-run firing state of one rule (occurrence + firing counters)."""
+
+    __slots__ = ("rule", "rng", "occurrences", "fired")
+
+    def __init__(self, rule: FaultRule, seed: int, index: int):
+        self.rule = rule
+        # Integer-derived seed: str hashing is process-randomized, so a
+        # composite int keeps rule RNGs reproducible across processes.
+        self.rng = random.Random((seed << 20) ^ (index * 0x9E3779B1))
+        self.occurrences = 0
+        self.fired = 0
+
+    def pull(self, site: str, direction: Optional[str], now: float) -> bool:
+        rule = self.rule
+        if rule.site != site:
+            return False
+        if rule.direction is not None and direction is not None and rule.direction != direction:
+            return False
+        if now < rule.after_ns:
+            return False
+        self.occurrences += 1
+        if self.occurrences < rule.nth:
+            return False
+        if rule.count is not None and self.fired >= rule.count:
+            return False
+        if rule.probability is not None and self.rng.random() >= rule.probability:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """The per-machine oracle every injection point consults.
+
+    Constructed only when ``FlickConfig.faults`` is non-empty, so a
+    faults-off machine carries no injector at all and executes the
+    exact pre-hardening code paths (the parity contract).
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0, sim=None, stats=None, trace=None):
+        self.sim = sim
+        self.stats = stats
+        self.trace = trace
+        self.seed = seed
+        self._armed = [_ArmedRule(r, seed, i) for i, r in enumerate(rules)]
+        self.fired_total = 0
+
+    def pull(self, site: str, direction: Optional[str] = None) -> List[FaultRule]:
+        """Report one eligible protocol event at ``site``; returns the
+        rules that fire on it (possibly several, e.g. delay + corrupt)."""
+        now = self.sim.now if self.sim is not None else 0.0
+        fired: List[FaultRule] = []
+        for armed in self._armed:
+            if armed.pull(site, direction, now):
+                fired.append(armed.rule)
+                self.fired_total += 1
+                if self.stats is not None:
+                    self.stats.count(f"fault.{armed.rule.kind}")
+                if self.trace is not None:
+                    self.trace.record(
+                        "fault_inject", kind=armed.rule.kind, site=site,
+                        direction=direction or "",
+                    )
+        return fired
+
+    def corrupt_offset(self, rule: FaultRule, nbytes: int) -> int:
+        """Deterministic byte offset a ``dma_corrupt`` firing flips."""
+        for armed in self._armed:
+            if armed.rule is rule:
+                return armed.rng.randrange(nbytes)
+        return 0
+
+
+def builtin_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """The seeded chaos matrix (docs/ROBUSTNESS.md, `repro chaos`).
+
+    Each plan exercises one recovery mechanism; ``nxp-hang`` and
+    ``nxp-crash`` are the permanent-death scenarios that must end in
+    host-fallback degradation with correct results.
+    """
+
+    def plan(name: str, *rules: FaultRule) -> FaultPlan:
+        return FaultPlan(rules=tuple(rules), seed=seed, name=name)
+
+    return {
+        "none": plan("none"),
+        "dma-drop-h2n": plan("dma-drop-h2n", FaultRule("dma_drop", direction="h2n", nth=2)),
+        "dma-drop-n2h": plan("dma-drop-n2h", FaultRule("dma_drop", direction="n2h", nth=1)),
+        "dma-corrupt-h2n": plan("dma-corrupt-h2n", FaultRule("dma_corrupt", direction="h2n", nth=1)),
+        "dma-corrupt-n2h": plan("dma-corrupt-n2h", FaultRule("dma_corrupt", direction="n2h", nth=2)),
+        "dma-delay-h2n": plan(
+            "dma-delay-h2n", FaultRule("dma_delay", direction="h2n", nth=1, count=3, delay_ns=40_000.0)
+        ),
+        "irq-loss": plan("irq-loss", FaultRule("irq_loss", nth=1)),
+        "irq-spurious": plan("irq-spurious", FaultRule("irq_spurious", nth=1, count=2)),
+        "pcie-flap": plan("pcie-flap", FaultRule("pcie_flap", nth=1, down_ns=100_000.0)),
+        "nxp-stall": plan("nxp-stall", FaultRule("nxp_hang", nth=1, delay_ns=80_000.0)),
+        "nxp-hang": plan("nxp-hang", FaultRule("nxp_hang", nth=1)),
+        "nxp-crash": plan("nxp-crash", FaultRule("nxp_crash", nth=1)),
+        "lossy-link": plan(
+            "lossy-link",
+            FaultRule("dma_drop", direction="h2n", nth=1, count=2),
+            FaultRule("irq_loss", nth=2),
+            FaultRule("pcie_flap", nth=3, down_ns=50_000.0),
+        ),
+    }

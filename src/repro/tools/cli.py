@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``):
     python -m repro metrics program.fc --format openmetrics
     python -m repro bench --quick
     python -m repro bench --quick --check benchmarks/baseline_simspeed.json
+    python -m repro chaos
+    python -m repro chaos --plan nxp-crash --seed 3
+    python -m repro chaos --plan-file myplan.json
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
@@ -25,6 +28,11 @@ the statistics the run changed (see docs/OBSERVABILITY.md).  ``metrics``
 runs the program and emits the derived metrics — latency histograms,
 per-device utilization, counters — as OpenMetrics/Prometheus text or a
 JSON ``RunReport`` (``--format``, ``--by-pid`` for per-pid series).
+``chaos`` runs the chaos matrix (docs/ROBUSTNESS.md): seeded fault plans
+crossed with fixed workloads on the hardened migration protocol, with a
+verdict per case (survived/degraded/crashed/hung/mismatch); exit 1 if
+any case hangs or returns a wrong value.  ``--plan``/``--plan-file``
+select plans, ``--seed`` reseeds them, ``--list`` shows what's built in.
 ``bench`` measures simulator throughput with the fast paths on vs off
 (docs/PERFORMANCE.md); ``--quick`` shrinks the workloads to a
 sub-30-second smoke, ``--hosted`` adds the hosted-mode op-batching
@@ -155,6 +163,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         default=None,
         help="gate this run against a saved baseline (exit 1 on regression)",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run workloads under seeded fault plans; verdict table"
+    )
+    chaos_p.add_argument(
+        "--plan",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="builtin plan to run (repeatable; default: the whole matrix)",
+    )
+    chaos_p.add_argument(
+        "--plan-file",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="fault plan JSON (flick.fault_plan.v1) to run (repeatable)",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0, help="plan seed (default: 0)"
+    )
+    chaos_p.add_argument(
+        "--bound-us",
+        type=float,
+        default=None,
+        help="sim-time bound per case in microseconds (default: 50000)",
+    )
+    chaos_p.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workload subset (default: all)",
+    )
+    chaos_p.add_argument(
+        "--list", action="store_true", help="list builtin plans and workloads, then exit"
     )
 
     return parser
@@ -363,6 +407,41 @@ def _cmd_bench(args, out) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args, out) -> int:
+    from repro.analysis.chaos import (
+        DEFAULT_BOUND_NS,
+        WORKLOADS,
+        render_verdicts,
+        run_chaos_matrix,
+    )
+    from repro.sim.faults import FaultPlan, builtin_plans
+
+    builtin = builtin_plans(args.seed)
+    if args.list:
+        print("builtin plans:", file=out)
+        for name, plan in builtin.items():
+            print(f"  {name} ({len(plan.rules)} rule(s))", file=out)
+        print(f"workloads: {', '.join(sorted(WORKLOADS))}", file=out)
+        return 0
+    plans = None
+    if args.plan or args.plan_file:
+        plans = []
+        for name in args.plan or []:
+            if name not in builtin:
+                print(f"unknown plan {name!r} (try --list)", file=out)
+                return 2
+            plans.append(builtin[name])
+        for path in args.plan_file or []:
+            plans.append(FaultPlan.from_json(_read(path)).with_seed(args.seed))
+    bound_ns = args.bound_us * 1000.0 if args.bound_us is not None else DEFAULT_BOUND_NS
+    results = run_chaos_matrix(
+        plans=plans, workloads=args.workloads, seed=args.seed, bound_ns=bound_ns
+    )
+    print(render_verdicts(results), file=out)
+    bad = [r for r in results if r.verdict in ("hung", "mismatch")]
+    return 1 if bad else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -374,6 +453,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "profile": _cmd_profile,
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args, out)
 
