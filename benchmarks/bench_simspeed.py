@@ -1,15 +1,16 @@
 """Simulator throughput tracking: instructions/sec, events/sec, speedup.
 
 Not a paper figure — this benchmark guards the acceleration layer
-(docs/PERFORMANCE.md).  It runs the interpreted workloads with all
-fast-path toggles on and off, asserts the two configurations agree
-bit-for-bit on everything observable (timing-invariance contract), and
-asserts the fast paths actually pay for themselves: >= 2x wall-clock on
-the interpreted null-call loop.  It also measures hosted-mode op
-batching on the million-access pointer-chase sweep (batched vs
-unbatched must be bit-identical AND >= 2x faster).  Results land in
-``BENCH_simspeed.json`` so the throughput trajectory is tracked from
-this PR on.
+(docs/PERFORMANCE.md).  It runs the interpreted workloads three ways
+(everything on, tracing JIT off, everything off), asserts the three
+configurations agree bit-for-bit on everything observable
+(timing-invariance contract), and asserts the fast paths actually pay
+for themselves: >= 2x wall-clock on the interpreted null-call loop and
+>= 10x on the compute loop (the JIT tier's headline).  It also measures
+hosted-mode op batching on the million-access pointer-chase sweep
+(batched vs unbatched must be bit-identical AND >= 2x faster).  Results
+land in ``BENCH_simspeed.json`` so the throughput trajectory is tracked
+from this PR on.
 """
 
 import os
@@ -44,11 +45,19 @@ def test_simspeed(benchmark, report):
 
     by_name = {r.workload: r for r in results}
     for r in results:
-        assert r.parity, f"{r.workload}: fast/slow configs disagree"
-    # The acceleration layer's headline number: the interpreted
-    # null-call loop (full migrations through the whole stack).
+        assert r.parity, f"{r.workload}: fast/nojit/slow configs disagree"
+    # The acceleration layer's headline numbers: the interpreted
+    # null-call loop (full migrations through the whole stack) and the
+    # compute loop, where the tracing-JIT tier must push the all-on /
+    # all-off ratio past 10x and contribute a marginal win itself.  On
+    # the null-call loop the migration machinery (DMA, protocol events)
+    # dominates wall time, so the JIT's marginal ratio sits near 1x;
+    # the floor only guards against the tier making migrations slower
+    # (the committed baseline tracks the actual trajectory).
     assert by_name["null_call_loop"].speedup >= 2.0
-    assert by_name["compute_loop"].speedup >= 2.0
+    assert by_name["null_call_loop"].jit_speedup >= 0.9
+    assert by_name["compute_loop"].speedup >= 10.0
+    assert by_name["compute_loop"].jit_speedup >= 1.5
     # Hosted op batching: bit-identical results, >= 2x on the
     # million-access sweep (docs/PERFORMANCE.md).
     assert hosted.parity, "hosted batching changed simulated results"

@@ -180,6 +180,9 @@ class RunReport:
     utilization: Dict[str, UtilizationSummary]
     #: trace health: analyses over a truncated trace are windows
     truncated: bool = False
+    #: tracing-JIT tier telemetry (``FlickMachine.jit_stats``): kept out
+    #: of ``stats`` so the parity-pinned snapshot never sees the tier
+    jit: Dict[str, float] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -359,6 +362,7 @@ def build_run_report(
         },
         utilization=device_utilization(trace, t_end, slices=slices),
         truncated=trace.truncated,
+        jit=machine.jit_stats() if hasattr(machine, "jit_stats") else {},
     )
 
 
@@ -502,6 +506,12 @@ def render_openmetrics(report: RunReport) -> str:
     for phase, ns in report.phases.items():
         lines.append(f"{phase_metric}{_labels({'phase': phase})} {_fmt(ns)}")
 
+    # tracing-JIT tier telemetry (sidecar counters, not in the registry)
+    for key in sorted(report.jit):
+        metric = _metric_name(key)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(report.jit[key])}")
+
     sim_metric = _metric_name("sim_time_ns")
     lines.append(f"# TYPE {sim_metric} gauge")
     lines.append(f"{sim_metric} {_fmt(report.sim_ns)}")
@@ -523,6 +533,7 @@ def report_to_dict(report: RunReport) -> dict:
         },
         "utilization": {k: v.to_dict() for k, v in report.utilization.items()},
         "truncated": report.truncated,
+        "jit": dict(report.jit),
     }
 
 
@@ -553,4 +564,5 @@ def report_from_json(doc) -> RunReport:
             k: UtilizationSummary.from_dict(v) for k, v in doc["utilization"].items()
         },
         truncated=doc["truncated"],
+        jit=dict(doc.get("jit", {})),  # absent in pre-JIT documents
     )

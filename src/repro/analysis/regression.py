@@ -45,12 +45,15 @@ DEFAULT_SPEEDUP_REL_TOL = 0.5
 #: per-workload fields compared exactly (simulation determinism)
 _EXACT_FIELDS = ("iterations", "sim_ns", "instructions", "events", "parity")
 
-#: per-workload fields gated as lower-bounded ratios
-_SPEEDUP_FIELDS = ("speedup",)
+#: per-workload fields gated as lower-bounded ratios (a field missing on
+#: either side is skipped, so baselines predating the tracing-JIT tier's
+#: ``jit_speedup`` column still compare cleanly)
+_SPEEDUP_FIELDS = ("speedup", "jit_speedup")
 
 #: wall-clock fields carried into the report but never gated
 _INFO_FIELDS = (
     "wall_s_fast",
+    "wall_s_nojit",
     "wall_s_slow",
     "inst_per_sec_fast",
     "inst_per_sec_slow",

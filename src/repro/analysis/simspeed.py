@@ -3,8 +3,9 @@
 The acceleration layer (docs/PERFORMANCE.md) promises two things at
 once: the fast paths change nothing the simulation can observe, and
 they make the wall clock meaningfully faster.  This module measures
-both on interpreted workloads, running each one twice — all
-``FlickConfig`` fast-path toggles on, then all off — and reporting:
+both on interpreted workloads, running each one three ways — all
+``FlickConfig`` fast-path toggles on (tracing JIT included), JIT off
+with the other fast paths on, then everything off — and reporting:
 
 * wall-clock seconds per config (best of ``repeats`` runs),
 * simulated instructions per wall second (from the ``*.inst`` counters),
@@ -39,6 +40,7 @@ __all__ = [
     "HostedSpeedResult",
     "WORKLOADS",
     "fast_config",
+    "nojit_config",
     "slow_config",
     "measure_simspeed",
     "measure_all",
@@ -92,11 +94,20 @@ class SimSpeedResult:
     events_per_sec_slow: float
     sim_ns: float
     parity: bool
+    #: Same run with every fast path on except the tracing JIT — isolates
+    #: the JIT tier's marginal contribution (jit_speedup = nojit / fast).
+    wall_s_nojit: float = 0.0
+    jit_speedup: float = 1.0
 
 
 def fast_config() -> FlickConfig:
-    """All fast paths on (the defaults)."""
+    """All fast paths on (the defaults), tracing JIT included."""
     return FlickConfig()
+
+
+def nojit_config() -> FlickConfig:
+    """All fast paths on except the tracing-JIT tier."""
+    return FlickConfig(jit_enabled=False)
 
 
 def slow_config() -> FlickConfig:
@@ -105,6 +116,7 @@ def slow_config() -> FlickConfig:
         decode_cache=False,
         translation_fast_path=False,
         engine_fast_path=False,
+        jit_enabled=False,
     )
 
 
@@ -141,20 +153,26 @@ def measure_simspeed(
     # allocator and code warm-up that would skew the fast/slow ratio.
     _run_once(source, max(10, n // 10), fast_config())
     _run_once(source, max(10, n // 10), slow_config())
-    fast = slow = None
-    wall_fast = wall_slow = float("inf")
+    fast = nojit = slow = None
+    wall_fast = wall_nojit = wall_slow = float("inf")
     for _ in range(max(1, repeats)):
         run = _run_once(source, n, fast_config())
         wall_fast = min(wall_fast, run["wall"])
         fast = run
+        run = _run_once(source, n, nojit_config())
+        wall_nojit = min(wall_nojit, run["wall"])
+        nojit = run
         run = _run_once(source, n, slow_config())
         wall_slow = min(wall_slow, run["wall"])
         slow = run
-    parity = (
-        fast["retval"] == slow["retval"]
-        and fast["sim_ns"] == slow["sim_ns"]
-        and fast["stats"] == slow["stats"]
-        and fast["events"] == slow["events"]
+    # Three-way parity: JIT-on, JIT-off and all-slow must agree on every
+    # simulated observable bit-for-bit.
+    parity = all(
+        fast["retval"] == other["retval"]
+        and fast["sim_ns"] == other["sim_ns"]
+        and fast["stats"] == other["stats"]
+        and fast["events"] == other["events"]
+        for other in (nojit, slow)
     )
     return SimSpeedResult(
         workload=workload,
@@ -170,6 +188,8 @@ def measure_simspeed(
         events_per_sec_slow=slow["events"] / wall_slow,
         sim_ns=fast["sim_ns"],
         parity=parity,
+        wall_s_nojit=wall_nojit,
+        jit_speedup=wall_nojit / wall_fast,
     )
 
 
@@ -277,12 +297,13 @@ def write_report(
 def render(results: List[SimSpeedResult]) -> str:
     lines = [
         f"{'workload':<16} {'fast':>8} {'slow':>8} {'speedup':>8} "
-        f"{'Minst/s':>8} {'Mev/s':>8} {'parity':>7}"
+        f"{'jit':>7} {'Minst/s':>8} {'Mev/s':>8} {'parity':>7}"
     ]
     for r in results:
         lines.append(
             f"{r.workload:<16} {r.wall_s_fast:>7.3f}s {r.wall_s_slow:>7.3f}s "
-            f"{r.speedup:>7.2f}x {r.inst_per_sec_fast / 1e6:>8.3f} "
+            f"{r.speedup:>7.2f}x {r.jit_speedup:>6.2f}x "
+            f"{r.inst_per_sec_fast / 1e6:>8.3f} "
             f"{r.events_per_sec_fast / 1e6:>8.3f} {str(r.parity):>7}"
         )
     return "\n".join(lines)

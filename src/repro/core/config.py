@@ -165,6 +165,21 @@ class FlickConfig:
     translation_fast_path: bool = True  # flat page-granular host translations
     engine_fast_path: bool = True      # DES zero-delay now-queue
 
+    # ---- tracing-JIT tier (docs/PERFORMANCE.md) ----------------------------
+    # Hot straight-line/loop superblocks detected by per-entry-PC backedge
+    # counters are compiled into flat micro-op lists that execute without
+    # generator dispatch, charging the exact per-pause time sequence in
+    # one consolidated sleep_until per region (collapsed pauses are
+    # credited to the DES event counter, so event counts stay
+    # tier-comparable).  Any condition the compiled form cannot express —
+    # page fault, NX transition, env call, code-generation invalidation,
+    # slow (cross-PCIe) memory route — bails out to the interpreter at a
+    # precise architectural state.  Pinned bit-identical (retval, sim ns,
+    # stats, event count) by tests/core/test_jit_parity.py.
+    jit_enabled: bool = True           # tracing-JIT superblock tier
+    jit_hot_threshold: int = 20        # backedge hits before compilation
+    jit_max_superblock: int = 64       # max instructions per superblock
+
     # ---- metrics layer (docs/OBSERVABILITY.md) -----------------------------
     # Gauges and histograms (the derived-metrics tier of StatRegistry):
     # per-leg latency histograms, scheduler queue-depth gauges.  Pure

@@ -64,6 +64,10 @@ class HostThread:
             stats=machine.stats,
             name=f"host.{task.name}",
             decode_cache=machine.cfg.decode_cache,
+            jit=machine.cfg.jit_enabled,
+            jit_hot_threshold=machine.cfg.jit_hot_threshold,
+            jit_max_superblock=machine.cfg.jit_max_superblock,
+            trace=machine.trace,
         )
         self.core = None
         self.result: Optional[int] = None
@@ -408,6 +412,10 @@ class HostThread:
                 stats=machine.stats,
                 name=f"fallback.{task.name}",
                 decode_cache=cfg.decode_cache,
+                jit=cfg.jit_enabled,
+                jit_hot_threshold=cfg.jit_hot_threshold,
+                jit_max_superblock=cfg.jit_max_superblock,
+                trace=machine.trace,
             )
         retval = yield from self._run_fallback(target, args)
         machine.stats.observe("latency.degraded_session_ns", self.sim.now - session_start)

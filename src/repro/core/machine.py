@@ -154,6 +154,30 @@ class FlickMachine:
         """True when a fault plan is armed (protocol hardening active)."""
         return self.injector is not None
 
+    def jit_stats(self) -> Dict[str, float]:
+        """Aggregate tracing-JIT counters across every core.
+
+        Kept separate from :attr:`stats` on purpose: the JIT tier must
+        be invisible to the parity-pinned stat snapshot (JIT-on and
+        JIT-off runs compare bit-identical), so its observability rides
+        in this sidecar instead — surfaced by ``python -m repro
+        profile`` and the metrics report.
+        """
+        out: Dict[str, float] = {}
+        engines = []
+        for thread in self.threads:
+            engines.append(getattr(thread.cpu, "_jit", None))
+            fallback = getattr(thread, "_fallback_cpu", None)
+            if fallback is not None:
+                engines.append(getattr(fallback, "_jit", None))
+        engines.append(getattr(self.nxp.cpu, "_jit", None))
+        for engine in engines:
+            if engine is None:
+                continue
+            for key, value in engine.counters().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
     # -- program lifecycle ----------------------------------------------------------
 
     def compile(self, source: str, entry: str = "main") -> Executable:

@@ -79,6 +79,10 @@ class NxpPlatform:
             stats=machine.stats,
             name="nxp.core",
             decode_cache=self.cfg.decode_cache,
+            jit=self.cfg.jit_enabled,
+            jit_hot_threshold=self.cfg.jit_hot_threshold,
+            jit_max_superblock=self.cfg.jit_max_superblock,
+            trace=machine.trace,
         )
         self._staging: Optional[int] = None
         self._proc = None

@@ -109,6 +109,11 @@ class TranslationCache:
 class HostMemoryPort:
     """A host core's view of one process's address space."""
 
+    #: NX sense enforced on instruction fetch: pages whose NX bit equals
+    #: this value are executable through this port.  The JIT tier's
+    #: trace compiler validates code pages against it (repro.isa.jit).
+    exec_nx_sense = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -213,6 +218,8 @@ class FallbackMemoryPort(HostMemoryPort):
     host port; NxP-resident data (BRAM stack, BAR0 windows) is reached
     over PCIe at host cost, which is part of the degradation penalty.
     """
+
+    exec_nx_sense = True  # inverted: NX-set pages are the executable ones
 
     def fetch(self, vaddr: int, nbytes: int) -> Generator:
         delta, _writable, nx = self.tcache.entry(vaddr)

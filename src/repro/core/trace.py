@@ -80,6 +80,9 @@ EVENT_CATEGORIES: Dict[str, str] = {
     "irq": "kernel",
     "task_wake": "kernel",
     "minor_fault": "kernel",
+    # tracing-JIT tier (repro.isa.jit)
+    "jit_compile": "jit",
+    "jit_invalidate": "jit",
     # device-scoped events/spans (interconnect)
     "dma.h2n": "device",
     "dma.n2h": "device",

@@ -143,6 +143,10 @@ class Interpreter:
         stats: Optional[StatRegistry] = None,
         name: str = "cpu",
         decode_cache: bool = True,
+        jit: bool = False,
+        jit_hot_threshold: int = 20,
+        jit_max_superblock: int = 64,
+        trace=None,
     ):
         if isa not in ("hisa", "nisa"):
             raise ValueError(f"unknown isa {isa!r}")
@@ -179,11 +183,24 @@ class Interpreter:
         if isa == "hisa":
             mem_ops.add(Op.RET)  # pops the return address off the stack
         self._gen_ops = frozenset(mem_ops)
+        # Tracing-JIT tier (repro.isa.jit): hot backward-branch targets
+        # compile to superblocks that bypass the per-instruction
+        # generator machinery entirely.  None when disabled or the port
+        # lacks the contracts the compiled executors need.
+        self._jit = None
+        if jit:
+            from repro.isa.jit import JitEngine
+
+            self._jit = JitEngine.for_interpreter(
+                self, jit_hot_threshold, jit_max_superblock, trace
+            )
 
     def invalidate_decode_cache(self) -> None:
         """Drop all cached decodes (e.g. on an address-space switch)."""
         self._decode_cache.clear()
         self._decode_gen = None
+        if self._jit is not None:
+            self._jit.invalidate("switch")
 
     # -- ABI helpers used by the runtime ---------------------------------------
 
@@ -239,6 +256,15 @@ class Interpreter:
             raise ReturnToRuntime(self.retval)
 
         port = self.port
+        jit = self._jit
+        if jit is not None:
+            blk = jit._blocks.get(pc)
+            if blk is not None:
+                if blk.gen == port.code_generation:
+                    yield from jit.execute(blk)
+                    return
+                jit.invalidate("codegen")
+
         gen = None
         cached = None
         if self._decode_cache_enabled:
@@ -310,6 +336,11 @@ class Interpreter:
             yield from self._execute(inst, pc, length)
         elif not self._execute_sync(inst, pc, length):
             yield from self._execute(inst, pc, length)  # pragma: no cover
+        # Backward control transfer: the hot-loop signal the JIT tier
+        # keys compilation on (compilation itself is pure — no simulated
+        # time, no stats — so noting it here cannot perturb parity).
+        if jit is not None and self.pc < pc:
+            jit.note_backedge(self.pc)
 
     def run(self, max_steps: int = 10_000_000) -> Generator:
         """Step until an exception transfers control out."""

@@ -110,6 +110,17 @@ class TLB:
         self._c_miss.value += 1
         return None
 
+    def probe(self, vaddr: int) -> Optional[TLBEntry]:
+        """Non-mutating :meth:`lookup`: no LRU movement, no stamp bump,
+        no hit/miss counters.  The JIT tier uses it to decide whether an
+        access can run on the compiled fast path *before* committing any
+        observable TLB bookkeeping (a miss bails to the interpreter,
+        which then performs the real, counted lookup)."""
+        for entry in self._entries:
+            if entry.vbase <= vaddr < entry.vbase + entry.page_size:
+                return entry
+        return None
+
     def insert(self, tr: Translation) -> TLBEntry:
         """Install a translation, evicting the LRU entry when full."""
         entry = TLBEntry(

@@ -294,9 +294,31 @@ class Simulator:
         self._seq = 0
         self._live_processes = 0
         self._error: Optional[BaseException] = None
-        #: total callbacks dispatched; the events/sec numerator of
-        #: benchmarks/bench_simspeed.py.
-        self.events_processed = 0
+        # Dispatched-callback count plus the JIT tier's event credit
+        # (see events_processed / credit_events).
+        self._events_dispatched = 0
+        self._event_credit = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Total processed DES events: callbacks actually dispatched
+        plus credited events (see :meth:`credit_events`).  This is the
+        events/sec numerator of ``benchmarks/bench_simspeed.py`` and a
+        pinned quantity of every fast-path parity contract.
+        """
+        return self._events_dispatched + self._event_credit
+
+    def credit_events(self, n: int) -> None:
+        """Credit ``n`` events that a consolidating fast path collapsed.
+
+        The tracing-JIT tier replays a superblock's exact sequence of
+        timed pauses arithmetically and emits one ``sleep_until`` for
+        the whole region; each collapsed pause would have been one
+        dispatched callback, so the tier credits them here to keep
+        ``events_processed`` bit-identical across tiers (the
+        tests/core/test_jit_parity.py contract).
+        """
+        self._event_credit += n
 
     # -- process / primitive construction ---------------------------------
 
@@ -347,7 +369,7 @@ class Simulator:
         queue = self._queue
         now_q = self._now_q
         heappop = heapq.heappop
-        events = self.events_processed
+        events = self._events_dispatched
         try:
             while queue or now_q:
                 if queue and queue[0][0] <= self.now:
@@ -373,7 +395,7 @@ class Simulator:
                         f"uncaught exception in simulated process at t={self.now}ns"
                     ) from exc
         finally:
-            self.events_processed = events
+            self._events_dispatched = events
         if until is not None:
             if self._live_processes > 0:
                 raise Deadlock(

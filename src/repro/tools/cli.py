@@ -333,6 +333,12 @@ def _cmd_profile(args, out) -> int:
                 file=out,
             )
         print(file=out)
+    jit = machine.jit_stats()
+    if jit.get("jit.compiled_blocks"):
+        print("jit tier:", file=out)
+        for key, value in sorted(jit.items()):
+            print(f"  {key} = {value:g}", file=out)
+        print(file=out)
     print("stats:", file=out)
     for key, value in sorted(outcome.stats.items()):
         print(f"  {key} = {value}", file=out)

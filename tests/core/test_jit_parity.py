@@ -1,0 +1,151 @@
+"""Bit-identical parity contract of the tracing-JIT tier.
+
+With ``jit_enabled`` on or off, a workload's observables must not move
+by one bit (docs/PERFORMANCE.md): return value, simulated nanoseconds,
+every stat counter, and the processed-DES-event count.  The matrix here
+covers both interpreter styles (host cores and the NxP), the all-slow
+reference config, hosted mode, and an armed-but-quiet fault plan (the
+hardened protocol paths active underneath compiled traces).
+
+The JIT's own telemetry deliberately lives *outside* the stat registry
+(``FlickMachine.jit_stats``), so the parity-pinned snapshot cannot see
+whether the tier ran — one test pins that separation too.
+"""
+
+from repro.analysis.simspeed import COMPUTE_LOOP, NULL_CALL_LOOP, slow_config
+from repro.core.config import FlickConfig
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.core.machine import FlickMachine
+from repro.sim.faults import FaultPlan, FaultRule
+
+#: A NISA-side hot loop: the whole body (including the BRAM stack
+#: spills the compiler emits) must compile on the NxP interpreter.
+NXP_LOOP = """
+@nxp func work(n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) { acc = acc + i * 2; i = i + 1; }
+    return acc;
+}
+func main(n) { return work(n); }
+"""
+
+#: Armed but quiet: activates every hardened path, never fires
+#: (tests/core/test_fault_parity.py).
+QUIET_PLAN = FaultPlan(
+    rules=(FaultRule("dma_drop", after_ns=1e18, count=None),), seed=5, name="quiet"
+)
+
+JIT_ON = FlickConfig()
+JIT_OFF = FlickConfig(jit_enabled=False)
+
+
+def _run(source, args, cfg):
+    machine = FlickMachine(cfg)
+    outcome = machine.run_program(source, args=args)
+    probe = {
+        "retval": outcome.retval,
+        "sim_ns": outcome.sim_time_ns,
+        "stats": outcome.stats,
+        "events": machine.sim.events_processed,
+    }
+    return machine, probe
+
+
+class TestInterpretedParity:
+    """Host-core and NxP loops, JIT on vs off vs everything-off."""
+
+    def test_compute_loop(self):
+        on_machine, on = _run(COMPUTE_LOOP, [400], JIT_ON)
+        _, off = _run(COMPUTE_LOOP, [400], JIT_OFF)
+        assert on == off
+        # The contract is only meaningful if traces actually ran.
+        stats = on_machine.jit_stats()
+        assert stats["jit.compiled_blocks"] > 0
+        assert stats["jit.block_inst_total"] > 0
+
+    def test_null_call_loop(self):
+        on_machine, on = _run(NULL_CALL_LOOP, [60], JIT_ON)
+        _, off = _run(NULL_CALL_LOOP, [60], JIT_OFF)
+        assert on == off
+        assert on_machine.jit_stats()["jit.compiled_blocks"] > 0
+
+    def test_nxp_loop(self):
+        on_machine, on = _run(NXP_LOOP, [150], JIT_ON)
+        _, off = _run(NXP_LOOP, [150], JIT_OFF)
+        assert on == off
+        # The hot loop lives on the NxP core: its engine, not the host's,
+        # must have compiled and executed the trace.
+        nxp_engine = on_machine.nxp.cpu._jit
+        assert nxp_engine is not None
+        assert nxp_engine.compiled_blocks > 0
+        assert nxp_engine.block_exec_total > 0
+
+    def test_against_all_slow(self):
+        _, on = _run(COMPUTE_LOOP, [200], JIT_ON)
+        _, slow = _run(COMPUTE_LOOP, [200], slow_config())
+        assert on == slow
+
+    def test_jit_telemetry_stays_out_of_stats(self):
+        machine, probe = _run(COMPUTE_LOOP, [200], JIT_ON)
+        assert not any(key.startswith("jit.") for key in probe["stats"])
+        assert machine.jit_stats()["jit.compiled_blocks"] > 0
+
+
+class TestArmedQuietPlanParity:
+    """Hardened migration paths active under compiled traces.
+
+    Both sides arm the same plan, so watchdog events exist on both and
+    even the event count stays pinned.
+    """
+
+    def test_null_call_loop_armed(self):
+        on_cfg = QUIET_PLAN.apply(JIT_ON)
+        off_cfg = QUIET_PLAN.apply(JIT_OFF)
+        on_machine, on = _run(NULL_CALL_LOOP, [40], on_cfg)
+        _, off = _run(NULL_CALL_LOOP, [40], off_cfg)
+        assert on == off
+        assert on_machine.hardened
+        assert on_machine.jit_stats()["jit.compiled_blocks"] > 0
+
+    def test_nxp_loop_armed(self):
+        on_machine, on = _run(NXP_LOOP, [120], QUIET_PLAN.apply(JIT_ON))
+        _, off = _run(NXP_LOOP, [120], QUIET_PLAN.apply(JIT_OFF))
+        assert on == off
+        assert on_machine.nxp.cpu._jit.compiled_blocks > 0
+
+
+def _hosted_program():
+    prog = HostedProgram()
+
+    @prog.nxp()
+    def accel(ctx, x):
+        return x * 3 + 1
+        yield
+
+    @prog.host()
+    def main(ctx, n):
+        total = 0
+        for i in range(n):
+            total += yield from ctx.call("accel", total + i)
+        return total
+
+    return prog
+
+
+class TestHostedParity:
+    """Hosted mode has no interpreter loop for the tier to enter; the
+    toggle must still be a strict no-op on every observable."""
+
+    def _run(self, cfg):
+        hosted = HostedMachine(_hosted_program(), cfg=cfg)
+        out = hosted.run("main", [5])
+        return {
+            "retval": out.retval,
+            "sim_ns": out.sim_time_ns,
+            "stats": out.stats,
+            "events": hosted.sim.events_processed,
+        }
+
+    def test_hosted_toggle_is_invisible(self):
+        assert self._run(JIT_ON) == self._run(JIT_OFF)
