@@ -25,6 +25,15 @@ from repro.analysis.regression import (
     compare_files,
     render_regression,
 )
+from repro.analysis.serving import (
+    RequestRecord,
+    ServingResult,
+    TrafficConfig,
+    generate_arrivals,
+    run_serving,
+    saturation_point,
+    sweep_latency_vs_load,
+)
 from repro.analysis.simspeed import SimSpeedResult, measure_simspeed
 from repro.analysis.sweep import parallel_map, resolve_workers
 from repro.analysis.tables import (
@@ -71,4 +80,11 @@ __all__ = [
     "compare",
     "compare_files",
     "render_regression",
+    "TrafficConfig",
+    "RequestRecord",
+    "ServingResult",
+    "generate_arrivals",
+    "run_serving",
+    "sweep_latency_vs_load",
+    "saturation_point",
 ]

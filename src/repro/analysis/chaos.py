@@ -36,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.config import DEFAULT_CONFIG, FlickConfig
 from repro.core.errors import ProcessCrash, WorkloadHung
 from repro.core.hosted import HostedMachine, HostedProgram
-from repro.core.machine import FlickMachine
+from repro.core.machine import FlickMachine, signed_retval
 from repro.sim.engine import Deadlock, SimulationError
 from repro.sim.faults import FaultPlan, builtin_plans
 from repro.workloads.pointer_chase import build_chain
@@ -121,9 +121,7 @@ def _run_null_call(cfg: FlickConfig, bound_ns: float) -> _Probe:
         else:
             raise
     done = thread.task.state.value == "done"
-    retval = thread.result if done else None
-    if retval is not None and retval >> 63:
-        retval -= 1 << 64
+    retval = signed_retval(thread.result) if done else None
     stats = machine.stats.snapshot()
     return _Probe(
         retval=retval,
@@ -171,7 +169,11 @@ def _run_pointer_chase(cfg: FlickConfig, bound_ns: float) -> _Probe:
     sim_ns = 0.0
     try:
         out = hosted.run("main", [head, CHASE_NODES - 1, CHASE_CALLS], until=bound_ns)
-        retval = out.retval
+        # Hosted outcomes carry the raw u64 return register; apply the
+        # same two's-complement fixup as the interpreted probe so a
+        # body that legitimately returns a negative value classifies
+        # against its golden run instead of reading as a huge positive.
+        retval = signed_retval(out.retval)
         sim_ns = out.sim_time_ns
         done = True
     except WorkloadHung:

@@ -183,6 +183,11 @@ class RunReport:
     #: tracing-JIT tier telemetry (``FlickMachine.jit_stats``): kept out
     #: of ``stats`` so the parity-pinned snapshot never sees the tier
     jit: Dict[str, float] = field(default_factory=dict)
+    #: spans still open when the report was built (hung legs / in-flight
+    #: requests) — their time is absent from every histogram above
+    open_spans: int = 0
+    #: span lifecycle violations recorded by the trace (double closes)
+    span_anomalies: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -287,8 +292,15 @@ def device_utilization(
     trace: MigrationTrace,
     t_end: float,
     slices: int = TIMELINE_SLICES,
+    t_start: float = 0.0,
 ) -> Dict[str, UtilizationSummary]:
     """Per-device busy fractions from span interval unions.
+
+    ``t_start`` restricts the measurement to the window ``[t_start,
+    t_end]`` — the serving harness uses it to exclude setup time (chain
+    building, first-migration stack allocation) from steady-state
+    utilization.  Intervals are clipped to the window and fractions are
+    of the window's width.
 
     Definitions (docs/OBSERVABILITY.md):
 
@@ -317,14 +329,23 @@ def device_utilization(
         + _span_intervals(trace, "n2h_host_exec")
     )
 
+    width = t_end - t_start
     for device, intervals in (("host_core", host), ("nxp", nxp), ("dma", dma)):
+        if t_start > 0.0:
+            # Clip to the window, then shift to window-relative time so
+            # the slice math below stays over [0, width].
+            intervals = [
+                (max(start, t_start) - t_start, min(end, t_end) - t_start)
+                for start, end in intervals
+                if end > t_start and start < t_end
+            ]
         busy = _total(intervals)
         out[device] = UtilizationSummary(
             device=device,
             busy_ns=busy,
-            total_ns=t_end,
-            fraction=busy / t_end if t_end > 0 else 0.0,
-            timeline=_timeline(intervals, t_end, slices),
+            total_ns=width,
+            fraction=busy / width if width > 0 else 0.0,
+            timeline=_timeline(intervals, width, slices),
         )
     return out
 
@@ -363,6 +384,8 @@ def build_run_report(
         utilization=device_utilization(trace, t_end, slices=slices),
         truncated=trace.truncated,
         jit=machine.jit_stats() if hasattr(machine, "jit_stats") else {},
+        open_spans=len(trace.open_spans()),
+        span_anomalies=trace.span_anomalies,
     )
 
 
@@ -512,6 +535,14 @@ def render_openmetrics(report: RunReport) -> str:
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric}_total {_fmt(report.jit[key])}")
 
+    # trace health: work the histograms above could not see
+    open_metric = _metric_name("trace_open_spans")
+    lines.append(f"# TYPE {open_metric} gauge")
+    lines.append(f"{open_metric} {report.open_spans}")
+    anomaly_metric = _metric_name("trace_span_anomalies")
+    lines.append(f"# TYPE {anomaly_metric} counter")
+    lines.append(f"{anomaly_metric}_total {report.span_anomalies}")
+
     sim_metric = _metric_name("sim_time_ns")
     lines.append(f"# TYPE {sim_metric} gauge")
     lines.append(f"{sim_metric} {_fmt(report.sim_ns)}")
@@ -534,6 +565,8 @@ def report_to_dict(report: RunReport) -> dict:
         "utilization": {k: v.to_dict() for k, v in report.utilization.items()},
         "truncated": report.truncated,
         "jit": dict(report.jit),
+        "open_spans": report.open_spans,
+        "span_anomalies": report.span_anomalies,
     }
 
 
@@ -565,4 +598,6 @@ def report_from_json(doc) -> RunReport:
         },
         truncated=doc["truncated"],
         jit=dict(doc.get("jit", {})),  # absent in pre-JIT documents
+        open_spans=int(doc.get("open_spans", 0)),  # absent pre-serving
+        span_anomalies=int(doc.get("span_anomalies", 0)),
     )

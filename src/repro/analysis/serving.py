@@ -1,0 +1,562 @@
+"""Serving-traffic harness: open-loop load, QPS sweeps, tail latency.
+
+Every other workload in this repository is a closed-loop single-process
+run: issue a call, wait, issue the next.  A serving system is measured
+the other way around — requests arrive on *their* schedule, not the
+machine's, and the question is what happens to the latency distribution
+as offered load rises.  This module is that harness (the
+harness/workload-profile split follows llm-d-benchmark; the request
+programs live in :mod:`repro.workloads.serving_profiles`):
+
+* **Deterministic seeded traffic**: :func:`generate_arrivals` produces
+  the complete arrival schedule *closed-form* from the config before
+  the simulation starts — Poisson, bursty (on/off-modulated Poisson) or
+  uniform inter-arrivals — and :func:`draw_kinds` draws each request's
+  type from the scenario mix on an independent seeded stream.  Same
+  seed + config ⇒ bit-identical schedule, always.
+
+* **Open-loop mode**: each arrival is posted with
+  :meth:`~repro.sim.engine.Simulator.spawn_at` at its absolute instant,
+  so nothing the machine does can delay an arrival.  Arrivals land in
+  per-client FIFO queues (a fixed-size connection pool); a request's
+  latency runs from its *arrival* to its completion, so queueing delay
+  — the thing that explodes past saturation — is part of every
+  percentile reported.
+
+* **Closed-loop mode**: each client issues its next request only after
+  the previous one completes (plus optional think time) — the classic
+  paper-style measurement, kept for comparison.
+
+* **Reporting**: p50/p95/p99/mean session latency (exact order
+  statistics via :func:`repro.sim.stats.quantile`), achieved vs offered
+  requests/sec, per-device utilization over the serving window (from
+  the span machinery via
+  :func:`repro.analysis.metrics.device_utilization`), queue-wait, and a
+  per-request ``serve_request`` span in the trace.  A latency-vs-load
+  sweep (:func:`sweep_latency_vs_load`) fans points over
+  :func:`repro.analysis.sweep.parallel_map` and lands curves in a
+  ``BENCH_simspeed.json``-style document; :func:`saturation_point`
+  reads the knee off the curve.
+
+Everything is deterministic and wall-clock-free: a serving run is
+replayable bit-for-bit, and the sweep produces identical results at any
+worker count.  Exposed as ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import (
+    HistogramSummary,
+    UtilizationSummary,
+    device_utilization,
+)
+from repro.analysis.sweep import parallel_map
+from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.machine import FlickMachine, signed_retval
+from repro.sim.stats import Histogram, quantile
+from repro.workloads.serving_profiles import PROFILES, scenario_mix
+
+__all__ = [
+    "TrafficConfig",
+    "RequestRecord",
+    "ServingResult",
+    "generate_arrivals",
+    "draw_kinds",
+    "run_serving",
+    "sweep_latency_vs_load",
+    "saturation_point",
+    "render_serving_table",
+    "render_serving_openmetrics",
+    "serving_report_doc",
+    "write_serving_report",
+]
+
+ARRIVALS = ("poisson", "bursty", "uniform")
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One serving run, fully specified (hashable, picklable, frozen).
+
+    ``qps`` is offered load in requests per *simulated* second.  In
+    closed-loop mode the arrival schedule is ignored (completions pace
+    the clients) but ``qps`` is still recorded as the nominal point.
+    """
+
+    scenario: str = "null_call"
+    arrival: str = "poisson"  # poisson | bursty | uniform
+    qps: float = 1000.0
+    requests: int = 200
+    #: connection-pool size: max concurrently-served requests (open
+    #: mode) / number of request-issuing clients (closed mode)
+    clients: int = 8
+    mode: str = "open"  # open | closed
+    seed: int = 0
+    #: closed-loop think time between a completion and the next issue
+    think_ns: float = 0.0
+    #: bursty arrival shape: on/off cycle length and duty fraction; the
+    #: ON windows carry Poisson arrivals at rate qps/duty so the mean
+    #: offered load stays qps
+    burst_period_ns: float = 2_000_000.0
+    burst_duty: float = 0.25
+    #: host cores on the serving machine (FlickConfig.host_cores)
+    host_cores: int = 4
+
+    def validate(self) -> None:
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"unknown arrival {self.arrival!r} (know {ARRIVALS})")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r} (know {MODES})")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.qps <= 0:
+            raise ValueError("qps must be > 0")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise ValueError("burst_duty must be in (0, 1]")
+        scenario_mix(self.scenario)  # raises on unknown scenario
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request: timestamps in absolute simulated ns."""
+
+    index: int
+    kind: str
+    client: int
+    arrival_ns: float
+    start_ns: float  # dequeued by a client (== arrival in closed mode)
+    end_ns: float
+    ok: bool  # retval matched the profile's golden value
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.arrival_ns
+
+    @property
+    def wait_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+
+def _stream(seed: int, label: str) -> random.Random:
+    """An independent deterministic RNG stream.
+
+    String seeding is hashed with SHA-512 inside ``random.seed`` —
+    stable across processes and interpreter runs, unlike tuple seeds
+    (which go through PYTHONHASHSEED-randomized ``hash``).
+    """
+    return random.Random(f"flick-serving/{seed}/{label}")
+
+
+def generate_arrivals(tc: TrafficConfig) -> List[float]:
+    """The closed-form arrival schedule: ``requests`` offsets in ns.
+
+    Offsets are relative to the serving epoch, nondecreasing, and
+    depend only on the config — never on anything the simulation does.
+    The open-loop independence test pins observed arrival instants to
+    exactly this list even when the machine is saturated.
+    """
+    tc.validate()
+    rng = _stream(tc.seed, "arrivals")
+    out: List[float] = []
+    if tc.arrival == "uniform":
+        period = 1e9 / tc.qps
+        return [i * period for i in range(tc.requests)]
+    if tc.arrival == "poisson":
+        t = 0.0
+        for _ in range(tc.requests):
+            t += rng.expovariate(tc.qps) * 1e9
+            out.append(t)
+        return out
+    # bursty: Poisson at peak rate qps/duty, folded onto the ON windows
+    # of an on/off square wave — mean rate stays qps, but arrivals club
+    # together (the tail-latency stress a smooth Poisson never applies).
+    peak = tc.qps / tc.burst_duty
+    on_ns = tc.burst_period_ns * tc.burst_duty
+    busy = 0.0  # cumulative on-window time consumed
+    for _ in range(tc.requests):
+        busy += rng.expovariate(peak) * 1e9
+        cycles = int(busy // on_ns)
+        out.append(cycles * tc.burst_period_ns + (busy - cycles * on_ns))
+    return out
+
+
+def draw_kinds(tc: TrafficConfig) -> List[str]:
+    """Each request's type, drawn from the scenario mix.
+
+    A separate stream from the arrival schedule, so changing the mix
+    never perturbs the arrival instants (and vice versa).
+    """
+    mix = scenario_mix(tc.scenario)
+    rng = _stream(tc.seed, "mix")
+    kinds: List[str] = []
+    for _ in range(tc.requests):
+        draw = rng.random()
+        acc = 0.0
+        kind = mix[-1][0]
+        for name, weight in mix:
+            acc += weight
+            if draw < acc:
+                kind = name
+                break
+        kinds.append(kind)
+    return kinds
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run measured."""
+
+    config: TrafficConfig
+    records: List[RequestRecord]
+    #: observed arrival instants (absolute ns) in request-index order;
+    #: in open mode these equal epoch + generate_arrivals() exactly
+    arrivals_ns: List[float]
+    epoch_ns: float  # serving start (t0)
+    sim_ns: float  # last completion - epoch
+    offered_qps: float
+    achieved_qps: float
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    mean_ns: float
+    max_ns: float
+    mean_wait_ns: float
+    errors: int
+    kind_counts: Dict[str, int]
+    latency_histogram: HistogramSummary
+    utilization: Dict[str, UtilizationSummary] = field(default_factory=dict)
+    #: trace health after the run: both must be zero for a clean run
+    open_spans: int = 0
+    span_anomalies: int = 0
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        return [r.latency_ns for r in self.records]
+
+    def to_point(self) -> dict:
+        """One latency-vs-load curve point (JSON-friendly)."""
+        return {
+            "scenario": self.config.scenario,
+            "arrival": self.config.arrival,
+            "mode": self.config.mode,
+            "seed": self.config.seed,
+            "requests": len(self.records),
+            "clients": self.config.clients,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "p50_ns": self.p50_ns,
+            "p95_ns": self.p95_ns,
+            "p99_ns": self.p99_ns,
+            "mean_ns": self.mean_ns,
+            "max_ns": self.max_ns,
+            "mean_wait_ns": self.mean_wait_ns,
+            "errors": self.errors,
+            "sim_ns": self.sim_ns,
+            "kind_counts": dict(self.kind_counts),
+            "latency_histogram": self.latency_histogram.to_dict(),
+            "utilization": {
+                device: summary.fraction
+                for device, summary in self.utilization.items()
+            },
+            "open_spans": self.open_spans,
+            "span_anomalies": self.span_anomalies,
+        }
+
+
+def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> ServingResult:
+    """Serve one traffic config on a fresh machine; fully deterministic."""
+    tc.validate()
+    if cfg is None:
+        cfg = DEFAULT_CONFIG.with_overrides(host_cores=tc.host_cores)
+    machine = FlickMachine(cfg)
+    # Size the trace rings to the run so utilization and the per-request
+    # spans are derived from complete data, not a truncated window.
+    machine.trace.limit = max(machine.trace.limit, tc.requests * 150)
+    machine.trace.span_limit = max(machine.trace.span_limit, tc.requests * 40)
+    sim = machine.sim
+    trace = machine.trace
+
+    kinds = draw_kinds(tc)
+    clients = min(tc.clients, tc.requests)
+    epoch = sim.now
+
+    exes: Dict[str, object] = {}
+    procs: Dict[Tuple[int, str], object] = {}
+    arrivals_seen: List[Optional[float]] = [None] * tc.requests
+    records: List[Optional[RequestRecord]] = [None] * tc.requests
+
+    def _process_for(client: int, kind: str):
+        # One loaded process per (connection, request type), reused for
+        # every request that connection serves of that type — requests
+        # on one connection serialize, so reuse is race-free, and the
+        # profiles are re-entrant by construction.
+        key = (client, kind)
+        if key not in procs:
+            if kind not in exes:
+                exes[kind] = machine.compile(PROFILES[kind].source)
+            procs[key] = machine.load(exes[kind], name=f"c{client}.{kind}")
+        return procs[key]
+
+    def _serve_one(client: int, idx: int, kind: str, span):
+        profile = PROFILES[kind]
+        process = _process_for(client, kind)
+        start = sim.now
+        thread = machine.spawn(process, entry="main", args=profile.args)
+        yield thread.proc  # join: resumes when the request thread finishes
+        trace.close(span, client=client)
+        retval = signed_retval(thread.result)
+        records[idx] = RequestRecord(
+            index=idx,
+            kind=kind,
+            client=client,
+            arrival_ns=arrivals_seen[idx],
+            start_ns=start,
+            end_ns=sim.now,
+            ok=retval == profile.expected,
+        )
+        # Recycle the finished task's 64 KB NxP stack: BRAM would cap
+        # the run near 250 requests otherwise.
+        if thread.task.nxp_stack_base is not None:
+            machine.release_nxp_stack(thread.task.nxp_stack_base)
+
+    if tc.mode == "open":
+        offsets = generate_arrivals(tc)
+        channels = [sim.channel(f"client[{c}]") for c in range(clients)]
+        counts = [0] * clients
+        for idx in range(tc.requests):
+            counts[idx % clients] += 1
+
+        def _arrive(idx: int, kind: str):
+            # Runs at exactly epoch + offsets[idx]: the instant was
+            # fixed by spawn_at before the simulation started, so the
+            # arrival cannot be delayed by a congested machine — the
+            # open-loop property.  Queueing shows up as channel wait.
+            arrivals_seen[idx] = sim.now
+            span = trace.open_span("serve_request", kind=kind, index=idx)
+            channels[idx % clients].put((idx, kind, span))
+            return
+            yield  # unreachable; makes this function a generator
+
+        def _client(c: int):
+            for _ in range(counts[c]):
+                idx, kind, span = yield channels[c].get()
+                yield from _serve_one(c, idx, kind, span)
+
+        for idx, (off, kind) in enumerate(zip(offsets, kinds)):
+            sim.spawn_at(epoch + off, _arrive(idx, kind), name=f"arrive[{idx}]")
+        for c in range(clients):
+            sim.spawn(_client(c), name=f"client[{c}]")
+    else:  # closed loop: completions pace the clients
+
+        def _client(c: int):
+            for idx in range(c, tc.requests, clients):
+                kind = kinds[idx]
+                arrivals_seen[idx] = sim.now
+                span = trace.open_span("serve_request", kind=kind, index=idx)
+                yield from _serve_one(c, idx, kind, span)
+                if tc.think_ns > 0:
+                    yield sim.timeout(tc.think_ns)
+
+        for c in range(clients):
+            sim.spawn(_client(c), name=f"client[{c}]")
+
+    sim.run()
+
+    unserved = [i for i, r in enumerate(records) if r is None]
+    if unserved:
+        raise RuntimeError(
+            f"serving run quiesced with {len(unserved)} unserved request(s): "
+            f"{unserved[:5]}..."
+        )
+    done: List[RequestRecord] = records  # type: ignore[assignment]
+
+    latencies = [r.latency_ns for r in done]
+    t_end = max(r.end_ns for r in done)
+    window_ns = t_end - epoch
+    achieved = len(done) / (window_ns / 1e9) if window_ns > 0 else 0.0
+    offered = tc.qps if tc.mode == "open" else achieved
+    hist = Histogram("serve_latency_ns")
+    for value in latencies:
+        hist.observe(value)
+    kind_counts: Dict[str, int] = {}
+    for r in done:
+        kind_counts[r.kind] = kind_counts.get(r.kind, 0) + 1
+
+    return ServingResult(
+        config=tc,
+        records=done,
+        arrivals_ns=[r.arrival_ns for r in done],
+        epoch_ns=epoch,
+        sim_ns=window_ns,
+        offered_qps=offered,
+        achieved_qps=achieved,
+        p50_ns=quantile(latencies, 50),
+        p95_ns=quantile(latencies, 95),
+        p99_ns=quantile(latencies, 99),
+        mean_ns=sum(latencies) / len(latencies),
+        max_ns=max(latencies),
+        mean_wait_ns=sum(r.wait_ns for r in done) / len(done),
+        errors=sum(1 for r in done if not r.ok),
+        kind_counts=kind_counts,
+        latency_histogram=HistogramSummary.of(hist),
+        utilization=device_utilization(trace, t_end, t_start=epoch),
+        open_spans=len(trace.open_spans()),
+        span_anomalies=trace.span_anomalies,
+    )
+
+
+# ---------------------------------------------------------------------------
+# latency-vs-load sweep
+# ---------------------------------------------------------------------------
+
+
+def _sweep_job(tc: TrafficConfig) -> ServingResult:
+    """Module-level so the sweep pool can pickle it."""
+    return run_serving(tc)
+
+
+def sweep_latency_vs_load(
+    qps_list: Sequence[float],
+    base: Optional[TrafficConfig] = None,
+    workers: Optional[int] = None,
+) -> List[ServingResult]:
+    """One serving run per offered-QPS point, fanned over worker
+    processes; results come back in input order and are bit-identical
+    at any worker count (each point is an independent machine)."""
+    base = base if base is not None else TrafficConfig()
+    jobs = [replace(base, qps=float(qps)) for qps in qps_list]
+    return parallel_map(_sweep_job, jobs, workers=workers)
+
+
+def saturation_point(
+    results: Sequence[ServingResult], tolerance: float = 0.95
+) -> Optional[float]:
+    """The largest offered QPS the machine still keeps up with.
+
+    A point "keeps up" when achieved/offered >= ``tolerance`` (open
+    loop; closed-loop points always keep up by construction).  Returns
+    ``None`` when every point is past saturation.
+    """
+    good = [
+        r.offered_qps
+        for r in results
+        if r.offered_qps > 0 and r.achieved_qps / r.offered_qps >= tolerance
+    ]
+    return max(good) if good else None
+
+
+# ---------------------------------------------------------------------------
+# rendering / export
+# ---------------------------------------------------------------------------
+
+
+def render_serving_table(results: Sequence[ServingResult]) -> str:
+    """The latency-vs-load table ``python -m repro serve`` prints."""
+    rows = [
+        (
+            "offered_qps", "achieved", "p50_us", "p95_us", "p99_us",
+            "wait_us", "host", "nxp", "dma", "err",
+        )
+    ]
+    for r in results:
+        util = {d: s.fraction for d, s in r.utilization.items()}
+        rows.append(
+            (
+                f"{r.offered_qps:.0f}",
+                f"{r.achieved_qps:.0f}",
+                f"{r.p50_ns / 1000.0:.1f}",
+                f"{r.p95_ns / 1000.0:.1f}",
+                f"{r.p99_ns / 1000.0:.1f}",
+                f"{r.mean_wait_ns / 1000.0:.1f}",
+                f"{util.get('host_core', 0.0):.2f}",
+                f"{util.get('nxp', 0.0):.2f}",
+                f"{util.get('dma', 0.0):.2f}",
+                str(r.errors),
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    sat = saturation_point(results)
+    first = results[0]
+    lines.append("")
+    lines.append(
+        f"scenario={first.config.scenario} arrival={first.config.arrival} "
+        f"mode={first.config.mode} seed={first.config.seed} "
+        f"requests/point={len(first.records)} clients={first.config.clients}"
+    )
+    lines.append(
+        "saturation: "
+        + (f"~{sat:.0f} qps (last point with achieved/offered >= 0.95)"
+           if sat is not None else "below the lowest offered point")
+    )
+    return "\n".join(lines)
+
+
+def render_serving_openmetrics(results: Sequence[ServingResult]) -> str:
+    """Serving curves as OpenMetrics text (one series per offered QPS)."""
+    lines: List[str] = []
+    lines.append("# TYPE flick_serving_latency_ns histogram")
+    lines.append("# UNIT flick_serving_latency_ns nanoseconds")
+    for r in results:
+        labels = f'{{offered_qps="{r.offered_qps:g}",scenario="{r.config.scenario}"}}'
+        hist = r.latency_histogram
+        for le, cumulative in hist.buckets:
+            lines.append(
+                f'flick_serving_latency_ns_bucket{{offered_qps="{r.offered_qps:g}",'
+                f'scenario="{r.config.scenario}",le="{le:g}"}} {cumulative}'
+            )
+        lines.append(
+            f'flick_serving_latency_ns_bucket{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}",le="+Inf"}} {hist.count}'
+        )
+        lines.append(f"flick_serving_latency_ns_sum{labels} {hist.sum}")
+        lines.append(f"flick_serving_latency_ns_count{labels} {hist.count}")
+    lines.append("# TYPE flick_serving_achieved_qps gauge")
+    for r in results:
+        lines.append(
+            f'flick_serving_achieved_qps{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}"}} {r.achieved_qps}'
+        )
+    lines.append("# TYPE flick_serving_device_utilization gauge")
+    for r in results:
+        for device, summary in r.utilization.items():
+            lines.append(
+                f'flick_serving_device_utilization{{offered_qps="{r.offered_qps:g}",'
+                f'device="{device}"}} {summary.fraction}'
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def serving_report_doc(results: Sequence[ServingResult]) -> dict:
+    """A BENCH_simspeed.json-style document for the sweep."""
+    first = results[0].config if results else TrafficConfig()
+    return {
+        "benchmark": "serving",
+        "schema": "flick.serving.v1",
+        "scenario": first.scenario,
+        "arrival": first.arrival,
+        "mode": first.mode,
+        "seed": first.seed,
+        "saturation_qps": saturation_point(results),
+        "points": [r.to_point() for r in results],
+    }
+
+
+def write_serving_report(results: Sequence[ServingResult], path: str) -> dict:
+    doc = serving_report_doc(results)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    return doc

@@ -15,9 +15,11 @@ Determinism and safety rules:
   travel inside the job tuple.
 * Only *pool-setup* failures — unpicklable job function or job list,
   missing ``fork`` support, restricted environment — fall back to the
-  serial loop.  An exception raised *by a job* propagates to the caller
-  unchanged; it is never swallowed into a silent serial re-run (which
-  would execute every job twice and then raise anyway).
+  serial loop, and the fallback emits a :class:`RuntimeWarning` (a sweep
+  that silently loses parallelism looks identical but runs N× slower).
+  An exception raised *by a job* propagates to the caller unchanged; it
+  is never swallowed into a silent serial re-run (which would execute
+  every job twice and then raise anyway).
 
 Worker count resolution, in precedence order: explicit ``workers``
 argument, then the ``FLICK_SWEEP_WORKERS`` environment variable, then
@@ -85,14 +87,26 @@ def parallel_map(
     try:
         # Everything the pool would need to ship across the process
         # boundary must pickle; probing up front separates "the pool
-        # cannot run these jobs at all" from "a job failed".
+        # cannot run these jobs at all" from "a job failed".  The probe
+        # can only fail in known ways — pickling rejects the payload
+        # (PicklingError, or TypeError/AttributeError for lambdas,
+        # locals and closures), the platform has no ``fork`` start
+        # method (ValueError), or process creation itself fails
+        # (OSError).  Anything else is a real bug and must propagate.
         pickle.dumps(fn)
         pickle.dumps(jobs)
         # fork keeps workers cheap and lets jobs reference module state
         # already imported in the parent; unavailable on some platforms.
         ctx = multiprocessing.get_context("fork")
         pool = ctx.Pool(processes=count)
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError, OSError) as exc:
+        warnings.warn(
+            f"parallel_map fell back to serial execution "
+            f"({type(exc).__name__}: {exc}); results are identical but the "
+            f"sweep runs on one core",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return [fn(job) for job in jobs]
     with pool:
         return pool.map(fn, jobs)

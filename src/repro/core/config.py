@@ -148,6 +148,12 @@ class FlickConfig:
     nxp_stack_bytes: int = 64 * KB
     host_stack_bytes: int = 1 * MB
 
+    # ---- host topology -----------------------------------------------------
+    # Host cores in the scheduler pool.  The paper's machine has more,
+    # but two is enough for every single-process microbenchmark; the
+    # serving harness raises it to model a multi-core front end.
+    host_cores: int = 2
+
     # ---- memory map --------------------------------------------------------
     memory_map: MemoryMap = field(default_factory=MemoryMap)
 

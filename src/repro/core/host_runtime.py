@@ -70,6 +70,7 @@ class HostThread:
             trace=machine.trace,
         )
         self.core = None
+        self.proc = None  # sim Process handle, set by FlickMachine.spawn
         self.result: Optional[int] = None
         self.finished_at: Optional[float] = None
         self._staging: Optional[int] = None  # host DRAM descriptor buffer

@@ -44,9 +44,26 @@ from repro.toolchain.felf import Executable
 from repro.toolchain.flickc import compile_source
 from repro.toolchain.linker import link
 
-__all__ = ["FlickMachine", "ProgramOutcome"]
+__all__ = ["FlickMachine", "ProgramOutcome", "signed_retval"]
 
 MB = 1024 * 1024
+
+
+def signed_retval(value: Optional[int]) -> Optional[int]:
+    """Reinterpret a raw 64-bit register value as a signed integer.
+
+    Both interpreters and the hosted descriptor path hand back the
+    return register as an unsigned 64-bit word; every consumer that
+    shows the value to a user (ProgramOutcome, the chaos probes, the
+    serving harness) must apply the same two's-complement fixup or
+    negative returns surface as huge positives.  ``None`` (no result
+    yet) passes through, and already-signed values (hosted bodies that
+    returned a plain negative int without a descriptor crossing) are
+    left untouched — the fixup is idempotent.
+    """
+    if value is not None and value >= (1 << 63):
+        return value - (1 << 64)
+    return value
 
 
 @dataclass
@@ -71,8 +88,10 @@ class ProgramOutcome:
 class FlickMachine:
     """A simulated host + NxP system running the Flick protocol."""
 
-    def __init__(self, cfg: FlickConfig = DEFAULT_CONFIG, host_cores: int = 2):
+    def __init__(self, cfg: FlickConfig = DEFAULT_CONFIG, host_cores: Optional[int] = None):
         self.cfg = cfg
+        if host_cores is None:
+            host_cores = cfg.host_cores
         self.memory_map = cfg.memory_map
         self.sim = Simulator(fast_now_queue=cfg.engine_fast_path)
         self.stats = StatRegistry(metrics_enabled=cfg.metrics)
@@ -213,7 +232,11 @@ class FlickMachine:
         thread = HostThread(self, task, port)
         self.threads.append(thread)
         self.nxp.start()
-        self.sim.spawn(thread.thread_main(entry_addr, list(args)), name=task.name)
+        # Keep the sim-process handle: callers that interleave many
+        # threads (the serving harness) join on it with ``yield proc``.
+        thread.proc = self.sim.spawn(
+            thread.thread_main(entry_addr, list(args)), name=task.name
+        )
         return thread
 
     def run(self, until: Optional[float] = None) -> None:
@@ -247,8 +270,7 @@ class FlickMachine:
         process = self.load(exe, name=name)
         thread = self.spawn(process, entry=entry, args=args)
         self.run()
-        retval = thread.result
-        signed = retval - (1 << 64) if retval is not None and retval >> 63 else retval
+        signed = signed_retval(thread.result)
         stats_snapshot = self.stats.snapshot()
         return ProgramOutcome(
             retval=signed,
@@ -286,3 +308,16 @@ class FlickMachine:
 
         paddr = self.bram_phys.alloc(self.cfg.nxp_stack_bytes, align=4096)
         return NXP_STACK_VBASE + (paddr - self.memory_map.nxp_bram_base)
+
+    def release_nxp_stack(self, vaddr: int) -> None:
+        """Return a finished thread's NxP stack to the BRAM allocator.
+
+        BRAM is 16 MB and stacks are 64 KB, so a machine that never
+        recycles them caps out near 250 migrating tasks over its whole
+        lifetime.  The serving harness serves thousands of requests per
+        run, each on a fresh task — it frees each stack once the task
+        is done.  Only call this for tasks that can never migrate again.
+        """
+        from repro.os.loader import NXP_STACK_VBASE
+
+        self.bram_phys.free(self.memory_map.nxp_bram_base + (vaddr - NXP_STACK_VBASE))

@@ -108,6 +108,9 @@ EVENT_CATEGORIES: Dict[str, str] = {
     "degraded_call": "degraded",
     "degraded_n2h_call": "degraded",
     "degraded_done": "degraded",
+    # serving-traffic harness (repro.analysis.serving): one span per
+    # request, arrival -> completion (queueing delay included)
+    "serve_request": "serving",
 }
 
 
@@ -185,6 +188,10 @@ class MigrationTrace:
         self._open_handles: List[Span] = []  # stack-free device spans
         self.dropped = 0
         self.spans_dropped = 0
+        #: lifecycle violations: a handle closed twice, or a close on a
+        #: handle this trace never tracked (evicted or foreign).  Always
+        #: a bug in the emitter — surfaced in exports, never silent.
+        self.span_anomalies = 0
 
     # -- instant events ------------------------------------------------------
 
@@ -257,13 +264,26 @@ class MigrationTrace:
         return span
 
     def close(self, span: Optional[Span], **attrs) -> Optional[Span]:
-        """Close a span handle from :meth:`open_span` (None-safe)."""
-        if span is None or span.end is not None:
+        """Close a span handle from :meth:`open_span` (None-safe).
+
+        A double close, or a close on a handle this trace is not
+        tracking (evicted, or from another trace), increments
+        :attr:`span_anomalies` — both mean the emitter's span lifecycle
+        is broken, which would silently corrupt every duration-derived
+        metric if it just passed.
+        """
+        if span is None:
+            return None
+        if span.end is not None:
+            self.span_anomalies += 1
             return span
         try:
             self._open_handles.remove(span)
         except ValueError:
-            pass
+            # Not a handle we are tracking: close it anyway (the caller
+            # holds a real Span and the duration is still meaningful)
+            # but flag the lifecycle violation.
+            self.span_anomalies += 1
         span.end = self.sim.now
         span.attrs.update(attrs)
         self._finish(span)
@@ -352,7 +372,11 @@ class MigrationTrace:
                     "args": _jsonable_attrs(span.attrs),
                 }
             )
-        for span in self.open_spans():
+        open_spans = self.open_spans()
+        for span in open_spans:
+            # Unfinished at export: a hung device leg or a request still
+            # in flight.  Marked so a viewer (and the census) can tell
+            # them from spans that merely lost their end to truncation.
             trace_events.append(
                 {
                     "name": span.name,
@@ -361,7 +385,7 @@ class MigrationTrace:
                     "ts": span.start / 1000.0,
                     "pid": span.pid if span.pid is not None else 0,
                     "tid": span.pid if span.pid is not None else 0,
-                    "args": _jsonable_attrs(span.attrs),
+                    "args": {**_jsonable_attrs(span.attrs), "unfinished": True},
                 }
             )
         for event in self._events:
@@ -387,6 +411,8 @@ class MigrationTrace:
                 "dropped_events": self.dropped,
                 "dropped_spans": self.spans_dropped,
                 "truncated": self.truncated,
+                "open_spans": len(open_spans),
+                "span_anomalies": self.span_anomalies,
             },
         }
 
@@ -410,6 +436,11 @@ class MigrationTrace:
             lines.append(f"... {len(self._events) - limit} more events")
         if self.dropped:
             lines.append(f"!!! ring dropped {self.dropped} older events (truncated trace)")
+        open_count = len(self.open_spans())
+        if open_count:
+            lines.append(f"!!! {open_count} span(s) still open (unfinished work or a hung leg)")
+        if self.span_anomalies:
+            lines.append(f"!!! {self.span_anomalies} span lifecycle anomalies (double/foreign close)")
         return "\n".join(lines)
 
 

@@ -329,6 +329,20 @@ class Simulator:
         self._schedule(0.0, proc._resume_cb, None)
         return proc
 
+    def spawn_at(self, at: float, gen: Generator, name: str = "") -> Process:
+        """Register a process whose first step runs at absolute time ``at``.
+
+        The start instant is fixed when this is called — nothing that
+        happens in the simulation between now and ``at`` can move it.
+        Open-loop traffic generation relies on this: an arrival schedule
+        posted up front fires on time regardless of how congested the
+        machine is when each instant comes due.  ``at`` must be >= now.
+        """
+        proc = Process(self, gen, name=name)
+        self._live_processes += 1
+        self._schedule_at(at, proc._resume_cb, None)
+        return proc
+
     def timeout(self, delay: float) -> Timeout:
         return Timeout(delay)
 

@@ -13,6 +13,8 @@ Usage (also via ``python -m repro``):
     python -m repro chaos
     python -m repro chaos --plan nxp-crash --seed 3
     python -m repro chaos --plan-file myplan.json
+    python -m repro serve --qps 1000 5000 20000 --scenario null_call --seed 7
+    python -m repro serve --qps 2000 --scenario mixed --arrival bursty --out curve.json
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
@@ -33,6 +35,15 @@ crossed with fixed workloads on the hardened migration protocol, with a
 verdict per case (survived/degraded/crashed/hung/mismatch); exit 1 if
 any case hangs or returns a wrong value.  ``--plan``/``--plan-file``
 select plans, ``--seed`` reseeds them, ``--list`` shows what's built in.
+``serve`` replays deterministic seeded serving traffic (open- or
+closed-loop; Poisson, bursty or uniform arrivals; scenario request
+mixes) against one simulated machine per offered-QPS point and prints
+the latency-vs-load table — p50/p95/p99 session latency with queueing
+delay included, achieved vs offered throughput, per-device utilization,
+and the saturation point (docs/OBSERVABILITY.md's serving-metrics
+section); ``--out`` lands the curve as ``flick.serving.v1`` JSON,
+``--format openmetrics`` emits scrape-ready series, and ``--tolerance``
+turns the achieved/offered ratio into an exit-code gate (the CI smoke).
 ``bench`` measures simulator throughput with the fast paths on vs off
 (docs/PERFORMANCE.md); ``--quick`` shrinks the workloads to a
 sub-30-second smoke, ``--hosted`` adds the hosted-mode op-batching
@@ -201,6 +212,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list builtin plans and workloads, then exit"
     )
 
+    serve_p = sub.add_parser(
+        "serve", help="replay seeded serving traffic; latency-vs-load table"
+    )
+    serve_p.add_argument(
+        "--qps",
+        nargs="+",
+        type=float,
+        default=[1000.0],
+        metavar="QPS",
+        help="offered load point(s) in requests/sec of simulated time "
+        "(repeat values for a sweep; default: 1000)",
+    )
+    serve_p.add_argument(
+        "--scenario",
+        default="null_call",
+        help="request mix (null_call, pointer_chase, kv_filter, bfs, mixed)",
+    )
+    serve_p.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "uniform"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    serve_p.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="open loop (arrivals independent of completions, queueing "
+        "delay counted) or closed loop (default: open)",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="traffic seed (default: 0)")
+    serve_p.add_argument(
+        "--requests", type=int, default=200, help="requests per point (default: 200)"
+    )
+    serve_p.add_argument(
+        "--clients", type=int, default=8, help="connection-pool size (default: 8)"
+    )
+    serve_p.add_argument(
+        "--think-us",
+        type=float,
+        default=0.0,
+        help="closed-loop think time between requests, microseconds",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: one per point, capped at cores)",
+    )
+    serve_p.add_argument(
+        "--format",
+        choices=("table", "json", "openmetrics"),
+        default="table",
+        help="stdout format (default: table)",
+    )
+    serve_p.add_argument(
+        "--out", default=None, help="also write the flick.serving.v1 JSON report here"
+    )
+    serve_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="gate: exit 1 unless every point achieves at least FRAC of its "
+        "offered QPS and reports a finite p99 (the CI smoke check)",
+    )
+
     return parser
 
 
@@ -320,7 +398,8 @@ def _cmd_profile(args, out) -> int:
         print(render_breakdown(breakdown, machine.cfg.host_page_fault_ns), file=out)
         print(file=out)
     spans = trace.finished_spans()
-    if spans:
+    open_spans = trace.open_spans()
+    if spans or open_spans:
         print("spans:", file=out)
         census = {}
         for span in spans:
@@ -332,6 +411,14 @@ def _cmd_profile(args, out) -> int:
                 f"mean={total_us / len(durations):8.3f}us",
                 file=out,
             )
+        if open_spans:
+            unfinished = {}
+            for span in open_spans:
+                unfinished[span.name] = unfinished.get(span.name, 0) + 1
+            for name, count in sorted(unfinished.items()):
+                print(f"  {name:14s} n={count:4d} UNFINISHED", file=out)
+        if trace.span_anomalies:
+            print(f"  span anomalies: {trace.span_anomalies}", file=out)
         print(file=out)
     jit = machine.jit_stats()
     if jit.get("jit.compiled_blocks"):
@@ -448,6 +535,65 @@ def _cmd_chaos(args, out) -> int:
     return 1 if bad else 0
 
 
+def _cmd_serve(args, out) -> int:
+    import math
+
+    from repro.analysis.serving import (
+        TrafficConfig,
+        render_serving_openmetrics,
+        render_serving_table,
+        serving_report_doc,
+        sweep_latency_vs_load,
+        write_serving_report,
+    )
+
+    base = TrafficConfig(
+        scenario=args.scenario,
+        arrival=args.arrival,
+        mode=args.mode,
+        seed=args.seed,
+        requests=args.requests,
+        clients=args.clients,
+        think_ns=args.think_us * 1000.0,
+    )
+    try:
+        base.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    results = sweep_latency_vs_load(args.qps, base, workers=args.workers)
+
+    if args.format == "json":
+        import json
+
+        out.write(json.dumps(serving_report_doc(results), indent=2) + "\n")
+    elif args.format == "openmetrics":
+        out.write(render_serving_openmetrics(results))
+    else:
+        print(render_serving_table(results), file=out)
+    if args.out:
+        write_serving_report(results, args.out)
+        print(f"serving report -> {args.out}", file=out)
+
+    if args.tolerance is not None:
+        bad = []
+        for r in results:
+            ratio = r.achieved_qps / r.offered_qps if r.offered_qps > 0 else 0.0
+            if ratio < args.tolerance:
+                bad.append(f"{r.offered_qps:g} qps: achieved/offered {ratio:.3f}")
+            if not math.isfinite(r.p99_ns):
+                bad.append(f"{r.offered_qps:g} qps: no p99 (empty latency sample)")
+            if r.errors:
+                bad.append(f"{r.offered_qps:g} qps: {r.errors} wrong return value(s)")
+        if bad:
+            print("serve gate FAILED:", file=out)
+            for line in bad:
+                print(f"  {line}", file=out)
+            return 1
+        print(f"serve gate ok (tolerance {args.tolerance})", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -460,6 +606,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args, out)
 

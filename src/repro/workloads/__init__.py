@@ -14,6 +14,12 @@ from repro.workloads.pointer_chase import (
     run_pointer_chase,
     sweep_pointer_chase,
 )
+from repro.workloads.serving_profiles import (
+    PROFILES,
+    SCENARIOS,
+    RequestProfile,
+    scenario_mix,
+)
 
 __all__ = [
     "measure_h2n_roundtrip",
@@ -33,4 +39,8 @@ __all__ = [
     "run_kv_filter",
     "sweep_selectivity",
     "KVFilterResult",
+    "RequestProfile",
+    "PROFILES",
+    "SCENARIOS",
+    "scenario_mix",
 ]

@@ -1,0 +1,245 @@
+"""Request profiles and scenario mixes for the serving-traffic harness.
+
+The serving harness (``repro.analysis.serving``) replays production-ish
+traffic against one simulated machine: many concurrent requests, each a
+complete FlickC program run on its own task.  This module is the
+workload side of that split (modeled on llm-d-benchmark's
+harness/workload-profile separation): each :class:`RequestProfile` is
+one *request type* — a dual-ISA FlickC program, its ``main()``
+arguments, and the golden return value every served request is checked
+against — and each scenario is a weighted mix of request types.
+
+The four request types mirror the paper's evaluation workloads, scaled
+to per-request size:
+
+* ``null_call`` — a short loop of host→NxP→host migrations (Table III's
+  round trip as an RPC body); the minimum-work request.
+* ``pointer_chase`` — build a linked list in NxP DRAM from the host
+  (writes cross PCIe), then chase it on the NxP (Fig. 5's near-data
+  traversal).
+* ``kv_filter`` — fill a key table in NxP DRAM and scan it with a
+  modulo predicate on the NxP (the kv_filter near-data filter).
+* ``bfs`` — the Table IV pattern: host builds an adjacency graph in NxP
+  DRAM, the NxP traverses it, and every discovery migrates back for a
+  host-side visit (heavy bidirectional traffic).
+
+Every program here is **re-entrant by construction**: no mutable
+globals, all working state allocated fresh inside ``main`` — the
+harness reuses one loaded process per (client, request type) across
+sequential requests, and concurrent clients run concurrent processes,
+so shared-global state would corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "RequestProfile",
+    "PROFILES",
+    "SCENARIOS",
+    "scenario_mix",
+]
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One request type: a FlickC program plus its fixed invocation."""
+
+    kind: str
+    source: str
+    args: Tuple[int, ...]
+    #: golden return value; every served request is checked against it
+    expected: int
+
+
+NULL_CALL_SRC = """
+@nxp func rpc(x) { return x + 1; }
+func main(n) {
+    var i = 0;
+    var acc = 0;
+    while (i < n) { acc = rpc(acc); i = i + 1; }
+    return acc;
+}
+"""
+
+POINTER_CHASE_SRC = """
+@nxp func nxp_alloc(n) { return alloc(n); }
+
+// Host side: materialize the list in NxP DRAM (stores cross PCIe).
+func build(n) {
+    var base = nxp_alloc(n * 16);
+    var i = 0;
+    while (i < n) {
+        var node = base + i * 16;
+        var nxt = 0;
+        if (i + 1 < n) { nxt = base + (i + 1) * 16; }
+        store(node, i * 7);
+        store(node + 8, nxt);
+        i = i + 1;
+    }
+    return base;
+}
+
+@nxp func chase(head) {
+    var sum = 0;
+    var node = head;
+    while (node != 0) {
+        sum = sum + load(node);
+        node = load(node + 8);
+    }
+    return sum;
+}
+
+func main(n) { return chase(build(n)); }
+"""
+
+KV_FILTER_SRC = """
+@nxp func nxp_alloc(n) { return alloc(n); }
+
+@nxp func fill(table, n) {
+    var i = 0;
+    while (i < n) { store(table + i * 8, i * 13 % 97); i = i + 1; }
+    return 0;
+}
+
+@nxp func scan(table, n, m) {
+    var hits = 0;
+    var i = 0;
+    while (i < n) {
+        if (load(table + i * 8) % m == 0) { hits = hits + 1; }
+        i = i + 1;
+    }
+    return hits;
+}
+
+func main(n, m) {
+    var table = nxp_alloc(n * 8);
+    fill(table, n);
+    return scan(table, n, m);
+}
+"""
+
+# The Table IV pattern from examples/flickc_bfs.py, minus its
+# ``visit_count`` global (a serving process is reused across requests;
+# a cross-request accumulator would make the program non-re-entrant).
+BFS_SRC = """
+@nxp func nxp_alloc(n) { return alloc(n); }
+
+func host_note(v) { return v; }               // the per-discovery host work
+
+func add_edge(heads, nodes, slot, u, v) {
+    var node = nodes + slot * 16;
+    store(node, v);
+    store(node + 8, load(heads + u * 8));     // push-front
+    store(heads + u * 8, node);
+    return slot + 1;
+}
+
+func build_ring_with_chords(heads, nodes, n) {
+    var slot = 0;
+    var i = 0;
+    while (i < n) {
+        slot = add_edge(heads, nodes, slot, i, (i + 1) % n);          // ring
+        if (i % 3 == 0) {
+            slot = add_edge(heads, nodes, slot, i, (i + n / 2) % n);  // chord
+        }
+        i = i + 1;
+    }
+    return slot;
+}
+
+@nxp func bfs(heads, visited, frontier, source, n) {
+    store8(visited + source, 1);
+    store(frontier, source);
+    var head = 0;
+    var tail = 1;
+    var found = 1;
+    while (head < tail) {
+        var u = load(frontier + head * 8);
+        head = head + 1;
+        var node = load(heads + u * 8);
+        while (node != 0) {
+            var v = load(node);
+            if (load8(visited + v) == 0) {
+                store8(visited + v, 1);
+                store(frontier + tail * 8, v);
+                tail = tail + 1;
+                found = found + 1;
+                host_note(v);
+            }
+            node = load(node + 8);
+        }
+    }
+    return found;
+}
+
+func main(n) {
+    var heads = nxp_alloc(n * 8);
+    var visited = nxp_alloc(n);
+    var frontier = nxp_alloc(n * 8);
+    var nodes = nxp_alloc(2 * n * 16);
+    build_ring_with_chords(heads, nodes, n);
+    return bfs(heads, visited, frontier, 0, n);
+}
+"""
+
+_NULL_CALL_N = 2
+_CHASE_N = 16
+_KV_N = 24
+_KV_M = 3
+_BFS_N = 12
+
+PROFILES: Dict[str, RequestProfile] = {
+    "null_call": RequestProfile(
+        kind="null_call",
+        source=NULL_CALL_SRC,
+        args=(_NULL_CALL_N,),
+        expected=_NULL_CALL_N,
+    ),
+    "pointer_chase": RequestProfile(
+        kind="pointer_chase",
+        source=POINTER_CHASE_SRC,
+        args=(_CHASE_N,),
+        expected=sum(7 * i for i in range(_CHASE_N)),
+    ),
+    "kv_filter": RequestProfile(
+        kind="kv_filter",
+        source=KV_FILTER_SRC,
+        args=(_KV_N, _KV_M),
+        expected=sum(1 for i in range(_KV_N) if (i * 13 % 97) % _KV_M == 0),
+    ),
+    "bfs": RequestProfile(
+        kind="bfs",
+        source=BFS_SRC,
+        args=(_BFS_N,),
+        expected=_BFS_N,
+    ),
+}
+
+#: Scenario name -> weighted request-type mix (weights need not sum to
+#: one; they are normalized at draw time).  The single-type scenarios
+#: carry the paper workload names; ``mixed`` is a front-end-ish blend:
+#: mostly cheap RPCs, some scans, the occasional heavy graph request.
+SCENARIOS: Dict[str, List[Tuple[str, float]]] = {
+    "null_call": [("null_call", 1.0)],
+    "pointer_chase": [("pointer_chase", 1.0)],
+    "kv_filter": [("kv_filter", 1.0)],
+    "bfs": [("bfs", 1.0)],
+    "mixed": [
+        ("null_call", 0.50),
+        ("kv_filter", 0.25),
+        ("pointer_chase", 0.20),
+        ("bfs", 0.05),
+    ],
+}
+
+
+def scenario_mix(name: str) -> List[Tuple[str, float]]:
+    """The normalized ``(kind, weight)`` mix of one scenario."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r} (know {sorted(SCENARIOS)})")
+    mix = SCENARIOS[name]
+    total = sum(weight for _kind, weight in mix)
+    return [(kind, weight / total) for kind, weight in mix]

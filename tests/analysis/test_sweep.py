@@ -80,10 +80,23 @@ class TestParallelMap:
             (i, 10 * i + 1) for i in range(8)
         ]
 
-    def test_unpicklable_fn_falls_back_to_serial(self):
-        # A lambda cannot cross a process boundary; the runner must
-        # quietly run it in-process instead of blowing up.
-        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=4) == [2, 3, 4]
+    def test_unpicklable_fn_falls_back_to_serial_with_warning(self):
+        # A lambda cannot cross a process boundary; the runner must run
+        # it in-process instead of blowing up — but a sweep that lost
+        # its parallelism has to say so, not hide an N× slowdown.
+        with pytest.warns(RuntimeWarning, match="serial"):
+            assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=4) == [2, 3, 4]
+
+    def test_picklable_fn_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(_square, [1, 2, 3], workers=2) == [1, 4, 9]
+
+    def test_serial_shortcut_does_not_warn(self):
+        # workers=1 is a requested configuration, not a fallback.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
 
     def test_empty_input(self):
         assert parallel_map(_square, [], workers=4) == []

@@ -116,3 +116,75 @@ class TestCaseAPI:
         result = run_chaos_case(plan, "null_call", expected=999)
         assert result.verdict == "mismatch"
         assert not result.ok
+
+
+NEGATIVE_NULL_CALL_SRC = """
+@nxp func bump(x) { return x - 5; }
+func main(n) {
+    var i = 0;
+    var acc = 0;
+    while (i < n) { acc = bump(acc); i = i + 1; }
+    return acc;
+}
+"""
+
+
+class TestSignedRetval:
+    """Regression: the two's-complement fixup is one shared helper.
+
+    It used to be hand-duplicated per probe and *missing* from the
+    hosted pointer-chase probe, so any hosted workload returning a
+    negative value classified as ``mismatch`` against its own golden
+    run (both sides saw a huge positive — or worse, only one did).
+    """
+
+    def test_helper_contract(self):
+        from repro.core.machine import signed_retval
+
+        assert signed_retval(None) is None
+        assert signed_retval(0) == 0
+        assert signed_retval(41) == 41
+        assert signed_retval((1 << 64) - 20) == -20
+        # idempotent: an already-signed value passes through
+        assert signed_retval(-20) == -20
+
+    def test_interpreted_workload_returning_negative_survives(self, monkeypatch):
+        import repro.analysis.chaos as chaos
+
+        monkeypatch.setattr(chaos, "NULL_CALL_SRC", NEGATIVE_NULL_CALL_SRC)
+        plan = builtin_plans(3)["none"]
+        result = run_chaos_case(plan, "null_call", expected=-20)
+        assert result.verdict == "survived"
+        assert result.retval == -20
+
+    def test_hosted_workload_returning_negative_survives(self, monkeypatch):
+        # The NISA-side return crosses back to the host in a descriptor,
+        # which masks it to u64; without the probe-side fixup this case
+        # reads retval as 2**64 - 13 and classifies as mismatch.
+        import repro.analysis.chaos as chaos
+        from repro.core.hosted import HostedProgram
+
+        def negative_program():
+            prog = HostedProgram()
+
+            def near_data(ctx, x):
+                ctx.compute(10)
+                yield from ctx.maybe_flush()
+                return x - 14
+
+            prog.register("near_data", "nisa", near_data)
+
+            def main(ctx, head, count, calls):
+                last = 0
+                for _ in range(calls):
+                    last = yield from ctx.call("near_data", last)
+                return last
+
+            prog.register("main", "hisa", main)
+            return prog
+
+        monkeypatch.setattr(chaos, "_chase_program", negative_program)
+        plan = builtin_plans(3)["none"]
+        result = run_chaos_case(plan, "pointer_chase", expected=-14 * chaos.CHASE_CALLS)
+        assert result.verdict == "survived"
+        assert result.retval == -14 * chaos.CHASE_CALLS

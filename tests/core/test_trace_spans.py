@@ -203,6 +203,99 @@ class TestChromeExport:
         assert all(e["pid"] == 0 for e in irqs)
 
 
+class TestSpanLifecycleAnomalies:
+    """double-close and foreign-handle close are counted, never silent."""
+
+    def _trace(self):
+        from repro.sim.engine import Simulator
+
+        return MigrationTrace(Simulator())
+
+    def test_clean_lifecycle_counts_nothing(self):
+        trace = self._trace()
+        span = trace.open_span("dma.h2n")
+        trace.close(span)
+        assert trace.span_anomalies == 0
+
+    def test_double_close_counts_anomaly(self):
+        trace = self._trace()
+        span = trace.open_span("dma.h2n")
+        trace.close(span)
+        trace.close(span)
+        assert trace.span_anomalies == 1
+        # the span was finished exactly once
+        assert len(trace.finished_spans("dma.h2n")) == 1
+
+    def test_foreign_handle_close_counts_anomaly_but_finishes(self):
+        # A handle this trace never tracked (evicted, or from another
+        # trace): the close is flagged, but the span still lands in the
+        # finished set — its duration is real.
+        from repro.core.trace import Span
+
+        trace = self._trace()
+        stray = Span("dma.h2n", None, 0.0)
+        trace.close(stray)
+        assert trace.span_anomalies == 1
+        assert stray.end is not None
+        assert len(trace.finished_spans("dma.h2n")) == 1
+
+    def test_none_close_is_not_an_anomaly(self):
+        trace = self._trace()
+        assert trace.close(None) is None
+        assert trace.span_anomalies == 0
+
+    def test_normal_run_has_no_anomalies(self):
+        machine = FlickMachine()
+        machine.run_program(NULL_CALL, args=[3])
+        assert machine.trace.span_anomalies == 0
+
+
+class TestUnfinishedSpanExport:
+    """spans still open at export time are surfaced, not dropped."""
+
+    def _machine_with_open_span(self):
+        machine = FlickMachine()
+        machine.run_program(NULL_CALL, args=[2])
+        machine.trace.open_span("dma.h2n", nbytes=128)  # never closed
+        return machine
+
+    def test_open_spans_counted_in_chrome_export(self):
+        machine = self._machine_with_open_span()
+        doc = machine.trace.to_chrome()
+        assert doc["otherData"]["open_spans"] == 1
+        assert doc["otherData"]["span_anomalies"] == 0
+
+    def test_open_span_entries_marked_unfinished(self):
+        machine = self._machine_with_open_span()
+        doc = machine.trace.to_chrome()
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert len(begins) == 1
+        assert begins[0]["args"]["unfinished"] is True
+        assert begins[0]["name"] == "dma.h2n"
+
+    def test_render_flags_open_spans(self):
+        machine = self._machine_with_open_span()
+        assert "still open" in machine.trace.render()
+
+    def test_clean_run_exports_zero_open(self):
+        machine = FlickMachine()
+        machine.run_program(NULL_CALL, args=[2])
+        doc = machine.trace.to_chrome()
+        assert doc["otherData"]["open_spans"] == 0
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "B"]
+
+    def test_run_report_surfaces_open_spans(self):
+        from repro.analysis.metrics import build_run_report, report_from_json, render_json
+
+        machine = self._machine_with_open_span()
+        report = build_run_report(machine, allow_truncated=True)
+        assert report.open_spans == 1
+        assert report.span_anomalies == 0
+        # and the fields survive the JSON round trip
+        again = report_from_json(render_json(report))
+        assert again.open_spans == 1
+
+
 class TestDisabledTrace:
     def test_disabled_apis_are_null_safe(self):
         machine = FlickMachine()
