@@ -38,7 +38,7 @@ from repro.core.errors import ProcessCrash, WorkloadHung
 from repro.core.hosted import HostedMachine, HostedProgram
 from repro.core.machine import FlickMachine, signed_retval
 from repro.sim.engine import Deadlock, SimulationError
-from repro.sim.faults import FaultPlan, builtin_plans
+from repro.sim.faults import FaultPlan, FaultRule, builtin_plans
 from repro.workloads.pointer_chase import build_chain
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_BOUND_NS",
     "run_chaos_case",
     "run_chaos_matrix",
+    "run_multi_nxp_kill_case",
     "render_verdicts",
 ]
 
@@ -271,6 +272,83 @@ def run_chaos_matrix(
                 run_chaos_case(plan, name, cfg=cfg, bound_ns=bound_ns, expected=golden[name])
             )
     return results
+
+
+def run_multi_nxp_kill_case(
+    nxps: int = 2,
+    kill_device: int = 0,
+    kill_at_ns: float = 5_000.0,
+    kill_mode: str = "abrupt",
+    cfg: FlickConfig = DEFAULT_CONFIG,
+    bound_ns: float = DEFAULT_BOUND_NS,
+) -> ChaosResult:
+    """Kill one of ``nxps`` devices mid-run; survivors must finish.
+
+    The fleet drain contract (docs/FLEET.md): an abrupt kill strands
+    the dead device's in-flight opening legs, the watchdog recovers
+    them, and placement re-routes every later session to a survivor —
+    the workload completes with its correct value and no host-fallback.
+    Deliberately *not* part of the default chaos matrix (those plans
+    describe single-machine fault processes); this case is driven by
+    the fleet tests and the CI fleet smoke.
+    """
+    if nxps < 2:
+        raise ValueError("the kill case needs nxps >= 2 (survivors)")
+    # Arm the hardened protocol with a never-firing rule, then tighten
+    # the recovery knobs: one retry and a one-strike dead threshold is
+    # safe here because a single closed-loop workload never queues
+    # behind itself, so a watchdog trip really does mean a lost leg.
+    run_cfg = cfg.with_overrides(
+        nxp_count=nxps,
+        placement_policy="round_robin",
+        faults=(FaultRule("dma_drop", after_ns=1e18, count=None),),
+        fault_seed=1,
+        migration_watchdog_ns=50_000.0,
+        migration_retry_limit=1,
+        nxp_dead_threshold=1,
+    )
+    machine = FlickMachine(run_cfg)
+    process = machine.load(machine.compile(NULL_CALL_SRC))
+    thread = machine.spawn(process, args=[NULL_CALL_ITERS])
+
+    def _killer(sim):
+        yield sim.timeout(kill_at_ns)
+        machine.kill_nxp(kill_device, mode=kill_mode)
+
+    machine.sim.spawn(_killer(machine.sim), name="chaos-killer")
+    crash = None
+    try:
+        machine.sim.run(until=bound_ns)
+    except Deadlock:
+        pass
+    except SimulationError as exc:
+        if isinstance(exc.__cause__, ProcessCrash):
+            crash = exc.__cause__
+        else:
+            raise
+    done = thread.task.state.value == "done"
+    stats = machine.stats.snapshot()
+    probe = _Probe(
+        retval=signed_retval(thread.result) if done else None,
+        done=done,
+        sim_ns=thread.finished_at if thread.finished_at is not None else machine.sim.now,
+        degraded_calls=int(stats.get("degraded.calls", 0)),
+        faults_fired=machine.injector.fired_total if machine.injector else 0,
+        crash=crash,
+    )
+    expected = NULL_CALL_ITERS * 3
+    verdict, detail = _classify(probe, expected)
+    return ChaosResult(
+        plan=f"kill-dev{kill_device}-{kill_mode}@{kill_at_ns:.0f}ns",
+        workload="null_call",
+        verdict=verdict,
+        retval=probe.retval,
+        expected=expected,
+        sim_ns=probe.sim_ns,
+        degraded_calls=probe.degraded_calls,
+        faults_fired=probe.faults_fired,
+        detail=detail,
+    )
 
 
 def render_verdicts(results: Sequence[ChaosResult]) -> str:

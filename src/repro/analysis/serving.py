@@ -107,6 +107,18 @@ class TrafficConfig:
     burst_duty: float = 0.25
     #: host cores on the serving machine (FlickConfig.host_cores)
     host_cores: int = 4
+    #: NxP devices on the serving machine (FlickConfig.nxp_count); 1
+    #: keeps the exact single-device machine the pre-fleet harness built
+    nxps: int = 1
+    #: session-placement policy for nxps > 1 (repro.os.placement)
+    policy: str = "static"
+    #: chaos: kill device ``kill_device`` at epoch + ``kill_at_ns``
+    #: simulated ns (None = no kill).  ``abrupt`` mode arms a quiet
+    #: fault plan and tightens the watchdogs so in-flight sessions fail
+    #: over with bounded latency; ``drain`` only stops new placements.
+    kill_at_ns: Optional[float] = None
+    kill_device: int = 0
+    kill_mode: str = "abrupt"  # abrupt | drain
 
     def validate(self) -> None:
         if self.arrival not in ARRIVALS:
@@ -121,6 +133,23 @@ class TrafficConfig:
             raise ValueError("qps must be > 0")
         if not 0.0 < self.burst_duty <= 1.0:
             raise ValueError("burst_duty must be in (0, 1]")
+        if self.nxps < 1:
+            raise ValueError("nxps must be >= 1")
+        if self.nxps > 1:
+            from repro.os.placement import POLICIES
+
+            if self.policy not in POLICIES:
+                raise ValueError(
+                    f"unknown placement policy {self.policy!r} "
+                    f"(know {sorted(POLICIES)})"
+                )
+        if self.kill_at_ns is not None:
+            if self.nxps < 2:
+                raise ValueError("a kill run needs nxps >= 2 (survivors)")
+            if not 0 <= self.kill_device < self.nxps:
+                raise ValueError("kill_device out of range")
+            if self.kill_mode not in ("abrupt", "drain"):
+                raise ValueError(f"unknown kill mode {self.kill_mode!r}")
         scenario_mix(self.scenario)  # raises on unknown scenario
 
 
@@ -236,6 +265,12 @@ class ServingResult:
     #: trace health after the run: both must be zero for a clean run
     open_spans: int = 0
     span_anomalies: int = 0
+    #: multi-NxP only: sessions placed per device index (placement
+    #: sidecar counters); empty on a single-NxP run
+    device_sessions: Dict[int, int] = field(default_factory=dict)
+    #: NISA calls that completed via host-fallback emulation (all
+    #: devices down, or a kill run's tail) — from ``degraded.calls``
+    degraded_calls: int = 0
 
     @property
     def latencies_ns(self) -> List[float]:
@@ -268,6 +303,10 @@ class ServingResult:
             },
             "open_spans": self.open_spans,
             "span_anomalies": self.span_anomalies,
+            "nxps": self.config.nxps,
+            "policy": self.config.policy,
+            "device_sessions": {str(k): v for k, v in self.device_sessions.items()},
+            "degraded_calls": self.degraded_calls,
         }
 
 
@@ -275,7 +314,31 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
     """Serve one traffic config on a fresh machine; fully deterministic."""
     tc.validate()
     if cfg is None:
-        cfg = DEFAULT_CONFIG.with_overrides(host_cores=tc.host_cores)
+        overrides: Dict[str, object] = {"host_cores": tc.host_cores}
+        if tc.nxps > 1:
+            overrides["nxp_count"] = tc.nxps
+            overrides["placement_policy"] = tc.policy
+        if tc.kill_at_ns is not None and tc.kill_mode == "abrupt":
+            # An abrupt kill needs the hardened protocol: arm a quiet
+            # (never-firing) fault plan and tighten the recovery knobs
+            # so a leg lost to the killed device fails over in well
+            # under a millisecond instead of the conservative defaults'
+            # ~5 ms.  The watchdog must stay comfortably above the
+            # worst-case *queueing* delay at a loaded survivor, or a
+            # slow-but-healthy device gets latched DEAD too (retries
+            # are seq-deduplicated, so a trip itself is harmless — only
+            # the dead-threshold is destructive).  Kill runs should use
+            # single-leg scenarios (``null_call``) at moderate load; a
+            # mid-ladder leg lost to a kill is a ProcessCrash by design.
+            from repro.sim.faults import FaultRule
+
+            overrides["faults"] = (
+                FaultRule("dma_drop", after_ns=1e18, count=None),
+            )
+            overrides["migration_watchdog_ns"] = 250_000.0
+            overrides["migration_retry_limit"] = 1
+            overrides["nxp_dead_threshold"] = 1
+        cfg = DEFAULT_CONFIG.with_overrides(**overrides)
     machine = FlickMachine(cfg)
     # Size the trace rings to the run so utilization and the per-request
     # spans are derived from complete data, not a truncated window.
@@ -368,6 +431,14 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         for c in range(clients):
             sim.spawn(_client(c), name=f"client[{c}]")
 
+    if tc.kill_at_ns is not None:
+
+        def _killer():
+            yield sim.timeout(tc.kill_at_ns)
+            machine.kill_nxp(tc.kill_device, mode=tc.kill_mode)
+
+        sim.spawn(_killer(), name="chaos-killer")
+
     sim.run()
 
     unserved = [i for i, r in enumerate(records) if r is None]
@@ -410,6 +481,10 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         utilization=device_utilization(trace, t_end, t_start=epoch),
         open_spans=len(trace.open_spans()),
         span_anomalies=trace.span_anomalies,
+        device_sessions=(
+            machine.placement.session_counts() if machine.placement else {}
+        ),
+        degraded_calls=int(machine.stats.snapshot().get("degraded.calls", 0)),
     )
 
 

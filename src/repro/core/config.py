@@ -154,6 +154,19 @@ class FlickConfig:
     # serving harness raises it to model a multi-core front end.
     host_cores: int = 2
 
+    # ---- NxP topology (docs/FLEET.md) --------------------------------------
+    # Number of PCIe-attached NxP devices on this machine.  1 (the
+    # paper's system, and the default) takes the exact single-device
+    # code paths and is pinned bit-identical to the pre-fleet behavior
+    # by tests/core/test_multi_nxp.py.  N > 1 builds one descriptor-ring
+    # pair, DMA engine, IRQ vector, BRAM slice, scheduler and health
+    # machine per device, all sharing one PCIe link (natural contention).
+    nxp_count: int = 1
+    # Session-placement policy for N > 1: which device an h2n migration
+    # session is routed to.  One of repro.os.placement.POLICIES:
+    # "static" | "round_robin" | "least_loaded" | "locality".
+    placement_policy: str = "static"
+
     # ---- memory map --------------------------------------------------------
     memory_map: MemoryMap = field(default_factory=MemoryMap)
 

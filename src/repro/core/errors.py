@@ -29,6 +29,10 @@ Taxonomy
 ``NxpDeadError``
     The NxP health state machine declared the device dead; the host
     handler catches this and degrades to local emulation.
+``LoadError``
+    The loader rejected an executable image (e.g. a misaligned ``@nxp``
+    segment that would break vaddr→paddr page congruence);
+    ``ValueError`` compatible.
 ``WorkloadHung``
     A bounded chaos run hit its sim-time budget without terminating.
 ``ProcessCrash``
@@ -53,6 +57,7 @@ __all__ = [
     "DescriptorCorrupt",
     "MigrationTimeout",
     "NxpDeadError",
+    "LoadError",
     "WorkloadHung",
     "ProcessCrash",
     "WATCHDOG_EXPIRED",
@@ -114,6 +119,16 @@ class NxpDeadError(FlickError):
     def __init__(self, task, reason: str = "NxP unresponsive"):
         self.task = task
         super().__init__(f"{getattr(task, 'name', task)}: {reason}")
+
+
+class LoadError(FlickError, ValueError):
+    """The loader rejected an executable image.
+
+    Raised when a segment violates an invariant the runtime depends on —
+    today that is an ``@nxp`` segment whose vaddr is not page-aligned,
+    which would break the vaddr→paddr congruence the per-page NX marking
+    (and therefore migration triggering) relies on.
+    """
 
 
 class WorkloadHung(FlickError):

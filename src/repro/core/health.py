@@ -52,6 +52,7 @@ class NxpHealth:
         self.state = HealthState.HEALTHY
         self.consecutive_failures = 0
         self.total_failures = 0
+        self.transitions = 0  # real state *changes*, not re-entries
 
     @property
     def dead(self) -> bool:
@@ -76,14 +77,31 @@ class NxpHealth:
             self.stats.count("health.leg_failure")
         if self.consecutive_failures >= self.threshold:
             self._transition(HealthState.DEAD)
-        elif self.state is HealthState.HEALTHY:
+        else:
             self._transition(HealthState.SUSPECT)
         return self.state
 
+    def force_dead(self, reason: str = "forced") -> HealthState:
+        """Administratively latch ``DEAD`` (e.g. a chaos kill of this
+        device); idempotent and terminal like an organic death."""
+        if self.state is not HealthState.DEAD:
+            self._transition(HealthState.DEAD)
+            if self.trace is not None:
+                self.trace.record("health_forced", reason=reason)
+        return self.state
+
     def _transition(self, new: HealthState) -> None:
+        if new is self.state:
+            # Re-entering the current state (a suspect->suspect failure
+            # storm) is not a transition: emitting stats/trace here would
+            # inflate ``health.transitions`` once fleets aggregate
+            # per-device health.
+            return
         old, self.state = self.state, new
+        self.transitions += 1
         if self.stats is not None:
             self.stats.count(f"health.transition.{new.value}")
+            self.stats.count("health.transitions")
         if self.trace is not None:
             self.trace.record("health", state=new.value, prev=old.value)
 

@@ -177,6 +177,10 @@ class HostThread:
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=target)
         self.machine.trace.begin("h2n_session", pid=task.pid, target=target)
 
+        if self.machine.multi_nxp:
+            retval = yield from self._migrate_call_multi(target, session_start)
+            return retval
+
         if task.nxp_stack_base is None:  # first migration: allocate NxP stack
             yield self.sim.timeout(cfg.host_stack_alloc_ns)
             task.nxp_stack_base = self.machine.alloc_nxp_stack()
@@ -245,6 +249,103 @@ class HostThread:
         self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval
 
+    def _migrate_call_multi(self, target: int, session_start: float) -> Generator:
+        """Multi-NxP twin of the session body above (docs/FLEET.md).
+
+        The placement layer picks one device per *session*; every leg of
+        the session (the opening call, the reentrant ladder, the final
+        return) goes to that device, because descriptor sequence
+        numbers, replay caches and the thread's suspended NxP frames are
+        per-device state.  An opening leg that raises
+        :class:`NxpDeadError` is re-placed on the next live device (no
+        NxP state exists yet, so the call can be restarted whole); with
+        every device tried or down the call degrades to host-fallback
+        emulation.  Mid-ladder death stays a :class:`ProcessCrash`,
+        exactly as on a single-NxP machine.
+        """
+        task = self.task
+        cfg = self.cfg
+        machine = self.machine
+        args = self.cpu.get_args(6)
+        tried = set()
+        while True:
+            device = machine.placement.pick(task, exclude=frozenset(tried))
+            if device is None:
+                retval = yield from self._fallback_execute(target, args, session_start)
+                return retval
+
+            if task.nxp_stack_base is None:  # first migration: allocate NxP stack
+                yield self.sim.timeout(cfg.host_stack_alloc_ns)
+                task.nxp_stack_base = machine.alloc_nxp_stack(device=device)
+                task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
+                task.nxp_device = device.index
+                machine.trace.record(
+                    "nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base
+                )
+
+            desc = MigrationDescriptor(
+                kind=KIND_CALL,
+                direction=DIR_H2N,
+                pid=task.pid,
+                target=target,
+                args=args,
+                cr3=task.process.cr3,
+                nxp_sp=task.nxp_sp,
+            )
+            device.outstanding += 1
+            try:
+                inbound = yield from self._ioctl_migrate_and_suspend(desc, device=device)
+            except NxpDeadError:
+                device.outstanding -= 1
+                tried.add(device.index)
+                continue
+            except BaseException:
+                device.outstanding -= 1
+                raise
+
+            try:
+                while inbound.is_call:
+                    task.nxp_sp = inbound.nxp_sp  # thread's NxP stack advanced
+                    yield self.sim.timeout(cfg.host_ioctl_return_ns)
+                    machine.trace.record(
+                        "n2h_call_exec", pid=task.pid, target=inbound.target
+                    )
+                    machine.trace.begin(
+                        "n2h_host_exec", pid=task.pid, target=inbound.target
+                    )
+                    host_retval = yield from self._call_host_function(
+                        inbound.target, inbound.args
+                    )
+                    machine.trace.end("n2h_host_exec", pid=task.pid)
+                    ret_desc = MigrationDescriptor(
+                        kind=KIND_RETURN,
+                        direction=DIR_H2N,
+                        pid=task.pid,
+                        retval=host_retval,
+                        cr3=task.process.cr3,
+                        nxp_sp=task.nxp_sp,
+                    )
+                    try:
+                        inbound = yield from self._ioctl_migrate_and_suspend(
+                            ret_desc, device=device
+                        )
+                    except NxpDeadError:
+                        raise ProcessCrash(
+                            task,
+                            "NxP died mid-migration-session "
+                            "(suspended NxP frames lost)",
+                        )
+                yield self.sim.timeout(cfg.host_ioctl_return_ns)
+                yield self.sim.timeout(cfg.host_handler_return_ns)
+            finally:
+                device.outstanding -= 1
+            machine.stats.observe(
+                "latency.h2n_session_ns", self.sim.now - session_start
+            )
+            machine.trace.record("h2n_call_done", pid=task.pid, target=target)
+            machine.trace.end("h2n_session", pid=task.pid)
+            return inbound.retval
+
     def _call_host_function(self, target: int, args: List[int]) -> Generator:
         """Execute an NxP-requested host function (nested level)."""
         yield self.sim.timeout(self.cfg.host_call_dispatch_ns)
@@ -253,9 +354,11 @@ class HostThread:
 
     # -- the ioctl(MIGRATE_AND_SUSPEND) path -------------------------------------------
 
-    def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+    def _ioctl_migrate_and_suspend(
+        self, desc: MigrationDescriptor, device=None
+    ) -> Generator:
         if self.machine.hardened:
-            result = yield from self._ioctl_hardened(desc)
+            result = yield from self._ioctl_hardened(desc, device=device)
             return result
         task = self.task
         cfg = self.cfg
@@ -282,8 +385,9 @@ class HostThread:
         yield self.sim.timeout(cfg.host_dma_kick_ns)
         task.migration_pending = False
         self.machine.trace.record("dma_h2n", pid=task.pid, kind=desc.kind)
+        dma = self.machine.dma if device is None else device.dma
         self.sim.spawn(
-            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+            dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-h2n-{task.name}",
         )
 
@@ -294,7 +398,7 @@ class HostThread:
 
     # -- hardened protocol (active only when a fault plan is armed) ---------------
 
-    def _ioctl_hardened(self, desc: MigrationDescriptor) -> Generator:
+    def _ioctl_hardened(self, desc: MigrationDescriptor, device=None) -> Generator:
         """``ioctl(MIGRATE_AND_SUSPEND)`` with watchdog + bounded retry.
 
         Each *leg* (one h2n descriptor and the n2h answer that wakes us)
@@ -309,7 +413,8 @@ class HostThread:
         task = self.task
         cfg = self.cfg
         machine = self.machine
-        health = machine.health
+        health = machine.health if device is None else device.health
+        dma = machine.dma if device is None else device.dma
         if cfg.injected_migration_rt_ns:
             yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
         yield self.sim.timeout(cfg.host_ioctl_entry_ns)
@@ -339,7 +444,7 @@ class HostThread:
                     machine.stats.count("migration.retry")
                     machine.trace.record("retry", pid=task.pid, seq=desc.seq, attempt=attempt)
                 self.sim.spawn(
-                    machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+                    dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
                     name=f"dma-h2n-{task.name}-a{attempt}",
                 )
                 self._spawn_watchdog(wake, cfg.migration_watchdog_ns)
@@ -358,6 +463,14 @@ class HostThread:
                     cfg.migration_backoff_factor ** attempt
                 )
                 yield self.sim.timeout(backoff)
+                if device is not None and health is not None and health.dead:
+                    # Multi-NxP only: the device was latched DEAD under
+                    # us (a chaos kill) — don't burn the remaining
+                    # retries against known-dead silicon; surface the
+                    # error so the session is re-placed immediately.
+                    self.core = yield from machine.cores.acquire(task.name)
+                    task.state = TaskState.RUNNING
+                    raise NxpDeadError(task)
             health.record_failure()
             if health.dead:
                 # The thread resumes on a host core to run the fallback

@@ -148,6 +148,10 @@ class HostedContext:
         #: ops per consolidated run in the hosted workload bodies
         #: (1 disables batching: one boundary check per op).
         self.batch_ops: int = cfg.hosted_batch_size if cfg.hosted_batch_ops else 1
+        #: The _HostedNxpEngine running this nxp-side body — multi-NxP
+        #: routing state so nested calls stay on the session's device;
+        #: always None on host-side contexts and single-NxP machines.
+        self.engine = None
 
     # -- time accumulation --------------------------------------------------
 
@@ -417,7 +421,13 @@ class HostedMachine:
             self.cfg.memory_map.nxp_local_size,
             self.cfg.memory_map.bar0_remap_offset,
         )
-        self._nxp_engine = _HostedNxpEngine(self)
+        if self.machine.multi_nxp:
+            self._nxp_engines = [
+                _HostedNxpEngine(self, device=dev) for dev in self.machine.devices
+            ]
+        else:
+            self._nxp_engines = [_HostedNxpEngine(self)]
+        self._nxp_engine = self._nxp_engines[0]
         self._task: Optional[Task] = None
         self._thread: Optional[_HostedHostThread] = None
         # Hot-path latency constants.  FlickConfig is frozen, so these
@@ -509,13 +519,17 @@ class HostedMachine:
         same_side = (fn.isa == "hisa") == (ctx.side == "host")
         if same_side:
             ctx.compute(6)  # plain call/ret overhead
-            return (yield from self.run_body(fn, args, ctx.side))
+            return (yield from self.run_body(fn, args, ctx.side, engine=ctx.engine))
         if ctx.side == "host":
             return (yield from self._thread.migrate_call_to_nxp(fn, args))
-        return (yield from self._nxp_engine.migrate_call_to_host(fn, args))
+        engine = ctx.engine or self._nxp_engine
+        return (yield from engine.migrate_call_to_host(fn, args))
 
-    def run_body(self, fn: HostedFunction, args: List[int], side: str) -> Generator:
+    def run_body(
+        self, fn: HostedFunction, args: List[int], side: str, engine=None
+    ) -> Generator:
         ctx = HostedContext(self, side)
+        ctx.engine = engine
         retval = yield from fn.body(ctx, *args)
         yield from ctx.flush()
         return retval if retval is not None else 0
@@ -540,7 +554,8 @@ class HostedMachine:
         self._task = task
         thread = _HostedHostThread(self, task)
         self._thread = thread
-        self._nxp_engine.start()
+        for engine in self._nxp_engines:
+            engine.start()
         start = self.sim.now
         self.sim.spawn(thread.thread_main(fn, list(args)), name=task.name)
         if until is None:
@@ -604,6 +619,9 @@ class _HostedHostThread:
         session_start = self.sim.now
         self.machine.trace.record("h2n_call_start", pid=task.pid, target=fn.addr)
         self.machine.trace.begin("h2n_session", pid=task.pid, target=fn.addr)
+        if self.machine.multi_nxp:
+            retval = yield from self._migrate_call_multi(fn, args, session_start)
+            return retval
         if task.nxp_stack_base is None:
             yield self.sim.timeout(cfg.host_stack_alloc_ns)
             task.nxp_stack_base = self.machine.alloc_nxp_stack()
@@ -651,9 +669,91 @@ class _HostedHostThread:
         self.machine.trace.end("h2n_session", pid=task.pid)
         return inbound.retval
 
-    def _ioctl_migrate_and_suspend(self, desc: MigrationDescriptor) -> Generator:
+    def _migrate_call_multi(
+        self, fn: HostedFunction, args: List[int], session_start: float
+    ) -> Generator:
+        """Hosted twin of HostThread._migrate_call_multi: one device per
+        session, opening-leg failover, host-fallback when all are down."""
+        task = self.task
+        cfg = self.cfg
+        machine = self.machine
+        tried = set()
+        while True:
+            device = machine.placement.pick(task, exclude=frozenset(tried))
+            if device is None:
+                retval = yield from self._fallback_call(fn, args, session_start)
+                return retval
+
+            if task.nxp_stack_base is None:
+                yield self.sim.timeout(cfg.host_stack_alloc_ns)
+                task.nxp_stack_base = machine.alloc_nxp_stack(device=device)
+                task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
+                task.nxp_device = device.index
+                machine.trace.record(
+                    "nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base
+                )
+
+            desc = MigrationDescriptor(
+                kind=KIND_CALL, direction=DIR_H2N, pid=task.pid, target=fn.addr,
+                args=args[:6], cr3=task.process.cr3, nxp_sp=task.nxp_sp,
+            )
+            device.outstanding += 1
+            try:
+                inbound = yield from self._ioctl_migrate_and_suspend(desc, device=device)
+            except NxpDeadError:
+                device.outstanding -= 1
+                tried.add(device.index)
+                continue
+            except BaseException:
+                device.outstanding -= 1
+                raise
+
+            try:
+                while inbound.is_call:
+                    task.nxp_sp = inbound.nxp_sp
+                    yield self.sim.timeout(cfg.host_ioctl_return_ns)
+                    machine.trace.record(
+                        "n2h_call_exec", pid=task.pid, target=inbound.target
+                    )
+                    machine.trace.begin(
+                        "n2h_host_exec", pid=task.pid, target=inbound.target
+                    )
+                    yield self.sim.timeout(cfg.host_call_dispatch_ns)
+                    target_fn = self.hosted.program.by_addr[inbound.target]
+                    host_retval = yield from self.hosted.run_body(
+                        target_fn, inbound.args, "host"
+                    )
+                    machine.trace.end("n2h_host_exec", pid=task.pid)
+                    ret_desc = MigrationDescriptor(
+                        kind=KIND_RETURN, direction=DIR_H2N, pid=task.pid,
+                        retval=host_retval, cr3=task.process.cr3, nxp_sp=task.nxp_sp,
+                    )
+                    try:
+                        inbound = yield from self._ioctl_migrate_and_suspend(
+                            ret_desc, device=device
+                        )
+                    except NxpDeadError:
+                        raise ProcessCrash(
+                            task,
+                            "NxP died mid-migration-session "
+                            "(suspended NxP frames lost)",
+                        )
+                yield self.sim.timeout(cfg.host_ioctl_return_ns)
+                yield self.sim.timeout(cfg.host_handler_return_ns)
+            finally:
+                device.outstanding -= 1
+            machine.stats.observe(
+                "latency.h2n_session_ns", self.sim.now - session_start
+            )
+            machine.trace.record("h2n_call_done", pid=task.pid, target=fn.addr)
+            machine.trace.end("h2n_session", pid=task.pid)
+            return inbound.retval
+
+    def _ioctl_migrate_and_suspend(
+        self, desc: MigrationDescriptor, device=None
+    ) -> Generator:
         if self.machine.hardened:
-            result = yield from self._ioctl_hardened(desc)
+            result = yield from self._ioctl_hardened(desc, device=device)
             return result
         task = self.task
         cfg = self.cfg
@@ -672,8 +772,9 @@ class _HostedHostThread:
         self.core = None
         yield self.sim.timeout(cfg.host_dma_kick_ns)
         self.machine.trace.record("dma_h2n", pid=task.pid, kind=desc.kind)
+        dma = self.machine.dma if device is None else device.dma
         self.sim.spawn(
-            self.machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+            dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-h2n-{task.name}",
         )
         inbound = yield wake
@@ -683,11 +784,12 @@ class _HostedHostThread:
 
     # Hosted twin of HostThread._ioctl_hardened (see host_runtime.py for
     # the watchdog/retry/health semantics — same loop, same constants).
-    def _ioctl_hardened(self, desc: MigrationDescriptor) -> Generator:
+    def _ioctl_hardened(self, desc: MigrationDescriptor, device=None) -> Generator:
         task = self.task
         cfg = self.cfg
         machine = self.machine
-        health = machine.health
+        health = machine.health if device is None else device.health
+        dma = machine.dma if device is None else device.dma
         if cfg.injected_migration_rt_ns:
             yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
         yield self.sim.timeout(cfg.host_ioctl_entry_ns)
@@ -713,7 +815,7 @@ class _HostedHostThread:
                     machine.stats.count("migration.retry")
                     machine.trace.record("retry", pid=task.pid, seq=desc.seq, attempt=attempt)
                 self.sim.spawn(
-                    machine.dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
+                    dma.push_to_nxp(self._staging, DESCRIPTOR_BYTES, pid=task.pid),
                     name=f"dma-h2n-{task.name}-a{attempt}",
                 )
                 self._spawn_watchdog(wake, cfg.migration_watchdog_ns)
@@ -732,6 +834,12 @@ class _HostedHostThread:
                     cfg.migration_backoff_factor ** attempt
                 )
                 yield self.sim.timeout(backoff)
+                if device is not None and health is not None and health.dead:
+                    # Multi-NxP chaos kill latched DEAD under us; surface
+                    # immediately so the session is re-placed.
+                    self.core = yield from machine.cores.acquire(task.name)
+                    task.state = TaskState.RUNNING
+                    raise NxpDeadError(task)
             health.record_failure()
             if health.dead:
                 self.core = yield from machine.cores.acquire(task.name)
@@ -762,10 +870,17 @@ class _HostedHostThread:
 
 
 class _HostedNxpEngine:
-    """Hosted twin of :class:`NxpPlatform`: dispatch loop + migrations."""
+    """Hosted twin of :class:`NxpPlatform`: dispatch loop + migrations.
 
-    def __init__(self, hosted: HostedMachine):
+    ``device`` is ``None`` on a single-NxP machine (the engine uses the
+    machine singletons — the exact pre-fleet paths); a multi-NxP hosted
+    machine runs one engine per :class:`NxpDevice`, bound to its ring,
+    DMA engine and BRAM slice.
+    """
+
+    def __init__(self, hosted: HostedMachine, device=None):
         self.hosted = hosted
+        self._device = device
         self.machine = hosted.machine
         self.sim = hosted.sim
         self.cfg = hosted.cfg
@@ -777,20 +892,32 @@ class _HostedNxpEngine:
         self._parked: Dict[int, List[Event]] = {}
         self._idle: Optional[Event] = None  # body finished/parked handshake
         # Hardened-protocol state (idempotent replay), mirrors NxpPlatform.
+        # (The outbound n2h sequence counter lives on the machine — it
+        # must be monotonic per pid across all devices.)
         self._last_req_seq: Dict[int, int] = {}
-        self._n2h_seq: Dict[int, int] = {}
         self._resp_cache: Dict[int, MigrationDescriptor] = {}
         self._resp_ready: Dict[int, bool] = {}
 
     def start(self) -> None:
         if self._proc is None:
-            self._proc = self.sim.spawn(self._dispatcher(), name="hosted-nxp-sched")
+            name = (
+                "hosted-nxp-sched"
+                if self._device is None
+                else f"hosted-nxp-sched.{self._device.index}"
+            )
+            self._proc = self.sim.spawn(self._dispatcher(), name=name)
 
     def _dispatcher(self) -> Generator:
-        ring = self.machine.nxp_ring
+        dev = self._device
+        ring = self.machine.nxp_ring if dev is None else dev.nxp_ring
+        dma = self.machine.dma if dev is None else dev.dma
         while True:
+            if dev is not None and dev.killed:
+                return  # abrupt chaos kill: the scheduler silicon stops
             if ring.pending == 0:
-                yield self.machine.dma.nxp_arrival.get()
+                yield dma.nxp_arrival.get()
+                if dev is not None and dev.killed:
+                    return
                 yield self.sim.timeout(self.cfg.nxp_poll_period_ns / 2.0)
                 if ring.pending == 0:
                     continue
@@ -812,7 +939,9 @@ class _HostedNxpEngine:
                 task = self.machine.kernel.task_by_pid(desc.pid)
                 self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
                 self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="call")
-                self.sim.spawn(self._run_call(task, fn, desc.args), name=f"nxp-body-{fn.name}")
+                self.sim.spawn(
+                    self._run_call(task, fn, desc.args), name=f"nxp-body-{fn.name}"
+                )
             else:
                 # Resume the most recently parked body for this pid.
                 stack = self._parked.get(desc.pid)
@@ -825,7 +954,7 @@ class _HostedNxpEngine:
             self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)
 
     def _run_call(self, task: Task, fn: HostedFunction, args) -> Generator:
-        retval = yield from self.hosted.run_body(fn, list(args), "nxp")
+        retval = yield from self.hosted.run_body(fn, list(args), "nxp", engine=self)
         # Return migration (mirrors NxpPlatform._return_migration).
         yield self.sim.timeout(self.cfg.nxp_desc_build_ns)
         desc = MigrationDescriptor(
@@ -910,8 +1039,8 @@ class _HostedNxpEngine:
 
     def _send_to_host(self, desc: MigrationDescriptor) -> Generator:
         if self.machine.hardened:
-            seq = self._n2h_seq.get(desc.pid, 0) + 1
-            self._n2h_seq[desc.pid] = seq
+            seq = self.machine.n2h_seq.get(desc.pid, 0) + 1
+            self.machine.n2h_seq[desc.pid] = seq
             desc.seq = seq
             self._resp_cache[desc.pid] = desc
             self._resp_ready[desc.pid] = True
@@ -921,16 +1050,19 @@ class _HostedNxpEngine:
         cfg = self.cfg
         if cfg.injected_migration_rt_ns:
             yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        dev = self._device
         if self._staging is None:
+            bram = self.machine.bram_phys if dev is None else dev.bram
             self._staging = [
-                self.machine.bram_phys.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
+                bram.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
             ]
         buf = self._staging[self._staging_idx]
         self._staging_idx = (self._staging_idx + 1) % len(self._staging)
         self.machine.phys.write(buf, desc.pack())
         yield self.sim.timeout(cfg.nxp_context_switch_ns)
         yield self.sim.timeout(cfg.nxp_dma_kick_ns)
+        dma = self.machine.dma if dev is None else dev.dma
         self.sim.spawn(
-            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=desc.pid),
+            dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=desc.pid),
             name="dma-n2h-hosted",
         )

@@ -25,12 +25,13 @@ from typing import Dict, List, Optional, Union
 from repro.core.config import DEFAULT_CONFIG, FlickConfig
 from repro.core.descriptors import DESCRIPTOR_BYTES
 from repro.core.host_runtime import HostThread
+from repro.core.nxp_device import NxpDevice
 from repro.core.nxp_platform import NxpPlatform
 from repro.core.ports import HostMemoryPort
 from repro.core.stubs import STUB_SYMBOLS
 from repro.core.trace import MigrationTrace
 from repro.interconnect.dma import DMAEngine, DescriptorRing
-from repro.interconnect.interrupt import InterruptController
+from repro.interconnect.interrupt import MIGRATION_VECTOR, InterruptController
 from repro.interconnect.pcie import PCIeLink
 from repro.memory.allocator import RegionAllocator
 from repro.memory.physical import MemoryRegion, MMIORegion, PhysicalMemory
@@ -137,6 +138,14 @@ class FlickMachine:
         else:
             self.injector = None
             self.health = None
+        # Machine-wide outbound (n2h) sequence counters, keyed by pid.
+        # One dict shared by every device: the host-side duplicate
+        # filter compares against a single per-task high-water mark, so
+        # replies must be monotonic per pid across the whole fleet —
+        # per-device counters would collide the moment two devices both
+        # answered the same process (round-robin placement does exactly
+        # that).  Only advanced when the hardened protocol is armed.
+        self.n2h_seq: Dict[int, int] = {}
 
         # -- interconnect -------------------------------------------------------
         self.link = PCIeLink(
@@ -144,21 +153,52 @@ class FlickMachine:
             injector=self.injector,
         )
         self.irq = InterruptController(self.sim, cfg, stats=self.stats, trace=self.trace)
-        self.dma = DMAEngine(
-            self.sim, cfg, self.link, self.irq, stats=self.stats, trace=self.trace,
-            injector=self.injector,
-        )
-        nxp_ring_base = self.bram_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
-        host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
-        self.nxp_ring = DescriptorRing(self.phys, nxp_ring_base, 16, DESCRIPTOR_BYTES)
-        self.host_ring = DescriptorRing(self.phys, host_ring_base, 16, DESCRIPTOR_BYTES)
-        self.dma.attach_rings(self.nxp_ring, self.host_ring)
-        self.dma.register_mmio(self.mmio)
+
+        # -- NxP devices (docs/FLEET.md) --------------------------------------
+        # nxp_count == 1 (the default, and the paper's machine) takes the
+        # exact pre-fleet construction below — singletons first, then a
+        # pure-aliasing NxpDevice wrapper so placement/fleet code can
+        # iterate machine.devices uniformly.  nxp_count > 1 builds one
+        # ring pair / DMA engine / MSI vector / BRAM slice / health
+        # machine per device, all sharing the one PCIe link above.
+        if cfg.nxp_count < 1:
+            raise ValueError(f"nxp_count must be >= 1, got {cfg.nxp_count}")
+        self.multi_nxp = cfg.nxp_count > 1
+        self.devices: List[NxpDevice] = []
+        if not self.multi_nxp:
+            self.dma = DMAEngine(
+                self.sim, cfg, self.link, self.irq, stats=self.stats, trace=self.trace,
+                injector=self.injector,
+            )
+            nxp_ring_base = self.bram_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+            host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+            self.nxp_ring = DescriptorRing(self.phys, nxp_ring_base, 16, DESCRIPTOR_BYTES)
+            self.host_ring = DescriptorRing(self.phys, host_ring_base, 16, DESCRIPTOR_BYTES)
+            self.dma.attach_rings(self.nxp_ring, self.host_ring)
+            self.dma.register_mmio(self.mmio)
+        else:
+            self._build_devices(cfg)
+        self.placement = None
+        if self.multi_nxp:
+            from repro.os.placement import PlacementLayer
+
+            self.placement = PlacementLayer(self, cfg.placement_policy)
 
         # -- OS + platforms ---------------------------------------------------------
         self.cores = CorePool(self.sim, host_cores, stats=self.stats)
         self.kernel = Kernel(self.sim, cfg, self)
-        self.nxp = NxpPlatform(self)
+        if self.multi_nxp:
+            for dev in self.devices:
+                dev.platform = NxpPlatform(self, device=dev)
+            self.nxp = self.devices[0].platform
+        else:
+            self.nxp = NxpPlatform(self)
+            dev0 = NxpDevice(
+                self, 0, MIGRATION_VECTOR, self.dma, self.nxp_ring,
+                self.host_ring, self.bram_phys, self.health,
+            )
+            dev0.platform = self.nxp
+            self.devices.append(dev0)
         self.threads: List[HostThread] = []
         self.runtime_symbols = dict(STUB_SYMBOLS)
         # Multi-ISA kernel modules (Section IV-D): segments shared by
@@ -167,6 +207,57 @@ class FlickMachine:
         self.kernel_modules = []
         self.module_symbols: Dict[str, int] = {}
         self.module_isa_of_symbol: Dict[str, object] = {}
+
+    def _build_devices(self, cfg: FlickConfig) -> None:
+        """Multi-NxP construction: per-device rings/DMA/vector/BRAM/health.
+
+        Device 0's BRAM slice starts at the BRAM base and allocates its
+        inbound ring first, so its ring/staging/stack addresses coincide
+        with the single-NxP layout.  The machine-level singleton handles
+        (``dma``, ``nxp_ring``, ``host_ring``, ``bram_phys``, ``health``)
+        are re-aliased to device 0 for any code that still reads them.
+        """
+        mm = self.memory_map
+        n = cfg.nxp_count
+        if n * 0x10 > mm.mmio_size:
+            raise ValueError(f"MMIO window too small for {n} NxP devices")
+        slice_bytes = mm.nxp_bram_size // n
+        if slice_bytes < cfg.nxp_stack_bytes + 16 * DESCRIPTOR_BYTES:
+            raise ValueError(f"BRAM too small to slice across {n} NxP devices")
+        for i in range(n):
+            bram = RegionAllocator(
+                f"bram_phys.{i}", mm.nxp_bram_base + i * slice_bytes, slice_bytes
+            )
+            dma = DMAEngine(
+                self.sim, cfg, self.link, self.irq, stats=self.stats,
+                trace=self.trace, injector=self.injector,
+                vector=MIGRATION_VECTOR + i,
+            )
+            nxp_ring_base = bram.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+            host_ring_base = self.host_phys.alloc(16 * DESCRIPTOR_BYTES, align=4096)
+            nxp_ring = DescriptorRing(self.phys, nxp_ring_base, 16, DESCRIPTOR_BYTES)
+            host_ring = DescriptorRing(self.phys, host_ring_base, 16, DESCRIPTOR_BYTES)
+            dma.attach_rings(nxp_ring, host_ring)
+            dma.register_mmio(self.mmio, base=i * 0x10)
+            health = None
+            if self.injector is not None:
+                from repro.core.health import NxpHealth
+
+                health = NxpHealth(
+                    cfg.nxp_dead_threshold, stats=self.stats, trace=self.trace
+                )
+            self.devices.append(
+                NxpDevice(
+                    self, i, MIGRATION_VECTOR + i, dma, nxp_ring, host_ring,
+                    bram, health,
+                )
+            )
+        dev0 = self.devices[0]
+        self.dma = dev0.dma
+        self.nxp_ring = dev0.nxp_ring
+        self.host_ring = dev0.host_ring
+        self.bram_phys = dev0.bram
+        self.health = dev0.health
 
     @property
     def hardened(self) -> bool:
@@ -189,7 +280,8 @@ class FlickMachine:
             fallback = getattr(thread, "_fallback_cpu", None)
             if fallback is not None:
                 engines.append(getattr(fallback, "_jit", None))
-        engines.append(getattr(self.nxp.cpu, "_jit", None))
+        for dev in self.devices:
+            engines.append(getattr(dev.platform.cpu, "_jit", None))
         for engine in engines:
             if engine is None:
                 continue
@@ -231,7 +323,8 @@ class FlickMachine:
         )
         thread = HostThread(self, task, port)
         self.threads.append(thread)
-        self.nxp.start()
+        for dev in self.devices:
+            dev.platform.start()
         # Keep the sim-process handle: callers that interleave many
         # threads (the serving harness) join on it with ``yield proc``.
         thread.proc = self.sim.spawn(
@@ -302,11 +395,17 @@ class FlickMachine:
 
     # -- services used by the runtimes -------------------------------------------------
 
-    def alloc_nxp_stack(self) -> int:
-        """Allocate one thread's NxP stack from BRAM; returns its vaddr."""
+    def alloc_nxp_stack(self, device: Optional[NxpDevice] = None) -> int:
+        """Allocate one thread's NxP stack from BRAM; returns its vaddr.
+
+        ``device`` (multi-NxP only) selects whose BRAM slice backs the
+        stack; the whole BRAM window is mapped in every address space,
+        so the vaddr formula is slice-agnostic.
+        """
         from repro.os.loader import NXP_STACK_VBASE
 
-        paddr = self.bram_phys.alloc(self.cfg.nxp_stack_bytes, align=4096)
+        alloc = self.bram_phys if device is None else device.bram
+        paddr = alloc.alloc(self.cfg.nxp_stack_bytes, align=4096)
         return NXP_STACK_VBASE + (paddr - self.memory_map.nxp_bram_base)
 
     def release_nxp_stack(self, vaddr: int) -> None:
@@ -320,4 +419,41 @@ class FlickMachine:
         """
         from repro.os.loader import NXP_STACK_VBASE
 
-        self.bram_phys.free(self.memory_map.nxp_bram_base + (vaddr - NXP_STACK_VBASE))
+        paddr = self.memory_map.nxp_bram_base + (vaddr - NXP_STACK_VBASE)
+        if self.multi_nxp:
+            for dev in self.devices:
+                if dev.bram.owns(paddr):
+                    dev.bram.free(paddr)
+                    return
+            raise ValueError(f"NxP stack vaddr {vaddr:#x} owned by no device")
+        self.bram_phys.free(paddr)
+
+    def kill_nxp(self, index: int, mode: str = "abrupt") -> None:
+        """Chaos hook: take NxP ``index`` out of service mid-run.
+
+        ``mode="drain"`` only excludes the device from new-session
+        placement; in-flight sessions complete normally (works with or
+        without the hardened protocol).  ``mode="abrupt"`` additionally
+        stops the device's scheduler and latches its health DEAD, so
+        in-flight legs are recovered by the hardened watchdogs — it
+        therefore *requires* an armed fault plan.
+        """
+        if not self.multi_nxp:
+            raise ValueError("kill_nxp requires a multi-NxP machine (nxp_count > 1)")
+        dev = self.devices[index]
+        if mode == "drain":
+            dev.draining = True
+        elif mode == "abrupt":
+            if not self.hardened:
+                raise ValueError(
+                    "abrupt kill needs the hardened protocol (arm a fault "
+                    "plan, e.g. a never-firing rule) so watchdogs can "
+                    "recover the killed device's in-flight legs"
+                )
+            dev.draining = True
+            dev.killed = True
+            if dev.health is not None:
+                dev.health.force_dead("killed")
+        else:
+            raise ValueError(f"unknown kill mode {mode!r}")
+        self.trace.record("nxp_kill", device=index, mode=mode)

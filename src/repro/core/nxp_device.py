@@ -1,0 +1,69 @@
+"""One NxP device slot of a multi-NxP machine (docs/FLEET.md).
+
+A :class:`~repro.core.machine.FlickMachine` built with
+``cfg.nxp_count > 1`` owns one :class:`NxpDevice` per PCIe-attached NxP.
+Each device bundles the per-device hardware a single-NxP machine keeps
+as machine singletons:
+
+* a descriptor-ring pair (NxP inbound in the device's BRAM slice, host
+  inbound in host DRAM),
+* a DMA engine raising its own MSI vector (``MIGRATION_VECTOR + i``)
+  with STATUS registers at MMIO offset ``i * 0x10``,
+* a BRAM slice allocator (stacks + staging buffers for this device),
+* an :class:`~repro.core.health.NxpHealth` machine when faults are
+  armed, and
+* the device's :class:`~repro.core.nxp_platform.NxpPlatform` scheduler.
+
+All devices share one PCIe link, so concurrent descriptor traffic
+serializes there — the natural contention model.  The single-NxP
+machine also wraps its singletons in one ``NxpDevice`` so placement and
+fleet code iterate ``machine.devices`` uniformly, but that wrapper is
+pure aliasing: single-NxP execution never consults it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["NxpDevice"]
+
+
+class NxpDevice:
+    """Hardware + health bundle for one NxP of a (multi-)NxP machine."""
+
+    def __init__(self, machine, index: int, vector: int, dma, nxp_ring,
+                 host_ring, bram, health=None):
+        self.machine = machine
+        self.index = index
+        self.vector = vector
+        self.dma = dma
+        self.nxp_ring = nxp_ring
+        self.host_ring = host_ring
+        self.bram = bram  # RegionAllocator over this device's BRAM slice
+        self.health = health  # NxpHealth, or None when faults are unarmed
+        self.platform = None  # NxpPlatform, attached by the machine
+        #: Migration sessions currently routed to this device (opened by
+        #: the host runtime, closed when the session's final return
+        #: lands).  The ``least_loaded`` placement policy reads this.
+        self.outstanding = 0
+        #: Placement stops routing *new* sessions here (chaos "drain"
+        #: kill); in-flight sessions complete normally.
+        self.draining = False
+        #: The device stopped responding entirely (chaos "abrupt" kill):
+        #: its scheduler exits and in-flight legs are recovered by the
+        #: hardened protocol's watchdogs.
+        self.killed = False
+
+    @property
+    def alive(self) -> bool:
+        """Eligible for new session placement."""
+        if self.draining or self.killed:
+            return False
+        return self.health is None or not self.health.dead
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "down"
+        return (
+            f"<NxpDevice {self.index} {state} "
+            f"outstanding={self.outstanding} vector={self.vector:#x}>"
+        )

@@ -52,10 +52,19 @@ __all__ = ["NxpPlatform"]
 
 
 class NxpPlatform:
-    """One NxP core + its TLBs/MMU/caches + the polling scheduler."""
+    """One NxP core + its TLBs/MMU/caches + the polling scheduler.
 
-    def __init__(self, machine):
+    ``device`` is ``None`` on a single-NxP machine (the platform uses
+    the machine's singleton ring/DMA/BRAM — the exact pre-fleet paths);
+    a multi-NxP machine passes this platform's
+    :class:`~repro.core.nxp_device.NxpDevice`, whose ring/DMA/BRAM are
+    used instead.  Stat names stay the legacy ``nxp.*`` on every
+    device, so multi-NxP counters aggregate across the fleet of cores.
+    """
+
+    def __init__(self, machine, device=None):
         self.machine = machine
+        self._device = device
         self.sim = machine.sim
         self.cfg = machine.cfg
         self.current_tables: Optional[PageTables] = None
@@ -89,28 +98,46 @@ class NxpPlatform:
         # Hardened-protocol state (advanced only when faults are armed):
         # per-pid inbound dedup and the outbound replay cache that lets a
         # retransmitted request be answered without re-executing it.
+        # (The outbound sequence counter itself lives on the machine —
+        # it must be monotonic per pid across all devices.)
         self._last_req_seq: dict = {}
-        self._n2h_seq: dict = {}
         self._resp_cache: dict = {}
         self._resp_ready: dict = {}
 
     def start(self) -> None:
         """Boot the scheduler (idempotent)."""
         if self._proc is None:
-            self._proc = self.sim.spawn(self._scheduler(), name="nxp-scheduler")
+            name = (
+                "nxp-scheduler"
+                if self._device is None
+                else f"nxp-scheduler.{self._device.index}"
+            )
+            self._proc = self.sim.spawn(self._scheduler(), name=name)
 
     # -- the polling scheduler --------------------------------------------------
 
     def _scheduler(self) -> Generator:
-        ring = self.machine.nxp_ring
-        status_addr = self.cfg.memory_map.mmio_base + 0x00
+        dev = self._device
+        ring = self.machine.nxp_ring if dev is None else dev.nxp_ring
+        dma = self.machine.dma if dev is None else dev.dma
+        status_addr = self.cfg.memory_map.mmio_base + (
+            0x00 if dev is None else dev.index * 0x10
+        )
         while True:
+            if dev is not None and dev.killed:
+                # Abruptly-killed device (chaos): the scheduler silicon
+                # stops.  In-flight host legs are recovered by their
+                # watchdogs; this process simply exits so the sim can
+                # quiesce.
+                return
             if ring.pending == 0:
                 # Architecturally the scheduler spins on the DMA STATUS
                 # register; the simulation sleeps until the next arrival
                 # and charges half a poll period (the mean discovery
                 # delay of a free-running poll loop).
-                yield self.machine.dma.nxp_arrival.get()
+                yield dma.nxp_arrival.get()
+                if dev is not None and dev.killed:
+                    return
                 yield self.sim.timeout(self.cfg.nxp_poll_period_ns / 2.0)
                 if self.machine.phys.read_u64(status_addr) == 0:
                     continue  # stale wakeup: descriptor already consumed
@@ -322,9 +349,11 @@ class NxpPlatform:
         if self.machine.hardened:
             # Stamp the per-pid n2h sequence and remember the descriptor:
             # if this answer (or its IRQ) is lost, the host's retransmit
-            # of the matching request replays it from the cache.
-            seq = self._n2h_seq.get(task.pid, 0) + 1
-            self._n2h_seq[task.pid] = seq
+            # of the matching request replays it from the cache.  The
+            # counter is machine-wide (not per device) so replies stay
+            # monotonic per pid across the whole fleet.
+            seq = self.machine.n2h_seq.get(task.pid, 0) + 1
+            self.machine.n2h_seq[task.pid] = seq
             desc.seq = seq
             self._resp_cache[task.pid] = desc
             self._resp_ready[task.pid] = True
@@ -335,11 +364,13 @@ class NxpPlatform:
         if cfg.injected_migration_rt_ns:
             # Prior-work overhead emulation (see host_runtime counterpart).
             yield self.sim.timeout(cfg.injected_migration_rt_ns / 2.0)
+        dev = self._device
         if self._staging is None:
             # A small rotating pool so a burst in flight is never
             # overwritten by the next outbound descriptor.
+            bram = self.machine.bram_phys if dev is None else dev.bram
             self._staging = [
-                self.machine.bram_phys.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
+                bram.alloc(DESCRIPTOR_BYTES, align=64) for _ in range(8)
             ]
             self._staging_idx = 0
         buf = self._staging[self._staging_idx]
@@ -347,7 +378,8 @@ class NxpPlatform:
         self.machine.phys.write(buf, desc.pack())
         yield self.sim.timeout(cfg.nxp_context_switch_ns)  # back to scheduler
         yield self.sim.timeout(cfg.nxp_dma_kick_ns)
+        dma = self.machine.dma if dev is None else dev.dma
         self.sim.spawn(
-            self.machine.dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=task.pid),
+            dma.push_to_host(buf, DESCRIPTOR_BYTES, pid=task.pid),
             name=f"dma-n2h-{task.name}",
         )

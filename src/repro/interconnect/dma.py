@@ -117,6 +117,7 @@ class DMAEngine:
         stats: Optional[StatRegistry] = None,
         trace=None,
         injector=None,
+        vector: int = MIGRATION_VECTOR,
     ):
         self.sim = sim
         self.cfg = cfg
@@ -125,6 +126,10 @@ class DMAEngine:
         self.stats = stats or StatRegistry()
         self.trace = trace  # optional MigrationTrace for device-level spans
         self.injector = injector  # optional FaultInjector (None = unarmed)
+        #: MSI vector this engine raises on n2h delivery.  The single-NxP
+        #: machine keeps MIGRATION_VECTOR; a multi-NxP machine gives
+        #: device ``i`` the vector ``MIGRATION_VECTOR + i``.
+        self.vector = vector
         self.nxp_inbound: Optional[DescriptorRing] = None
         self.host_inbound: Optional[DescriptorRing] = None
         # Completion notification for the NxP side.  Hardware-wise the
@@ -138,9 +143,12 @@ class DMAEngine:
         self.nxp_inbound = nxp_inbound
         self.host_inbound = host_inbound
 
-    def register_mmio(self, mmio: MMIORegion) -> None:
-        mmio.register(0x00, read=self._read_status)
-        mmio.register(0x08, read=self._read_host_status)
+    def register_mmio(self, mmio: MMIORegion, base: int = 0x00) -> None:
+        """Register this engine's STATUS words.  ``base`` strides the
+        register pair for multi-NxP machines (device ``i`` at
+        ``i * 0x10``); the single-device map stays at 0x00/0x08."""
+        mmio.register(base + 0x00, read=self._read_status)
+        mmio.register(base + 0x08, read=self._read_host_status)
 
     def _read_status(self) -> int:
         return self.nxp_inbound.pending if self.nxp_inbound else 0
@@ -250,8 +258,8 @@ class DMAEngine:
             for _ in range(spurious):
                 # A duplicate MSI with no descriptor behind it: the
                 # hardened IRQ handler must drain/dedup around it.
-                self.irq.raise_irq(MIGRATION_VECTOR, payload=None)
+                self.irq.raise_irq(self.vector, payload=None)
             if irq_lost:
                 self.stats.count("fault.irq_loss_applied")
             else:
-                self.irq.raise_irq(MIGRATION_VECTOR, payload=dst)
+                self.irq.raise_irq(self.vector, payload=dst)

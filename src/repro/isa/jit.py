@@ -63,7 +63,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.isa import hisa, nisa
-from repro.isa.base import MASK64, Op, to_signed
+from repro.isa.base import MASK64, IllegalInstruction, MisalignedFetch, Op, to_signed
 from repro.memory.paging import PageFault
 
 __all__ = ["JitEngine", "Superblock", "BAILOUT_REASONS"]
@@ -89,6 +89,7 @@ BAILOUT_REASONS = (
     "codegen",      # code generation moved under a running/entered block
     "self_modify",  # a store inside the block hit registered code
     "itlb",         # NxP I-TLB probe missed (or NX sense flipped)
+    "decode_error",  # bytes on an executable page failed to decode
 )
 
 _SIZED_LOADS = {Op.LD: 8, Op.LW: 4, Op.LBU: 1}
@@ -273,7 +274,13 @@ class JitEngine:
                 return None
             try:
                 return nisa.decode(raw, pc)
-            except Exception:
+            except (IllegalInstruction, MisalignedFetch):
+                # Undecodable bytes on an executable page: legitimately
+                # refuse to compile, but leave a sidecar mark — a storm
+                # of these means the profile is steering the JIT at data.
+                # Anything else (a TypeError, an IndexError in decode)
+                # is an interpreter bug and must propagate.
+                self._note_bail("decode_error")
                 return None
         head = self._code_bytes(pc, 1)
         if head is None:
@@ -286,7 +293,8 @@ class JitEngine:
             return None
         try:
             return hisa.decode(raw, pc)
-        except Exception:
+        except (IllegalInstruction, MisalignedFetch):
+            self._note_bail("decode_error")
             return None
 
     def _try_compile(self, entry: int) -> None:

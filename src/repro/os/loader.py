@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.errors import LoadError
 from repro.memory.allocator import RegionAllocator
 from repro.memory.paging import PAGE_1G, PAGE_2M, PAGE_4K, PageTables
 from repro.os.task import Process
@@ -134,8 +135,17 @@ def load_executable(machine, exe: Executable, name: Optional[str] = None) -> Pro
         span = _align_up(seg.vaddr + seg.size, PAGE_4K) - (seg.vaddr & ~(PAGE_4K - 1))
         vbase = seg.vaddr & ~(PAGE_4K - 1)
         if seg.vaddr % PAGE_4K and seg.placement == "nxp":
-            # keep the vaddr->paddr congruence within the page
-            pass
+            # An @nxp segment must start page-aligned: the loader marks
+            # NxP text NX (and registers NxP data cacheable) at page
+            # granularity, so a misaligned segment would drag co-resident
+            # host bytes into the wrong protection/coherence domain and
+            # break the vaddr->paddr congruence migration relies on.
+            # The linker always page-aligns sections, so hitting this
+            # means a corrupt or hand-built image.
+            raise LoadError(
+                f"@nxp segment {seg.section_name!r} at {seg.vaddr:#x} is "
+                f"not {PAGE_4K:#x}-aligned; NxP segments must be page-congruent"
+            )
         if seg.placement == "host":
             paddr = machine.host_phys.alloc(span, align=PAGE_4K)
         else:

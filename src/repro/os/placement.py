@@ -1,0 +1,147 @@
+"""Session placement for multi-NxP machines (docs/FLEET.md).
+
+When a machine owns several NxP devices, every host→NxP migration
+*session* (the outermost ISA-crossing call, including any reentrant
+ladder it spawns) must be routed to exactly one device: descriptor
+sequence numbers, replay caches and the task's suspended NxP frames are
+all per-device state, so a session cannot straddle devices.  The
+:class:`PlacementLayer` makes that routing decision once per session,
+through a pluggable policy:
+
+``static``
+    Always the lowest-indexed live device — the degenerate policy a
+    single-NxP machine implicitly uses; the baseline for ablations.
+``round_robin``
+    Cycle through live devices in index order.  Oblivious but fair;
+    the default for fleet serving runs.
+``least_loaded``
+    The live device with the fewest outstanding sessions (ties break
+    to the lowest index).  Adapts to skewed session lengths.
+``locality``
+    Prefer the device whose BRAM already holds the task's NxP stack
+    (``task.nxp_device``); fall back to least-loaded for first-time
+    migrators.  Models stack/BRAM affinity: re-placing a task on its
+    stack's home device avoids cross-device stack reallocation.
+
+Placement bookkeeping lives in a **sidecar** counter dict (like the JIT
+tier's) rather than the machine's :class:`StatRegistry`: the parity
+contract pins base stats bit-identical between single-NxP runs and the
+pre-fleet code, and multi-NxP observability must not create pressure to
+touch that snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["PlacementLayer", "PlacementPolicy", "POLICIES"]
+
+
+class PlacementPolicy:
+    """Chooses one device from the live candidates for a new session."""
+
+    name = "abstract"
+
+    def choose(self, task, candidates):
+        raise NotImplementedError
+
+
+class StaticPolicy(PlacementPolicy):
+    name = "static"
+
+    def choose(self, task, candidates):
+        return candidates[0]
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, task, candidates):
+        # Cycle over device *indices*, not the candidate list: a device
+        # leaving and rejoining the candidate set must not reshuffle the
+        # phase for its peers.
+        chosen = min(candidates, key=lambda d: ((d.index - self._next) % _span(candidates), d.index))
+        self._next = chosen.index + 1
+        return chosen
+
+
+def _span(candidates) -> int:
+    return max(d.index for d in candidates) + 1
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    name = "least_loaded"
+
+    def choose(self, task, candidates):
+        return min(candidates, key=lambda d: (d.outstanding, d.index))
+
+
+class LocalityPolicy(PlacementPolicy):
+    name = "locality"
+
+    def __init__(self):
+        self._fallback = LeastLoadedPolicy()
+
+    def choose(self, task, candidates):
+        home = getattr(task, "nxp_device", None)
+        if home is not None:
+            for dev in candidates:
+                if dev.index == home:
+                    return dev
+        return self._fallback.choose(task, candidates)
+
+
+POLICIES = {
+    "static": StaticPolicy,
+    "round_robin": RoundRobinPolicy,
+    "least_loaded": LeastLoadedPolicy,
+    "locality": LocalityPolicy,
+}
+
+
+class PlacementLayer:
+    """Per-machine routing of migration sessions to NxP devices."""
+
+    def __init__(self, machine, policy: str = "static"):
+        try:
+            self.policy = POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            ) from None
+        self.machine = machine
+        # Sidecar counters (see module docstring): pick.dev{i} per
+        # device, plus failover (re-placement after a dead pick) and
+        # exhausted (no live device left -> host fallback).
+        self.counters: Dict[str, int] = {}
+
+    def _count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def pick(self, task, exclude: FrozenSet[int] = frozenset()):
+        """Choose a live device for a new session, or ``None`` when no
+        device outside ``exclude`` is live (the caller degrades to
+        host-fallback emulation)."""
+        candidates = [
+            d for d in self.machine.devices
+            if d.alive and d.index not in exclude
+        ]
+        if not candidates:
+            self._count("placement.exhausted")
+            return None
+        dev = self.policy.choose(task, candidates)
+        self._count(f"placement.pick.dev{dev.index}")
+        if exclude:
+            self._count("placement.failover")
+        return dev
+
+    def session_counts(self) -> Dict[int, int]:
+        """Sessions placed per device index (for reports/tests)."""
+        out: Dict[int, int] = {}
+        for dev in self.machine.devices:
+            out[dev.index] = self.counters.get(f"placement.pick.dev{dev.index}", 0)
+        return out

@@ -72,6 +72,13 @@ class Process:
         self.lazy_heap = None  # set by FlickMachine.enable_lazy_heap
         self.output: List[int] = []  # values print()ed by any core
         self.exit_code: Optional[int] = None
+        # Outbound (h2n) migration sequence counter.  This lives on the
+        # *process*, not the task: the NxP-side dedup/replay cache is
+        # keyed by pid and outlives any one thread, so a fresh thread
+        # spawned on a reused process (the serving harness does exactly
+        # this) must continue the sequence, not restart it — a restart
+        # makes the device discard its legs as stale retransmits.
+        self.h2n_seq: int = 0
 
     @property
     def cr3(self) -> int:
@@ -111,14 +118,28 @@ class Task:
         self.wake_event = None  # repro.sim.Event, armed by the ioctl
         self.wake_payload: Optional[int] = None
         # Hardened-protocol bookkeeping (only advanced when faults are
-        # armed): the per-thread h2n sequence counter and the highest
-        # inbound (n2h) sequence already delivered to the ioctl.
-        self.h2n_seq: int = 0
+        # armed): the highest inbound (n2h) sequence already delivered
+        # to the ioctl.  The outbound counter is ``h2n_seq`` below — a
+        # per-process value surfaced here because the ioctl works in
+        # task terms.
         self.last_in_seq: int = 0
+        # Multi-NxP only: index of the device whose BRAM slice holds
+        # this task's NxP stack (the ``locality`` policy's affinity);
+        # None until the first migration, and always None on a
+        # single-NxP machine.
+        self.nxp_device: Optional[int] = None
 
     @property
     def pid(self) -> int:
         return self.process.pid
+
+    @property
+    def h2n_seq(self) -> int:
+        return self.process.h2n_seq
+
+    @h2n_seq.setter
+    def h2n_seq(self, value: int) -> None:
+        self.process.h2n_seq = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Task {self.name} pid={self.pid} {self.state.value}>"

@@ -15,6 +15,9 @@ Usage (also via ``python -m repro``):
     python -m repro chaos --plan-file myplan.json
     python -m repro serve --qps 1000 5000 20000 --scenario null_call --seed 7
     python -m repro serve --qps 2000 --scenario mixed --arrival bursty --out curve.json
+    python -m repro serve --qps 40000 --nxps 2 --policy round_robin
+    python -m repro fleet
+    python -m repro fleet --smoke --gate
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
@@ -43,7 +46,13 @@ delay included, achieved vs offered throughput, per-device utilization,
 and the saturation point (docs/OBSERVABILITY.md's serving-metrics
 section); ``--out`` lands the curve as ``flick.serving.v1`` JSON,
 ``--format openmetrics`` emits scrape-ready series, and ``--tolerance``
-turns the achieved/offered ratio into an exit-code gate (the CI smoke).
+turns the achieved/offered ratio into an exit-code gate (the CI smoke);
+``--nxps``/``--policy`` serve against a multi-NxP machine (docs/FLEET.md).
+``fleet`` runs the multi-NxP study — throughput-vs-device-count scaling
+curve, placement-policy ablation, and a kill-one-device chaos drain —
+with ``--smoke`` for a CI-sized subset and ``--gate`` as an exit-code
+check (chaos must serve every request; throughput must rise with
+device count).
 ``bench`` measures simulator throughput with the fast paths on vs off
 (docs/PERFORMANCE.md); ``--quick`` shrinks the workloads to a
 sub-30-second smoke, ``--hosted`` adds the hosted-mode op-batching
@@ -277,6 +286,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRAC",
         help="gate: exit 1 unless every point achieves at least FRAC of its "
         "offered QPS and reports a finite p99 (the CI smoke check)",
+    )
+    serve_p.add_argument(
+        "--nxps",
+        type=int,
+        default=1,
+        help="NxP devices on the serving machine (default: 1)",
+    )
+    serve_p.add_argument(
+        "--policy",
+        choices=("static", "round_robin", "least_loaded", "locality"),
+        default="static",
+        help="session placement policy for --nxps > 1 (default: static)",
+    )
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="multi-NxP fleet study: scaling curve, placement ablation, "
+        "chaos drain (docs/FLEET.md)",
+    )
+    fleet_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized study (two device counts, two load points)",
+    )
+    fleet_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: capped at cores)",
+    )
+    fleet_p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="stdout format (default: table)",
+    )
+    fleet_p.add_argument(
+        "--out", default=None, help="also write the flick.fleet.v1 JSON report here"
+    )
+    fleet_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 unless the chaos drain served every request correctly "
+        "and peak throughput rises with device count (the CI fleet smoke)",
     )
 
     return parser
@@ -555,6 +608,8 @@ def _cmd_serve(args, out) -> int:
         requests=args.requests,
         clients=args.clients,
         think_ns=args.think_us * 1000.0,
+        nxps=args.nxps,
+        policy=args.policy,
     )
     try:
         base.validate()
@@ -594,6 +649,65 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    from repro.analysis.fleet import (
+        FleetConfig,
+        fleet_report_doc,
+        render_ablation_table,
+        render_chaos_summary,
+        render_scaling_table,
+        run_fleet,
+        write_fleet_report,
+    )
+
+    fc = FleetConfig.smoke() if args.smoke else FleetConfig()
+    report = run_fleet(fc, workers=args.workers)
+
+    if args.format == "json":
+        import json
+
+        out.write(json.dumps(fleet_report_doc(report), indent=2) + "\n")
+    else:
+        print("== scaling: throughput vs NxP count ==", file=out)
+        print(render_scaling_table(report.scaling), file=out)
+        print("", file=out)
+        print("== placement ablation ==", file=out)
+        print(render_ablation_table(report.ablation), file=out)
+        print("", file=out)
+        print("== chaos drain ==", file=out)
+        print(render_chaos_summary(report.chaos), file=out)
+    if args.out:
+        write_fleet_report(report, args.out)
+        print(f"fleet report -> {args.out}", file=out)
+
+    if args.gate:
+        bad = []
+        if not report.chaos.all_served_ok:
+            bad.append(
+                f"chaos drain lost requests or returned wrong values "
+                f"({report.chaos.killed.errors} errors)"
+            )
+        peaks = [pt.peak_achieved_qps for pt in report.scaling]
+        if any(b <= a for a, b in zip(peaks, peaks[1:])):
+            bad.append(
+                "peak achieved QPS does not rise with device count: "
+                + ", ".join(f"{p:.0f}" for p in peaks)
+            )
+        for row in report.ablation:
+            if row.result.errors:
+                bad.append(
+                    f"ablation policy {row.policy!r}: "
+                    f"{row.result.errors} wrong return value(s)"
+                )
+        if bad:
+            print("fleet gate FAILED:", file=out)
+            for line in bad:
+                print(f"  {line}", file=out)
+            return 1
+        print("fleet gate ok", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -607,6 +721,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args, out)
 

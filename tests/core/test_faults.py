@@ -164,6 +164,33 @@ class TestNxpHealth:
         with pytest.raises(ValueError):
             NxpHealth(threshold=0)
 
+    def test_transitions_count_real_state_changes(self):
+        health = NxpHealth(threshold=2)
+        assert health.transitions == 0
+        health.record_failure()  # HEALTHY -> SUSPECT
+        health.record_failure()  # SUSPECT -> DEAD
+        assert health.transitions == 2
+
+    def test_suspect_storm_is_one_transition(self):
+        # Re-entering SUSPECT on every failed leg must not inflate the
+        # transition count: a fleet aggregating ``health.transitions``
+        # would otherwise read a single slow device as a flapping one.
+        health = NxpHealth(threshold=10)
+        for _ in range(5):
+            health.record_failure()
+        assert health.state is HealthState.SUSPECT
+        assert health.transitions == 1
+
+    def test_force_dead_latches_and_dedupes(self):
+        health = NxpHealth(threshold=3)
+        assert health.force_dead("killed") is HealthState.DEAD
+        assert health.dead
+        assert health.transitions == 1
+        health.force_dead("again")  # same-state re-entry: no-op
+        assert health.transitions == 1
+        health.record_success()  # DEAD is terminal
+        assert health.dead
+
 
 class TestTypedErrorBackCompat:
     """Call sites written against the old bare exceptions keep working."""

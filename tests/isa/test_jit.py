@@ -10,10 +10,13 @@ JIT may recompile as often as it likes, but every observable must stay
 bit-identical to the interpreter.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.isa.jit as jit_module
 from repro.analysis.simspeed import COMPUTE_LOOP
+from repro.isa.base import IllegalInstruction
 from repro.core.config import FlickConfig
 from repro.core.machine import FlickMachine
 from repro.isa.interpreter import CostModel, Interpreter
@@ -130,6 +133,45 @@ class TestInvalidation:
         # The entry-point generation check is what step() performs
         # before yielding to a block; a stale block must fail it.
         assert block.gen != machine.threads[0].cpu.port.code_generation
+
+
+class TestDecodeBailouts:
+    """Undecodable bytes are a counted bailout; decoder bugs propagate.
+
+    ``_decode_at`` may legitimately hit bytes it cannot decode (the
+    profile steering the JIT at data); that must refuse compilation and
+    bump the ``decode_error`` sidecar rather than crash the tier.  But
+    the guard is narrow by design: an exception that is *not* an
+    architectural decode fault is an interpreter bug and must escape.
+    """
+
+    def _hot_engine(self):
+        machine, _ = _run(COMPUTE_LOOP, [100], FlickConfig(jit_hot_threshold=5))
+        engine = _host_engine(machine)
+        (entry,) = list(engine._blocks)
+        return engine, entry
+
+    def test_undecodable_bytes_bail_with_sidecar(self, monkeypatch):
+        engine, pc = self._hot_engine()
+
+        def refuse(raw, at):
+            raise IllegalInstruction(at, raw[0])
+
+        monkeypatch.setattr(jit_module.hisa, "decode", refuse)
+        assert engine._decode_at(pc) is None
+        assert engine.bailouts.get("decode_error") == 1
+        assert engine.counters()["jit.bailouts.decode_error"] == 1
+
+    def test_decoder_bugs_propagate(self, monkeypatch):
+        engine, pc = self._hot_engine()
+
+        def crash(raw, at):
+            raise TypeError("decoder bug")
+
+        monkeypatch.setattr(jit_module.hisa, "decode", crash)
+        with pytest.raises(TypeError):
+            engine._decode_at(pc)
+        assert "decode_error" not in engine.bailouts
 
 
 _OPS = st.sampled_from(["+", "-", "*"])

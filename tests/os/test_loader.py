@@ -3,6 +3,7 @@
 import pytest
 
 from repro import FlickMachine
+from repro.core.errors import LoadError
 from repro.memory.paging import PAGE_1G, PAGE_2M, PageFault
 from repro.os.loader import (
     HOST_HEAP_VBASE,
@@ -109,6 +110,55 @@ class TestNXMarking:
         _machine, _exe, process = loaded
         with pytest.raises(PageFault):
             process.page_tables.translate(0x5555_5000)
+
+
+class TestNxpAlignmentGuard:
+    """Misaligned @nxp segments must be rejected at load time.
+
+    The loader maps segments at the page-aligned-down base; for device
+    placement that silently shifts the segment's BAR offset, so every
+    device access lands ``vaddr % 4K`` bytes away from where the
+    initializers were copied.  Host segments tolerate the alignment fixup
+    (host DRAM has no window congruence requirement) and must keep
+    loading.
+    """
+
+    @staticmethod
+    def _exe(section, placement, vaddr):
+        from repro.toolchain.felf import Executable, Segment
+
+        seg = Segment(
+            section_name=section,
+            vaddr=vaddr,
+            data=b"\x11" * 16,
+            bss_size=0,
+            isa=None,
+            placement=placement,
+            writable=True,
+        )
+        return Executable(
+            entry_symbol="blob",
+            segments=[seg],
+            symbols={"blob": vaddr},
+            isa_of_symbol={"blob": None},
+        )
+
+    def test_misaligned_nxp_segment_rejected(self):
+        machine = FlickMachine()
+        with pytest.raises(LoadError, match="page-congruent"):
+            machine.load(self._exe(".data.nxp", "nxp", 0x40_1008))
+
+    def test_aligned_nxp_segment_loads(self):
+        machine = FlickMachine()
+        process = machine.load(self._exe(".data.nxp", "nxp", 0x40_1000))
+        tr = process.page_tables.translate(0x40_1000)
+        assert machine.memory_map.bar0_contains(tr.paddr)
+
+    def test_misaligned_host_segment_still_loads(self):
+        machine = FlickMachine()
+        process = machine.load(self._exe(".data", "host", 0x40_1008))
+        tr = process.page_tables.translate(0x40_1008)
+        assert machine.memory_map.host_dram_contains(tr.paddr)
 
 
 class TestIsolation:
