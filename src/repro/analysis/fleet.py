@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.serving import (
     ServingResult,
     TrafficConfig,
+    aim_kill_ns,
     run_serving,
     saturation_point,
 )
@@ -96,12 +97,22 @@ class FleetConfig:
     )
     ablation_nxps: int = 2
     ablation_qps: float = 60_000.0
-    #: chaos drain: kill one of ``chaos_nxps`` devices mid-run
+    #: chaos drain: kill one of ``chaos_nxps`` devices mid-run.
+    #: ``chaos_kill_at_ns=None`` aims the kill at an in-flight h2n leg
+    #: observed in the traced baseline (serving.aim_kill_ns) — an
+    #: abrupt kill only strands legs that are in flight or ring-queued,
+    #: so a blindly-timed kill at moderate load usually lands between
+    #: legs and recovers nothing.
     chaos_nxps: int = 2
-    chaos_qps: float = 20_000.0
-    chaos_kill_at_ns: float = 1_000_000.0
+    chaos_qps: float = 24_000.0
+    chaos_kill_at_ns: Optional[float] = None
     chaos_kill_device: int = 0
     chaos_kill_mode: str = "abrupt"
+    #: trace the chaos pair (request-scoped causal tracing) so the
+    #: outcome carries exactly-tiling critical paths and the report can
+    #: attribute the kill's tail cost to retry/failover phases.
+    #: Required for kill auto-aim.
+    chaos_traced: bool = True
 
     @classmethod
     def smoke(cls) -> "FleetConfig":
@@ -206,6 +217,25 @@ class ChaosOutcome:
             if dev != self.kill_device
         )
 
+    @property
+    def recovered_requests(self) -> List:
+        """Requests whose critical path crossed watchdog recovery
+        (retry or failover time > 0); empty on an untraced run."""
+        return [
+            p
+            for p in self.killed.paths
+            if p.phases.get("retry_backoff", 0.0) > 0.0
+            or p.phases.get("failover", 0.0) > 0.0
+        ]
+
+    def why(self, percentile: float = 99.0):
+        """Tail attribution of the killed run (traced runs only)."""
+        if not self.killed.paths:
+            return None
+        from repro.analysis.critical_path import why_report
+
+        return why_report(self.killed.paths, percentile=percentile)
+
 
 @dataclass
 class FleetReport:
@@ -266,22 +296,49 @@ def policy_ablation(
 def chaos_drain(
     fc: FleetConfig, workers: Optional[int] = None
 ) -> ChaosOutcome:
-    """Kill one device mid-run; baseline is the same traffic unkilled."""
+    """Kill one device mid-run; baseline is the same traffic unkilled.
+
+    When ``fc.chaos_kill_at_ns`` is ``None`` the kill is *aimed*: the
+    (traced) baseline runs first, and the kill instant is chosen inside
+    one of the victim device's in-flight h2n transfers — the killed run
+    replays the identical pre-kill history, so the aimed leg is
+    guaranteed to be stranded and recovered by the watchdog/failover
+    machinery, which the traced tail attribution then names.
+    """
     base = replace(
         fc.base_traffic(),
         qps=fc.chaos_qps,
         nxps=fc.chaos_nxps,
         policy="round_robin",
+        traced=fc.chaos_traced,
     )
-    killed_tc = replace(
-        base,
-        kill_at_ns=fc.chaos_kill_at_ns,
-        kill_device=fc.chaos_kill_device,
-        kill_mode=fc.chaos_kill_mode,
-    )
-    baseline, killed = parallel_map(
-        _fleet_job, [base, killed_tc], workers=workers
-    )
+    kill_at = fc.chaos_kill_at_ns
+    if kill_at is None:
+        if not fc.chaos_traced:
+            raise ValueError(
+                "chaos kill auto-aim (chaos_kill_at_ns=None) needs "
+                "chaos_traced=True to observe the baseline's in-flight legs"
+            )
+        baseline = _fleet_job(base)
+        kill_at = aim_kill_ns(baseline, fc.chaos_kill_device)
+        killed = _fleet_job(
+            replace(
+                base,
+                kill_at_ns=kill_at,
+                kill_device=fc.chaos_kill_device,
+                kill_mode=fc.chaos_kill_mode,
+            )
+        )
+    else:
+        killed_tc = replace(
+            base,
+            kill_at_ns=kill_at,
+            kill_device=fc.chaos_kill_device,
+            kill_mode=fc.chaos_kill_mode,
+        )
+        baseline, killed = parallel_map(
+            _fleet_job, [base, killed_tc], workers=workers
+        )
     return ChaosOutcome(
         baseline=baseline,
         killed=killed,
@@ -384,6 +441,18 @@ def render_chaos_summary(outcome: ChaosOutcome) -> str:
         f"({outcome.p99_ratio:.2f}x)",
         f"  host-fallback calls: {killed.degraded_calls}",
     ]
+    recovered = outcome.recovered_requests
+    if recovered:
+        ids = ", ".join(p.trace_id for p in recovered[:4])
+        lines.append(
+            f"  watchdog-recovered requests: {len(recovered)} ({ids})"
+        )
+    why = outcome.why()
+    if why is not None:
+        lines.append(
+            f"  p99 attribution: dominant phase "
+            f"{why.tail.dominant} — {why.culprit}"
+        )
     return "\n".join(lines)
 
 
@@ -428,6 +497,14 @@ def fleet_report_doc(report: FleetReport) -> dict:
             "degraded_calls": report.chaos.killed.degraded_calls,
             "baseline": report.chaos.baseline.to_point(),
             "killed": report.chaos.killed.to_point(),
+            "recovered_trace_ids": [
+                p.trace_id for p in report.chaos.recovered_requests
+            ],
+            "why": (
+                report.chaos.why().to_dict()
+                if report.chaos.killed.paths
+                else None
+            ),
         },
     }
 

@@ -188,6 +188,10 @@ class RunReport:
     open_spans: int = 0
     #: span lifecycle violations recorded by the trace (double closes)
     span_anomalies: int = 0
+    #: ring-evicted events / spans (nonzero means every derivation above
+    #: saw a window of the run, not the whole run)
+    trace_dropped: int = 0
+    trace_spans_dropped: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -293,6 +297,7 @@ def device_utilization(
     t_end: float,
     slices: int = TIMELINE_SLICES,
     t_start: float = 0.0,
+    nxp_devices: Optional[int] = None,
 ) -> Dict[str, UtilizationSummary]:
     """Per-device busy fractions from span interval unions.
 
@@ -305,9 +310,14 @@ def device_utilization(
     Definitions (docs/OBSERVABILITY.md):
 
     * ``nxp``: union of ``nxp_resident`` spans — the NxP core is busy
-      exactly while a migrated session is resident on it.
+      exactly while a migrated session is resident on it.  On a
+      multi-NxP machine (``nxp_devices > 1``, or residency spans from
+      more than one device) the combined ``nxp`` row is joined by one
+      ``nxp{i}`` row per device index, split on the residency spans'
+      ``device`` attr; single-NxP output keeps exactly the historical
+      ``{host_core, nxp, dma}`` keys.
     * ``dma``: union of ``dma.h2n`` and ``dma.n2h`` burst spans (one
-      engine, serialized link).
+      engine per device, serialized link; the row unions all engines).
     * ``host_core``: union of ``thread`` spans minus ``h2n_session``
       time, plus the nested ``n2h_host_exec`` legs (during a session the
       task is suspended off-core, *except* while it services a nested
@@ -317,7 +327,12 @@ def device_utilization(
     """
     out: Dict[str, UtilizationSummary] = {}
 
-    nxp = _merge(_span_intervals(trace, "nxp_resident"))
+    per_dev: Dict[int, List[Tuple[float, float]]] = {}
+    for span in trace.finished_spans("nxp_resident"):
+        per_dev.setdefault(int(span.attrs.get("device", 0)), []).append(
+            (span.start, span.end)
+        )
+    nxp = _merge([iv for ivs in per_dev.values() for iv in ivs])
     dma = _merge(
         _span_intervals(trace, "dma.h2n") + _span_intervals(trace, "dma.n2h")
     )
@@ -329,8 +344,19 @@ def device_utilization(
         + _span_intervals(trace, "n2h_host_exec")
     )
 
+    rows: List[Tuple[str, List[Tuple[float, float]]]] = [
+        ("host_core", host), ("nxp", nxp), ("dma", dma),
+    ]
+    indices = set(per_dev)
+    if nxp_devices is not None:
+        indices |= set(range(nxp_devices))
+    if (nxp_devices or 0) > 1 or any(i > 0 for i in indices):
+        rows.extend(
+            (f"nxp{i}", _merge(per_dev.get(i, []))) for i in sorted(indices)
+        )
+
     width = t_end - t_start
-    for device, intervals in (("host_core", host), ("nxp", nxp), ("dma", dma)):
+    for device, intervals in rows:
         if t_start > 0.0:
             # Clip to the window, then shift to window-relative time so
             # the slice math below stays over [0, width].
@@ -381,11 +407,22 @@ def build_run_report(
             pid: {k: HistogramSummary.of(h) for k, h in sorted(hists.items())}
             for pid, hists in sorted(by_pid.items())
         },
-        utilization=device_utilization(trace, t_end, slices=slices),
+        utilization=device_utilization(
+            trace,
+            t_end,
+            slices=slices,
+            nxp_devices=(
+                len(machine.devices)
+                if getattr(machine, "multi_nxp", False)
+                else None
+            ),
+        ),
         truncated=trace.truncated,
         jit=machine.jit_stats() if hasattr(machine, "jit_stats") else {},
         open_spans=len(trace.open_spans()),
         span_anomalies=trace.span_anomalies,
+        trace_dropped=trace.dropped,
+        trace_spans_dropped=trace.spans_dropped,
     )
 
 
@@ -542,6 +579,12 @@ def render_openmetrics(report: RunReport) -> str:
     anomaly_metric = _metric_name("trace_span_anomalies")
     lines.append(f"# TYPE {anomaly_metric} counter")
     lines.append(f"{anomaly_metric}_total {report.span_anomalies}")
+    dropped_metric = _metric_name("trace_dropped")
+    lines.append(f"# TYPE {dropped_metric} counter")
+    lines.append(f"{dropped_metric}_total {report.trace_dropped}")
+    sdropped_metric = _metric_name("trace_spans_dropped")
+    lines.append(f"# TYPE {sdropped_metric} counter")
+    lines.append(f"{sdropped_metric}_total {report.trace_spans_dropped}")
 
     sim_metric = _metric_name("sim_time_ns")
     lines.append(f"# TYPE {sim_metric} gauge")
@@ -567,6 +610,8 @@ def report_to_dict(report: RunReport) -> dict:
         "jit": dict(report.jit),
         "open_spans": report.open_spans,
         "span_anomalies": report.span_anomalies,
+        "trace_dropped": report.trace_dropped,
+        "trace_spans_dropped": report.trace_spans_dropped,
     }
 
 
@@ -600,4 +645,6 @@ def report_from_json(doc) -> RunReport:
         jit=dict(doc.get("jit", {})),  # absent in pre-JIT documents
         open_spans=int(doc.get("open_spans", 0)),  # absent pre-serving
         span_anomalies=int(doc.get("span_anomalies", 0)),
+        trace_dropped=int(doc.get("trace_dropped", 0)),  # absent pre-tracing
+        trace_spans_dropped=int(doc.get("trace_spans_dropped", 0)),
     )

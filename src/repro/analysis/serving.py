@@ -50,6 +50,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.critical_path import extract_request_paths
 from repro.analysis.metrics import (
     HistogramSummary,
     UtilizationSummary,
@@ -68,6 +69,7 @@ __all__ = [
     "generate_arrivals",
     "draw_kinds",
     "run_serving",
+    "aim_kill_ns",
     "sweep_latency_vs_load",
     "saturation_point",
     "render_serving_table",
@@ -119,6 +121,12 @@ class TrafficConfig:
     kill_at_ns: Optional[float] = None
     kill_device: int = 0
     kill_mode: str = "abrupt"  # abrupt | drain
+    #: request-scoped causal tracing (docs/OBSERVABILITY.md): every
+    #: request gets a deterministic ``trace_id`` threaded through its
+    #: spans, and the result carries exactly-tiling critical paths
+    #: (repro.analysis.critical_path).  Off (the default) leaves the
+    #: exact untraced code paths — pinned bit-identical.
+    traced: bool = False
 
     def validate(self) -> None:
         if self.arrival not in ARRIVALS:
@@ -172,6 +180,12 @@ class RequestRecord:
     @property
     def wait_ns(self) -> float:
         return self.start_ns - self.arrival_ns
+
+
+def _request_trace_id(seed: int, idx: int) -> str:
+    """Deterministic per-request trace id: same config ⇒ same ids, so
+    exemplar ids in reports and EXPERIMENTS.md are stable across runs."""
+    return f"req-{seed:x}-{idx:04d}"
 
 
 def _stream(seed: int, label: str) -> random.Random:
@@ -271,6 +285,21 @@ class ServingResult:
     #: NISA calls that completed via host-fallback emulation (all
     #: devices down, or a kill run's tail) — from ``degraded.calls``
     degraded_calls: int = 0
+    #: trace ring pressure after the run: events / completed spans the
+    #: bounded rings evicted.  Non-zero means every span-derived number
+    #: above was computed on a *window*, not the whole run.
+    trace_dropped: int = 0
+    trace_spans_dropped: int = 0
+    #: traced runs only (config.traced): one exactly-tiling critical
+    #: path per request, request-index order
+    #: (repro.analysis.critical_path.RequestPath); empty when untraced
+    paths: list = field(default_factory=list)
+    #: traced multi-NxP runs only: per device index, the ``(start, end)``
+    #: interval of every h2n DMA transfer aimed at it, kick order.
+    #: Chaos harnesses use these to aim a kill at an in-flight leg
+    #: (:func:`aim_kill_ns`) — arrivals are seeded, so a window observed
+    #: in a baseline run exists at the same instant in a kill run.
+    device_kicks: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
 
     @property
     def latencies_ns(self) -> List[float]:
@@ -307,6 +336,8 @@ class ServingResult:
             "policy": self.config.policy,
             "device_sessions": {str(k): v for k, v in self.device_sessions.items()},
             "degraded_calls": self.degraded_calls,
+            "trace_dropped": self.trace_dropped,
+            "trace_spans_dropped": self.trace_spans_dropped,
         }
 
 
@@ -338,8 +369,14 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             overrides["migration_watchdog_ns"] = 250_000.0
             overrides["migration_retry_limit"] = 1
             overrides["nxp_dead_threshold"] = 1
+        if tc.traced:
+            overrides["trace_context"] = True
         cfg = DEFAULT_CONFIG.with_overrides(**overrides)
     machine = FlickMachine(cfg)
+    if tc.traced:
+        # Covers an explicitly-passed cfg too; a no-op when the config
+        # already enabled trace_context.
+        machine.trace.context_enabled = True
     # Size the trace rings to the run so utilization and the per-request
     # spans are derived from complete data, not a truncated window.
     machine.trace.limit = max(machine.trace.limit, tc.requests * 150)
@@ -373,7 +410,19 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         process = _process_for(client, kind)
         start = sim.now
         thread = machine.spawn(process, entry="main", args=profile.args)
+        if tc.traced and span is not None:
+            # Thread the request's causal context into everything its
+            # fresh task emits (h2n legs, DMA, retries, placement); the
+            # serve_request root adopts the task pid as its child root.
+            trace.set_context(
+                thread.task.pid,
+                span.attrs["trace_id"],
+                root_span_id=span.attrs.get("span_id"),
+                request=idx,
+            )
         yield thread.proc  # join: resumes when the request thread finishes
+        if tc.traced:
+            trace.clear_context(thread.task.pid)
         trace.close(span, client=client)
         retval = signed_retval(thread.result)
         records[idx] = RequestRecord(
@@ -403,7 +452,13 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             # arrival cannot be delayed by a congested machine — the
             # open-loop property.  Queueing shows up as channel wait.
             arrivals_seen[idx] = sim.now
-            span = trace.open_span("serve_request", kind=kind, index=idx)
+            if tc.traced:
+                span = trace.open_span(
+                    "serve_request", kind=kind, index=idx,
+                    trace_id=_request_trace_id(tc.seed, idx),
+                )
+            else:
+                span = trace.open_span("serve_request", kind=kind, index=idx)
             channels[idx % clients].put((idx, kind, span))
             return
             yield  # unreachable; makes this function a generator
@@ -423,7 +478,13 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             for idx in range(c, tc.requests, clients):
                 kind = kinds[idx]
                 arrivals_seen[idx] = sim.now
-                span = trace.open_span("serve_request", kind=kind, index=idx)
+                if tc.traced:
+                    span = trace.open_span(
+                        "serve_request", kind=kind, index=idx,
+                        trace_id=_request_trace_id(tc.seed, idx),
+                    )
+                else:
+                    span = trace.open_span("serve_request", kind=kind, index=idx)
                 yield from _serve_one(c, idx, kind, span)
                 if tc.think_ns > 0:
                     yield sim.timeout(tc.think_ns)
@@ -478,14 +539,75 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         errors=sum(1 for r in done if not r.ok),
         kind_counts=kind_counts,
         latency_histogram=HistogramSummary.of(hist),
-        utilization=device_utilization(trace, t_end, t_start=epoch),
+        utilization=device_utilization(
+            trace, t_end, t_start=epoch,
+            nxp_devices=tc.nxps if tc.nxps > 1 else None,
+        ),
         open_spans=len(trace.open_spans()),
         span_anomalies=trace.span_anomalies,
         device_sessions=(
             machine.placement.session_counts() if machine.placement else {}
         ),
         degraded_calls=int(machine.stats.snapshot().get("degraded.calls", 0)),
+        trace_dropped=trace.dropped,
+        trace_spans_dropped=trace.spans_dropped,
+        paths=(
+            extract_request_paths(trace, done) if tc.traced else []
+        ),
+        device_kicks=(
+            _device_kicks(trace) if tc.traced and tc.nxps > 1 else {}
+        ),
     )
+
+
+def _device_kicks(trace) -> Dict[int, List[Tuple[float, float]]]:
+    """Per-device h2n transfer intervals (traced runs label DMA spans
+    with their engine's device index)."""
+    out: Dict[int, List[Tuple[float, float]]] = {}
+    for span in trace.finished_spans("dma.h2n"):
+        dev = span.attrs.get("device")
+        if dev is not None:
+            out.setdefault(int(dev), []).append((span.start, span.end))
+    for kicks in out.values():
+        kicks.sort()
+    return out
+
+
+def aim_kill_ns(
+    result: ServingResult,
+    device: int,
+    frac_lo: float = 0.5,
+    frac_hi: float = 0.85,
+) -> float:
+    """Pick a kill instant that strands in-flight legs on ``device``.
+
+    A leg is lost to an abrupt kill only if its descriptor is still in
+    flight (DMA transfer running) or ring-queued when the device dies —
+    a body already dispatched completes and replies.  This scans the
+    *baseline* run's h2n transfer intervals for ``device`` inside the
+    ``[frac_lo, frac_hi]`` span of the run and returns the midpoint of
+    the transfer overlapped by the most concurrent transfers (latest
+    such moment wins ties, keeping the post-kill degraded window
+    short).  Arrivals are seeded, so the killed run replays the same
+    history up to this instant.
+    """
+    kicks = result.device_kicks.get(device)
+    if not kicks:
+        raise ValueError(
+            f"no h2n kicks recorded for device {device}; aim_kill_ns "
+            "needs a traced multi-NxP baseline (TrafficConfig.traced)"
+        )
+    t_end = max(end for _start, end in kicks)
+    lo, hi = frac_lo * t_end, frac_hi * t_end
+    window = [k for k in kicks if lo <= k[0] <= hi] or kicks
+    best = None
+    for start, end in window:
+        mid = start + 0.5 * (end - start)
+        overlap = sum(1 for s, e in kicks if s <= mid < e)
+        key = (overlap, mid)
+        if best is None or key > best[0]:
+            best = (key, mid)
+    return best[1]
 
 
 # ---------------------------------------------------------------------------
@@ -610,6 +732,18 @@ def render_serving_openmetrics(results: Sequence[ServingResult]) -> str:
                 f'flick_serving_device_utilization{{offered_qps="{r.offered_qps:g}",'
                 f'device="{device}"}} {summary.fraction}'
             )
+    lines.append("# TYPE flick_trace_dropped counter")
+    for r in results:
+        lines.append(
+            f'flick_trace_dropped_total{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}"}} {r.trace_dropped}'
+        )
+    lines.append("# TYPE flick_trace_spans_dropped counter")
+    for r in results:
+        lines.append(
+            f'flick_trace_spans_dropped_total{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}"}} {r.trace_spans_dropped}'
+        )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

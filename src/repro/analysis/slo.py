@@ -1,0 +1,295 @@
+"""SLO windows and burn-rate evaluation over serving runs.
+
+A latency SLO is a promise about a percentile: "p99 latency stays under
+500 us".  This module evaluates such promises against the request
+records a serving run produced (:mod:`repro.analysis.serving`) — it
+needs only arrival/end timestamps, so it works on traced *and* untraced
+runs alike and charges nothing to simulated time.
+
+Two views:
+
+* **Windows** — the run is cut into equal wall-clock windows (by
+  request *completion* time) and each window gets its own percentile
+  snapshot.  A fleet whose aggregate p99 looks healthy can still burn
+  its whole error budget in one bad window (a kill, a burst); windows
+  make that visible.
+* **Burn rate** — the SRE error-budget framing: an SLO at percentile
+  ``p`` grants an error budget of ``1 - p/100`` (the fraction of
+  requests allowed over threshold).  ``burn = bad_fraction / budget``;
+  1.0 means spending the budget exactly as fast as it accrues, >1 means
+  the budget runs out before the period does.
+
+Thresholds parse from compact specs (``"p99:500us"``) so the CLI can
+gate runs: ``python -m repro serve --slo p99:500us --slo-gate`` exits
+nonzero when the promise is broken (docs/OBSERVABILITY.md).
+
+The JSON document (:func:`slo_doc`) carries schema ``flick.slo.v1``;
+:func:`render_slo_openmetrics` exposes the same numbers as gauges.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.stats import quantile
+
+__all__ = [
+    "SLO",
+    "SLOWindow",
+    "SLOReport",
+    "parse_slo",
+    "evaluate_slo",
+    "render_slo",
+    "render_slo_openmetrics",
+    "slo_doc",
+]
+
+#: default number of wall-clock windows a run is cut into
+DEFAULT_WINDOWS = 8
+
+_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+_SPEC_RE = re.compile(
+    r"^p(?P<pct>\d+(?:\.\d+)?)\s*[:<]=?\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>ns|us|ms|s)$"
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One latency promise: ``percentile`` of latency <= ``threshold_ns``."""
+
+    percentile: float
+    threshold_ns: float
+
+    def __post_init__(self):
+        if not 0.0 < self.percentile < 100.0:
+            raise ValueError("SLO percentile must be in (0, 100)")
+        if self.threshold_ns <= 0:
+            raise ValueError("SLO threshold must be > 0")
+
+    @property
+    def budget(self) -> float:
+        """Error budget: the fraction of requests allowed over threshold."""
+        return 1.0 - self.percentile / 100.0
+
+    @property
+    def spec(self) -> str:
+        """Canonical compact spec, e.g. ``p99:500us``."""
+        pct = f"{self.percentile:g}"
+        for unit in ("s", "ms", "us", "ns"):
+            scale = _UNITS_NS[unit]
+            value = self.threshold_ns / scale
+            if value >= 1.0 and value == int(value):
+                return f"p{pct}:{int(value)}{unit}"
+        return f"p{pct}:{self.threshold_ns:g}ns"
+
+
+def parse_slo(spec: str) -> SLO:
+    """Parse a compact SLO spec like ``p99:500us`` (also ``p99<=500us``).
+
+    Units: ``ns``, ``us``, ``ms``, ``s``.
+    """
+    m = _SPEC_RE.match(spec.strip().lower())
+    if m is None:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected e.g. 'p99:500us' "
+            f"(units: {sorted(_UNITS_NS)})"
+        )
+    return SLO(
+        percentile=float(m.group("pct")),
+        threshold_ns=float(m.group("value")) * _UNITS_NS[m.group("unit")],
+    )
+
+
+@dataclass(frozen=True)
+class SLOWindow:
+    """Percentile snapshot of one wall-clock window of the run."""
+
+    index: int
+    t0_ns: float
+    t1_ns: float
+    count: int
+    latency_ns: float  # the SLO percentile's latency in this window (NaN if empty)
+    bad: int  # requests over threshold
+    burn_rate: float  # bad_fraction / error_budget (0 for an empty window)
+
+    @property
+    def ok(self) -> bool:
+        return self.burn_rate <= 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t0_ns": self.t0_ns,
+            "t1_ns": self.t1_ns,
+            "count": self.count,
+            "latency_ns": self.latency_ns,
+            "bad": self.bad,
+            "burn_rate": self.burn_rate,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One SLO evaluated over a whole run plus its windows."""
+
+    slo: SLO
+    requests: int
+    latency_ns: float  # the percentile's latency over the whole run
+    bad: int
+    burn_rate: float
+    windows: Tuple[SLOWindow, ...]
+
+    @property
+    def ok(self) -> bool:
+        """The run-level promise: overall burn rate within budget."""
+        return self.burn_rate <= 1.0
+
+    @property
+    def worst_window(self) -> Optional[SLOWindow]:
+        busy = [w for w in self.windows if w.count]
+        return max(busy, key=lambda w: (w.burn_rate, w.index)) if busy else None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.slo.spec,
+            "percentile": self.slo.percentile,
+            "threshold_ns": self.slo.threshold_ns,
+            "requests": self.requests,
+            "latency_ns": self.latency_ns,
+            "bad": self.bad,
+            "burn_rate": self.burn_rate,
+            "ok": self.ok,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+def evaluate_slo(
+    records: Sequence,
+    slo: SLO,
+    windows: int = DEFAULT_WINDOWS,
+) -> SLOReport:
+    """Evaluate ``slo`` over serving ``records`` (anything with
+    ``arrival_ns``/``end_ns``/``latency_ns``), cutting the run into
+    ``windows`` equal spans of completion time."""
+    if not records:
+        raise ValueError("evaluate_slo needs at least one request record")
+    if windows < 1:
+        raise ValueError("windows must be >= 1")
+    ordered = sorted(records, key=lambda r: r.end_ns)
+    t0 = min(r.arrival_ns for r in ordered)
+    t1 = ordered[-1].end_ns
+    width = (t1 - t0) / windows if t1 > t0 else 0.0
+
+    buckets: List[List[float]] = [[] for _ in range(windows)]
+    for r in ordered:
+        if width > 0:
+            slot = min(int((r.end_ns - t0) / width), windows - 1)
+        else:
+            slot = 0
+        buckets[slot].append(r.latency_ns)
+
+    out: List[SLOWindow] = []
+    for i, latencies in enumerate(buckets):
+        bad = sum(1 for v in latencies if v > slo.threshold_ns)
+        burn = (bad / len(latencies)) / slo.budget if latencies else 0.0
+        out.append(
+            SLOWindow(
+                index=i,
+                t0_ns=t0 + i * width,
+                t1_ns=t0 + (i + 1) * width if width > 0 else t1,
+                count=len(latencies),
+                latency_ns=(
+                    quantile(latencies, slo.percentile)
+                    if latencies
+                    else float("nan")
+                ),
+                bad=bad,
+                burn_rate=burn,
+            )
+        )
+
+    latencies = [r.latency_ns for r in ordered]
+    bad_total = sum(1 for v in latencies if v > slo.threshold_ns)
+    return SLOReport(
+        slo=slo,
+        requests=len(latencies),
+        latency_ns=quantile(latencies, slo.percentile),
+        bad=bad_total,
+        burn_rate=(bad_total / len(latencies)) / slo.budget,
+        windows=tuple(out),
+    )
+
+
+# ---------------------------------------------------------------------------
+# renderers
+# ---------------------------------------------------------------------------
+
+
+def render_slo(report: SLOReport) -> str:
+    """Human-readable verdict plus the per-window burn table."""
+    slo = report.slo
+    lines = [
+        f"SLO {slo.spec}: {'OK' if report.ok else 'VIOLATED'}  "
+        f"(p{slo.percentile:g} = {report.latency_ns / 1e3:.1f} us over "
+        f"{report.requests} requests; {report.bad} over threshold, "
+        f"burn rate {report.burn_rate:.2f}x)"
+    ]
+    worst = report.worst_window
+    if worst is not None and worst.burn_rate > 0:
+        lines.append(
+            f"  worst window: #{worst.index} "
+            f"[{worst.t0_ns / 1e6:.2f}ms, {worst.t1_ns / 1e6:.2f}ms) "
+            f"burn {worst.burn_rate:.2f}x ({worst.bad}/{worst.count} bad)"
+        )
+    rows = [("window", "span_ms", "requests", f"p{slo.percentile:g}_us", "bad", "burn", "ok")]
+    for w in report.windows:
+        rows.append(
+            (
+                f"#{w.index}",
+                f"{w.t0_ns / 1e6:.2f}-{w.t1_ns / 1e6:.2f}",
+                str(w.count),
+                "-" if w.count == 0 else f"{w.latency_ns / 1e3:.1f}",
+                str(w.bad),
+                f"{w.burn_rate:.2f}x",
+                "yes" if w.ok else "NO",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        lines.append("  " + "  ".join(cell.rjust(w) for w, cell in zip(widths, row)))
+    return "\n".join(lines)
+
+
+def render_slo_openmetrics(report: SLOReport) -> str:
+    """The same numbers as OpenMetrics gauges (``flick_slo_*``)."""
+    spec = report.slo.spec
+    lines = [
+        "# TYPE flick_slo_latency_ns gauge",
+        f'flick_slo_latency_ns{{slo="{spec}"}} {report.latency_ns!r}',
+        "# TYPE flick_slo_burn_rate gauge",
+        f'flick_slo_burn_rate{{slo="{spec}"}} {report.burn_rate!r}',
+        "# TYPE flick_slo_ok gauge",
+        f'flick_slo_ok{{slo="{spec}"}} {1 if report.ok else 0}',
+        "# TYPE flick_slo_window_burn_rate gauge",
+    ]
+    for w in report.windows:
+        lines.append(
+            f'flick_slo_window_burn_rate{{slo="{spec}",window="{w.index}"}} '
+            f"{w.burn_rate!r}"
+        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def slo_doc(reports: Iterable[SLOReport]) -> dict:
+    """The ``flick.slo.v1`` JSON document for one or more SLOs."""
+    reports = list(reports)
+    return {
+        "schema": "flick.slo.v1",
+        "slos": [r.to_dict() for r in reports],
+        "ok": all(r.ok for r in reports),
+    }

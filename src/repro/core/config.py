@@ -208,6 +208,16 @@ class FlickConfig:
     # (the base tier) are always on.
     metrics: bool = True
 
+    # ---- request-scoped causal tracing (docs/OBSERVABILITY.md) -------------
+    # When on, MigrationTrace decorates every span/event emitted by a
+    # task with a registered trace context (``trace.set_context``) with
+    # ``trace_id`` + ``span_id``/``parent_span_id`` linkage, placement
+    # decisions emit ``placement`` events, and protocol spans carry the
+    # serving device index.  Pure observation: attrs never feed timing,
+    # and with the knob off the emitting code paths are byte-identical
+    # to pre-context behavior (tests/core/test_trace_context.py).
+    trace_context: bool = False
+
     # ---- hosted-mode op batching (docs/PERFORMANCE.md) ---------------------
     # Hosted bodies may issue runs of timed ops between yield points;
     # ``hosted_batch_ops`` lets those runs collapse into one consolidated

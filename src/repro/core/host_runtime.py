@@ -273,6 +273,13 @@ class HostThread:
             if device is None:
                 retval = yield from self._fallback_execute(target, args, session_start)
                 return retval
+            if machine.trace.context_enabled:
+                # Label the session span with the device serving it (the
+                # last annotation wins on failover re-placement).
+                machine.trace.annotate(
+                    "h2n_session", pid=task.pid,
+                    device=device.index, device_label=f"nxp{device.index}",
+                )
 
             if task.nxp_stack_base is None:  # first migration: allocate NxP stack
                 yield self.sim.timeout(cfg.host_stack_alloc_ns)
@@ -507,6 +514,8 @@ class HostThread:
         machine = self.machine
         machine.stats.count("degraded.calls")
         machine.trace.record("degraded_call", pid=task.pid, target=target)
+        if machine.trace.context_enabled:
+            machine.trace.annotate("h2n_session", pid=task.pid, fallback=True)
         # Runtime check + emulator setup on entry to the degraded path.
         yield self.sim.timeout(cfg.host_fallback_entry_ns)
         if self._fallback_cpu is None:

@@ -683,6 +683,13 @@ class _HostedHostThread:
             if device is None:
                 retval = yield from self._fallback_call(fn, args, session_start)
                 return retval
+            if machine.trace.context_enabled:
+                # Label the session span with the device serving it (the
+                # last annotation wins on failover re-placement).
+                machine.trace.annotate(
+                    "h2n_session", pid=task.pid,
+                    device=device.index, device_label=f"nxp{device.index}",
+                )
 
             if task.nxp_stack_base is None:
                 yield self.sim.timeout(cfg.host_stack_alloc_ns)
@@ -861,6 +868,8 @@ class _HostedHostThread:
         machine = self.machine
         machine.stats.count("degraded.calls")
         machine.trace.record("degraded_call", pid=task.pid, target=fn.addr)
+        if machine.trace.context_enabled:
+            machine.trace.annotate("h2n_session", pid=task.pid, fallback=True)
         yield self.sim.timeout(self.cfg.host_fallback_entry_ns)
         retval = yield from self.hosted.run_body(fn, args, "fallback")
         machine.stats.observe("latency.degraded_session_ns", self.sim.now - session_start)
@@ -934,11 +943,16 @@ class _HostedNxpEngine:
             yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
             idle = Event(self.sim, name="nxp.idle")
             self._idle = idle
+            # Device index attr mirrors NxpPlatform: feeds per-device
+            # utilization and causal trace labels; singleton = device 0.
+            dev_index = 0 if dev is None else dev.index
             if desc.is_call:
                 fn = self.hosted.program.by_addr[desc.target]
                 task = self.machine.kernel.task_by_pid(desc.pid)
                 self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
-                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="call")
+                self.machine.trace.begin(
+                    "nxp_resident", pid=desc.pid, entry="call", device=dev_index
+                )
                 self.sim.spawn(
                     self._run_call(task, fn, desc.args), name=f"nxp-body-{fn.name}"
                 )
@@ -948,7 +962,9 @@ class _HostedNxpEngine:
                 if not stack:
                     raise RuntimeError("hosted: return descriptor with no parked body")
                 self.machine.trace.record("nxp_dispatch_return", pid=desc.pid)
-                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="return")
+                self.machine.trace.begin(
+                    "nxp_resident", pid=desc.pid, entry="return", device=dev_index
+                )
                 stack.pop().trigger((desc.retval, idle))
             yield idle  # core is busy until the body parks or finishes
             self.machine.stats.sample("nxp.busy_ns", self.sim.now - dispatch_start)

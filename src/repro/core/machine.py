@@ -97,6 +97,7 @@ class FlickMachine:
         self.sim = Simulator(fast_now_queue=cfg.engine_fast_path)
         self.stats = StatRegistry(metrics_enabled=cfg.metrics)
         self.trace = MigrationTrace(self.sim)
+        self.trace.context_enabled = cfg.trace_context
 
         # -- physical memory ------------------------------------------------
         mm = self.memory_map

@@ -155,13 +155,21 @@ class NxpPlatform:
             self._switch_address_space(task, desc.cr3)
             yield self.sim.timeout(self.cfg.nxp_context_switch_ns)
 
+            # Which device's core this residency runs on: the singleton
+            # platform is device 0.  The attr feeds per-device
+            # utilization (analysis/metrics.py) and causal trace labels.
+            dev_index = 0 if dev is None else dev.index
             if desc.is_call:
                 self.machine.trace.record("nxp_dispatch_call", pid=desc.pid, target=desc.target)
-                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="call")
+                self.machine.trace.begin(
+                    "nxp_resident", pid=desc.pid, entry="call", device=dev_index
+                )
                 yield from self.cpu.setup_call(desc.target, desc.args, sp=desc.nxp_sp)
             else:
                 self.machine.trace.record("nxp_dispatch_return", pid=desc.pid)
-                self.machine.trace.begin("nxp_resident", pid=desc.pid, entry="return")
+                self.machine.trace.begin(
+                    "nxp_resident", pid=desc.pid, entry="return", device=dev_index
+                )
                 if not task.nxp_context_stack:
                     raise ProcessCrash(task, "return descriptor with no suspended NxP context")
                 ctx = task.nxp_context_stack.pop()

@@ -111,6 +111,10 @@ EVENT_CATEGORIES: Dict[str, str] = {
     # serving-traffic harness (repro.analysis.serving): one span per
     # request, arrival -> completion (queueing delay included)
     "serve_request": "serving",
+    # fleet placement decisions (repro.os.placement), emitted only when
+    # trace-context propagation is on (docs/OBSERVABILITY.md)
+    "placement": "placement",
+    "nxp_kill": "fault",
 }
 
 
@@ -192,6 +196,105 @@ class MigrationTrace:
         #: handle this trace never tracked (evicted or foreign).  Always
         #: a bug in the emitter — surfaced in exports, never silent.
         self.span_anomalies = 0
+        #: request-scoped causal tracing (docs/OBSERVABILITY.md): when
+        #: enabled, every span/event emitted by a pid with a registered
+        #: context is decorated with ``trace_id`` plus ``span_id`` /
+        #: ``parent_span_id`` linkage.  Purely observational — attrs
+        #: never feed timing — and off by default so untraced runs stay
+        #: byte-for-byte on the pre-context code paths.
+        self.context_enabled = False
+        self._contexts: Dict[int, Dict[str, Any]] = {}
+        self._context_roots: Dict[int, Optional[int]] = {}
+        self._span_seq = 0
+
+    # -- trace-context propagation -------------------------------------------
+
+    def set_context(
+        self,
+        pid: int,
+        trace_id: str,
+        root_span_id: Optional[int] = None,
+        **extra,
+    ) -> None:
+        """Register a causal context for ``pid``: all spans and events it
+        emits from now on carry ``trace_id`` (+ any ``extra`` attrs).
+        ``root_span_id`` is the parent of the pid's outermost spans —
+        typically the ``serve_request`` span the pid is serving."""
+        if not self.context_enabled:
+            return
+        self._contexts[pid] = {"trace_id": trace_id, **extra}
+        self._context_roots[pid] = root_span_id
+
+    def clear_context(self, pid: int) -> None:
+        self._contexts.pop(pid, None)
+        self._context_roots.pop(pid, None)
+
+    def next_span_id(self) -> int:
+        """Allocate a span id for externally-rooted spans (e.g. the
+        serving harness's ``serve_request`` roots)."""
+        self._span_seq += 1
+        return self._span_seq
+
+    def get_context(self, pid: Optional[int]) -> Optional[Dict[str, Any]]:
+        if pid is None:
+            return None
+        return self._contexts.get(pid)
+
+    def annotate(self, name: str, pid: Optional[int] = None, **attrs) -> Optional[Span]:
+        """Attach attrs to the innermost *open* span named ``name`` on
+        ``pid``'s stack (e.g. the device index once placement picks one).
+        Returns the span, or None if no such span is open."""
+        if not self.enabled:
+            return None
+        stack = self._stacks.get(pid)
+        if stack:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i].name == name:
+                    stack[i].attrs.update(attrs)
+                    return stack[i]
+        for span in reversed(self._open_handles):
+            if span.name == name and span.pid == pid:
+                span.attrs.update(attrs)
+                return span
+        return None
+
+    def _decorate(self, pid: Optional[int], attrs: Dict[str, Any], *, span: bool) -> None:
+        """Merge ``pid``'s causal context into ``attrs`` (in place).
+
+        Spans additionally get a fresh ``span_id`` and the innermost
+        enclosing open span's id (or the context's root span) as
+        ``parent_span_id``.  Explicit attrs win over context attrs so
+        emitters can override.
+        """
+        ctx = self._contexts.get(pid) if pid is not None else None
+        if ctx is None:
+            if span and "trace_id" in attrs:
+                # Externally-rooted span (a pid-less serving root that
+                # passed its trace_id explicitly): id it, no parent.
+                attrs.setdefault("span_id", self.next_span_id())
+            return
+        for key, value in ctx.items():
+            attrs.setdefault(key, value)
+        if span:
+            attrs.setdefault("span_id", self.next_span_id())
+            parent = self._innermost_open(pid)
+            if parent is not None:
+                parent_id = parent.attrs.get("span_id")
+            else:
+                parent_id = self._context_roots.get(pid)
+            if parent_id is not None:
+                attrs.setdefault("parent_span_id", parent_id)
+
+    def _innermost_open(self, pid: Optional[int]) -> Optional[Span]:
+        if pid is None:
+            return None
+        stack = self._stacks.get(pid)
+        if stack:
+            return stack[-1]
+        for span in reversed(self._open_handles):
+            if span.pid == pid:
+                return span
+        return None
 
     # -- instant events ------------------------------------------------------
 
@@ -199,6 +302,8 @@ class MigrationTrace:
         """Append one instant event (ring-bounded, drops counted)."""
         if not self.enabled:
             return
+        if self.context_enabled:
+            self._decorate(pid, attrs, span=False)
         if len(self._events) >= self.limit:
             self._events.popleft()
             self.dropped += 1
@@ -229,6 +334,8 @@ class MigrationTrace:
         """Open a span on ``pid``'s span stack (LIFO nesting)."""
         if not self.enabled:
             return None
+        if self.context_enabled:
+            self._decorate(pid, attrs, span=True)
         stack = self._stacks.setdefault(pid, [])
         span = Span(name, pid, self.sim.now, depth=len(stack), attrs=attrs)
         stack.append(span)
@@ -259,6 +366,8 @@ class MigrationTrace:
         close it with :meth:`close` on the returned handle."""
         if not self.enabled:
             return None
+        if self.context_enabled:
+            self._decorate(pid, attrs, span=True)
         span = Span(name, pid, self.sim.now, attrs=attrs)
         self._open_handles.append(span)
         return span

@@ -130,6 +130,11 @@ class DMAEngine:
         #: machine keeps MIGRATION_VECTOR; a multi-NxP machine gives
         #: device ``i`` the vector ``MIGRATION_VECTOR + i``.
         self.vector = vector
+        #: index of the NxP device this engine serves — MIGRATION_VECTOR
+        #: is device 0's vector, so the offset recovers the index on
+        #: both single- and multi-NxP machines.  Used only to label
+        #: transfer spans when trace-context propagation is on.
+        self.device_index = vector - MIGRATION_VECTOR
         self.nxp_inbound: Optional[DescriptorRing] = None
         self.host_inbound: Optional[DescriptorRing] = None
         # Completion notification for the NxP side.  Hardware-wise the
@@ -205,7 +210,16 @@ class DMAEngine:
         dst = self.nxp_inbound.claim_addr()
         self.stats.count("dma.to_nxp")
         trace = self.trace
-        span = trace.open_span("dma.h2n", pid=pid, bytes=nbytes) if trace is not None else None
+        span = None
+        if trace is not None:
+            if trace.context_enabled:
+                span = trace.open_span(
+                    "dma.h2n", pid=pid, bytes=nbytes,
+                    device=self.device_index,
+                    device_label=f"nxp{self.device_index}",
+                )
+            else:
+                span = trace.open_span("dma.h2n", pid=pid, bytes=nbytes)
         t0 = self.sim.now
         yield from self.link.burst(src_paddr, dst, nbytes)
         self.stats.observe("latency.dma.h2n_ns", self.sim.now - t0)
@@ -245,7 +259,16 @@ class DMAEngine:
         dst = self.host_inbound.claim_addr()
         self.stats.count("dma.to_host")
         trace = self.trace
-        span = trace.open_span("dma.n2h", pid=pid, bytes=nbytes) if trace is not None else None
+        span = None
+        if trace is not None:
+            if trace.context_enabled:
+                span = trace.open_span(
+                    "dma.n2h", pid=pid, bytes=nbytes,
+                    device=self.device_index,
+                    device_label=f"nxp{self.device_index}",
+                )
+            else:
+                span = trace.open_span("dma.n2h", pid=pid, bytes=nbytes)
         t0 = self.sim.now
         yield from self.link.burst(src_paddr, dst, nbytes)
         self.stats.observe("latency.dma.n2h_ns", self.sim.now - t0)

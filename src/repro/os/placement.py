@@ -130,13 +130,26 @@ class PlacementLayer:
             d for d in self.machine.devices
             if d.alive and d.index not in exclude
         ]
+        trace = getattr(self.machine, "trace", None)
+        traced = trace is not None and trace.context_enabled
         if not candidates:
             self._count("placement.exhausted")
+            if traced:
+                trace.record(
+                    "placement", pid=task.pid, policy=self.policy.name,
+                    device=None, failover=bool(exclude), exhausted=True,
+                )
             return None
         dev = self.policy.choose(task, candidates)
         self._count(f"placement.pick.dev{dev.index}")
         if exclude:
             self._count("placement.failover")
+        if traced:
+            trace.record(
+                "placement", pid=task.pid, policy=self.policy.name,
+                device=dev.index, device_label=f"nxp{dev.index}",
+                failover=bool(exclude),
+            )
         return dev
 
     def session_counts(self) -> Dict[int, int]:

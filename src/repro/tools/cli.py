@@ -16,8 +16,11 @@ Usage (also via ``python -m repro``):
     python -m repro serve --qps 1000 5000 20000 --scenario null_call --seed 7
     python -m repro serve --qps 2000 --scenario mixed --arrival bursty --out curve.json
     python -m repro serve --qps 40000 --nxps 2 --policy round_robin
+    python -m repro serve --qps 20000 --traced --slo p99:500us --slo-gate
+    python -m repro why --p99 --qps 20000 --seed 7
+    python -m repro why --p99 --nxps 2 --kill-aim
     python -m repro fleet
-    python -m repro fleet --smoke --gate
+    python -m repro fleet --smoke --gate --slo p99:2ms
 
 ``run`` executes on a fresh simulated machine and reports the return
 value, program output, simulated time and migration count.  ``compile``
@@ -47,7 +50,17 @@ and the saturation point (docs/OBSERVABILITY.md's serving-metrics
 section); ``--out`` lands the curve as ``flick.serving.v1`` JSON,
 ``--format openmetrics`` emits scrape-ready series, and ``--tolerance``
 turns the achieved/offered ratio into an exit-code gate (the CI smoke);
-``--nxps``/``--policy`` serve against a multi-NxP machine (docs/FLEET.md).
+``--nxps``/``--policy`` serve against a multi-NxP machine (docs/FLEET.md);
+``--traced`` threads a per-request trace id through every span the
+request touches and prints a tail-attribution line per point;
+``--slo``/``--slo-gate`` evaluate latency SLOs (windowed burn rates)
+and optionally gate on them.
+``why`` serves one traced traffic point and explains its latency tail:
+the percentile-band phase breakdown (phases tile each request's latency
+exactly), the dominant phase, and exemplar trace ids; ``--kill-aim``
+first runs an untouched baseline, then re-runs the identical traffic
+killing one device at an instant aimed inside an in-flight leg, so the
+report shows watchdog/failover recovery dominating the tail.
 ``fleet`` runs the multi-NxP study — throughput-vs-device-count scaling
 curve, placement-policy ablation, and a kill-one-device chaos drain —
 with ``--smoke`` for a CI-sized subset and ``--gate`` as an exit-code
@@ -299,6 +312,96 @@ def build_parser() -> argparse.ArgumentParser:
         default="static",
         help="session placement policy for --nxps > 1 (default: static)",
     )
+    serve_p.add_argument(
+        "--traced",
+        action="store_true",
+        help="request-scoped causal tracing: per-request trace ids and "
+        "exactly-tiling critical paths; adds a tail-attribution line "
+        "per point (docs/OBSERVABILITY.md)",
+    )
+    serve_p.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="latency SLO to evaluate per point, e.g. p99:500us "
+        "(repeatable; windowed burn rates printed per point)",
+    )
+    serve_p.add_argument(
+        "--slo-gate",
+        action="store_true",
+        help="exit 1 if any --slo promise is violated at any point",
+    )
+
+    why_p = sub.add_parser(
+        "why",
+        help="serve traced traffic and explain the latency tail: "
+        "percentile-band phase breakdown, dominant phase, exemplar "
+        "trace ids (docs/OBSERVABILITY.md)",
+    )
+    why_p.add_argument(
+        "--qps", type=float, default=20_000.0, help="offered load (default: 20000)"
+    )
+    why_p.add_argument(
+        "--scenario",
+        default="null_call",
+        help="request mix (null_call, pointer_chase, kv_filter, bfs, mixed)",
+    )
+    why_p.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "uniform"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    why_p.add_argument("--seed", type=int, default=7, help="traffic seed (default: 7)")
+    why_p.add_argument(
+        "--requests", type=int, default=200, help="request count (default: 200)"
+    )
+    why_p.add_argument(
+        "--clients", type=int, default=8, help="connection-pool size (default: 8)"
+    )
+    why_p.add_argument(
+        "--nxps", type=int, default=1, help="NxP devices (default: 1)"
+    )
+    why_p.add_argument(
+        "--policy",
+        choices=("static", "round_robin", "least_loaded", "locality"),
+        default="static",
+        help="session placement policy for --nxps > 1 (default: static)",
+    )
+    why_p.add_argument(
+        "--p99",
+        dest="percentile",
+        action="store_const",
+        const=99.0,
+        default=99.0,
+        help="attribute the p99 tail (the default)",
+    )
+    why_p.add_argument(
+        "--percentile",
+        dest="percentile",
+        type=float,
+        help="attribute this percentile's tail instead of p99",
+    )
+    why_p.add_argument(
+        "--kill-aim",
+        action="store_true",
+        help="chaos: run an untouched baseline, then kill one device at "
+        "an instant aimed inside an in-flight leg and attribute the "
+        "killed run (needs --nxps >= 2)",
+    )
+    why_p.add_argument(
+        "--kill-device",
+        type=int,
+        default=0,
+        help="device --kill-aim kills (default: 0)",
+    )
+    why_p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="stdout format (default: table; json = flick.why.v1)",
+    )
 
     fleet_p = sub.add_parser(
         "fleet",
@@ -330,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 unless the chaos drain served every request correctly "
         "and peak throughput rises with device count (the CI fleet smoke)",
+    )
+    fleet_p.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="latency SLO evaluated against the chaos runs, e.g. p99:2ms "
+        "(repeatable; with --gate a violated SLO fails the gate)",
     )
 
     return parser
@@ -588,6 +699,19 @@ def _cmd_chaos(args, out) -> int:
     return 1 if bad else 0
 
 
+def _warn_truncated(results, out) -> None:
+    """Satellite of the tracing work: a bounded trace ring silently
+    windows every span-derived number; say so out loud."""
+    for r in results:
+        if r.trace_dropped or r.trace_spans_dropped:
+            print(
+                f"WARNING: @ {r.offered_qps:g} qps the trace ring dropped "
+                f"{r.trace_dropped} events / {r.trace_spans_dropped} spans; "
+                "utilization and critical paths cover a window of the run",
+                file=out,
+            )
+
+
 def _cmd_serve(args, out) -> int:
     import math
 
@@ -599,6 +723,7 @@ def _cmd_serve(args, out) -> int:
         sweep_latency_vs_load,
         write_serving_report,
     )
+    from repro.analysis.slo import evaluate_slo, parse_slo, render_slo
 
     base = TrafficConfig(
         scenario=args.scenario,
@@ -610,9 +735,11 @@ def _cmd_serve(args, out) -> int:
         think_ns=args.think_us * 1000.0,
         nxps=args.nxps,
         policy=args.policy,
+        traced=args.traced,
     )
     try:
         base.validate()
+        slos = [parse_slo(spec) for spec in args.slo or []]
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -626,9 +753,32 @@ def _cmd_serve(args, out) -> int:
         out.write(render_serving_openmetrics(results))
     else:
         print(render_serving_table(results), file=out)
+        if args.traced:
+            from repro.analysis.critical_path import why_report
+
+            for r in results:
+                rep = why_report(r.paths)
+                exemplars = ", ".join(rep.tail.exemplars)
+                print(
+                    f"p99 attribution @ {r.offered_qps:g} qps: "
+                    f"{rep.tail.dominant} ({exemplars})",
+                    file=out,
+                )
+    _warn_truncated(results, out)
     if args.out:
         write_serving_report(results, args.out)
         print(f"serving report -> {args.out}", file=out)
+
+    slo_ok = True
+    for slo in slos:
+        for r in results:
+            rep = evaluate_slo(r.records, slo)
+            slo_ok = slo_ok and rep.ok
+            verdict = render_slo(rep).splitlines()[0]
+            print(f"@ {r.offered_qps:g} qps: {verdict}", file=out)
+    if args.slo_gate and not slo_ok:
+        print("serve SLO gate FAILED", file=out)
+        return 1
 
     if args.tolerance is not None:
         bad = []
@@ -649,6 +799,56 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_why(args, out) -> int:
+    import json
+
+    from repro.analysis.critical_path import render_why, why_doc, why_report
+    from repro.analysis.serving import TrafficConfig, aim_kill_ns, run_serving
+
+    base = TrafficConfig(
+        scenario=args.scenario,
+        arrival=args.arrival,
+        mode="open",
+        seed=args.seed,
+        qps=args.qps,
+        requests=args.requests,
+        clients=args.clients,
+        nxps=args.nxps,
+        policy=args.policy,
+        traced=True,
+    )
+    try:
+        base.validate()
+        if args.kill_aim and args.nxps < 2:
+            raise ValueError("--kill-aim needs --nxps >= 2 (survivors)")
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    # In json mode the document must be alone on stdout (machine
+    # parseable); status notes and warnings go to stderr instead.
+    note_out = sys.stderr if args.format == "json" else out
+    result = run_serving(base)
+    if args.kill_aim:
+        from dataclasses import replace
+
+        kill_at = aim_kill_ns(result, args.kill_device)
+        result = run_serving(
+            replace(base, kill_at_ns=kill_at, kill_device=args.kill_device)
+        )
+        print(
+            f"killed device {args.kill_device} at {kill_at / 1000.0:.1f} us "
+            "(aimed at an in-flight leg observed in the baseline)",
+            file=note_out,
+        )
+    report = why_report(result.paths, percentile=args.percentile)
+    if args.format == "json":
+        out.write(json.dumps(why_doc(report), indent=2) + "\n")
+    else:
+        print(render_why(report), file=out)
+    _warn_truncated([result], note_out)
+    return 0
+
+
 def _cmd_fleet(args, out) -> int:
     from repro.analysis.fleet import (
         FleetConfig,
@@ -659,7 +859,13 @@ def _cmd_fleet(args, out) -> int:
         run_fleet,
         write_fleet_report,
     )
+    from repro.analysis.slo import evaluate_slo, parse_slo, render_slo
 
+    try:
+        slos = [parse_slo(spec) for spec in args.slo or []]
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     fc = FleetConfig.smoke() if args.smoke else FleetConfig()
     report = run_fleet(fc, workers=args.workers)
 
@@ -676,12 +882,25 @@ def _cmd_fleet(args, out) -> int:
         print("", file=out)
         print("== chaos drain ==", file=out)
         print(render_chaos_summary(report.chaos), file=out)
+    _warn_truncated([report.chaos.baseline, report.chaos.killed], out)
     if args.out:
         write_fleet_report(report, args.out)
         print(f"fleet report -> {args.out}", file=out)
 
+    slo_failures = []
+    for slo in slos:
+        for label, run in (
+            ("baseline", report.chaos.baseline),
+            ("killed", report.chaos.killed),
+        ):
+            rep = evaluate_slo(run.records, slo)
+            verdict = render_slo(rep).splitlines()[0]
+            print(f"chaos {label}: {verdict}", file=out)
+            if not rep.ok:
+                slo_failures.append(f"chaos {label} violates {slo.spec}")
+
     if args.gate:
-        bad = []
+        bad = list(slo_failures)
         if not report.chaos.all_served_ok:
             bad.append(
                 f"chaos drain lost requests or returned wrong values "
@@ -721,6 +940,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "why": _cmd_why,
         "fleet": _cmd_fleet,
     }
     return handlers[args.command](args, out)

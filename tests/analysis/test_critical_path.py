@@ -1,0 +1,297 @@
+"""Critical-path extraction: the exact-tiling property and tail attribution.
+
+The load-bearing invariant: for every request of a traced run —
+interpreted or hosted, clean or suffering retries/failover — the phase
+breakdown partitions the measured latency *exactly* (``math.fsum`` of
+phases equals ``end - arrival`` to float precision).  Nothing
+double-counted, nothing unattributed.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.critical_path import (
+    DEFAULT_BANDS,
+    PHASES,
+    RequestPath,
+    extract_request_paths,
+    render_why,
+    tail_attribution,
+    why_doc,
+    why_report,
+)
+from repro.analysis.serving import (
+    RequestRecord,
+    TrafficConfig,
+    aim_kill_ns,
+    run_serving,
+)
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.sim.faults import FaultRule
+
+QUICK_TRACED = TrafficConfig(qps=2000.0, requests=24, clients=3, seed=7, traced=True)
+
+
+def assert_tiles(path):
+    assert math.isclose(
+        path.phase_sum_ns, path.latency_ns, rel_tol=1e-9, abs_tol=1e-6
+    ), (
+        f"request {path.trace_id}: phases sum {path.phase_sum_ns} != "
+        f"latency {path.latency_ns} ({path.phases})"
+    )
+    assert set(path.phases) <= set(PHASES)
+    assert all(v >= 0.0 for v in path.phases.values())
+    assert path.dominant in PHASES
+
+
+class TestInterpretedTiling:
+    def test_clean_run_tiles_exactly(self):
+        r = run_serving(QUICK_TRACED)
+        assert len(r.paths) == len(r.records)
+        for path in r.paths:
+            assert_tiles(path)
+
+    def test_clean_run_phases_are_plausible(self):
+        r = run_serving(QUICK_TRACED)
+        # every request crosses the ISA boundary at least once: protocol
+        # and device time must appear somewhere in the run
+        assert any(p.phases.get("protocol_host", 0.0) > 0.0 for p in r.paths)
+        assert any(p.phases.get("nxp_execute", 0.0) > 0.0 for p in r.paths)
+        for p in r.paths:
+            assert p.retries == 0
+            assert p.failovers == 0
+            assert not p.fallback
+
+    def test_multi_nxp_devices_on_path(self):
+        tc = replace(QUICK_TRACED, nxps=2, policy="round_robin")
+        r = run_serving(tc)
+        for path in r.paths:
+            assert_tiles(path)
+        devices = set()
+        for p in r.paths:
+            devices.update(p.devices)
+        assert devices == {0, 1}
+        assert all(
+            lbl.startswith("nxp") for p in r.paths for lbl in p.device_labels
+        )
+
+
+class TestKillRunTiling:
+    @pytest.fixture(scope="class")
+    def killed(self):
+        base = TrafficConfig(
+            qps=20_000.0,
+            requests=120,
+            clients=8,
+            seed=7,
+            nxps=2,
+            policy="round_robin",
+            traced=True,
+        )
+        baseline = run_serving(base)
+        kill_at = aim_kill_ns(baseline, base.kill_device)
+        return run_serving(replace(base, kill_at_ns=kill_at))
+
+    def test_tiles_exactly_under_failover(self, killed):
+        for path in killed.paths:
+            assert_tiles(path)
+
+    def test_recovery_phases_attributed(self, killed):
+        tripped = [p for p in killed.paths if p.retries > 0]
+        assert tripped, "aimed kill produced no watchdog trips"
+        recovered = [
+            p
+            for p in killed.paths
+            if p.phases.get("retry_backoff", 0.0) > 0.0
+            or p.phases.get("failover", 0.0) > 0.0
+        ]
+        assert recovered
+
+    def test_why_names_recovery_with_exemplars(self, killed):
+        rep = why_report(killed.paths, percentile=99.0)
+        assert rep.culprit_phase in ("failover", "retry_backoff")
+        assert rep.tail.exemplars
+        # exemplars are real request trace ids from this run
+        ids = {p.trace_id for p in killed.paths}
+        assert set(rep.tail.exemplars) <= ids
+
+
+def _traced_hosted_run(prog, cfg, entry="main", args=()):
+    """Run a hosted program under a synthetic serve_request root and
+    fold it into a RequestPath."""
+    hm = HostedMachine(prog, cfg=cfg)
+    tr = hm.machine.trace
+    tid = "req-hosted-0000"
+    root = tr.open_span("serve_request", pid=None, trace_id=tid, index=0)
+    orig = hm.machine.kernel.register_task
+
+    def hook(task):
+        orig(task)
+        tr.set_context(task.pid, tid, root_span_id=root.attrs["span_id"])
+
+    hm.machine.kernel.register_task = hook
+    arrival = hm.sim.now
+    out = hm.run(entry, list(args))
+    end = hm._thread.finished_at
+    tr.close(root)
+    rec = RequestRecord(
+        index=0,
+        kind="hosted",
+        client=0,
+        arrival_ns=arrival,
+        start_ns=arrival,
+        end_ns=end,
+        ok=True,
+    )
+    (path,) = extract_request_paths(tr, [rec])
+    return out, path
+
+
+def _hosted_program():
+    prog = HostedProgram()
+
+    @prog.nxp()
+    def dev(ctx, x):
+        ctx.compute(300)
+        return x + 7
+        yield
+
+    @prog.host()
+    def main(ctx, n):
+        total = 0
+        for i in range(n):
+            total += yield from ctx.call("dev", i)
+        return total
+
+    return prog
+
+
+class TestHostedTiling:
+    def test_hosted_clean_run_tiles(self):
+        cfg = DEFAULT_CONFIG.with_overrides(trace_context=True)
+        out, path = _traced_hosted_run(_hosted_program(), cfg, args=[3])
+        assert out.retval == 0 + 1 + 2 + 3 * 7
+        assert_tiles(path)
+        assert path.phases.get("nxp_execute", 0.0) > 0.0
+        assert path.phases.get("protocol_host", 0.0) > 0.0
+        assert path.retries == 0
+
+    def test_hosted_retry_run_tiles(self):
+        cfg = DEFAULT_CONFIG.with_overrides(
+            trace_context=True,
+            faults=(FaultRule("dma_drop", direction="h2n", nth=1, count=1),),
+            migration_watchdog_ns=20_000.0,
+        )
+        out, path = _traced_hosted_run(_hosted_program(), cfg, args=[3])
+        assert out.retval == 0 + 1 + 2 + 3 * 7
+        assert_tiles(path)
+        assert path.retries >= 1
+        assert path.phases.get("retry_backoff", 0.0) > 0.0
+
+
+def mk_path(idx, latency_ns, phases, ok=True):
+    dominant = max(PHASES, key=lambda p: (phases.get(p, 0.0), -PHASES.index(p)))
+    return RequestPath(
+        trace_id=f"req-s-{idx:04d}",
+        index=idx,
+        kind="nisa",
+        ok=ok,
+        arrival_ns=0.0,
+        end_ns=latency_ns,
+        phases=phases,
+        dominant=dominant,
+    )
+
+
+class TestTailAttribution:
+    def test_default_bands_partition(self):
+        paths = [
+            mk_path(i, 1000.0 * (i + 1), {"host_execute": 1000.0 * (i + 1)})
+            for i in range(100)
+        ]
+        bands = tail_attribution(paths)
+        assert [b.label for b in bands] == ["p0-p50", "p50-p95", "p95-p99", "p99-p100"]
+        assert [b.count for b in bands] == [50, 45, 4, 1]
+
+    def test_exemplars_worst_first(self):
+        paths = [
+            mk_path(i, 1000.0 * (i + 1), {"host_execute": 1000.0 * (i + 1)})
+            for i in range(10)
+        ]
+        (band,) = tail_attribution(paths, bands=((0.0, 100.0),), exemplars=3)
+        assert band.exemplars == ("req-s-0009", "req-s-0008", "req-s-0007")
+
+    def test_band_phase_means(self):
+        paths = [mk_path(i, 100.0, {"dma_h2n": 60.0, "host_execute": 40.0}) for i in range(4)]
+        (band,) = tail_attribution(paths, bands=((0.0, 100.0),))
+        assert band.phases["dma_h2n"] == pytest.approx(60.0)
+        assert band.phases["host_execute"] == pytest.approx(40.0)
+        assert band.dominant == "dma_h2n"
+
+
+class TestWhyReport:
+    def _paths(self):
+        # 98 uniform requests plus 2 tail requests that pay a retry storm
+        body = [mk_path(i, 100.0, {"host_execute": 100.0}) for i in range(98)]
+        tail = [
+            mk_path(98 + j, 1000.0, {"host_execute": 100.0, "retry_backoff": 900.0})
+            for j in range(2)
+        ]
+        return body + tail
+
+    def test_culprit_is_excess_over_baseline(self):
+        rep = why_report(self._paths(), percentile=99.0)
+        assert rep.culprit_phase == "retry_backoff"
+        assert "retry" in rep.culprit
+        assert rep.tail.label == "p99-p100"
+        assert set(rep.tail.exemplars) <= {"req-s-0098", "req-s-0099"}
+
+    def test_render_and_doc(self):
+        rep = why_report(self._paths(), percentile=99.0)
+        text = render_why(rep)
+        assert "verdict:" in text
+        assert "req-s-" in text
+        doc = why_doc(rep)
+        assert doc["schema"] == "flick.why.v1"
+        assert doc["culprit_phase"] == "retry_backoff"
+        assert doc["tail"]["band"] == "p99-p100"
+
+    def test_empty_paths_raises(self):
+        with pytest.raises(ValueError):
+            why_report([])
+
+    def test_uniform_load_blames_dominant(self):
+        paths = [mk_path(i, 100.0, {"queue_wait": 70.0, "host_execute": 30.0}) for i in range(20)]
+        rep = why_report(paths, percentile=99.0)
+        assert rep.culprit_phase == "queue_wait"
+
+
+class TestUnknownTraces:
+    def test_untraced_record_still_tiles(self):
+        # a record whose spans were never traced: whole window defaults
+        # to coarse phases but the tiling invariant still holds
+        r = run_serving(QUICK_TRACED)
+        trace_less = RequestRecord(
+            index=9999,
+            kind="nisa",
+            client=0,
+            arrival_ns=0.0,
+            start_ns=0.0,
+            end_ns=5000.0,
+            ok=True,
+        )
+
+        class _EmptyTrace:
+            events = []
+
+            @staticmethod
+            def finished_spans(name=None):
+                return []
+
+        (path,) = extract_request_paths(_EmptyTrace(), [trace_less])
+        assert path.trace_id == "req-unknown-9999"
+        assert_tiles(path)
+        assert path.phases == {"host_execute": 5000.0}

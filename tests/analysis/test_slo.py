@@ -1,0 +1,169 @@
+"""SLO parsing, window bucketing, burn-rate math and renderers."""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.slo import (
+    SLO,
+    evaluate_slo,
+    parse_slo,
+    render_slo,
+    render_slo_openmetrics,
+    slo_doc,
+)
+
+
+@dataclass(frozen=True)
+class Rec:
+    """Minimal record: what evaluate_slo actually needs."""
+
+    arrival_ns: float
+    end_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.arrival_ns
+
+
+def recs(latencies, gap_ns=1000.0):
+    """One record per latency, arrivals spaced gap_ns apart."""
+    return [
+        Rec(arrival_ns=i * gap_ns, end_ns=i * gap_ns + lat)
+        for i, lat in enumerate(latencies)
+    ]
+
+
+class TestParse:
+    def test_basic_spec(self):
+        slo = parse_slo("p99:500us")
+        assert slo.percentile == 99.0
+        assert slo.threshold_ns == 500_000.0
+
+    @pytest.mark.parametrize(
+        "spec,pct,ns",
+        [
+            ("p50:750ns", 50.0, 750.0),
+            ("p99.9<=1ms", 99.9, 1e6),
+            ("p95 : 2s", 95.0, 2e9),
+            ("P99:500US", 99.0, 500_000.0),
+        ],
+    )
+    def test_accepted_forms(self, spec, pct, ns):
+        slo = parse_slo(spec)
+        assert (slo.percentile, slo.threshold_ns) == (pct, ns)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "99:500us", "p99:500", "p99:-1us", "p99:500m", "latency<500us"],
+    )
+    def test_rejected_forms(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo(spec)
+
+    @pytest.mark.parametrize("spec", ["p0:1us", "p100:1us"])
+    def test_percentile_bounds(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo(spec)
+
+    def test_budget(self):
+        assert parse_slo("p99:1ms").budget == pytest.approx(0.01)
+        assert parse_slo("p90:1ms").budget == pytest.approx(0.1)
+
+    def test_canonical_spec_round_trip(self):
+        for spec in ("p99:500us", "p90:2ms", "p99.9:1s", "p50:750ns"):
+            assert parse_slo(spec).spec == spec
+            assert parse_slo(parse_slo(spec).spec) == parse_slo(spec)
+
+
+class TestEvaluate:
+    def test_clean_run_ok(self):
+        slo = parse_slo("p90:5us")
+        rep = evaluate_slo(recs([100.0] * 10), slo, windows=2)
+        assert rep.ok
+        assert rep.bad == 0
+        assert rep.burn_rate == 0.0
+        assert rep.requests == 10
+
+    def test_burn_rate_math(self):
+        # 2 of 10 over threshold against a 10% budget: burn = 2.0
+        latencies = [100.0] * 8 + [10_000.0, 10_000.0]
+        rep = evaluate_slo(recs(latencies), parse_slo("p90:5us"), windows=2)
+        assert rep.bad == 2
+        assert rep.burn_rate == pytest.approx(2.0)
+        assert not rep.ok
+
+    def test_window_bucketing_localizes_the_burn(self):
+        # the two bad requests complete late: all the burn lands in the
+        # final window, the early window stays clean
+        latencies = [100.0] * 8 + [10_000.0, 10_000.0]
+        rep = evaluate_slo(recs(latencies), parse_slo("p90:5us"), windows=2)
+        first, last = rep.windows
+        assert first.bad == 0 and first.burn_rate == 0.0 and first.ok
+        assert last.bad == 2 and not last.ok
+        assert rep.worst_window is last
+        assert sum(w.count for w in rep.windows) == rep.requests
+
+    def test_windows_cover_run_span(self):
+        rep = evaluate_slo(recs([100.0] * 16), parse_slo("p99:5us"), windows=4)
+        assert len(rep.windows) == 4
+        assert rep.windows[0].t0_ns == 0.0
+        assert rep.windows[-1].t1_ns == pytest.approx(15_000.0 + 100.0)
+        for a, b in zip(rep.windows, rep.windows[1:]):
+            assert b.t0_ns == pytest.approx(a.t1_ns)
+
+    def test_empty_window_is_benign(self):
+        # one early burst, then one straggler: middle windows are empty
+        rows = recs([100.0, 100.0]) + [Rec(arrival_ns=100_000.0, end_ns=100_100.0)]
+        rep = evaluate_slo(rows, parse_slo("p99:5us"), windows=8)
+        empty = [w for w in rep.windows if w.count == 0]
+        assert empty
+        for w in empty:
+            assert w.burn_rate == 0.0 and w.ok and math.isnan(w.latency_ns)
+
+    def test_single_record_lands_in_last_window(self):
+        rep = evaluate_slo([Rec(0.0, 100.0)], parse_slo("p50:1us"), windows=4)
+        assert rep.requests == 1
+        assert rep.windows[-1].count == 1
+
+    def test_zero_width_run(self):
+        # all completions at one instant: width 0, everything in slot 0
+        rep = evaluate_slo([Rec(50.0, 50.0)], parse_slo("p50:1us"), windows=4)
+        assert rep.windows[0].count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_slo([], parse_slo("p99:1us"))
+        with pytest.raises(ValueError):
+            evaluate_slo(recs([1.0]), parse_slo("p99:1us"), windows=0)
+        with pytest.raises(ValueError):
+            SLO(percentile=99.0, threshold_ns=0.0)
+
+
+class TestRenderers:
+    def _bad_report(self):
+        latencies = [100.0] * 8 + [10_000.0, 10_000.0]
+        return evaluate_slo(recs(latencies), parse_slo("p90:5us"), windows=2)
+
+    def test_render_verdicts(self):
+        good = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"))
+        assert "OK" in render_slo(good).splitlines()[0]
+        bad = render_slo(self._bad_report())
+        assert "VIOLATED" in bad.splitlines()[0]
+        assert "worst window" in bad
+
+    def test_openmetrics(self):
+        text = render_slo_openmetrics(self._bad_report())
+        assert text.endswith("# EOF\n")
+        assert 'flick_slo_ok{slo="p90:5us"} 0' in text
+        assert "flick_slo_burn_rate" in text
+        assert 'flick_slo_window_burn_rate{slo="p90:5us",window="1"}' in text
+
+    def test_doc_schema(self):
+        good = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"))
+        doc = slo_doc([good, self._bad_report()])
+        assert doc["schema"] == "flick.slo.v1"
+        assert doc["ok"] is False
+        assert [s["spec"] for s in doc["slos"]] == ["p90:5us", "p90:5us"]
+        assert doc["slos"][1]["bad"] == 2

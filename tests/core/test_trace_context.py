@@ -1,0 +1,229 @@
+"""Request-scoped trace-context propagation.
+
+Two halves:
+
+* **Linkage** — with ``FlickConfig.trace_context`` on, every span/event a
+  registered pid emits carries ``trace_id`` plus ``span_id`` /
+  ``parent_span_id`` forming a tree rooted at the request's
+  ``serve_request`` span.
+* **Parity** — the whole machinery is purely observational: the same
+  traffic config with ``traced`` off must produce bit-identical request
+  records, timestamps and aggregates (the pre-context code paths are
+  pinned byte-for-byte).
+"""
+
+from dataclasses import replace
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.hosted import HostedMachine, HostedProgram
+from repro.core.machine import FlickMachine
+from repro.analysis.serving import TrafficConfig, _request_trace_id, run_serving
+
+QUICK = TrafficConfig(qps=2000.0, requests=24, clients=3, seed=7)
+
+KILL = TrafficConfig(
+    qps=20_000.0,
+    requests=60,
+    clients=8,
+    seed=7,
+    nxps=2,
+    policy="round_robin",
+    kill_at_ns=1_500_000.0,
+    kill_device=0,
+)
+
+
+def _ctx_machine():
+    return FlickMachine(DEFAULT_CONFIG.with_overrides(trace_context=True))
+
+
+class TestContextLinkage:
+    def test_off_by_default(self):
+        m = FlickMachine()
+        assert m.trace.context_enabled is False
+        span = m.trace.begin("h2n_session", pid=1)
+        m.trace.end("h2n_session", pid=1)
+        assert "trace_id" not in span.attrs
+        assert "span_id" not in span.attrs
+
+    def test_config_enables_context(self):
+        assert _ctx_machine().trace.context_enabled is True
+
+    def test_external_root_gets_span_id(self):
+        tr = _ctx_machine().trace
+        root = tr.open_span("serve_request", pid=None, trace_id="req-7-0000")
+        assert root.attrs["trace_id"] == "req-7-0000"
+        assert "span_id" in root.attrs
+        tr.close(root)
+
+    def test_spans_link_to_root_and_nest(self):
+        tr = _ctx_machine().trace
+        root = tr.open_span("serve_request", pid=None, trace_id="req-7-0001")
+        tr.set_context(3, "req-7-0001", root_span_id=root.attrs["span_id"])
+
+        outer = tr.begin("h2n_session", pid=3)
+        assert outer.attrs["trace_id"] == "req-7-0001"
+        assert outer.attrs["parent_span_id"] == root.attrs["span_id"]
+
+        inner = tr.begin("dma.h2n", pid=3)
+        assert inner.attrs["trace_id"] == "req-7-0001"
+        assert inner.attrs["parent_span_id"] == outer.attrs["span_id"]
+        assert inner.attrs["span_id"] != outer.attrs["span_id"]
+
+        tr.end("dma.h2n", pid=3)
+        tr.end("h2n_session", pid=3)
+        tr.close(root)
+
+    def test_events_carry_context(self):
+        tr = _ctx_machine().trace
+        tr.set_context(5, "req-7-0002", request=2)
+        tr.record("watchdog_trip", pid=5)
+        ev = tr.filter("watchdog_trip")[-1]
+        assert ev.attrs["trace_id"] == "req-7-0002"
+        assert ev.attrs["request"] == 2
+
+    def test_clear_context_stops_decoration(self):
+        tr = _ctx_machine().trace
+        tr.set_context(5, "req-7-0003")
+        tr.clear_context(5)
+        span = tr.begin("h2n_session", pid=5)
+        tr.end("h2n_session", pid=5)
+        assert "trace_id" not in span.attrs
+
+    def test_context_off_set_context_is_noop(self):
+        tr = FlickMachine().trace
+        tr.set_context(5, "req-7-0004")
+        span = tr.begin("h2n_session", pid=5)
+        tr.end("h2n_session", pid=5)
+        assert "trace_id" not in span.attrs
+
+
+class TestServingTraceIds:
+    def test_deterministic_request_trace_ids(self):
+        r = run_serving(replace(QUICK, traced=True))
+        assert len(r.paths) == len(r.records)
+        for rec, path in zip(r.records, r.paths):
+            assert path.index == rec.index
+            assert path.trace_id == _request_trace_id(QUICK.seed, rec.index)
+        assert r.paths[0].trace_id == "req-7-0000"
+
+    def test_trace_ids_stable_across_runs(self):
+        tc = replace(QUICK, traced=True)
+        a = [p.trace_id for p in run_serving(tc).paths]
+        b = [p.trace_id for p in run_serving(tc).paths]
+        assert a == b
+
+
+class TestHostedPropagation:
+    def _program(self):
+        prog = HostedProgram()
+
+        @prog.nxp()
+        def dev(ctx, x):
+            ctx.compute(200)
+            return x + 1
+            yield
+
+        @prog.host()
+        def main(ctx, x):
+            return (yield from ctx.call("dev", x))
+
+        return prog
+
+    def test_hosted_spans_chain_to_root(self):
+        hm = HostedMachine(
+            self._program(), cfg=DEFAULT_CONFIG.with_overrides(trace_context=True)
+        )
+        tr = hm.machine.trace
+        tid = "req-h-0000"
+        root = tr.open_span("serve_request", pid=None, trace_id=tid, index=0)
+        orig = hm.machine.kernel.register_task
+
+        def hook(task):
+            orig(task)
+            tr.set_context(task.pid, tid, root_span_id=root.attrs["span_id"])
+
+        hm.machine.kernel.register_task = hook
+        out = hm.run("main", [41])
+        tr.close(root)
+        assert out.retval == 42
+
+        spans = [s for s in tr.finished_spans() if s.attrs.get("trace_id") == tid]
+        sessions = [s for s in spans if s.name == "h2n_session"]
+        assert sessions, "hosted run emitted no traced h2n_session span"
+
+        by_id = {s.attrs["span_id"]: s for s in spans}
+        for session in sessions:
+            # walk parent linkage upward; the chain must pass the root
+            seen = set()
+            span_id = session.attrs["span_id"]
+            while span_id in by_id and span_id not in seen:
+                seen.add(span_id)
+                span_id = by_id[span_id].attrs.get("parent_span_id")
+            assert root.attrs["span_id"] in seen or span_id == root.attrs["span_id"]
+
+
+class TestTracedOffParity:
+    def assert_identical(self, plain, traced):
+        # frozen dataclasses: equality is field-exact, no tolerance
+        assert traced.records == plain.records
+        assert traced.arrivals_ns == plain.arrivals_ns
+        assert traced.sim_ns == plain.sim_ns
+        assert traced.epoch_ns == plain.epoch_ns
+        assert (traced.p50_ns, traced.p95_ns, traced.p99_ns) == (
+            plain.p50_ns,
+            plain.p95_ns,
+            plain.p99_ns,
+        )
+        assert traced.mean_ns == plain.mean_ns
+        assert traced.errors == plain.errors
+        assert traced.kind_counts == plain.kind_counts
+
+    def test_single_nxp_run_bit_identical(self):
+        plain = run_serving(QUICK)
+        traced = run_serving(replace(QUICK, traced=True))
+        self.assert_identical(plain, traced)
+        assert plain.paths == [] and traced.paths != []
+
+    def test_multi_nxp_kill_run_bit_identical(self):
+        plain = run_serving(KILL)
+        traced = run_serving(replace(KILL, traced=True))
+        self.assert_identical(plain, traced)
+        assert traced.device_sessions == plain.device_sessions
+        assert traced.degraded_calls == plain.degraded_calls
+
+    def test_hosted_context_charges_no_time(self):
+        def program():
+            prog = HostedProgram()
+
+            @prog.nxp()
+            def dev(ctx, x):
+                ctx.compute(500)
+                return x * 2
+                yield
+
+            @prog.host()
+            def main(ctx, n):
+                total = 0
+                for i in range(n):
+                    total += yield from ctx.call("dev", i)
+                return total
+
+            return prog
+
+        plain = HostedMachine(program()).run("main", [4])
+        ctx_cfg = DEFAULT_CONFIG.with_overrides(trace_context=True)
+        hm = HostedMachine(program(), cfg=ctx_cfg)
+        tr = hm.machine.trace
+        root = tr.open_span("serve_request", pid=None, trace_id="req-h-0001", index=0)
+        orig = hm.machine.kernel.register_task
+
+        def hook(task):
+            orig(task)
+            tr.set_context(task.pid, "req-h-0001", root_span_id=root.attrs["span_id"])
+
+        hm.machine.kernel.register_task = hook
+        traced = hm.run("main", [4])
+        tr.close(root)
+        assert traced.retval == plain.retval
+        assert traced.sim_time_ns == plain.sim_time_ns
