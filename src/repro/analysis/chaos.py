@@ -17,6 +17,13 @@ and classifies the terminal state against a golden faults-off run:
               fallback ladder must produce one of the above.
 ``mismatch``  Finished, but with the wrong return value.  Always a
               bug: corruption must never survive the checksum.
+``shed``      Overload cases only: every request either completed
+              correctly or was rejected with a *typed* admission
+              shed — the overload-protection contract
+              (docs/ROBUSTNESS.md).
+``recovered`` Revive cases only: a killed device was revived, passed
+              its half-open breaker probes, and served traffic again
+              while the workload completed correctly.
 ============  =====================================================
 
 Both execution modes are exercised: ``null_call`` is an interpreted
@@ -48,6 +55,8 @@ __all__ = [
     "run_chaos_case",
     "run_chaos_matrix",
     "run_multi_nxp_kill_case",
+    "run_multi_nxp_revive_case",
+    "run_overload_storm_case",
     "render_verdicts",
 ]
 
@@ -77,7 +86,7 @@ class ChaosResult:
 
     plan: str
     workload: str
-    verdict: str  # survived | degraded | crashed | hung | mismatch
+    verdict: str  # survived | degraded | crashed | hung | mismatch | shed | recovered
     retval: Optional[int]
     expected: Optional[int]
     sim_ns: float
@@ -88,7 +97,7 @@ class ChaosResult:
     @property
     def ok(self) -> bool:
         """True for the verdicts the hardening contract allows."""
-        return self.verdict in ("survived", "degraded", "crashed")
+        return self.verdict in ("survived", "degraded", "crashed", "shed", "recovered")
 
 
 @dataclass
@@ -351,6 +360,191 @@ def run_multi_nxp_kill_case(
     )
 
 
+def run_overload_storm_case(
+    qps: float = 20_000.0,
+    requests: int = 120,
+    deadline_us: float = 500.0,
+    cfg: FlickConfig = DEFAULT_CONFIG,
+    seed: int = 0,
+) -> ChaosResult:
+    """Overload storm with the full protection stack armed.
+
+    Serves ``requests`` null-call requests at ``qps`` (far past the
+    single-NxP saturation point) under the ``overload-storm`` fault
+    plan, with per-request deadlines, bounded admission queues and a
+    machine-wide retry budget.  The overload-protection contract: the
+    run quiesces with **zero hangs** — every request either completes
+    with its correct value or is rejected with a typed shed — and the
+    retransmit storm is capped by the budget.  Verdict ``shed`` when
+    load was actually shed, ``survived``/``degraded`` when the machine
+    somehow kept up, ``hung``/``mismatch`` on contract violations.
+    """
+    from repro.analysis.serving import TrafficConfig, run_serving
+
+    plan = builtin_plans(seed)["overload-storm"]
+    tc = TrafficConfig(
+        scenario="null_call",
+        arrival="poisson",
+        qps=qps,
+        requests=requests,
+        clients=8,
+        seed=seed,
+        deadline_ns=deadline_us * 1000.0,
+        admission_limit=4,
+        retry_budget_tokens=8.0,
+        retry_budget_refill_per_ms=2.0,
+    )
+    # The storm plan's delays must be able to outlast the watchdog, or
+    # the retry budget is never consulted; a high dead-threshold keeps
+    # the device in service (the point is shedding, not failover), and
+    # (1 + 1) * 8 = 16 stays within the ring-capacity invariant.
+    run_cfg = plan.apply(cfg).with_overrides(
+        host_cores=tc.host_cores,
+        admission_queue_limit=tc.admission_limit,
+        retry_budget_tokens=tc.retry_budget_tokens,
+        retry_budget_refill_per_ms=tc.retry_budget_refill_per_ms,
+        migration_watchdog_ns=100_000.0,
+        migration_retry_limit=1,
+        nxp_dead_threshold=8,
+    )
+    name = f"overload-storm@{qps:.0f}qps"
+    try:
+        result = run_serving(tc, cfg=run_cfg)
+    except RuntimeError as exc:
+        return ChaosResult(
+            plan=name, workload="serving", verdict="hung", retval=None,
+            expected=None, sim_ns=0.0, degraded_calls=0, faults_fired=0,
+            detail=str(exc),
+        )
+    bad = [r for r in result.records if not r.shed and not r.ok]
+    if bad:
+        verdict, detail = "mismatch", f"{len(bad)} completed request(s) wrong"
+    elif result.shed:
+        verdict = "shed"
+        detail = (
+            f"{result.shed} typed shed(s) {result.shed_by_reason}, "
+            f"{len(result.completed_records)} completed ok, "
+            f"retry budget denied {result.retry_budget_denied}"
+        )
+    elif result.degraded_calls:
+        verdict, detail = "degraded", f"{result.degraded_calls} fallback call(s)"
+    else:
+        verdict, detail = "survived", "machine kept up with the storm"
+    return ChaosResult(
+        plan=name,
+        workload="serving",
+        verdict=verdict,
+        retval=None,
+        expected=None,
+        sim_ns=result.sim_ns,
+        degraded_calls=result.degraded_calls,
+        faults_fired=0,
+        detail=detail,
+    )
+
+
+def run_multi_nxp_revive_case(
+    nxps: int = 2,
+    kill_device: int = 0,
+    kill_at_ns: float = 5_000.0,
+    revive_at_ns: float = 120_000.0,
+    iters: int = 16,
+    cfg: FlickConfig = DEFAULT_CONFIG,
+    bound_ns: float = DEFAULT_BOUND_NS,
+) -> ChaosResult:
+    """Kill one device, revive it mid-run, and demand it serve again.
+
+    The self-healing contract (docs/ROBUSTNESS.md): after
+    ``machine.revive_nxp`` the breaker goes DEAD → RECOVERING, placement
+    feeds the device half-open probe sessions, and after
+    ``nxp_probe_successes`` consecutive successes it is a full peer
+    again.  Verdict ``recovered`` only when the workload completes with
+    its correct value *and* the revived device served sessions after the
+    revive instant.
+    """
+    if nxps < 2:
+        raise ValueError("the revive case needs nxps >= 2 (survivors)")
+    if revive_at_ns <= kill_at_ns:
+        raise ValueError("revive_at_ns must be after kill_at_ns")
+    run_cfg = cfg.with_overrides(
+        nxp_count=nxps,
+        placement_policy="round_robin",
+        faults=(FaultRule("dma_drop", after_ns=1e18, count=None),),
+        fault_seed=1,
+        migration_watchdog_ns=50_000.0,
+        migration_retry_limit=1,
+        nxp_dead_threshold=1,
+        nxp_recovery=True,
+    )
+    machine = FlickMachine(run_cfg)
+    process = machine.load(machine.compile(NULL_CALL_SRC))
+    thread = machine.spawn(process, args=[iters])
+    sessions_at_revive: Dict[int, int] = {}
+
+    def _chaos(sim):
+        yield sim.timeout(kill_at_ns)
+        machine.kill_nxp(kill_device, mode="abrupt")
+        yield sim.timeout(revive_at_ns - kill_at_ns)
+        sessions_at_revive.update(machine.placement.session_counts())
+        machine.revive_nxp(kill_device)
+
+    machine.sim.spawn(_chaos(machine.sim), name="chaos-kill-revive")
+    crash = None
+    try:
+        machine.sim.run(until=bound_ns)
+    except Deadlock:
+        pass
+    except SimulationError as exc:
+        if isinstance(exc.__cause__, ProcessCrash):
+            crash = exc.__cause__
+        else:
+            raise
+    done = thread.task.state.value == "done"
+    stats = machine.stats.snapshot()
+    probe = _Probe(
+        retval=signed_retval(thread.result) if done else None,
+        done=done,
+        sim_ns=thread.finished_at if thread.finished_at is not None else machine.sim.now,
+        degraded_calls=int(stats.get("degraded.calls", 0)),
+        faults_fired=machine.injector.fired_total if machine.injector else 0,
+        crash=crash,
+    )
+    expected = iters * 3
+    verdict, detail = _classify(probe, expected)
+    if verdict in ("survived", "degraded"):
+        revived = int(stats.get("nxp.revived", 0))
+        served_after = (
+            machine.placement.session_counts().get(kill_device, 0)
+            - sessions_at_revive.get(kill_device, 0)
+        )
+        health = machine.devices[kill_device].health
+        if revived and served_after > 0 and not health.dead:
+            verdict = "recovered"
+            detail = (
+                f"device {kill_device} revived, {served_after} post-revive "
+                f"session(s), {int(stats.get('health.probe_success', 0))} "
+                f"probe success(es), health {health.state.value}"
+            )
+        else:
+            verdict, detail = (
+                "hung",
+                f"revive did not re-admit device {kill_device} "
+                f"(revived={revived}, post-revive sessions={served_after}, "
+                f"health={health.state.value})",
+            )
+    return ChaosResult(
+        plan=f"kill-revive-dev{kill_device}@{revive_at_ns:.0f}ns",
+        workload="null_call",
+        verdict=verdict,
+        retval=probe.retval,
+        expected=expected,
+        sim_ns=probe.sim_ns,
+        degraded_calls=probe.degraded_calls,
+        faults_fired=probe.faults_fired,
+        detail=detail,
+    )
+
+
 def render_verdicts(results: Sequence[ChaosResult]) -> str:
     """Aligned verdict table plus a one-line tally."""
     rows = [("plan", "workload", "verdict", "retval", "degraded", "faults", "sim_ms")]
@@ -372,7 +566,7 @@ def render_verdicts(results: Sequence[ChaosResult]) -> str:
     tally: Dict[str, int] = {}
     for r in results:
         tally[r.verdict] = tally.get(r.verdict, 0) + 1
-    order = ["survived", "degraded", "crashed", "hung", "mismatch"]
+    order = ["survived", "degraded", "shed", "recovered", "crashed", "hung", "mismatch"]
     summary = ", ".join(f"{tally[v]} {v}" for v in order if v in tally)
     lines.append("")
     lines.append(f"{len(results)} cases: {summary}")

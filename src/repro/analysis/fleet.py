@@ -108,6 +108,12 @@ class FleetConfig:
     chaos_kill_at_ns: Optional[float] = None
     chaos_kill_device: int = 0
     chaos_kill_mode: str = "abrupt"
+    #: kill-then-revive drain (docs/ROBUSTNESS.md): revive the killed
+    #: device at epoch + this instant (must be after the kill; requires
+    #: an abrupt kill).  The killed device re-enters service through the
+    #: breaker's half-open probes and must serve a nonzero share of the
+    #: post-revival sessions.  ``None`` keeps the plain drain study.
+    chaos_revive_at_ns: Optional[float] = None
     #: trace the chaos pair (request-scoped causal tracing) so the
     #: outcome carries exactly-tiling critical paths and the report can
     #: attribute the kill's tail cost to retry/failover phases.
@@ -218,6 +224,32 @@ class ChaosOutcome:
         )
 
     @property
+    def revived(self) -> bool:
+        """The killed device was revived during the run."""
+        return self.killed.revived > 0
+
+    @property
+    def post_revival_share(self) -> float:
+        """Fraction of post-revive sessions the revived device served
+        (0.0 on a run without a revive, or before any post-revive
+        session landed).  Nonzero means the breaker's half-open probes
+        succeeded and placement re-admitted the device — the
+        ``recovered`` fleet verdict."""
+        total = sum(self.killed.post_revival_sessions.values())
+        if not total:
+            return 0.0
+        return self.killed.post_revival_sessions.get(self.kill_device, 0) / total
+
+    @property
+    def verdict(self) -> str:
+        """``recovered`` / ``drained`` / ``failed`` fleet chaos verdict."""
+        if not self.all_served_ok:
+            return "failed"
+        if self.revived and self.post_revival_share > 0.0:
+            return "recovered"
+        return "drained"
+
+    @property
     def recovered_requests(self) -> List:
         """Requests whose critical path crossed watchdog recovery
         (retry or failover time > 0); empty on an untraced run."""
@@ -312,6 +344,7 @@ def chaos_drain(
         policy="round_robin",
         traced=fc.chaos_traced,
     )
+    revive_at = fc.chaos_revive_at_ns
     kill_at = fc.chaos_kill_at_ns
     if kill_at is None:
         if not fc.chaos_traced:
@@ -320,13 +353,27 @@ def chaos_drain(
                 "chaos_traced=True to observe the baseline's in-flight legs"
             )
         baseline = _fleet_job(base)
-        kill_at = aim_kill_ns(baseline, fc.chaos_kill_device)
+        if revive_at is None:
+            kill_at = aim_kill_ns(baseline, fc.chaos_kill_device)
+        else:
+            # A kill-then-revive drain needs arrivals *after* the
+            # revive instant, or the revived device has nothing to
+            # serve — aim the kill into the first half of the run.
+            kill_at = aim_kill_ns(
+                baseline, fc.chaos_kill_device, frac_lo=0.15, frac_hi=0.45
+            )
+        if revive_at is not None and revive_at <= kill_at:
+            raise ValueError(
+                f"chaos_revive_at_ns={revive_at:.0f} is not after the "
+                f"aimed kill instant {kill_at:.0f}"
+            )
         killed = _fleet_job(
             replace(
                 base,
                 kill_at_ns=kill_at,
                 kill_device=fc.chaos_kill_device,
                 kill_mode=fc.chaos_kill_mode,
+                revive_at_ns=revive_at,
             )
         )
     else:
@@ -335,6 +382,7 @@ def chaos_drain(
             kill_at_ns=kill_at,
             kill_device=fc.chaos_kill_device,
             kill_mode=fc.chaos_kill_mode,
+            revive_at_ns=revive_at,
         )
         baseline, killed = parallel_map(
             _fleet_job, [base, killed_tc], workers=workers
@@ -441,6 +489,16 @@ def render_chaos_summary(outcome: ChaosOutcome) -> str:
         f"({outcome.p99_ratio:.2f}x)",
         f"  host-fallback calls: {killed.degraded_calls}",
     ]
+    if killed.config.revive_at_ns is not None:
+        lines.append(
+            f"  revive: device {outcome.kill_device} at "
+            f"{killed.config.revive_at_ns / 1000.0:.0f} us — "
+            f"{'revived' if outcome.revived else 'NOT revived'}, "
+            f"post-revive sessions "
+            f"{dict(sorted(killed.post_revival_sessions.items()))} "
+            f"(revived device share {outcome.post_revival_share:.2f}) "
+            f"-> verdict {outcome.verdict}"
+        )
     recovered = outcome.recovered_requests
     if recovered:
         ids = ", ".join(p.trace_id for p in recovered[:4])
@@ -491,6 +549,10 @@ def fleet_report_doc(report: FleetReport) -> dict:
             "kill_device": report.chaos.kill_device,
             "kill_mode": report.chaos.kill_mode,
             "kill_at_ns": report.chaos.killed.config.kill_at_ns,
+            "revive_at_ns": report.chaos.killed.config.revive_at_ns,
+            "revived": report.chaos.revived,
+            "post_revival_share": report.chaos.post_revival_share,
+            "verdict": report.chaos.verdict,
             "all_served_ok": report.chaos.all_served_ok,
             "p99_ratio": report.chaos.p99_ratio,
             "survivor_sessions": report.chaos.survivor_sessions,

@@ -183,6 +183,10 @@ class RunReport:
     #: tracing-JIT tier telemetry (``FlickMachine.jit_stats``): kept out
     #: of ``stats`` so the parity-pinned snapshot never sees the tier
     jit: Dict[str, float] = field(default_factory=dict)
+    #: multi-NxP placement sidecar counters (picks per device, failover,
+    #: exhausted, half-open breaker probes) — kept out of ``stats`` for
+    #: the same parity reason, empty on single-NxP machines
+    placement: Dict[str, float] = field(default_factory=dict)
     #: spans still open when the report was built (hung legs / in-flight
     #: requests) — their time is absent from every histogram above
     open_spans: int = 0
@@ -419,6 +423,11 @@ def build_run_report(
         ),
         truncated=trace.truncated,
         jit=machine.jit_stats() if hasattr(machine, "jit_stats") else {},
+        placement=(
+            dict(machine.placement.counters)
+            if getattr(machine, "multi_nxp", False)
+            else {}
+        ),
         open_spans=len(trace.open_spans()),
         span_anomalies=trace.span_anomalies,
         trace_dropped=trace.dropped,
@@ -572,6 +581,12 @@ def render_openmetrics(report: RunReport) -> str:
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric}_total {_fmt(report.jit[key])}")
 
+    # placement sidecar counters (multi-NxP: picks, failover, probes)
+    for key in sorted(report.placement):
+        metric = _metric_name(key)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(report.placement[key])}")
+
     # trace health: work the histograms above could not see
     open_metric = _metric_name("trace_open_spans")
     lines.append(f"# TYPE {open_metric} gauge")
@@ -608,6 +623,7 @@ def report_to_dict(report: RunReport) -> dict:
         "utilization": {k: v.to_dict() for k, v in report.utilization.items()},
         "truncated": report.truncated,
         "jit": dict(report.jit),
+        "placement": dict(report.placement),
         "open_spans": report.open_spans,
         "span_anomalies": report.span_anomalies,
         "trace_dropped": report.trace_dropped,
@@ -643,6 +659,7 @@ def report_from_json(doc) -> RunReport:
         },
         truncated=doc["truncated"],
         jit=dict(doc.get("jit", {})),  # absent in pre-JIT documents
+        placement=dict(doc.get("placement", {})),  # absent pre-robustness
         open_spans=int(doc.get("open_spans", 0)),  # absent pre-serving
         span_anomalies=int(doc.get("span_anomalies", 0)),
         trace_dropped=int(doc.get("trace_dropped", 0)),  # absent pre-tracing

@@ -58,6 +58,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.sweep import parallel_map
 from repro.core.config import DEFAULT_CONFIG, FlickConfig
+from repro.core.errors import AdmissionRejected
 from repro.core.machine import FlickMachine, signed_retval
 from repro.sim.stats import Histogram, quantile
 from repro.workloads.serving_profiles import PROFILES, scenario_mix
@@ -121,6 +122,27 @@ class TrafficConfig:
     kill_at_ns: Optional[float] = None
     kill_device: int = 0
     kill_mode: str = "abrupt"  # abrupt | drain
+    #: self-healing: revive ``kill_device`` at epoch + ``revive_at_ns``
+    #: (None = no revive).  Requires an abrupt kill run — the revive
+    #: rides the hardened protocol's breaker (docs/ROBUSTNESS.md) — and
+    #: arms ``FlickConfig.nxp_recovery`` on the serving machine.
+    revive_at_ns: Optional[float] = None
+    #: per-request deadline, measured from *arrival* (0 = no deadlines).
+    #: A request still queued when its deadline passes is shed with a
+    #: typed ``deadline`` rejection instead of being served late.
+    deadline_ns: float = 0.0
+    #: admission-queue bound per in-service device (FlickConfig.
+    #: admission_queue_limit; 0 = unbounded).  Arrivals beyond the bound
+    #: are shed ``queue_full`` at the front door.
+    admission_limit: int = 0
+    #: brownout mode: over-limit / deadline-risk requests run on the
+    #: host-fallback path instead of being shed (FlickConfig.brownout)
+    brownout: bool = False
+    brownout_margin_ns: float = 0.0
+    #: machine-wide watchdog-retransmit budget (FlickConfig.
+    #: retry_budget_tokens / retry_budget_refill_per_ms; 0 = unlimited)
+    retry_budget_tokens: float = 0.0
+    retry_budget_refill_per_ms: float = 0.0
     #: request-scoped causal tracing (docs/OBSERVABILITY.md): every
     #: request gets a deterministic ``trace_id`` threaded through its
     #: spans, and the result carries exactly-tiling critical paths
@@ -158,6 +180,19 @@ class TrafficConfig:
                 raise ValueError("kill_device out of range")
             if self.kill_mode not in ("abrupt", "drain"):
                 raise ValueError(f"unknown kill mode {self.kill_mode!r}")
+        if self.revive_at_ns is not None:
+            if self.kill_at_ns is None or self.kill_mode != "abrupt":
+                raise ValueError(
+                    "a revive run needs an abrupt kill (kill_at_ns + "
+                    "kill_mode='abrupt'): recovery rides the hardened "
+                    "protocol's breaker"
+                )
+            if self.revive_at_ns <= self.kill_at_ns:
+                raise ValueError("revive_at_ns must be after kill_at_ns")
+        if self.deadline_ns < 0:
+            raise ValueError("deadline_ns must be >= 0 (0 = no deadlines)")
+        if self.admission_limit < 0:
+            raise ValueError("admission_limit must be >= 0 (0 = unbounded)")
         scenario_mix(self.scenario)  # raises on unknown scenario
 
 
@@ -172,6 +207,10 @@ class RequestRecord:
     start_ns: float  # dequeued by a client (== arrival in closed mode)
     end_ns: float
     ok: bool  # retval matched the profile's golden value
+    #: admission control rejected this request instead of serving it
+    #: (``ok`` is False; latency/percentile stats exclude shed records)
+    shed: bool = False
+    shed_reason: str = ""  # deadline | queue_full (empty when served)
 
     @property
     def latency_ns(self) -> float:
@@ -285,6 +324,19 @@ class ServingResult:
     #: NISA calls that completed via host-fallback emulation (all
     #: devices down, or a kill run's tail) — from ``degraded.calls``
     degraded_calls: int = 0
+    #: requests admission control shed (typed rejections; these carry
+    #: ``RequestRecord.shed`` and are excluded from every latency stat)
+    shed: int = 0
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: calls the brownout router sent to host fallback instead of the NxP
+    brownout_calls: int = 0
+    #: watchdog retransmits the machine-wide retry budget denied
+    retry_budget_denied: int = 0
+    #: devices revived (``nxp.revived``) during the run
+    revived: int = 0
+    #: revive runs only: sessions placed per device *after* the revive
+    #: instant (final placement counters minus the pre-revive snapshot)
+    post_revival_sessions: Dict[int, int] = field(default_factory=dict)
     #: trace ring pressure after the run: events / completed spans the
     #: bounded rings evicted.  Non-zero means every span-derived number
     #: above was computed on a *window*, not the whole run.
@@ -303,7 +355,13 @@ class ServingResult:
 
     @property
     def latencies_ns(self) -> List[float]:
-        return [r.latency_ns for r in self.records]
+        return [r.latency_ns for r in self.completed_records]
+
+    @property
+    def completed_records(self) -> List[RequestRecord]:
+        """Records that were actually served (shed rejections excluded);
+        the population every latency/SLO statistic is computed over."""
+        return [r for r in self.records if not r.shed]
 
     def to_point(self) -> dict:
         """One latency-vs-load curve point (JSON-friendly)."""
@@ -338,6 +396,14 @@ class ServingResult:
             "degraded_calls": self.degraded_calls,
             "trace_dropped": self.trace_dropped,
             "trace_spans_dropped": self.trace_spans_dropped,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "brownout_calls": self.brownout_calls,
+            "retry_budget_denied": self.retry_budget_denied,
+            "revived": self.revived,
+            "post_revival_sessions": {
+                str(k): v for k, v in self.post_revival_sessions.items()
+            },
         }
 
 
@@ -371,6 +437,18 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             overrides["nxp_dead_threshold"] = 1
         if tc.traced:
             overrides["trace_context"] = True
+        # Robustness knobs (docs/ROBUSTNESS.md); each stays at its
+        # parity-pinned default unless the traffic config arms it.
+        if tc.admission_limit:
+            overrides["admission_queue_limit"] = tc.admission_limit
+        if tc.brownout:
+            overrides["brownout"] = True
+            overrides["brownout_margin_ns"] = tc.brownout_margin_ns
+        if tc.retry_budget_tokens:
+            overrides["retry_budget_tokens"] = tc.retry_budget_tokens
+            overrides["retry_budget_refill_per_ms"] = tc.retry_budget_refill_per_ms
+        if tc.revive_at_ns is not None:
+            overrides["nxp_recovery"] = True
         cfg = DEFAULT_CONFIG.with_overrides(**overrides)
     machine = FlickMachine(cfg)
     if tc.traced:
@@ -405,11 +483,40 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             procs[key] = machine.load(exes[kind], name=f"c{client}.{kind}")
         return procs[key]
 
+    def _shed(client: int, idx: int, kind: str, span, reason: str) -> None:
+        """Record a typed admission rejection (no thread is spawned)."""
+        trace.close(span, client=client, shed=reason)
+        records[idx] = RequestRecord(
+            index=idx,
+            kind=kind,
+            client=client,
+            arrival_ns=arrivals_seen[idx],
+            start_ns=sim.now,
+            end_ns=sim.now,
+            ok=False,
+            shed=True,
+            shed_reason=reason,
+        )
+
     def _serve_one(client: int, idx: int, kind: str, span):
         profile = PROFILES[kind]
+        if tc.deadline_ns:
+            # The deadline clock starts at *arrival*: a request that
+            # already burned its budget queueing is shed here (typed),
+            # not served late — the admission slot it held goes back.
+            deadline_at = arrivals_seen[idx] + tc.deadline_ns
+            if sim.now >= deadline_at:
+                machine.stats.count("admission.shed.deadline")
+                if tc.admission_limit:
+                    machine.admission_release()
+                _shed(client, idx, kind, span, "deadline")
+                return
         process = _process_for(client, kind)
         start = sim.now
         thread = machine.spawn(process, entry="main", args=profile.args)
+        if tc.deadline_ns:
+            # Brownout risk assessment reads the task's deadline.
+            thread.task.deadline_ns = arrivals_seen[idx] + tc.deadline_ns
         if tc.traced and span is not None:
             # Thread the request's causal context into everything its
             # fresh task emits (h2n legs, DMA, retries, placement); the
@@ -438,6 +545,8 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         # the run near 250 requests otherwise.
         if thread.task.nxp_stack_base is not None:
             machine.release_nxp_stack(thread.task.nxp_stack_base)
+        if tc.admission_limit:
+            machine.admission_release()
 
     if tc.mode == "open":
         offsets = generate_arrivals(tc)
@@ -459,13 +568,29 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
                 )
             else:
                 span = trace.open_span("serve_request", kind=kind, index=idx)
+            if tc.admission_limit or tc.deadline_ns:
+                deadline_at = (
+                    sim.now + tc.deadline_ns if tc.deadline_ns else None
+                )
+                try:
+                    machine.admit_request(deadline_at)
+                except AdmissionRejected as exc:
+                    # Front-door shed: the client still consumes one
+                    # channel item (counts[] is precomputed), but the
+                    # marker carries no work.
+                    _shed(idx % clients, idx, kind, span, exc.reason)
+                    channels[idx % clients].put(None)
+                    return
             channels[idx % clients].put((idx, kind, span))
             return
             yield  # unreachable; makes this function a generator
 
         def _client(c: int):
             for _ in range(counts[c]):
-                idx, kind, span = yield channels[c].get()
+                item = yield channels[c].get()
+                if item is None:
+                    continue  # arrival was shed at the front door
+                idx, kind, span = item
                 yield from _serve_one(c, idx, kind, span)
 
         for idx, (off, kind) in enumerate(zip(offsets, kinds)):
@@ -485,6 +610,15 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
                     )
                 else:
                     span = trace.open_span("serve_request", kind=kind, index=idx)
+                if tc.admission_limit or tc.deadline_ns:
+                    deadline_at = (
+                        sim.now + tc.deadline_ns if tc.deadline_ns else None
+                    )
+                    try:
+                        machine.admit_request(deadline_at)
+                    except AdmissionRejected as exc:
+                        _shed(c, idx, kind, span, exc.reason)
+                        continue
                 yield from _serve_one(c, idx, kind, span)
                 if tc.think_ns > 0:
                     yield sim.timeout(tc.think_ns)
@@ -500,6 +634,17 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
 
         sim.spawn(_killer(), name="chaos-killer")
 
+    sessions_before_revive: Dict[int, int] = {}
+    if tc.revive_at_ns is not None:
+
+        def _reviver():
+            yield sim.timeout(tc.revive_at_ns)
+            if machine.placement is not None:
+                sessions_before_revive.update(machine.placement.session_counts())
+            machine.revive_nxp(tc.kill_device)
+
+        sim.spawn(_reviver(), name="chaos-reviver")
+
     sim.run()
 
     unserved = [i for i, r in enumerate(records) if r is None]
@@ -509,18 +654,38 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
             f"{unserved[:5]}..."
         )
     done: List[RequestRecord] = records  # type: ignore[assignment]
+    served = [r for r in done if not r.shed]
+    if not served:
+        raise RuntimeError(
+            "serving run shed every request; nothing to measure — lower "
+            "the load or loosen deadline_ns/admission_limit"
+        )
 
-    latencies = [r.latency_ns for r in done]
-    t_end = max(r.end_ns for r in done)
+    latencies = [r.latency_ns for r in served]
+    t_end = max(r.end_ns for r in served)
     window_ns = t_end - epoch
-    achieved = len(done) / (window_ns / 1e9) if window_ns > 0 else 0.0
+    achieved = len(served) / (window_ns / 1e9) if window_ns > 0 else 0.0
     offered = tc.qps if tc.mode == "open" else achieved
     hist = Histogram("serve_latency_ns")
     for value in latencies:
         hist.observe(value)
     kind_counts: Dict[str, int] = {}
-    for r in done:
+    for r in served:
         kind_counts[r.kind] = kind_counts.get(r.kind, 0) + 1
+    shed_by_reason: Dict[str, int] = {}
+    for r in done:
+        if r.shed:
+            shed_by_reason[r.shed_reason] = shed_by_reason.get(r.shed_reason, 0) + 1
+    stats = machine.stats.snapshot()
+    final_sessions = (
+        machine.placement.session_counts() if machine.placement else {}
+    )
+    post_revival: Dict[int, int] = {}
+    if tc.revive_at_ns is not None:
+        post_revival = {
+            dev: count - sessions_before_revive.get(dev, 0)
+            for dev, count in final_sessions.items()
+        }
 
     return ServingResult(
         config=tc,
@@ -535,8 +700,8 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         p99_ns=quantile(latencies, 99),
         mean_ns=sum(latencies) / len(latencies),
         max_ns=max(latencies),
-        mean_wait_ns=sum(r.wait_ns for r in done) / len(done),
-        errors=sum(1 for r in done if not r.ok),
+        mean_wait_ns=sum(r.wait_ns for r in served) / len(served),
+        errors=sum(1 for r in served if not r.ok),
         kind_counts=kind_counts,
         latency_histogram=HistogramSummary.of(hist),
         utilization=device_utilization(
@@ -545,14 +710,21 @@ def run_serving(tc: TrafficConfig, cfg: Optional[FlickConfig] = None) -> Serving
         ),
         open_spans=len(trace.open_spans()),
         span_anomalies=trace.span_anomalies,
-        device_sessions=(
-            machine.placement.session_counts() if machine.placement else {}
+        device_sessions=final_sessions,
+        degraded_calls=int(stats.get("degraded.calls", 0)),
+        shed=len(done) - len(served),
+        shed_by_reason=shed_by_reason,
+        brownout_calls=int(
+            stats.get("brownout.deadline_risk", 0)
+            + stats.get("brownout.queue_full", 0)
         ),
-        degraded_calls=int(machine.stats.snapshot().get("degraded.calls", 0)),
+        retry_budget_denied=int(stats.get("retry_budget.denied", 0)),
+        revived=int(stats.get("nxp.revived", 0)),
+        post_revival_sessions=post_revival,
         trace_dropped=trace.dropped,
         trace_spans_dropped=trace.spans_dropped,
         paths=(
-            extract_request_paths(trace, done) if tc.traced else []
+            extract_request_paths(trace, served) if tc.traced else []
         ),
         device_kicks=(
             _device_kicks(trace) if tc.traced and tc.nxps > 1 else {}
@@ -660,7 +832,7 @@ def render_serving_table(results: Sequence[ServingResult]) -> str:
     rows = [
         (
             "offered_qps", "achieved", "p50_us", "p95_us", "p99_us",
-            "wait_us", "host", "nxp", "dma", "err",
+            "wait_us", "host", "nxp", "dma", "shed", "err",
         )
     ]
     for r in results:
@@ -676,6 +848,7 @@ def render_serving_table(results: Sequence[ServingResult]) -> str:
                 f"{util.get('host_core', 0.0):.2f}",
                 f"{util.get('nxp', 0.0):.2f}",
                 f"{util.get('dma', 0.0):.2f}",
+                str(r.shed),
                 str(r.errors),
             )
         )
@@ -732,6 +905,25 @@ def render_serving_openmetrics(results: Sequence[ServingResult]) -> str:
                 f'flick_serving_device_utilization{{offered_qps="{r.offered_qps:g}",'
                 f'device="{device}"}} {summary.fraction}'
             )
+    lines.append("# TYPE flick_serving_shed counter")
+    for r in results:
+        for reason, n in sorted(r.shed_by_reason.items()):
+            lines.append(
+                f'flick_serving_shed_total{{offered_qps="{r.offered_qps:g}",'
+                f'scenario="{r.config.scenario}",reason="{reason}"}} {n}'
+            )
+    lines.append("# TYPE flick_serving_retry_budget_denied counter")
+    for r in results:
+        lines.append(
+            f'flick_serving_retry_budget_denied_total{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}"}} {r.retry_budget_denied}'
+        )
+    lines.append("# TYPE flick_serving_revived counter")
+    for r in results:
+        lines.append(
+            f'flick_serving_revived_total{{offered_qps="{r.offered_qps:g}",'
+            f'scenario="{r.config.scenario}"}} {r.revived}'
+        )
     lines.append("# TYPE flick_trace_dropped counter")
     for r in results:
         lines.append(

@@ -134,7 +134,14 @@ class SLOWindow:
 
 @dataclass(frozen=True)
 class SLOReport:
-    """One SLO evaluated over a whole run plus its windows."""
+    """One SLO evaluated over a whole run plus its windows.
+
+    ``shed`` counts requests the run rejected at admission (typed shed,
+    docs/ROBUSTNESS.md).  Shed requests never produce a latency, so they
+    are *excluded* from the percentile and burn-rate math — the SLO is a
+    promise about completed work — but the count rides on the report so
+    a gate that passes by shedding everything is visible.
+    """
 
     slo: SLO
     requests: int
@@ -142,6 +149,7 @@ class SLOReport:
     bad: int
     burn_rate: float
     windows: Tuple[SLOWindow, ...]
+    shed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -163,6 +171,7 @@ class SLOReport:
             "bad": self.bad,
             "burn_rate": self.burn_rate,
             "ok": self.ok,
+            "shed": self.shed,
             "windows": [w.to_dict() for w in self.windows],
         }
 
@@ -171,10 +180,16 @@ def evaluate_slo(
     records: Sequence,
     slo: SLO,
     windows: int = DEFAULT_WINDOWS,
+    shed: int = 0,
 ) -> SLOReport:
     """Evaluate ``slo`` over serving ``records`` (anything with
     ``arrival_ns``/``end_ns``/``latency_ns``), cutting the run into
-    ``windows`` equal spans of completion time."""
+    ``windows`` equal spans of completion time.
+
+    Pass *completed* records only (``ServingResult.completed_records``)
+    — shed requests have no meaningful latency; report their count via
+    ``shed`` instead so it surfaces alongside the verdict.
+    """
     if not records:
         raise ValueError("evaluate_slo needs at least one request record")
     if windows < 1:
@@ -221,6 +236,7 @@ def evaluate_slo(
         bad=bad_total,
         burn_rate=(bad_total / len(latencies)) / slo.budget,
         windows=tuple(out),
+        shed=shed,
     )
 
 
@@ -236,7 +252,9 @@ def render_slo(report: SLOReport) -> str:
         f"SLO {slo.spec}: {'OK' if report.ok else 'VIOLATED'}  "
         f"(p{slo.percentile:g} = {report.latency_ns / 1e3:.1f} us over "
         f"{report.requests} requests; {report.bad} over threshold, "
-        f"burn rate {report.burn_rate:.2f}x)"
+        f"burn rate {report.burn_rate:.2f}x"
+        + (f"; {report.shed} shed, excluded" if report.shed else "")
+        + ")"
     ]
     worst = report.worst_window
     if worst is not None and worst.burn_rate > 0:
@@ -274,6 +292,8 @@ def render_slo_openmetrics(report: SLOReport) -> str:
         f'flick_slo_burn_rate{{slo="{spec}"}} {report.burn_rate!r}',
         "# TYPE flick_slo_ok gauge",
         f'flick_slo_ok{{slo="{spec}"}} {1 if report.ok else 0}',
+        "# TYPE flick_slo_shed gauge",
+        f'flick_slo_shed{{slo="{spec}"}} {report.shed}',
         "# TYPE flick_slo_window_burn_rate gauge",
     ]
     for w in report.windows:

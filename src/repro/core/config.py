@@ -26,6 +26,7 @@ __all__ = [
     "PriorWorkOverheads",
     "DEFAULT_CONFIG",
     "PRIOR_WORK",
+    "RING_SLOTS",
 ]
 
 KB = 1024
@@ -35,6 +36,10 @@ GB = 1024 * MB
 PAGE_4K = 4 * KB
 PAGE_2M = 2 * MB
 PAGE_1G = 1 * GB
+
+#: Slots in each inbound descriptor ring (both directions, every device).
+#: FlickConfig.__post_init__ holds the hardened retry knobs to this.
+RING_SLOTS = 16
 
 
 @dataclass(frozen=True)
@@ -260,6 +265,59 @@ class FlickConfig:
     # data across PCIe at the normal host-port cost.
     host_fallback_penalty: float = 20.0
     host_fallback_entry_ns: float = 5_000.0  # switch into the emulation path
+
+    # ---- overload protection + self-healing (docs/ROBUSTNESS.md) -----------
+    # All knobs below default *off*; at the defaults every code path is
+    # byte-identical to the pre-robustness behavior (pinned by
+    # tests/core/test_fault_parity.py / test_multi_nxp.py, the
+    # ``machine.hardened`` precedent).
+    #
+    # Admission control: max migration sessions in flight per NxP device
+    # before new requests are shed (``AdmissionRejected``) or — with
+    # brownout on — routed to the host-fallback path instead of queueing.
+    # 0 = unbounded (off).
+    admission_queue_limit: int = 0
+    # Brownout: instead of shedding, run over-limit / over-deadline-risk
+    # calls on the host-fallback path (correct but degraded), freeing NxP
+    # capacity for requests that can still meet their deadlines.
+    brownout: bool = False
+    # Deadline-risk margin for brownout: at migration entry, a task whose
+    # remaining deadline budget is below this many ns browns out rather
+    # than starting a session it is unlikely to finish in time.
+    brownout_margin_ns: float = 0.0
+    # Machine-wide retry budget: a deterministic token bucket (refilled
+    # in sim time) consulted before *every* watchdog retransmit in both
+    # interpreted and hosted modes.  An exhausted budget turns correlated
+    # failures into host-fallback degradation instead of a retry storm on
+    # the ring.  capacity 0 = unlimited (off).
+    retry_budget_tokens: float = 0.0
+    retry_budget_refill_per_ms: float = 0.0
+    # Circuit breaker + device recovery: when on, DEAD is no longer
+    # terminal — ``machine.revive_nxp(index)`` resets the device and
+    # moves it DEAD -> RECOVERING; placement sends half-open probes (one
+    # in flight at a time) and re-admits after this many consecutive
+    # probe successes.  A flapping device re-trips the breaker and is
+    # quarantined for base * factor**(trips-1) ns before the next probe.
+    nxp_recovery: bool = False
+    nxp_probe_successes: int = 3
+    nxp_quarantine_base_ns: float = 1_000_000.0
+    nxp_quarantine_factor: float = 2.0
+
+    def __post_init__(self):
+        # The hardened protocol's ring-capacity invariant (previously
+        # only a comment next to nxp_dead_threshold): a dying session
+        # can enqueue up to (retry_limit + 1) descriptors per leg for
+        # nxp_dead_threshold legs before the device is declared dead, so
+        # that product must fit in the 16-slot inbound descriptor ring.
+        worst_case = (self.migration_retry_limit + 1) * self.nxp_dead_threshold
+        if worst_case > RING_SLOTS:
+            raise ValueError(
+                "ring-capacity invariant violated: "
+                f"(migration_retry_limit + 1) * nxp_dead_threshold = "
+                f"({self.migration_retry_limit} + 1) * {self.nxp_dead_threshold} "
+                f"= {worst_case} exceeds the {RING_SLOTS}-slot inbound "
+                "descriptor ring; a dying session could overflow it"
+            )
 
     # -- derived helpers -----------------------------------------------------
 

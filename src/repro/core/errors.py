@@ -29,6 +29,10 @@ Taxonomy
 ``NxpDeadError``
     The NxP health state machine declared the device dead; the host
     handler catches this and degrades to local emulation.
+``AdmissionRejected``
+    Deadline-aware admission control shed a request instead of queueing
+    it (over-deadline at admission, or every admission queue full with
+    brownout off); the serving harness records it as typed load shedding.
 ``LoadError``
     The loader rejected an executable image (e.g. a misaligned ``@nxp``
     segment that would break vaddr→paddr page congruence);
@@ -57,6 +61,7 @@ __all__ = [
     "DescriptorCorrupt",
     "MigrationTimeout",
     "NxpDeadError",
+    "AdmissionRejected",
     "LoadError",
     "WorkloadHung",
     "ProcessCrash",
@@ -119,6 +124,21 @@ class NxpDeadError(FlickError):
     def __init__(self, task, reason: str = "NxP unresponsive"):
         self.task = task
         super().__init__(f"{getattr(task, 'name', task)}: {reason}")
+
+
+class AdmissionRejected(FlickError):
+    """Admission control shed a request instead of queueing it.
+
+    Raised by :meth:`repro.core.machine.FlickMachine.admit_request` when
+    a request's deadline has already expired at admission time, or when
+    every per-device admission queue is at ``admission_queue_limit`` and
+    brownout is off.  ``reason`` is one of ``"deadline"`` / ``"queue_full"``
+    / ``"quarantine"`` so shed accounting can attribute the rejection.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"admission rejected ({reason})" + (f": {detail}" if detail else ""))
 
 
 class LoadError(FlickError, ValueError):

@@ -189,8 +189,19 @@ class HostThread:
 
         args = self.cpu.get_args(6)
         machine = self.machine
-        if machine.hardened and machine.health.dead:
-            # The NxP was already declared dead: don't even try the wire.
+        if machine.hardened and (
+            machine.health.dead or task.pid in machine.fused_pids
+        ):
+            # The NxP was already declared dead — or this pid burned the
+            # retry budget and is fused to host execution (a stale reply
+            # to its abandoned leg may still be in flight, and must find
+            # no armed wait).  Don't even try the wire.
+            retval = yield from self._fallback_execute(target, args, session_start)
+            return retval
+        if cfg.brownout and self._brownout_risk():
+            # Overload brownout: run degraded-but-correct on the host
+            # instead of queueing a session unlikely to meet its
+            # deadline (docs/ROBUSTNESS.md).
             retval = yield from self._fallback_execute(target, args, session_start)
             return retval
         desc = MigrationDescriptor(
@@ -269,8 +280,17 @@ class HostThread:
         args = self.cpu.get_args(6)
         tried = set()
         while True:
+            if task.pid in machine.fused_pids:
+                # Retry-budget fuse (see the single-NxP entry check):
+                # stale replies route by pid, not device, so a fused pid
+                # must not wait on *any* device.
+                retval = yield from self._fallback_execute(target, args, session_start)
+                return retval
             device = machine.placement.pick(task, exclude=frozenset(tried))
             if device is None:
+                retval = yield from self._fallback_execute(target, args, session_start)
+                return retval
+            if cfg.brownout and self._brownout_risk(device):
                 retval = yield from self._fallback_execute(target, args, session_start)
                 return retval
             if machine.trace.context_enabled:
@@ -359,6 +379,33 @@ class HostThread:
         yield from self.cpu.setup_call(target, list(args))  # keep current stack
         return (yield from self._step_loop())
 
+    def _brownout_risk(self, device=None) -> bool:
+        """Should this call brown out to host fallback instead of
+        queueing?  Only consulted when ``cfg.brownout`` is on.
+
+        Two triggers: the task's remaining deadline budget is below
+        ``brownout_margin_ns`` (a session started now would likely
+        finish late), or the target admission queue is already at
+        ``admission_queue_limit`` (queueing behind it only grows the
+        backlog).
+        """
+        cfg = self.cfg
+        machine = self.machine
+        deadline = getattr(self.task, "deadline_ns", None)
+        if deadline is not None and deadline - self.sim.now < cfg.brownout_margin_ns:
+            machine.stats.count("brownout.deadline_risk")
+            return True
+        limit = cfg.admission_queue_limit
+        if limit:
+            if device is not None:
+                over = device.outstanding >= limit
+            else:
+                over = machine.admitted_inflight > machine.admission_capacity()
+            if over:
+                machine.stats.count("brownout.queue_full")
+                return True
+        return False
+
     # -- the ioctl(MIGRATE_AND_SUSPEND) path -------------------------------------------
 
     def _ioctl_migrate_and_suspend(
@@ -438,8 +485,27 @@ class HostThread:
         machine.cores.release(self.core)
         self.core = None
 
+        sends = 0
         while True:
             for attempt in range(cfg.migration_retry_limit + 1):
+                if sends and machine.retry_budget is not None:
+                    # Machine-wide retry budget: every retransmit (any
+                    # attempt after the first send of this seq) must win
+                    # a token, or the leg degrades like a dead device —
+                    # correlated failures fall back instead of storming
+                    # the ring (docs/ROBUSTNESS.md).
+                    if not machine.retry_budget.take(self.sim.now):
+                        machine.trace.record(
+                            "retry_budget_denied", pid=task.pid, seq=desc.seq
+                        )
+                        # Fuse the pid: a reply to the leg being
+                        # abandoned may still arrive, and it would be
+                        # mis-delivered to this pid's next wait.
+                        machine.fused_pids.add(task.pid)
+                        self.core = yield from machine.cores.acquire(task.name)
+                        task.state = TaskState.RUNNING
+                        raise NxpDeadError(task, "retry budget exhausted")
+                sends += 1
                 wake = Event(self.sim, name=f"{task.name}.wake.s{desc.seq}a{attempt}")
                 task.wake_event = wake
                 yield self.sim.timeout(cfg.host_dma_kick_ns)
@@ -478,7 +544,7 @@ class HostThread:
                     self.core = yield from machine.cores.acquire(task.name)
                     task.state = TaskState.RUNNING
                     raise NxpDeadError(task)
-            health.record_failure()
+            health.record_failure(self.sim.now)
             if health.dead:
                 # The thread resumes on a host core to run the fallback
                 # (or to crash): reacquire before surfacing the error.

@@ -425,6 +425,10 @@ class HostedMachine:
             self._nxp_engines = [
                 _HostedNxpEngine(self, device=dev) for dev in self.machine.devices
             ]
+            # revive_nxp must reset/restart the hosted dispatcher, not
+            # the (never-started) interpreted platform it shadows.
+            for dev, engine in zip(self.machine.devices, self._nxp_engines):
+                dev.hosted_engine = engine
         else:
             self._nxp_engines = [_HostedNxpEngine(self)]
         self._nxp_engine = self._nxp_engines[0]
@@ -628,7 +632,17 @@ class _HostedHostThread:
             task.nxp_sp = task.nxp_stack_base + cfg.nxp_stack_bytes
             self.machine.trace.record("nxp_stack_alloc", pid=task.pid, addr=task.nxp_stack_base)
         machine = self.machine
-        if machine.hardened and machine.health.dead:
+        if machine.hardened and (
+            machine.health.dead or task.pid in machine.fused_pids
+        ):
+            # Dead device, or a pid fused to host execution after a
+            # retry-budget denial (see HostThread: a stale reply to its
+            # abandoned leg must find no armed wait).
+            retval = yield from self._fallback_call(fn, args, session_start)
+            return retval
+        if cfg.brownout and self._brownout_risk():
+            # Overload brownout: degraded-but-correct host execution
+            # instead of queueing (mirrors HostThread).
             retval = yield from self._fallback_call(fn, args, session_start)
             return retval
         desc = MigrationDescriptor(
@@ -679,8 +693,16 @@ class _HostedHostThread:
         machine = self.machine
         tried = set()
         while True:
+            if task.pid in machine.fused_pids:
+                # Retry-budget fuse: stale replies route by pid, not
+                # device, so a fused pid must not wait on any device.
+                retval = yield from self._fallback_call(fn, args, session_start)
+                return retval
             device = machine.placement.pick(task, exclude=frozenset(tried))
             if device is None:
+                retval = yield from self._fallback_call(fn, args, session_start)
+                return retval
+            if cfg.brownout and self._brownout_risk(device):
                 retval = yield from self._fallback_call(fn, args, session_start)
                 return retval
             if machine.trace.context_enabled:
@@ -810,8 +832,24 @@ class _HostedHostThread:
         yield self.sim.timeout(cfg.host_context_switch_ns)
         machine.cores.release(self.core)
         self.core = None
+        sends = 0
         while True:
             for attempt in range(cfg.migration_retry_limit + 1):
+                if sends and machine.retry_budget is not None:
+                    # Machine-wide retry budget: every send after the
+                    # first must buy a token, else degrade to fallback
+                    # instead of storming the ring (docs/ROBUSTNESS.md).
+                    if not machine.retry_budget.take(self.sim.now):
+                        machine.trace.record(
+                            "retry_budget_denied", pid=task.pid, seq=desc.seq
+                        )
+                        # Fuse the pid: a stale reply to the abandoned
+                        # leg must not wake this pid's next wait.
+                        machine.fused_pids.add(task.pid)
+                        self.core = yield from machine.cores.acquire(task.name)
+                        task.state = TaskState.RUNNING
+                        raise NxpDeadError(task, "retry budget exhausted")
+                sends += 1
                 wake = Event(self.sim, name=f"{task.name}.wake.s{desc.seq}a{attempt}")
                 task.wake_event = wake
                 yield self.sim.timeout(cfg.host_dma_kick_ns)
@@ -847,7 +885,7 @@ class _HostedHostThread:
                     self.core = yield from machine.cores.acquire(task.name)
                     task.state = TaskState.RUNNING
                     raise NxpDeadError(task)
-            health.record_failure()
+            health.record_failure(self.sim.now)
             if health.dead:
                 self.core = yield from machine.cores.acquire(task.name)
                 task.state = TaskState.RUNNING
@@ -860,6 +898,26 @@ class _HostedHostThread:
                 wake.trigger(WATCHDOG_EXPIRED)
 
         self.sim.spawn(watchdog(self.sim), name=f"watchdog-{self.task.name}")
+
+    # Hosted twin of HostThread._brownout_risk (same triggers, same
+    # counters — see host_runtime.py).
+    def _brownout_risk(self, device=None) -> bool:
+        cfg = self.cfg
+        machine = self.machine
+        deadline = getattr(self.task, "deadline_ns", None)
+        if deadline is not None and deadline - self.sim.now < cfg.brownout_margin_ns:
+            machine.stats.count("brownout.deadline_risk")
+            return True
+        limit = cfg.admission_queue_limit
+        if limit:
+            if device is not None:
+                over = device.outstanding >= limit
+            else:
+                over = machine.admitted_inflight > machine.admission_capacity()
+            if over:
+                machine.stats.count("brownout.queue_full")
+                return True
+        return False
 
     def _fallback_call(self, fn: HostedFunction, args: List[int], session_start: float) -> Generator:
         """Degraded mode: run the NISA body in the ``"fallback"`` context
@@ -915,6 +973,24 @@ class _HostedNxpEngine:
                 else f"hosted-nxp-sched.{self._device.index}"
             )
             self._proc = self.sim.spawn(self._dispatcher(), name=name)
+
+    def reset_device(self) -> None:
+        """Hosted twin of NxpPlatform.reset_device: wipe replay state and
+        let :meth:`start` respawn the dispatcher after a revive.  Ring
+        pointers and the killed/draining flags are the machine's side of
+        the reset (``FlickMachine.revive_nxp``); stale pre-kill arrivals
+        are absorbed by the dispatcher's pending recheck.
+
+        The dispatcher is forgotten only if it already exited — a kill
+        can leave it parked on the arrival channel (no arrivals reach a
+        dead device to wake it), and that parked process resumes as the
+        revived device's dispatcher.  A second dispatcher beside it
+        would double-pop the ring on the next doorbell."""
+        self._last_req_seq.clear()
+        self._resp_cache.clear()
+        self._resp_ready.clear()
+        if self._proc is not None and not self._proc.alive:
+            self._proc = None
 
     def _dispatcher(self) -> Generator:
         dev = self._device

@@ -133,12 +133,36 @@ class FlickMachine:
                 stats=self.stats,
                 trace=self.trace,
             )
-            self.health = NxpHealth(
-                cfg.nxp_dead_threshold, stats=self.stats, trace=self.trace
-            )
+            self.health = self._build_health(cfg)
         else:
             self.injector = None
             self.health = None
+        # -- overload protection (docs/ROBUSTNESS.md) -------------------------
+        # Like the injector: the retry budget exists ONLY when its knob
+        # is non-default, so budget-off runs skip every consult branch
+        # and stay on the exact pre-budget code paths.
+        if cfg.retry_budget_tokens > 0:
+            from repro.core.health import RetryBudget
+
+            self.retry_budget = RetryBudget(
+                cfg.retry_budget_tokens,
+                cfg.retry_budget_refill_per_ms,
+                stats=self.stats,
+            )
+        else:
+            self.retry_budget = None
+        # Admission bookkeeping: requests admitted through
+        # ``admit_request`` and not yet released.  Only touched when
+        # ``admission_queue_limit`` is armed.
+        self.admitted_inflight = 0
+        # Pids fused to host-fallback execution after a retry-budget
+        # denial.  A denial abandons an in-flight leg while the device
+        # stays in service, so a late reply for that pid may still
+        # arrive; fusing the pid guarantees no later wait exists for the
+        # stale reply to wake (the kernel discards it as a late
+        # delivery), mirroring how a DEAD latch makes abandonment safe.
+        # Empty forever when the retry budget is unarmed.
+        self.fused_pids: set = set()
         # Machine-wide outbound (n2h) sequence counters, keyed by pid.
         # One dict shared by every device: the host-side duplicate
         # filter compares against a single per-task high-water mark, so
@@ -242,11 +266,7 @@ class FlickMachine:
             dma.register_mmio(self.mmio, base=i * 0x10)
             health = None
             if self.injector is not None:
-                from repro.core.health import NxpHealth
-
-                health = NxpHealth(
-                    cfg.nxp_dead_threshold, stats=self.stats, trace=self.trace
-                )
+                health = self._build_health(cfg)
             self.devices.append(
                 NxpDevice(
                     self, i, MIGRATION_VECTOR + i, dma, nxp_ring, host_ring,
@@ -259,6 +279,20 @@ class FlickMachine:
         self.host_ring = dev0.host_ring
         self.bram_phys = dev0.bram
         self.health = dev0.health
+
+    def _build_health(self, cfg: FlickConfig):
+        """One per-device health machine, with the breaker knobs wired."""
+        from repro.core.health import NxpHealth
+
+        return NxpHealth(
+            cfg.nxp_dead_threshold,
+            stats=self.stats,
+            trace=self.trace,
+            recovery=cfg.nxp_recovery,
+            probe_target=cfg.nxp_probe_successes,
+            quarantine_base_ns=cfg.nxp_quarantine_base_ns,
+            quarantine_factor=cfg.nxp_quarantine_factor,
+        )
 
     @property
     def hardened(self) -> bool:
@@ -458,3 +492,94 @@ class FlickMachine:
         else:
             raise ValueError(f"unknown kill mode {mode!r}")
         self.trace.record("nxp_kill", device=index, mode=mode)
+
+    def revive_nxp(self, index: int) -> None:
+        """Self-healing hook: bring NxP ``index`` back as a half-open
+        probe target (docs/ROBUSTNESS.md).
+
+        Resets the device — ring pointers, replay caches, scheduler —
+        and moves its health DEAD → RECOVERING; placement re-admits it
+        after ``nxp_probe_successes`` consecutive probe successes.
+        Requires ``FlickConfig.nxp_recovery`` and the hardened protocol.
+        Refuses (``ValueError``) while a re-tripped breaker's quarantine
+        window is still open.
+        """
+        if not self.cfg.nxp_recovery:
+            raise ValueError("device recovery is off (FlickConfig.nxp_recovery)")
+        if not self.hardened:
+            raise ValueError(
+                "revive_nxp needs the hardened protocol (arm a fault plan, "
+                "e.g. a never-firing rule) — recovery probes ride the "
+                "watchdog/health machinery"
+            )
+        dev = self.devices[index]
+        out_of_service = (
+            dev.draining or dev.killed or (dev.health is not None and dev.health.dead)
+        )
+        if not out_of_service:
+            raise ValueError(f"NxP {index} is in service; nothing to revive")
+        # Health gate first: a quarantine refusal must leave the device
+        # untouched (still out of service, state unchanged).
+        if dev.health is not None and dev.health.dead:
+            dev.health.begin_recovery(self.sim.now)
+        dev.draining = False
+        dev.killed = False
+        # dev.outstanding is NOT reset: a session stranded by the kill
+        # may still be mid-watchdog holding its slot, and every session
+        # path decrements on exit — zeroing here would double-count the
+        # release and pin the counter negative (probe_ready needs == 0).
+        # Device reset: both descriptor rings back to empty (any stale
+        # in-flight descriptors were already recovered by watchdogs) ...
+        for ring in (dev.nxp_ring, dev.host_ring):
+            ring.head = ring.tail = ring.reserved = 0
+        # ... and the platform's hardened replay caches + scheduler, so
+        # the revived device starts from a clean idempotency horizon.
+        # A hosted machine runs _HostedNxpEngine dispatchers instead of
+        # the interpreted platforms; it registers them as hosted_engine.
+        engine = getattr(dev, "hosted_engine", None) or dev.platform
+        engine.reset_device()
+        self.stats.count("nxp.revived")
+        self.trace.record("nxp_revive", device=index)
+        engine.start()
+
+    # -- admission control (docs/ROBUSTNESS.md) -----------------------------
+
+    def admission_capacity(self) -> int:
+        """Total admission slots: ``admission_queue_limit`` per in-service
+        device (0 = unbounded)."""
+        limit = self.cfg.admission_queue_limit
+        if not limit:
+            return 0
+        serving = sum(1 for dev in self.devices if dev.alive or dev.probe_ready)
+        return limit * max(serving, 1)
+
+    def admit_request(self, deadline_at: Optional[float] = None) -> None:
+        """Front-door admission check for one serving request.
+
+        Raises :class:`AdmissionRejected` when the request's deadline has
+        already expired, or when every per-device admission queue is full
+        and brownout is off (with brownout on, over-limit requests are
+        admitted and the migration layer routes them to host fallback).
+        On success the request holds one admission slot until
+        :meth:`admission_release`.
+        """
+        from repro.core.errors import AdmissionRejected
+
+        if deadline_at is not None and self.sim.now >= deadline_at:
+            self.stats.count("admission.shed.deadline")
+            raise AdmissionRejected(
+                "deadline", f"expired {self.sim.now - deadline_at:.0f} ns ago"
+            )
+        capacity = self.admission_capacity()
+        if capacity:
+            if self.admitted_inflight >= capacity and not self.cfg.brownout:
+                self.stats.count("admission.shed.queue")
+                raise AdmissionRejected(
+                    "queue_full", f"{self.admitted_inflight}/{capacity} in flight"
+                )
+            self.admitted_inflight += 1
+
+    def admission_release(self) -> None:
+        """Return one admission slot (request finished or browned out)."""
+        if self.cfg.admission_queue_limit:
+            self.admitted_inflight -= 1

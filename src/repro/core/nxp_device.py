@@ -56,10 +56,24 @@ class NxpDevice:
 
     @property
     def alive(self) -> bool:
-        """Eligible for new session placement."""
+        """Eligible for unrestricted new-session placement.
+
+        A ``RECOVERING`` device is *not* alive — the half-open breaker
+        admits it probe-by-probe via :attr:`probe_ready` instead.
+        """
         if self.draining or self.killed:
             return False
-        return self.health is None or not self.health.dead
+        if self.health is None:
+            return True
+        return not self.health.dead and not self.health.recovering
+
+    @property
+    def probe_ready(self) -> bool:
+        """Half-open breaker: a ``RECOVERING`` device accepts exactly one
+        in-flight probe session at a time (docs/ROBUSTNESS.md)."""
+        if self.draining or self.killed or self.health is None:
+            return False
+        return self.health.recovering and self.outstanding == 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "down"

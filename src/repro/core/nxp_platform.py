@@ -114,6 +114,28 @@ class NxpPlatform:
             )
             self._proc = self.sim.spawn(self._scheduler(), name=name)
 
+    def reset_device(self) -> None:
+        """Device-reset half of ``machine.revive_nxp`` (docs/ROBUSTNESS.md).
+
+        Clears the hardened replay caches — the revived silicon has no
+        memory of pre-kill sequence numbers, and the per-pid dedup
+        horizon rebuilds from the next fresh descriptor.  Ring pointers
+        and the killed/draining flags are the machine's side of the
+        reset.
+
+        The scheduler process is forgotten only if it already exited.
+        A kill can leave it *parked* on the arrival channel (it checks
+        ``killed`` after waking, and a dead device gets no arrivals to
+        wake it) — that parked process resumes as the revived device's
+        scheduler.  Spawning a second one next to it would double-pop
+        the ring on the next doorbell (RingUnderflow).
+        """
+        self._last_req_seq.clear()
+        self._resp_cache.clear()
+        self._resp_ready.clear()
+        if self._proc is not None and not self._proc.alive:
+            self._proc = None
+
     # -- the polling scheduler --------------------------------------------------
 
     def _scheduler(self) -> Generator:

@@ -125,10 +125,17 @@ class PlacementLayer:
     def pick(self, task, exclude: FrozenSet[int] = frozenset()):
         """Choose a live device for a new session, or ``None`` when no
         device outside ``exclude`` is live (the caller degrades to
-        host-fallback emulation)."""
+        host-fallback emulation).
+
+        ``RECOVERING`` devices join the candidate set only while
+        :attr:`~repro.core.nxp_device.NxpDevice.probe_ready` — at most
+        one in-flight session, the half-open breaker probe.  With
+        recovery off no device ever reports probe_ready, so the
+        candidate set is byte-identical to the pre-recovery behavior.
+        """
         candidates = [
             d for d in self.machine.devices
-            if d.alive and d.index not in exclude
+            if (d.alive or d.probe_ready) and d.index not in exclude
         ]
         trace = getattr(self.machine, "trace", None)
         traced = trace is not None and trace.context_enabled
@@ -142,6 +149,8 @@ class PlacementLayer:
             return None
         dev = self.policy.choose(task, candidates)
         self._count(f"placement.pick.dev{dev.index}")
+        if dev.probe_ready:
+            self._count("placement.probe")
         if exclude:
             self._count("placement.failover")
         if traced:

@@ -253,4 +253,19 @@ def builtin_plans(seed: int = 0) -> Dict[str, FaultPlan]:
             FaultRule("irq_loss", nth=2),
             FaultRule("pcie_flap", nth=3, down_ns=50_000.0),
         ),
+        # Overload storm: every DMA burst has a coin-flip chance of an
+        # extra 60 us of latency, forever.  Under deadlines + admission
+        # control this is the typed-shed scenario; without them every
+        # leg still completes (watchdogs outwait the delays).
+        "overload-storm": plan(
+            "overload-storm",
+            FaultRule("dma_delay", nth=1, count=None, probability=0.5, delay_ns=60_000.0),
+        ),
+        # Flapping device: the NxP scheduler stalls transiently four
+        # times in a row, dropping each in-flight descriptor.  The
+        # breaker's re-trip/quarantine path is driven by this shape.
+        "flapping-device": plan(
+            "flapping-device",
+            FaultRule("nxp_hang", nth=1, count=4, delay_ns=60_000.0),
+        ),
     }

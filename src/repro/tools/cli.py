@@ -325,12 +325,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="latency SLO to evaluate per point, e.g. p99:500us "
-        "(repeatable; windowed burn rates printed per point)",
+        "(repeatable; windowed burn rates printed per point; evaluated "
+        "over completed requests, shed requests reported separately)",
     )
     serve_p.add_argument(
         "--slo-gate",
         action="store_true",
         help="exit 1 if any --slo promise is violated at any point",
+    )
+    serve_p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request deadline in microseconds; requests whose "
+        "deadline expires before dispatch are shed with a typed "
+        "rejection instead of served late (docs/ROBUSTNESS.md)",
+    )
+    serve_p.add_argument(
+        "--admission-limit",
+        type=int,
+        default=0,
+        help="admission-control queue depth per in-service device; "
+        "arrivals beyond it are shed at the front door (0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--brownout",
+        action="store_true",
+        help="brownout mode: route over-limit / deadline-risk calls to "
+        "host fallback instead of shedding (needs --admission-limit "
+        "or --deadline-us)",
     )
 
     why_p = sub.add_parser(
@@ -441,6 +464,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="latency SLO evaluated against the chaos runs, e.g. p99:2ms "
         "(repeatable; with --gate a violated SLO fails the gate)",
+    )
+    fleet_p.add_argument(
+        "--revive-at-ns",
+        type=float,
+        default=None,
+        metavar="NS",
+        help="kill-then-revive drain: revive the killed device at this "
+        "sim instant (must land after the kill); the device re-enters "
+        "service through half-open breaker probes and with --gate must "
+        "serve a nonzero post-revival share (docs/ROBUSTNESS.md)",
     )
 
     return parser
@@ -670,6 +703,8 @@ def _cmd_chaos(args, out) -> int:
         WORKLOADS,
         render_verdicts,
         run_chaos_matrix,
+        run_multi_nxp_revive_case,
+        run_overload_storm_case,
     )
     from repro.sim.faults import FaultPlan, builtin_plans
 
@@ -694,8 +729,14 @@ def _cmd_chaos(args, out) -> int:
     results = run_chaos_matrix(
         plans=plans, workloads=args.workloads, seed=args.seed, bound_ns=bound_ns
     )
+    if plans is None and args.workloads is None:
+        # Full-matrix runs also exercise the robustness scenarios:
+        # admission + retry-budget under an overload storm, and the
+        # breaker's kill-then-revive path (docs/ROBUSTNESS.md).
+        results.append(run_overload_storm_case(seed=args.seed))
+        results.append(run_multi_nxp_revive_case())
     print(render_verdicts(results), file=out)
-    bad = [r for r in results if r.verdict in ("hung", "mismatch")]
+    bad = [r for r in results if not r.ok]
     return 1 if bad else 0
 
 
@@ -736,9 +777,17 @@ def _cmd_serve(args, out) -> int:
         nxps=args.nxps,
         policy=args.policy,
         traced=args.traced,
+        deadline_ns=args.deadline_us * 1000.0,
+        admission_limit=args.admission_limit,
+        brownout=args.brownout,
     )
     try:
         base.validate()
+        if args.brownout and not (args.admission_limit or args.deadline_us):
+            raise ValueError(
+                "--brownout needs --admission-limit or --deadline-us "
+                "(nothing to brown out otherwise)"
+            )
         slos = [parse_slo(spec) for spec in args.slo or []]
     except ValueError as exc:
         print(f"error: {exc}", file=out)
@@ -772,7 +821,10 @@ def _cmd_serve(args, out) -> int:
     slo_ok = True
     for slo in slos:
         for r in results:
-            rep = evaluate_slo(r.records, slo)
+            # Percentiles over completed requests only: a shed request
+            # has no latency, and counting it would let heavy shedding
+            # masquerade as a latency win.  The shed count rides along.
+            rep = evaluate_slo(r.completed_records, slo, shed=r.shed)
             slo_ok = slo_ok and rep.ok
             verdict = render_slo(rep).splitlines()[0]
             print(f"@ {r.offered_qps:g} qps: {verdict}", file=out)
@@ -783,9 +835,15 @@ def _cmd_serve(args, out) -> int:
     if args.tolerance is not None:
         bad = []
         for r in results:
+            # achieved_qps already counts completed requests only, so a
+            # point that sheds its way out of overload fails the ratio
+            # check unless the tolerance allows for the shed fraction.
             ratio = r.achieved_qps / r.offered_qps if r.offered_qps > 0 else 0.0
             if ratio < args.tolerance:
-                bad.append(f"{r.offered_qps:g} qps: achieved/offered {ratio:.3f}")
+                note = f" ({r.shed} shed)" if r.shed else ""
+                bad.append(
+                    f"{r.offered_qps:g} qps: achieved/offered {ratio:.3f}{note}"
+                )
             if not math.isfinite(r.p99_ns):
                 bad.append(f"{r.offered_qps:g} qps: no p99 (empty latency sample)")
             if r.errors:
@@ -867,6 +925,10 @@ def _cmd_fleet(args, out) -> int:
         print(f"error: {exc}", file=out)
         return 2
     fc = FleetConfig.smoke() if args.smoke else FleetConfig()
+    if args.revive_at_ns is not None:
+        from dataclasses import replace
+
+        fc = replace(fc, chaos_revive_at_ns=args.revive_at_ns)
     report = run_fleet(fc, workers=args.workers)
 
     if args.format == "json":
@@ -893,7 +955,7 @@ def _cmd_fleet(args, out) -> int:
             ("baseline", report.chaos.baseline),
             ("killed", report.chaos.killed),
         ):
-            rep = evaluate_slo(run.records, slo)
+            rep = evaluate_slo(run.completed_records, slo, shed=run.shed)
             verdict = render_slo(rep).splitlines()[0]
             print(f"chaos {label}: {verdict}", file=out)
             if not rep.ok:
@@ -905,6 +967,13 @@ def _cmd_fleet(args, out) -> int:
             bad.append(
                 f"chaos drain lost requests or returned wrong values "
                 f"({report.chaos.killed.errors} errors)"
+            )
+        if args.revive_at_ns is not None and report.chaos.verdict != "recovered":
+            bad.append(
+                f"kill-then-revive drain verdict {report.chaos.verdict!r}: "
+                f"revived={report.chaos.revived} post-revival "
+                f"share={report.chaos.post_revival_share:.2f} "
+                "(expected the killed device back in service)"
             )
         peaks = [pt.peak_achieved_qps for pt in report.scaling]
         if any(b <= a for a, b in zip(peaks, peaks[1:])):

@@ -253,3 +253,33 @@ class TestHistogramSummary:
         import math
 
         assert math.isnan(back.min) and math.isnan(back.max)
+
+
+class TestPlacementSidecar:
+    """Multi-NxP placement counters are parity-sensitive sidecars
+    (docs/ROBUSTNESS.md): they ride on the report next to ``stats``
+    without ever entering the pinned registry snapshot."""
+
+    @pytest.fixture(scope="class")
+    def multi_report(self):
+        from repro.core.config import FlickConfig
+
+        machine = FlickMachine(
+            FlickConfig(nxp_count=2, placement_policy="round_robin")
+        )
+        machine.run_program(NULL_CALL, args=[4])
+        return build_run_report(machine)
+
+    def test_placement_counters_on_report(self, multi_report):
+        assert multi_report.placement.get("placement.pick.dev0", 0) > 0
+        assert all(not k.startswith("placement.") for k in multi_report.stats)
+
+    def test_placement_in_openmetrics_and_json(self, multi_report):
+        text = render_openmetrics(multi_report)
+        assert "flick_placement_pick_dev0_total" in text
+        back = report_from_json(render_json(multi_report))
+        assert back.placement == multi_report.placement
+
+    def test_single_nxp_report_has_no_placement(self, report):
+        assert report.placement == {}
+        assert "flick_placement" not in render_openmetrics(report)

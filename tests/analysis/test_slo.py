@@ -167,3 +167,25 @@ class TestRenderers:
         assert doc["ok"] is False
         assert [s["spec"] for s in doc["slos"]] == ["p90:5us", "p90:5us"]
         assert doc["slos"][1]["bad"] == 2
+
+
+class TestShedSurfacing:
+    """Typed sheds (docs/ROBUSTNESS.md) ride on the report but never
+    enter the percentile/burn math — the SLO is a promise about
+    completed work."""
+
+    def test_shed_count_excluded_from_math_but_reported(self):
+        clean = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"))
+        with_shed = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"), shed=4)
+        assert with_shed.shed == 4
+        assert with_shed.requests == clean.requests == 10
+        assert with_shed.burn_rate == clean.burn_rate
+        assert with_shed.latency_ns == clean.latency_ns
+
+    def test_shed_in_renderers_and_doc(self):
+        report = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"), shed=3)
+        assert "3 shed, excluded" in render_slo(report).splitlines()[0]
+        assert 'flick_slo_shed{slo="p90:5us"} 3' in render_slo_openmetrics(report)
+        assert report.to_dict()["shed"] == 3
+        clean = evaluate_slo(recs([100.0] * 10), parse_slo("p90:5us"))
+        assert "shed" not in render_slo(clean).splitlines()[0]

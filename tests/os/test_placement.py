@@ -21,10 +21,11 @@ from repro.os.placement import (
 
 
 class FakeDevice:
-    def __init__(self, index, alive=True, outstanding=0):
+    def __init__(self, index, alive=True, outstanding=0, probe_ready=False):
         self.index = index
         self.alive = alive
         self.outstanding = outstanding
+        self.probe_ready = probe_ready
 
     def __repr__(self):
         return f"dev{self.index}"
